@@ -1,0 +1,130 @@
+// Command caexperiments regenerates every table and figure of the paper's
+// evaluation (§5) plus the analytical results of §3, printing markdown
+// tables that pair each measured value with the paper's published one.
+//
+// Usage:
+//
+//	caexperiments [-run all|fig9|fig12|msgs|signal|lemma1]
+//
+// Everything runs on the deterministic virtual clock; output is
+// bit-reproducible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"caaction/internal/harness"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("caexperiments: ")
+	run := flag.String("run", "all", "experiment to run: all|fig9|fig12|msgs|signal|lemma1")
+	flag.Parse()
+
+	experiments := map[string]func() error{
+		"fig9":   fig9,
+		"fig12":  fig12,
+		"msgs":   msgs,
+		"signal": signalling,
+		"lemma1": lemma1,
+	}
+	order := []string{"msgs", "signal", "lemma1", "fig12", "fig9"}
+
+	if *run == "all" {
+		for _, name := range order {
+			if err := experiments[name](); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
+	}
+	fn, ok := experiments[*run]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := fn(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func fig9() error {
+	fmt.Println("## E1 — Figure 9/10: sensitivity of total execution time (§5.2)")
+	fmt.Println()
+	fmt.Println("Scenario: 3 threads in a containing action, 2 in a nested action;")
+	fmt.Println("a containing-action exception aborts the nested action, the abortion")
+	fmt.Println("handler raises a second exception, the resolving exception covers both;")
+	fmt.Println("20 iterations. Baseline: Tmmax=0.2s Tabo=0.1s Treso=0.3s.")
+	fmt.Println()
+	rows, err := harness.RunFig9()
+	if err != nil {
+		return err
+	}
+	fmt.Println(harness.RenderFig9(rows))
+	return nil
+}
+
+func fig12() error {
+	fmt.Println("## E2 — Figure 12/13: ours vs Campbell–Randell 1986 (§5.3)")
+	fmt.Println()
+	fmt.Println("Scenario: 3 threads raise different exceptions nearly simultaneously.")
+	fmt.Println("Sweeps: Tmmax at Tres=0.3s; Tres at Tmmax=1.0s.")
+	fmt.Println()
+	rows, err := harness.RunFig12()
+	if err != nil {
+		return err
+	}
+	fmt.Println(harness.RenderFig12(rows))
+	return nil
+}
+
+func msgs() error {
+	fmt.Println("## E3 — message complexity (§3.3.3, Theorem 2 and baselines)")
+	fmt.Println()
+	fmt.Println("Measured resolution-protocol messages and resolution-procedure calls")
+	fmt.Println("against the closed forms: ours (N+1)(N−1) with one resolution;")
+	fmt.Println("R-96 3N(N−1) with N resolutions; CR-86 O(N³) relays with per-relay")
+	fmt.Println("resolutions.")
+	fmt.Println()
+	rows, err := harness.RunMessageComplexity([]int{2, 3, 4, 5, 6, 7, 8})
+	if err != nil {
+		return err
+	}
+	fmt.Println(harness.RenderMsgs(rows))
+	return nil
+}
+
+func signalling() error {
+	fmt.Println("## E4 — signalling algorithm costs (§3.4)")
+	fmt.Println()
+	fmt.Println("Cases: (a) plain ε mix, (b) one ƒ, (c) one µ with successful undo,")
+	fmt.Println("(d) one µ with one failed undo. Simple cases N(N−1); undo 2N(N−1).")
+	fmt.Println()
+	rows, err := harness.RunSignalling([]int{2, 3, 4, 5, 6, 7, 8})
+	if err != nil {
+		return err
+	}
+	fmt.Println(harness.RenderSignalling(rows))
+	return nil
+}
+
+func lemma1() error {
+	fmt.Println("## E6 — Lemma 1 completion-time bound")
+	fmt.Println()
+	fmt.Println("T ≤ (2·nmax+3)·Tmmax + nmax·Tabort + (nmax+1)·(Treso+∆max)")
+	fmt.Println("with Tmmax=0.2s, Tabort=0.1s, Treso=0.3s, ∆max=0.2s.")
+	fmt.Println()
+	rows, err := harness.RunLemma1([]int{0, 1, 2, 3, 4},
+		200*time.Millisecond, 100*time.Millisecond, 300*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	fmt.Println(harness.RenderLemma1(rows))
+	return nil
+}

@@ -1,0 +1,110 @@
+// Command cagraph works with exception graphs in the paper's declaration
+// syntax (§3.1–3.2).
+//
+// Usage:
+//
+//	cagraph check  [file]                 validate a graph (stdin by default)
+//	cagraph resolve [file] e1 e2 ...      resolve concurrently raised exceptions
+//	cagraph gen n [maxlevel]              generate the full n-level graph
+//
+// Graph syntax: one "er: e1, e2, ..." line per cover relationship, '#'
+// comments, optional "graph NAME" header, optional "!auto-universal"
+// directive.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"caaction/internal/except"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cagraph: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "check":
+		g := load(argOr(2, "-"))
+		fmt.Printf("graph %q: %d nodes, root %q, %d primitives — valid\n",
+			g.Name(), g.Len(), g.Root(), len(g.Primitives()))
+	case "resolve":
+		if len(os.Args) < 4 {
+			usage()
+		}
+		g := load(os.Args[2])
+		var raised []except.ID
+		for _, a := range os.Args[3:] {
+			raised = append(raised, except.ID(a))
+		}
+		res, err := g.Resolve(raised...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("resolving exception: %s (covers %d, level %d)\n",
+			res, g.CoverSize(res), g.Level(res))
+	case "gen":
+		if len(os.Args) < 3 {
+			usage()
+		}
+		n, err := strconv.Atoi(os.Args[2])
+		if err != nil || n < 1 {
+			log.Fatalf("bad primitive count %q", os.Args[2])
+		}
+		var opts []except.GenerateOption
+		if len(os.Args) > 3 {
+			ml, err := strconv.Atoi(os.Args[3])
+			if err != nil {
+				log.Fatalf("bad max level %q", os.Args[3])
+			}
+			opts = append(opts, except.MaxLevel(ml))
+		}
+		prims := make([]except.ID, n)
+		for i := range prims {
+			prims[i] = except.ID(fmt.Sprintf("e%d", i+1))
+		}
+		g, err := except.GenerateFull("generated", prims, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(g.String())
+	default:
+		usage()
+	}
+}
+
+func argOr(i int, def string) string {
+	if len(os.Args) > i {
+		return os.Args[i]
+	}
+	return def
+}
+
+func load(path string) *except.Graph {
+	in := os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() { _ = f.Close() }()
+		in = f
+	}
+	g, err := except.Parse(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return g
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  cagraph check  [file|-]
+  cagraph resolve <file|-> <exc> [exc...]
+  cagraph gen <n> [maxlevel]`)
+	os.Exit(2)
+}

@@ -1,0 +1,158 @@
+// Banking: external atomic objects under CA actions — the §3.1 model's
+// transactional side. Two roles transfer money between accounts (external
+// atomic objects shared with other actions). Three scenarios:
+//
+//  1. a clean transfer commits;
+//  2. a fraud alert is raised mid-transfer and the handlers repair the
+//     accounts to new valid states (forward recovery, the action still
+//     commits);
+//  3. an unhandleable exception aborts the action: the undo exception µ is
+//     coordinated by the signalling algorithm and the accounts roll back to
+//     their before-images.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"caaction/internal/core"
+	"caaction/internal/except"
+	"caaction/internal/transport"
+	"caaction/internal/vclock"
+)
+
+func main() {
+	log.SetFlags(0)
+	clk := vclock.NewVirtual()
+	net := transport.NewSim(transport.SimConfig{
+		Clock:   clk,
+		Latency: transport.FixedLatency(2 * time.Millisecond),
+	})
+	rt, err := core.New(core.Config{Clock: clk, Network: net})
+	if err != nil {
+		log.Fatal(err)
+	}
+	accounts := rt.Objects()
+	alice, err := accounts.Define("alice", 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bob, err := accounts.Define("bob", 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	graph, err := except.NewBuilder("transfer").
+		Node("fraud_alert").
+		Node("ledger_corrupt").
+		WithUniversal().
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := &core.Spec{
+		Name: "transfer",
+		Roles: []core.Role{
+			{Name: "debit", Thread: "T1"},
+			{Name: "credit", Thread: "T2"},
+		},
+		Graph: graph,
+	}
+
+	t1, err := rt.NewThread("T1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	t2, err := rt.NewThread("T2")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	runTransfer := func(title string, amount int, debit, credit core.RoleProgram) {
+		fmt.Printf("== %s ==\n", title)
+		results := make(chan error, 2)
+		clk.Go(func() { results <- t1.Perform(spec, "debit", debit) })
+		clk.Go(func() { results <- t2.Perform(spec, "credit", credit) })
+		clk.Wait()
+		close(results)
+		for err := range results {
+			switch {
+			case err == nil:
+			case core.IsUndone(err):
+				fmt.Println("  outcome: aborted and undone (µ)")
+			case core.IsFailed(err):
+				fmt.Println("  outcome: failed (ƒ)")
+			default:
+				fmt.Printf("  outcome: %v\n", err)
+			}
+		}
+		fmt.Printf("  balances: alice=%v bob=%v (versions %d/%d)\n\n",
+			alice.Peek(), bob.Peek(), alice.Version(), bob.Version())
+	}
+
+	debitBody := func(amount int, raise except.ID) core.Body {
+		return func(ctx *core.Context) error {
+			bal, err := ctx.Tx().Read("alice")
+			if err != nil {
+				return err
+			}
+			if err := ctx.Tx().Write("alice", bal.(int)-amount); err != nil {
+				return err
+			}
+			if raise != except.None {
+				return ctx.Raise(raise, "suspicious transfer pattern")
+			}
+			return ctx.Send("credit", amount)
+		}
+	}
+	creditBody := func(ctx *core.Context) error {
+		v, err := ctx.Recv("debit")
+		if err != nil {
+			return err
+		}
+		bal, err := ctx.Tx().Read("bob")
+		if err != nil {
+			return err
+		}
+		return ctx.Tx().Write("bob", bal.(int)+v.(int))
+	}
+
+	// 1. Clean transfer of 300: both objects commit atomically at exit.
+	runTransfer("clean transfer of 300", 300,
+		core.RoleProgram{Body: debitBody(300, except.None)},
+		core.RoleProgram{Body: creditBody},
+	)
+
+	// 2. Fraud alert: handlers repair the accounts to new valid states —
+	// the debit is reversed and a fee is charged; the action commits the
+	// repaired state (forward error recovery on external objects).
+	repair := func(ctx *core.Context, resolved except.ID, _ []except.Raised) error {
+		if ctx.Role() == "debit" {
+			bal, err := ctx.Tx().Read("alice")
+			if err != nil {
+				return err
+			}
+			return ctx.Tx().Write("alice", bal.(int)+500-25) // reverse, charge fee
+		}
+		return nil
+	}
+	runTransfer("transfer of 500 with fraud alert (forward recovery)", 500,
+		core.RoleProgram{
+			Body:     debitBody(500, "fraud_alert"),
+			Handlers: map[except.ID]core.Handler{"fraud_alert": repair},
+		},
+		core.RoleProgram{
+			Body:     creditBody,
+			Handlers: map[except.ID]core.Handler{"fraud_alert": func(ctx *core.Context, r except.ID, raised []except.Raised) error { return repair(ctx, r, raised) }},
+		},
+	)
+
+	// 3. Ledger corruption has no handler: the termination model converts
+	// it to the undo exception µ; the signalling algorithm coordinates the
+	// undo and both accounts are restored to their before-images.
+	runTransfer("transfer of 900 hitting unhandled corruption (undo)", 900,
+		core.RoleProgram{Body: debitBody(900, "ledger_corrupt")},
+		core.RoleProgram{Body: creditBody},
+	)
+}

@@ -1,0 +1,110 @@
+// Quickstart: two cooperating roles inside one CA action. The producer role
+// detects a fault and raises an exception; both roles are switched to their
+// handlers for the resolved exception and the action completes by forward
+// recovery — the paper's Figure 1 in ~80 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"caaction/internal/core"
+	"caaction/internal/except"
+	"caaction/internal/trace"
+	"caaction/internal/transport"
+	"caaction/internal/vclock"
+)
+
+func main() {
+	log.SetFlags(0)
+	clk := vclock.NewVirtual()
+	metrics := &trace.Metrics{}
+	net := transport.NewSim(transport.SimConfig{
+		Clock:   clk,
+		Latency: transport.FixedLatency(5 * time.Millisecond), // Tmmax
+		Metrics: metrics,
+	})
+	rt, err := core.New(core.Config{Clock: clk, Network: net, Metrics: metrics})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Exception context: one declared exception plus the universal root.
+	graph, err := except.NewBuilder("transfer").
+		Node("bad_checksum").
+		WithUniversal().
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := &core.Spec{
+		Name: "transfer",
+		Roles: []core.Role{
+			{Name: "producer", Thread: "T1"},
+			{Name: "consumer", Thread: "T2"},
+		},
+		Graph: graph,
+	}
+
+	handler := func(ctx *core.Context, resolved except.ID, raised []except.Raised) error {
+		fmt.Printf("[%v] %s/%s handling %q (raised by %s)\n",
+			ctx.Now(), ctx.Self(), ctx.Role(), resolved, raised[0].Origin)
+		// Forward recovery: resend with a fresh checksum.
+		if ctx.Role() == "producer" {
+			return ctx.Send("consumer", "block-1 (retransmitted)")
+		}
+		payload, err := ctx.Recv("producer")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("[%v] consumer recovered payload: %v\n", ctx.Now(), payload)
+		return nil
+	}
+
+	producer := core.RoleProgram{
+		Body: func(ctx *core.Context) error {
+			if err := ctx.Send("consumer", "block-1 (corrupted)"); err != nil {
+				return err
+			}
+			return ctx.Compute(50 * time.Millisecond) // interrupted by the consumer's raise
+		},
+		Handlers: map[except.ID]core.Handler{"bad_checksum": handler},
+	}
+	consumer := core.RoleProgram{
+		Body: func(ctx *core.Context) error {
+			payload, err := ctx.Recv("producer")
+			if err != nil {
+				return err
+			}
+			fmt.Printf("[%v] consumer got: %v\n", ctx.Now(), payload)
+			// Detection: the checksum fails → raise; the runtime informs the
+			// producer and coordinates resolution.
+			return ctx.Raise("bad_checksum", "crc mismatch on block-1")
+		},
+		Handlers: map[except.ID]core.Handler{"bad_checksum": handler},
+	}
+
+	t1, err := rt.NewThread("T1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	t2, err := rt.NewThread("T2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	results := make(chan error, 2)
+	clk.Go(func() { results <- t1.Perform(spec, "producer", producer) })
+	clk.Go(func() { results <- t2.Perform(spec, "consumer", consumer) })
+	clk.Wait()
+	close(results)
+	for err := range results {
+		if err != nil {
+			log.Fatalf("action outcome: %v", err)
+		}
+	}
+	fmt.Printf("action completed successfully at virtual time %v\n", clk.Now())
+	fmt.Printf("protocol messages: %d (Exception=%d Suspended=%d Commit=%d)\n",
+		metrics.Get("msg.total"),
+		metrics.Get("msg.Exception"), metrics.Get("msg.Suspended"), metrics.Get("msg.Commit"))
+}

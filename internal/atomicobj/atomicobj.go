@@ -1,0 +1,300 @@
+// Package atomicobj implements the paper's external atomic objects: objects
+// outside a CA action that can be shared between actions under competitive
+// concurrency, are "atomic and individually responsible for their own
+// integrity" (§2.2), and support the recovery operations the model requires —
+// commit on successful exit, restoration of prior state for the undo
+// exception µ, explicit repair to a new valid state by handlers, and damage
+// marking when undo is impossible (forcing the failure exception ƒ).
+//
+// Concurrency control is strict exclusive locking scoped to an action
+// instance: the first access by any role of an action acquires the object
+// for that action; competing actions queue (FIFO) on a clock-integrated
+// wait queue, so contention works identically under the virtual and real
+// clocks.
+package atomicobj
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"caaction/internal/except"
+	"caaction/internal/vclock"
+)
+
+// Errors reported by objects.
+var (
+	// ErrUndoFailed reports that restoring the object's prior state was
+	// impossible (it was marked damaged); the action must signal ƒ.
+	ErrUndoFailed = errors.New("atomicobj: undo failed")
+	// ErrNotHeld reports a commit/undo/markdamaged by an action that does
+	// not hold the object.
+	ErrNotHeld = errors.New("atomicobj: object not held by action")
+	// ErrBusy reports a failed TryAcquire.
+	ErrBusy = errors.New("atomicobj: object held by another action")
+	// ErrUnknownObject reports a lookup of an undefined object.
+	ErrUnknownObject = errors.New("atomicobj: unknown object")
+	// ErrDuplicateObject reports defining the same name twice.
+	ErrDuplicateObject = errors.New("atomicobj: object already defined")
+)
+
+// CloneFunc deep-copies an object state for before-images. The default clone
+// is the identity, which is correct for immutable/value states; states with
+// reference semantics (maps, slices, pointers) need an explicit CloneFunc.
+type CloneFunc func(state any) any
+
+// Registry holds the named external objects of a system.
+type Registry struct {
+	clock vclock.Clock
+
+	mu   sync.Mutex
+	objs map[string]*Object
+}
+
+// NewRegistry returns an empty registry whose lock waits are mediated by
+// clock.
+func NewRegistry(clock vclock.Clock) *Registry {
+	return &Registry{clock: clock, objs: make(map[string]*Object)}
+}
+
+// Define creates a named object with an initial state.
+func (r *Registry) Define(name string, initial any, opts ...ObjectOption) (*Object, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.objs[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateObject, name)
+	}
+	o := &Object{
+		name:  name,
+		clock: r.clock,
+		state: initial,
+		clone: func(s any) any { return s },
+	}
+	for _, opt := range opts {
+		opt(o)
+	}
+	r.objs[name] = o
+	return o, nil
+}
+
+// Get looks an object up by name.
+func (r *Registry) Get(name string) (*Object, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	o, ok := r.objs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownObject, name)
+	}
+	return o, nil
+}
+
+// Names lists the defined objects.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.objs))
+	for n := range r.objs {
+		out = append(out, n)
+	}
+	return out
+}
+
+// ObjectOption customises Define.
+type ObjectOption func(*Object)
+
+// WithClone sets the deep-copy function used for before-images.
+func WithClone(fn CloneFunc) ObjectOption {
+	return func(o *Object) { o.clone = fn }
+}
+
+// Object is one external atomic object.
+type Object struct {
+	name  string
+	clock vclock.Clock
+	clone CloneFunc
+
+	mu       sync.Mutex
+	state    any
+	holder   string // owning action instance; "" when free
+	waiters  []objWaiter
+	snapshot any  // before-image for the holding action
+	hasSnap  bool // a write occurred under the current holder
+	damaged  bool // undo impossible for the current holder
+	version  int
+	informed []except.Raised
+}
+
+type objWaiter struct {
+	action string
+	q      *vclock.Queue
+}
+
+// Name returns the object's registry name.
+func (o *Object) Name() string { return o.name }
+
+// Version counts successful commits, for observation in tests and examples.
+func (o *Object) Version() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.version
+}
+
+// Holder reports the action currently holding the object ("" when free).
+func (o *Object) Holder() string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.holder
+}
+
+// Acquire locks the object for the given action instance, blocking while a
+// different action holds it. Acquiring an object already held by the same
+// action (for example from another role of that action) returns immediately.
+func (o *Object) Acquire(action string) {
+	o.mu.Lock()
+	if o.holder == "" || o.holder == action {
+		o.holder = action
+		o.mu.Unlock()
+		return
+	}
+	w := objWaiter{action: action, q: o.clock.NewQueue()}
+	o.waiters = append(o.waiters, w)
+	o.mu.Unlock()
+	w.q.Get() // handed the lock by releaseLocked
+}
+
+// TryAcquire attempts a non-blocking acquire.
+func (o *Object) TryAcquire(action string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.holder == "" || o.holder == action {
+		o.holder = action
+		return nil
+	}
+	return fmt.Errorf("%w: %q held by %q", ErrBusy, o.name, o.holder)
+}
+
+// releaseLocked passes the lock to the next queued action; every queued
+// waiter belonging to that action is admitted (its roles share the lock).
+func (o *Object) releaseLocked() {
+	o.holder = ""
+	o.snapshot = nil
+	o.hasSnap = false
+	o.damaged = false
+	if len(o.waiters) == 0 {
+		return
+	}
+	next := o.waiters[0].action
+	o.holder = next
+	kept := o.waiters[:0]
+	for _, w := range o.waiters {
+		if w.action == next {
+			w.q.Put(struct{}{})
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	o.waiters = kept
+}
+
+// Read returns the object's current state, acquiring it for action first.
+func (o *Object) Read(action string) any {
+	o.Acquire(action)
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.state
+}
+
+// Write replaces the object's state, acquiring it for action first. The
+// first write under a holder records a before-image for undo.
+func (o *Object) Write(action string, state any) {
+	o.Acquire(action)
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if !o.hasSnap {
+		o.snapshot = o.clone(o.state)
+		o.hasSnap = true
+	}
+	o.state = state
+}
+
+// Update applies fn to the current state and stores the result, acquiring
+// the object for action first.
+func (o *Object) Update(action string, fn func(state any) any) {
+	o.Acquire(action)
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if !o.hasSnap {
+		o.snapshot = o.clone(o.state)
+		o.hasSnap = true
+	}
+	o.state = fn(o.state)
+}
+
+// Inform notifies the object of an exception raised in the holding action
+// (§3.3.2: "inform external objects ... of the exception"), so it can take
+// object-specific precautions; this implementation records the exception for
+// inspection.
+func (o *Object) Inform(action string, exc except.Raised) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.informed = append(o.informed, exc)
+}
+
+// Informed returns the exceptions the object has been informed of.
+func (o *Object) Informed() []except.Raised {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]except.Raised(nil), o.informed...)
+}
+
+// MarkDamaged declares that restoring the before-image is impossible for the
+// holding action; a subsequent Undo fails, forcing ƒ.
+func (o *Object) MarkDamaged(action string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.holder != action {
+		return fmt.Errorf("%w: %q by %q", ErrNotHeld, o.name, action)
+	}
+	o.damaged = true
+	return nil
+}
+
+// Commit makes the action's effect durable and releases the object.
+func (o *Object) Commit(action string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.holder != action {
+		return fmt.Errorf("%w: %q by %q", ErrNotHeld, o.name, action)
+	}
+	o.version++
+	o.releaseLocked()
+	return nil
+}
+
+// Undo restores the state the object had when the action first wrote it and
+// releases the object. If the object was marked damaged the state is left
+// as-is and ErrUndoFailed is returned — the caller must signal ƒ.
+func (o *Object) Undo(action string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.holder != action {
+		return fmt.Errorf("%w: %q by %q", ErrNotHeld, o.name, action)
+	}
+	if o.damaged {
+		o.releaseLocked()
+		return fmt.Errorf("%w: %q damaged", ErrUndoFailed, o.name)
+	}
+	if o.hasSnap {
+		o.state = o.snapshot
+	}
+	o.releaseLocked()
+	return nil
+}
+
+// Peek returns the state without any locking discipline, for tests and
+// simulators only.
+func (o *Object) Peek() any {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.state
+}

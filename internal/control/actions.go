@@ -1,0 +1,596 @@
+package control
+
+import (
+	"errors"
+	"fmt"
+
+	"caaction/internal/core"
+	"caaction/internal/except"
+	"caaction/internal/prodcell"
+)
+
+// waitSensor polls an axis position sensor until it reads true, processing
+// runtime messages between polls (the controller's interruption points). A
+// miss returns errSensorTimeout for the caller to diagnose.
+func (c *Controller) waitSensor(ctx *core.Context, axis, pos string) error {
+	deadline := ctx.Now() + c.cfg.SensorTimeout
+	for {
+		if c.plant.At(axis, pos) {
+			return nil
+		}
+		if ctx.Now() >= deadline {
+			return fmt.Errorf("%w: %s not at %s", errSensorTimeout, axis, pos)
+		}
+		if err := ctx.Compute(c.cfg.Poll); err != nil {
+			return err
+		}
+	}
+}
+
+// waitEncoder polls the fault-immune encoder; used by recovery handlers that
+// no longer trust the sensors.
+func (c *Controller) waitEncoder(ctx *core.Context, axis, pos string) error {
+	deadline := ctx.Now() + c.cfg.SensorTimeout
+	for {
+		if c.plant.Position(axis) == pos {
+			return nil
+		}
+		if ctx.Now() >= deadline {
+			return fmt.Errorf("%w: encoder %s not at %s", errSensorTimeout, axis, pos)
+		}
+		if err := ctx.Compute(c.cfg.Poll); err != nil {
+			return err
+		}
+	}
+}
+
+// moveAndVerify actuates an axis and waits for the position sensor,
+// diagnosing a miss into the Figure 7 exception classes: stalled encoder →
+// motor stop; unmoved → motor never started; encoder arrived but sensor
+// silent → stuck sensor.
+func (c *Controller) moveAndVerify(ctx *core.Context, axis, target string,
+	stop, nmove except.ID) error {
+	if c.plant.Position(axis) == target {
+		return nil
+	}
+	if err := c.plant.Actuate(axis, target); err != nil {
+		if !errors.Is(err, prodcell.ErrAxisBusy) {
+			return ctx.Raise(stop, err.Error())
+		}
+		// A stale motion (for example from an aborted cycle) is still in
+		// flight; let the axis settle, then redirect it.
+		if werr := c.waitSettled(ctx, axis); werr != nil {
+			return werr
+		}
+		if pos := c.plant.Position(axis); pos != target && pos != "stalled" {
+			if err2 := c.plant.Actuate(axis, target); err2 != nil {
+				return ctx.Raise(stop, err2.Error())
+			}
+		}
+	}
+	err := c.waitSensor(ctx, axis, target)
+	if err == nil {
+		return nil
+	}
+	if !errors.Is(err, errSensorTimeout) {
+		return err // control transfer (informed / abort)
+	}
+	switch pos := c.plant.Position(axis); pos {
+	case target:
+		return ctx.Raise(ExcSStuck, axis+" sensor stuck at 0")
+	case "stalled", "moving":
+		return ctx.Raise(stop, axis+" motor stopped before "+target)
+	default:
+		return ctx.Raise(nmove, axis+" motor did not start (at "+pos+")")
+	}
+}
+
+// waitSettled waits until an axis is no longer moving (arrived or stalled).
+func (c *Controller) waitSettled(ctx *core.Context, axis string) error {
+	deadline := ctx.Now() + c.cfg.SensorTimeout
+	for c.plant.Position(axis) == "moving" && ctx.Now() < deadline {
+		if err := ctx.Compute(c.cfg.Poll); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Move_Loaded_Table (Fig. 7): rotate the loaded table to the robot angle and
+// lift it, the two motors running concurrently under two roles.
+// ---------------------------------------------------------------------------
+
+func (c *Controller) mltProgram(role string) core.RoleProgram {
+	var body core.Body
+	switch role {
+	case "table":
+		body = func(ctx *core.Context) error {
+			switch cs, rtexc, plain := c.takeInjection(); {
+			case cs:
+				return ctx.Raise(ExcCSFault, "injected control-software fault")
+			case rtexc:
+				return ctx.Raise(ExcRTExc, "injected runtime exception (overflow)")
+			case plain:
+				return errors.New("nil dereference in table controller")
+			}
+			return c.moveAndVerify(ctx, prodcell.AxisTableVert, "top", ExcVMStop, ExcVMNoMove)
+		}
+	case "table_sensor":
+		body = func(ctx *core.Context) error {
+			return c.moveAndVerify(ctx, prodcell.AxisTableRot, "robot", ExcRMStop, ExcRMNoMove)
+		}
+	}
+	var own, ownTarget, other, otherTarget string
+	if role == "table" {
+		own, ownTarget = prodcell.AxisTableVert, "top"
+		other, otherTarget = prodcell.AxisTableRot, "robot"
+	} else {
+		own, ownTarget = prodcell.AxisTableRot, "robot"
+		other, otherTarget = prodcell.AxisTableVert, "top"
+	}
+	recoverH := c.mltRecover(own, ownTarget, other, otherTarget)
+	handlers := map[except.ID]core.Handler{
+		ExcVMStop: recoverH, ExcVMNoMove: recoverH,
+		ExcRMStop: recoverH, ExcRMNoMove: recoverH,
+		ExcSStuck: recoverH, ExcDualMotor: recoverH, ExcTableSensor: recoverH,
+	}
+	return core.RoleProgram{Body: body, Handlers: handlers}
+}
+
+// mltRecover is the forward-recovery handler shared by every motor/sensor
+// exception of Move_Loaded_Table: repair the role's own axis, re-actuate it
+// if needed, then verify both axes on the redundant encoders. Verification
+// failure abandons the action with undo (µ).
+func (c *Controller) mltRecover(own, ownTarget, other, otherTarget string) core.Handler {
+	return func(ctx *core.Context, resolved except.ID, raised []except.Raised) error {
+		c.note(ctx.Self(), resolved)
+		_ = c.plant.Repair(own)
+		if c.plant.Position(own) != ownTarget {
+			if err := c.plant.Actuate(own, ownTarget); err != nil && !errors.Is(err, prodcell.ErrAxisBusy) {
+				_ = ctx.Signal(except.Undo)
+				return nil
+			}
+		}
+		if err := c.waitEncoder(ctx, own, ownTarget); err != nil {
+			if errors.Is(err, errSensorTimeout) {
+				_ = ctx.Signal(except.Undo)
+				return nil
+			}
+			return err
+		}
+		// The peer role repairs the other axis; observe it on the encoder.
+		if err := c.waitEncoder(ctx, other, otherTarget); err != nil {
+			if errors.Is(err, errSensorTimeout) {
+				_ = ctx.Signal(except.Undo)
+				return nil
+			}
+			return err
+		}
+		return nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Unload_Table: Move_Loaded_Table nested, then the robot picks the blank
+// with arm 1 and the table returns.
+// ---------------------------------------------------------------------------
+
+func (c *Controller) unloadProgram(role string) core.RoleProgram {
+	var body core.Body
+	switch role {
+	case "table":
+		body = func(ctx *core.Context) error {
+			if err := ctx.Enter(c.specMLT, "table", c.mltProgram("table")); err != nil {
+				return err
+			}
+			if err := ctx.Send("robot", "table_ready"); err != nil {
+				return err
+			}
+			if _, err := ctx.Recv("robot"); err != nil { // "grabbed"
+				return err
+			}
+			if err := c.moveAndVerify(ctx, prodcell.AxisTableRot, "feed", ExcRMStop, ExcRMNoMove); err != nil {
+				return err
+			}
+			return c.moveAndVerify(ctx, prodcell.AxisTableVert, "bottom", ExcVMStop, ExcVMNoMove)
+		}
+	case "table_sensor":
+		body = func(ctx *core.Context) error {
+			return ctx.Enter(c.specMLT, "table_sensor", c.mltProgram("table_sensor"))
+		}
+	case "robot":
+		body = func(ctx *core.Context) error {
+			if _, err := ctx.Recv("table"); err != nil { // "table_ready"
+				return err
+			}
+			if err := c.moveAndVerify(ctx, prodcell.AxisArm1, "extended", SigA1Senor, SigA1Senor); err != nil {
+				return err
+			}
+			if err := c.plant.Grab(prodcell.AxisArm1); err != nil {
+				return ctx.Raise(ExcNoGrab, err.Error())
+			}
+			if err := c.moveAndVerify(ctx, prodcell.AxisArm1, "retracted", SigA1Senor, SigA1Senor); err != nil {
+				return err
+			}
+			if err := ctx.Send("robot_sensor", "check"); err != nil {
+				return err
+			}
+			if !c.plant.Holding(prodcell.AxisArm1) {
+				return ctx.Raise(ExcLPlate, "plate lost after retracting arm 1")
+			}
+			return ctx.Send("table", "grabbed")
+		}
+	case "robot_sensor":
+		body = func(ctx *core.Context) error {
+			if _, err := ctx.Recv("robot"); err != nil { // "check"
+				return err
+			}
+			if !c.plant.Holding(prodcell.AxisArm1) {
+				return ctx.Raise(ExcLPlate, "arm 1 magnet sensor reads empty")
+			}
+			return nil
+		}
+	}
+	return core.RoleProgram{Body: body, Handlers: c.unloadHandlers(role)}
+}
+
+func (c *Controller) unloadHandlers(role string) map[except.ID]core.Handler {
+	lost := func(ctx *core.Context, resolved except.ID, raised []except.Raised) error {
+		c.note(ctx.Self(), resolved)
+		// Make the devices safe, then report the lost plate upward.
+		switch role {
+		case "robot":
+			if c.plant.Position(prodcell.AxisArm1) != "retracted" {
+				_ = c.plant.Actuate(prodcell.AxisArm1, "retracted")
+				if err := c.waitEncoder(ctx, prodcell.AxisArm1, "retracted"); err != nil &&
+					!errors.Is(err, errSensorTimeout) {
+					return err
+				}
+			}
+		case "table":
+			_ = c.plant.Actuate(prodcell.AxisTableVert, "bottom")
+			_ = c.plant.Actuate(prodcell.AxisTableRot, "feed")
+			if err := c.waitEncoder(ctx, prodcell.AxisTableVert, "bottom"); err != nil &&
+				!errors.Is(err, errSensorTimeout) {
+				return err
+			}
+		}
+		return ctx.Signal(SigLPlate)
+	}
+	return map[except.ID]core.Handler{
+		ExcLPlate:                     lost,
+		ExcNoGrab:                     lost,
+		SigA1Senor:                    c.signalHandler(SigA1Senor),
+		c.undone("Move_Loaded_Table"): c.signalHandler(except.Undo),
+		c.failed("Move_Loaded_Table"): c.signalHandler(except.Failure),
+		SigNCSFail:                    c.signalHandler(SigTSensor),
+	}
+}
+
+// signalHandler notes the resolved exception and completes the action by
+// signalling sig to the enclosing level.
+func (c *Controller) signalHandler(sig except.ID) core.Handler {
+	return func(ctx *core.Context, resolved except.ID, raised []except.Raised) error {
+		c.note(ctx.Self(), resolved)
+		return ctx.Signal(sig)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Pressing: the robot loads the press with arm 1 and the press forges.
+// ---------------------------------------------------------------------------
+
+func (c *Controller) pressingProgram(role string) core.RoleProgram {
+	var body core.Body
+	switch role {
+	case "robot":
+		body = func(ctx *core.Context) error {
+			if err := c.moveAndVerify(ctx, prodcell.AxisRobot, "press1", "press_fault", "press_fault"); err != nil {
+				return err
+			}
+			if _, err := ctx.Recv("press"); err != nil { // "ready"
+				return err
+			}
+			if err := c.moveAndVerify(ctx, prodcell.AxisArm1, "extended", "press_fault", "press_fault"); err != nil {
+				return err
+			}
+			if err := c.plant.Release(prodcell.AxisArm1); err != nil {
+				return ctx.Raise("press_fault", err.Error())
+			}
+			if err := c.moveAndVerify(ctx, prodcell.AxisArm1, "retracted", "press_fault", "press_fault"); err != nil {
+				return err
+			}
+			if err := ctx.Send("robot_sensor", "released"); err != nil {
+				return err
+			}
+			return ctx.Send("press", "loaded")
+		}
+	case "robot_sensor":
+		body = func(ctx *core.Context) error {
+			if _, err := ctx.Recv("robot"); err != nil {
+				return err
+			}
+			if c.plant.Holding(prodcell.AxisArm1) {
+				return ctx.Raise("press_fault", "plate stuck to arm 1 magnet")
+			}
+			return nil
+		}
+	case "press":
+		body = func(ctx *core.Context) error {
+			if err := c.moveAndVerify(ctx, prodcell.AxisPress, "mid", "press_fault", "press_fault"); err != nil {
+				return err
+			}
+			if err := ctx.Send("robot", "ready"); err != nil {
+				return err
+			}
+			if _, err := ctx.Recv("robot"); err != nil { // "loaded"
+				return err
+			}
+			if err := c.moveAndVerify(ctx, prodcell.AxisPress, "closed", "press_fault", "press_fault"); err != nil {
+				return err
+			}
+			return ctx.Send("press_sensor", "forged")
+		}
+	case "press_sensor":
+		body = func(ctx *core.Context) error {
+			if _, err := ctx.Recv("press"); err != nil {
+				return err
+			}
+			if !c.plant.At(prodcell.AxisPress, "closed") {
+				return ctx.Raise("press_fault", "press did not reach the forging position")
+			}
+			return nil
+		}
+	}
+	return core.RoleProgram{Body: body}
+}
+
+// ---------------------------------------------------------------------------
+// Remove_Plate: press opens, robot extracts the forged plate with arm 2.
+// ---------------------------------------------------------------------------
+
+func (c *Controller) removeProgram(role string) core.RoleProgram {
+	var body core.Body
+	switch role {
+	case "press":
+		body = func(ctx *core.Context) error {
+			if err := c.moveAndVerify(ctx, prodcell.AxisPress, "open", ExcNoGrab, ExcNoGrab); err != nil {
+				return err
+			}
+			return ctx.Send("robot", "open")
+		}
+	case "robot":
+		body = func(ctx *core.Context) error {
+			if _, err := ctx.Recv("press"); err != nil {
+				return err
+			}
+			if err := c.moveAndVerify(ctx, prodcell.AxisRobot, "press2", ExcNoGrab, ExcNoGrab); err != nil {
+				return err
+			}
+			if err := c.moveAndVerify(ctx, prodcell.AxisArm2, "extended", ExcNoGrab, ExcNoGrab); err != nil {
+				return err
+			}
+			if err := c.plant.Grab(prodcell.AxisArm2); err != nil {
+				return ctx.Raise(ExcNoGrab, err.Error())
+			}
+			if err := c.moveAndVerify(ctx, prodcell.AxisArm2, "retracted", ExcNoGrab, ExcNoGrab); err != nil {
+				return err
+			}
+			if err := ctx.Send("robot_sensor", "check"); err != nil {
+				return err
+			}
+			if !c.plant.Holding(prodcell.AxisArm2) {
+				return ctx.Raise(ExcLPlate, "plate lost after removal")
+			}
+			return nil
+		}
+	case "robot_sensor":
+		body = func(ctx *core.Context) error {
+			if _, err := ctx.Recv("robot"); err != nil {
+				return err
+			}
+			if !c.plant.Holding(prodcell.AxisArm2) {
+				return ctx.Raise(ExcLPlate, "arm 2 magnet sensor reads empty")
+			}
+			return nil
+		}
+	case "press_sensor":
+		body = func(ctx *core.Context) error { return nil }
+	}
+	lost := c.signalHandler(SigLPlate)
+	return core.RoleProgram{Body: body, Handlers: map[except.ID]core.Handler{
+		ExcLPlate: lost, ExcNoGrab: lost,
+	}}
+}
+
+// ---------------------------------------------------------------------------
+// Table_Press_Robot: the Fig. 6 composite.
+// ---------------------------------------------------------------------------
+
+func (c *Controller) tprProgram(role string) core.RoleProgram {
+	enter := func(ctx *core.Context, spec *core.Spec, r string, prog core.RoleProgram) error {
+		return ctx.Enter(spec, r, prog)
+	}
+	var body core.Body
+	switch role {
+	case "table", "table_sensor":
+		body = func(ctx *core.Context) error {
+			return enter(ctx, c.specUnload, role, c.unloadProgram(role))
+		}
+	case "robot", "robot_sensor":
+		body = func(ctx *core.Context) error {
+			if err := enter(ctx, c.specUnload, role, c.unloadProgram(role)); err != nil {
+				return err
+			}
+			if err := enter(ctx, c.specPress, role, c.pressingProgram(role)); err != nil {
+				return err
+			}
+			return enter(ctx, c.specRemove, role, c.removeProgram(role))
+		}
+	case "press", "press_sensor":
+		body = func(ctx *core.Context) error {
+			if err := enter(ctx, c.specPress, role, c.pressingProgram(role)); err != nil {
+				return err
+			}
+			return enter(ctx, c.specRemove, role, c.removeProgram(role))
+		}
+	}
+	handlers := map[except.ID]core.Handler{
+		SigLPlate:  c.signalHandler(SigLPlate),
+		SigTSensor: c.signalHandler(SigTSensor),
+		SigA1Senor: c.signalHandler(SigA1Senor),
+	}
+	for _, nested := range []string{"Unload_Table", "Pressing", "Remove_Plate"} {
+		handlers[c.undone(nested)] = c.signalHandler(except.Undo)
+		handlers[c.failed(nested)] = c.signalHandler(except.Failure)
+	}
+	return core.RoleProgram{Body: body, Handlers: handlers}
+}
+
+// ---------------------------------------------------------------------------
+// Load_Table and Deposit_Plate: the belts.
+// ---------------------------------------------------------------------------
+
+func (c *Controller) loadProgram(role string) core.RoleProgram {
+	var body core.Body
+	switch role {
+	case "belt":
+		body = func(ctx *core.Context) error {
+			if !c.plant.BlankAt(prodcell.LocFeedBelt) {
+				if _, err := c.plant.NewBlank(); err != nil {
+					return ctx.Raise(ExcNoBlank, err.Error())
+				}
+			}
+			if err := c.moveAndVerify(ctx, prodcell.AxisFeedBelt, "delivered", "belt_fault", "belt_fault"); err != nil {
+				return err
+			}
+			if err := ctx.Send("table", "delivered"); err != nil {
+				return err
+			}
+			if _, err := ctx.Recv("table"); err != nil { // "taken"
+				return err
+			}
+			return c.plant.ResetBelt(prodcell.AxisFeedBelt)
+		}
+	case "table":
+		body = func(ctx *core.Context) error {
+			if err := c.moveAndVerify(ctx, prodcell.AxisTableVert, "bottom", ExcVMStop, ExcVMNoMove); err != nil {
+				return err
+			}
+			if err := c.moveAndVerify(ctx, prodcell.AxisTableRot, "feed", ExcRMStop, ExcRMNoMove); err != nil {
+				return err
+			}
+			if _, err := ctx.Recv("belt"); err != nil {
+				return err
+			}
+			if err := c.plant.TransferBeltToTable(); err != nil {
+				return ctx.Raise(ExcNoBlank, err.Error())
+			}
+			if err := ctx.Send("belt", "taken"); err != nil {
+				return err
+			}
+			return ctx.Send("table_sensor", "loaded")
+		}
+	case "table_sensor":
+		body = func(ctx *core.Context) error {
+			if _, err := ctx.Recv("table"); err != nil {
+				return err
+			}
+			if !c.plant.BlankAt(prodcell.LocTable) {
+				return ctx.Raise(ExcNoBlank, "table load sensor reads empty")
+			}
+			return nil
+		}
+	}
+	return core.RoleProgram{Body: body}
+}
+
+func (c *Controller) depositProgram(role string) core.RoleProgram {
+	var body core.Body
+	switch role {
+	case "robot":
+		body = func(ctx *core.Context) error {
+			if err := c.moveAndVerify(ctx, prodcell.AxisRobot, "deposit", "belt_fault", "belt_fault"); err != nil {
+				return err
+			}
+			if err := c.moveAndVerify(ctx, prodcell.AxisArm2, "extended", "belt_fault", "belt_fault"); err != nil {
+				return err
+			}
+			if err := c.plant.Release(prodcell.AxisArm2); err != nil {
+				return ctx.Raise(ExcLPlate, err.Error())
+			}
+			if err := c.moveAndVerify(ctx, prodcell.AxisArm2, "retracted", "belt_fault", "belt_fault"); err != nil {
+				return err
+			}
+			if err := ctx.Send("belt", "placed"); err != nil {
+				return err
+			}
+			return c.moveAndVerify(ctx, prodcell.AxisRobot, "table", "belt_fault", "belt_fault")
+		}
+	case "robot_sensor":
+		body = func(ctx *core.Context) error { return nil }
+	case "belt":
+		body = func(ctx *core.Context) error {
+			if _, err := ctx.Recv("robot"); err != nil {
+				return err
+			}
+			if err := c.moveAndVerify(ctx, prodcell.AxisDepositBelt, "delivered", "belt_fault", "belt_fault"); err != nil {
+				return err
+			}
+			if err := c.plant.Consume(); err != nil {
+				return ctx.Raise("belt_fault", err.Error())
+			}
+			return nil
+		}
+	}
+	return core.RoleProgram{Body: body, Handlers: map[except.ID]core.Handler{
+		ExcLPlate: c.signalHandler(SigLPlate),
+	}}
+}
+
+// ---------------------------------------------------------------------------
+// Produce_Blank: the top-level cycle.
+// ---------------------------------------------------------------------------
+
+func (c *Controller) produceProgram(role string) core.RoleProgram {
+	var body core.Body
+	switch role {
+	case "belt_f":
+		body = func(ctx *core.Context) error {
+			return ctx.Enter(c.specLoad, "belt", c.loadProgram("belt"))
+		}
+	case "belt_d":
+		body = func(ctx *core.Context) error {
+			return ctx.Enter(c.specDeposit, "belt", c.depositProgram("belt"))
+		}
+	case "table", "table_sensor":
+		body = func(ctx *core.Context) error {
+			if err := ctx.Enter(c.specLoad, role, c.loadProgram(role)); err != nil {
+				return err
+			}
+			return ctx.Enter(c.specTPR, role, c.tprProgram(role))
+		}
+	case "robot", "robot_sensor":
+		body = func(ctx *core.Context) error {
+			if err := ctx.Enter(c.specTPR, role, c.tprProgram(role)); err != nil {
+				return err
+			}
+			return ctx.Enter(c.specDeposit, role, c.depositProgram(role))
+		}
+	case "press", "press_sensor":
+		body = func(ctx *core.Context) error {
+			return ctx.Enter(c.specTPR, role, c.tprProgram(role))
+		}
+	}
+	handlers := map[except.ID]core.Handler{
+		SigLPlate:  c.signalHandler(SigLPlate),
+		SigTSensor: c.signalHandler(SigTSensor),
+		SigA1Senor: c.signalHandler(SigA1Senor),
+	}
+	for _, nested := range []string{"Load_Table", "Table_Press_Robot", "Deposit_Plate"} {
+		handlers[c.undone(nested)] = c.signalHandler(except.Undo)
+		handlers[c.failed(nested)] = c.signalHandler(except.Failure)
+	}
+	return core.RoleProgram{Body: body, Handlers: handlers}
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"caaction/internal/atomicobj"
+	"caaction/internal/except"
+	"caaction/internal/protocol"
+	"caaction/internal/transport"
+)
+
+// ErrTimeout is returned by RecvTimeout when no matching message arrives in
+// time.
+var ErrTimeout = errors.New("core: receive timed out")
+
+// Context is a role's interface to the runtime while executing inside one
+// action frame. Bodies, handlers and abortion handlers receive a Context and
+// MUST propagate any non-nil error returned by its methods: those errors are
+// the cooperative equivalent of the paper's asynchronous transfer of control,
+// unwinding the role into coordinated exception handling.
+//
+// A Context is confined to its thread's goroutine.
+type Context struct {
+	th *Thread
+	f  *frame
+}
+
+// Self returns the thread identifier.
+func (c *Context) Self() string { return c.th.id }
+
+// Role returns the role this thread plays in the action.
+func (c *Context) Role() string { return c.f.role }
+
+// ActionID returns the action instance identifier.
+func (c *Context) ActionID() string { return c.f.id }
+
+// SpecName returns the action's specification name.
+func (c *Context) SpecName() string { return c.f.spec.Name }
+
+// Round returns the number of completed resolution rounds in this action.
+func (c *Context) Round() int { return c.f.round }
+
+// Now returns the current (virtual or real) time.
+func (c *Context) Now() time.Duration { return c.th.rt.clock.Now() }
+
+// Tx returns the transaction tracking this role's external-object use.
+func (c *Context) Tx() *atomicobj.Tx { return c.f.tx }
+
+// Logf records a runtime event attributed to this thread.
+func (c *Context) Logf(format string, args ...any) {
+	c.th.logf("app", format, args...)
+}
+
+// pre checks that the frame is current and that no pending exception
+// obliges the caller to unwind.
+func (c *Context) pre() error {
+	if c.th.top() != c.f {
+		panic(fmt.Sprintf("core: Context for %s used outside its frame", c.f.id))
+	}
+	if c.f.aborting {
+		return nil // abortion handlers run to completion, uninterrupted
+	}
+	if c.f.informed || c.f.decided != nil {
+		return &pendingError{kind: kindInterrupt, frame: c.f}
+	}
+	return nil
+}
+
+// Raise raises exception id in the current action (§3.3.2): the thread moves
+// to the exceptional state, every peer is sent an Exception message and the
+// external objects used so far are informed. The returned error must be
+// propagated out of the body or handler; resolution then proceeds.
+func (c *Context) Raise(id except.ID, info string) error {
+	if err := c.pre(); err != nil {
+		return err
+	}
+	if c.f.aborting {
+		return fmt.Errorf("core: Raise inside abortion handler of %s (return Eab instead)", c.f.id)
+	}
+	f, th := c.f, c.th
+	th.ensureInstance(f)
+	exc := except.Raised{ID: id, Origin: th.id, Info: info, At: th.rt.clock.Now()}
+	th.rt.metrics.Add("action.raises", 1)
+	th.logf("raise", "%s: %s (%s)", f.id, id, info)
+	out := f.inst.Raise(exc)
+	f.tx.Inform(exc)
+	if out.Decided && f.decided == nil {
+		o := out
+		f.decided = &o
+	}
+	return &pendingError{kind: kindRaise, frame: f}
+}
+
+// Signal declares the interface exception ε this role will signal when the
+// action exits exceptionally (or even successfully, for partial results).
+// The exception must be declared in the spec's Signals (µ and ƒ always are).
+func (c *Context) Signal(id except.ID) error {
+	if id != except.None && !c.f.spec.CanSignal(id) {
+		return fmt.Errorf("core: %s cannot signal undeclared exception %q", c.f.spec.Name, id)
+	}
+	c.f.epsilon = id
+	return nil
+}
+
+// Compute models d of computation, processing runtime messages as they
+// arrive (the cooperative interruption points of §2.1). It returns early
+// with a control error when the thread is informed of concurrent exceptions
+// or an enclosing action aborts this one.
+func (c *Context) Compute(d time.Duration) error {
+	if err := c.pre(); err != nil {
+		return err
+	}
+	f, th := c.f, c.th
+	deadline := th.rt.clock.Now() + d
+	for {
+		if t := th.enclosingAbortTarget(f); t != "" && !f.aborting {
+			return &pendingError{kind: kindAbort, frame: f, target: t}
+		}
+		now := th.rt.clock.Now()
+		if now >= deadline {
+			return nil
+		}
+		dd, ok := th.ep.RecvTimeout(deadline - now)
+		if !ok {
+			if th.rt.clock.Now() >= deadline {
+				return nil
+			}
+			return ErrThreadStopped
+		}
+		v := th.route(dd)
+		if err := c.verdictErr(v); err != nil {
+			return err
+		}
+	}
+}
+
+// Checkpoint processes any already-delivered messages without blocking and
+// reports pending control transfers. Long-running bodies should call it
+// periodically.
+func (c *Context) Checkpoint() error {
+	if err := c.pre(); err != nil {
+		return err
+	}
+	f, th := c.f, c.th
+	for th.ep.Pending() > 0 {
+		d, ok := th.ep.RecvTimeout(0)
+		if !ok {
+			break
+		}
+		v := th.route(d)
+		if err := c.verdictErr(v); err != nil {
+			return err
+		}
+	}
+	if t := th.enclosingAbortTarget(f); t != "" && !f.aborting {
+		return &pendingError{kind: kindAbort, frame: f, target: t}
+	}
+	return nil
+}
+
+// Send transmits cooperation data to the peer playing the named role.
+func (c *Context) Send(role string, payload any) error {
+	if err := c.pre(); err != nil {
+		return err
+	}
+	to, ok := c.f.spec.ThreadFor(role)
+	if !ok {
+		return fmt.Errorf("%w: %q in %s", ErrUnknownRole, role, c.f.spec.Name)
+	}
+	c.th.send(to, protocol.App{
+		Action: c.f.id, From: c.th.id, ToRole: role, Payload: payload,
+	})
+	return nil
+}
+
+// Recv blocks until cooperation data arrives from the peer playing the named
+// role, processing runtime messages while waiting.
+func (c *Context) Recv(role string) (any, error) {
+	return c.recv(role, 0)
+}
+
+// RecvTimeout is Recv bounded by a deadline; it returns ErrTimeout when
+// nothing arrives in time.
+func (c *Context) RecvTimeout(role string, timeout time.Duration) (any, error) {
+	return c.recv(role, timeout)
+}
+
+func (c *Context) recv(role string, timeout time.Duration) (any, error) {
+	if err := c.pre(); err != nil {
+		return nil, err
+	}
+	f, th := c.f, c.th
+	from, ok := f.spec.ThreadFor(role)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q in %s", ErrUnknownRole, role, f.spec.Name)
+	}
+	var deadline time.Duration
+	if timeout > 0 {
+		deadline = th.rt.clock.Now() + timeout
+	}
+	for {
+		if q := f.apps[from]; len(q) > 0 {
+			payload := q[0]
+			f.apps[from] = q[1:]
+			return payload, nil
+		}
+		if t := th.enclosingAbortTarget(f); t != "" && !f.aborting {
+			return nil, &pendingError{kind: kindAbort, frame: f, target: t}
+		}
+		var d transport.Delivery
+		var got bool
+		if deadline > 0 {
+			now := th.rt.clock.Now()
+			if now >= deadline {
+				return nil, ErrTimeout
+			}
+			d, got = th.ep.RecvTimeout(deadline - now)
+			if !got {
+				if th.rt.clock.Now() >= deadline {
+					return nil, ErrTimeout
+				}
+				return nil, ErrThreadStopped
+			}
+		} else {
+			d, got = th.ep.Recv()
+			if !got {
+				return nil, ErrThreadStopped
+			}
+		}
+		v := th.route(d)
+		if err := c.verdictErr(v); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// verdictErr converts a routing verdict into the control error the body must
+// propagate, honouring the non-interruptible abortion-handler mode.
+func (c *Context) verdictErr(v routeVerdict) error {
+	if v.abortTarget != "" && !c.f.aborting {
+		return &pendingError{kind: kindAbort, frame: c.f, target: v.abortTarget}
+	}
+	if v.interrupt && !c.f.aborting {
+		return &pendingError{kind: kindInterrupt, frame: c.f}
+	}
+	return nil
+}
+
+// Enter performs a nested CA action (§3.1): this thread plays the given role
+// of spec, synchronising with the other participants. On a successful nested
+// exit Enter returns nil and the body continues. When the nested action
+// signals an exception ε (including µ/ƒ, mapped through Spec.UndoneExc and
+// Spec.FailedExc), the exception is raised here in the enclosing action —
+// "handled as if concurrently raised in the enclosing action" — and the
+// returned control error must be propagated.
+func (c *Context) Enter(spec *Spec, role string, prog RoleProgram) error {
+	if err := c.pre(); err != nil {
+		return err
+	}
+	if c.f.aborting {
+		return fmt.Errorf("core: Enter inside abortion handler of %s", c.f.id)
+	}
+	err := c.th.perform(c.f.id, spec, role, prog)
+	switch e := err.(type) {
+	case nil:
+		return nil
+	case *SignalledError:
+		var id except.ID
+		switch e.Exc {
+		case except.Undo:
+			id = spec.UndoneExc()
+		case except.Failure:
+			id = spec.FailedExc()
+		default:
+			id = e.Exc
+		}
+		return c.Raise(id, "signalled by nested action "+e.Action)
+	case *abortError:
+		if e.target == c.f.id {
+			return c.th.absorbAbort(c.f, e)
+		}
+		return &pendingError{kind: kindAbort, frame: c.f, target: e.target}
+	default:
+		return err
+	}
+}

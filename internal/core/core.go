@@ -1,0 +1,517 @@
+// Package core implements the paper's CA-action runtime: the distributed
+// supporting system that provides nested coordinated atomic actions with
+// coordinated exception handling (§3) as prototyped in distributed Ada 95
+// (§5.1), rebuilt as a Go library.
+//
+// A Runtime hosts Threads (the paper's participating execution threads),
+// each owning a transport endpoint. Threads perform CA actions described by
+// Specs: they synchronise at the entry point, run their role bodies
+// cooperatively, raise and resolve concurrent exceptions through a pluggable
+// resolution protocol (internal/resolve), handle the resolved exception with
+// per-role handlers, abort nested actions when an enclosing action raises,
+// and leave synchronously through the signalling protocol (internal/signal),
+// committing or undoing their effects on external atomic objects
+// (internal/atomicobj).
+//
+// Interruption of a role body is cooperative: every blocking Context
+// operation observes pending exceptions and returns a control error that the
+// body must propagate. The runtime re-checks frame state after a body
+// returns, so even a body that swallows control errors cannot corrupt the
+// protocols.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"caaction/internal/atomicobj"
+	"caaction/internal/except"
+	"caaction/internal/protocol"
+	"caaction/internal/resolve"
+	"caaction/internal/signal"
+	"caaction/internal/trace"
+	"caaction/internal/transport"
+	"caaction/internal/vclock"
+)
+
+// Config assembles a Runtime.
+type Config struct {
+	// Clock drives all timing; required.
+	Clock vclock.Clock
+	// Network carries protocol messages; required.
+	Network transport.Network
+	// Objects is the external atomic-object registry; created when nil.
+	Objects *atomicobj.Registry
+	// Protocol is the resolution protocol; resolve.Coordinated when nil.
+	Protocol resolve.Protocol
+	// Metrics, when non-nil, receives runtime counters.
+	Metrics *trace.Metrics
+	// Log, when non-nil, receives runtime events.
+	Log *trace.Log
+	// SignalTimeout bounds the wait for peers' toBeSignalled votes; when a
+	// peer's vote does not arrive in time it is treated as a failure
+	// exception (the §3.4 extension for lost messages). Zero disables the
+	// timeout, which is correct for reliable transports.
+	SignalTimeout time.Duration
+}
+
+// Runtime hosts threads and the distributed CA-action machinery of one node
+// or simulation.
+type Runtime struct {
+	clock   vclock.Clock
+	net     transport.Network
+	objects *atomicobj.Registry
+	proto   resolve.Protocol
+	metrics *trace.Metrics
+	log     *trace.Log
+	sigTO   time.Duration
+}
+
+// New validates cfg and returns a Runtime.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("core: Config.Clock is required")
+	}
+	if cfg.Network == nil {
+		return nil, fmt.Errorf("core: Config.Network is required")
+	}
+	if cfg.Objects == nil {
+		cfg.Objects = atomicobj.NewRegistry(cfg.Clock)
+	}
+	if cfg.Protocol == nil {
+		cfg.Protocol = resolve.Coordinated{}
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = &trace.Metrics{}
+	}
+	return &Runtime{
+		clock:   cfg.Clock,
+		net:     cfg.Network,
+		objects: cfg.Objects,
+		proto:   cfg.Protocol,
+		metrics: cfg.Metrics,
+		log:     cfg.Log,
+		sigTO:   cfg.SignalTimeout,
+	}, nil
+}
+
+// Clock returns the runtime's clock.
+func (rt *Runtime) Clock() vclock.Clock { return rt.clock }
+
+// Objects returns the external atomic-object registry.
+func (rt *Runtime) Objects() *atomicobj.Registry { return rt.objects }
+
+// Metrics returns the runtime's counters.
+func (rt *Runtime) Metrics() *trace.Metrics { return rt.metrics }
+
+// Thread is one participating execution thread. A Thread is confined to one
+// goroutine: all its methods, and all Context methods handed to its bodies
+// and handlers, must be called from that goroutine.
+type Thread struct {
+	rt *Runtime
+	id string
+	ep transport.Endpoint
+
+	stack    []*frame
+	retained map[string][]transport.Delivery
+	dead     map[string]bool
+	seq      map[string]int
+}
+
+// NewThread creates a thread with its own transport endpoint.
+func (rt *Runtime) NewThread(id string) (*Thread, error) {
+	ep, err := rt.net.Endpoint(id)
+	if err != nil {
+		return nil, fmt.Errorf("core: thread %q: %w", id, err)
+	}
+	return &Thread{
+		rt:       rt,
+		id:       id,
+		ep:       ep,
+		retained: make(map[string][]transport.Delivery),
+		dead:     make(map[string]bool),
+		seq:      make(map[string]int),
+	}, nil
+}
+
+// ID returns the thread identifier.
+func (th *Thread) ID() string { return th.id }
+
+// Close releases the thread's endpoint.
+func (th *Thread) Close() error { return th.ep.Close() }
+
+func (th *Thread) logf(kind, format string, args ...any) {
+	th.rt.log.Add(th.rt.clock.Now(), th.id, kind, fmt.Sprintf(format, args...))
+}
+
+// instanceID derives the agreed identifier for the next instance of spec
+// under the given parent instance. All participants derive identical ids
+// because cooperating threads perform the same nesting sequence — the
+// paper's "every thread has a name list of the nested actions it is to
+// participate in".
+func (th *Thread) instanceID(parent string, spec *Spec) string {
+	key := parent + "/" + spec.Name
+	th.seq[key]++
+	return fmt.Sprintf("%s%s#%d", prefixOf(parent), spec.Name, th.seq[key])
+}
+
+func prefixOf(parent string) string {
+	if parent == "" {
+		return ""
+	}
+	return parent + "/"
+}
+
+// actionOf extracts the action-instance tag from any protocol message.
+func actionOf(msg protocol.Message) string {
+	switch m := msg.(type) {
+	case protocol.Exception:
+		return m.Action
+	case protocol.Suspended:
+		return m.Action
+	case protocol.Commit:
+		return m.Action
+	case protocol.Relay:
+		return m.Action
+	case protocol.Propose:
+		return m.Action
+	case protocol.Ack:
+		return m.Action
+	case protocol.ToBeSignalled:
+		return m.Action
+	case protocol.Enter:
+		return m.Action
+	case protocol.App:
+		return m.Action
+	default:
+		return ""
+	}
+}
+
+// roundOf extracts the resolution-round tag from resolution-protocol
+// messages.
+func roundOf(msg protocol.Message) (int, bool) {
+	switch m := msg.(type) {
+	case protocol.Exception:
+		return m.Round, true
+	case protocol.Suspended:
+		return m.Round, true
+	case protocol.Commit:
+		return m.Round, true
+	case protocol.Relay:
+		return m.Round, true
+	case protocol.Propose:
+		return m.Round, true
+	case protocol.Ack:
+		return m.Round, true
+	default:
+		return 0, false
+	}
+}
+
+// frame is one level of the thread's action stack (the paper's SAi).
+type frame struct {
+	th    *Thread
+	spec  *Spec
+	id    string
+	role  string
+	prog  RoleProgram
+	peers []string // participating threads, sorted by resolve.ThreadLess
+
+	// Resolution state for the current round.
+	round    int
+	inst     resolve.Instance
+	decided  *resolve.Outcome
+	informed bool
+
+	// Exit / signalling state.
+	sig     *signal.Instance
+	sigDec  *signal.Decision
+	votes   []transport.Delivery // same-round votes buffered before sig exists
+	epsilon except.ID
+
+	// Buffers.
+	future  []transport.Delivery // messages for rounds not reached yet
+	entered map[string]bool
+	apps    map[string][]any
+
+	// Abort coordination.
+	pendingAbort *transport.Delivery // enclosing-action message that aborts my nested work
+	aborting     bool
+
+	tx *atomicobj.Tx
+}
+
+func (th *Thread) pushFrame(spec *Spec, id, role string, prog RoleProgram) *frame {
+	peers := spec.Threads()
+	resolve.SortThreads(peers)
+	f := &frame{
+		th:      th,
+		spec:    spec,
+		id:      id,
+		role:    role,
+		prog:    prog,
+		peers:   peers,
+		entered: map[string]bool{th.id: true},
+		apps:    make(map[string][]any),
+		tx:      th.rt.objects.Begin(id),
+	}
+	th.stack = append(th.stack, f)
+	// Consume messages that arrived before this thread entered the action.
+	if pend := th.retained[id]; len(pend) > 0 {
+		delete(th.retained, id)
+		for _, d := range pend {
+			th.route(d)
+		}
+	}
+	return f
+}
+
+func (th *Thread) popFrame(f *frame) {
+	th.dead[f.id] = true
+	delete(th.retained, f.id)
+	for i := len(th.stack) - 1; i >= 0; i-- {
+		if th.stack[i] == f {
+			th.stack = append(th.stack[:i], th.stack[i+1:]...)
+			break
+		}
+	}
+}
+
+func (th *Thread) top() *frame {
+	if len(th.stack) == 0 {
+		return nil
+	}
+	return th.stack[len(th.stack)-1]
+}
+
+func (th *Thread) frameFor(action string) (*frame, int) {
+	for i := len(th.stack) - 1; i >= 0; i-- {
+		if th.stack[i].id == action {
+			return th.stack[i], i
+		}
+	}
+	return nil, -1
+}
+
+// send transmits one protocol message, panicking only on programming errors
+// (unknown destination is a wiring bug in a closed simulation).
+func (th *Thread) send(to string, msg protocol.Message) {
+	if err := th.ep.Send(to, msg); err != nil {
+		th.logf("send.error", "to %s: %v", to, err)
+	}
+}
+
+// routeVerdict tells the interrupted Context operation how to unwind.
+type routeVerdict struct {
+	// interrupt: the innermost frame was informed of concurrent
+	// exceptions; body/handler code must stop.
+	interrupt bool
+	// abortTarget: an enclosing action's exception aborts nested actions
+	// up to (but not including) the frame with this instance id.
+	abortTarget string
+}
+
+// route dispatches one delivery according to §3.3.2's receive rules.
+func (th *Thread) route(d transport.Delivery) routeVerdict {
+	act := actionOf(d.Msg)
+	if act == "" {
+		th.logf("route.drop", "unroutable %T", d.Msg)
+		return routeVerdict{}
+	}
+	if th.dead[act] {
+		return routeVerdict{}
+	}
+	f, idx := th.frameFor(act)
+	if f == nil {
+		// "retain the Exception or Suspended message till Ti enters A*":
+		// the thread has not entered this action instance yet.
+		th.retained[act] = append(th.retained[act], d)
+		return routeVerdict{}
+	}
+	if idx == len(th.stack)-1 {
+		return th.routeInnermost(f, d)
+	}
+	return th.routeEnclosing(f, d)
+}
+
+// routeInnermost handles a delivery for the thread's active action.
+func (th *Thread) routeInnermost(f *frame, d transport.Delivery) routeVerdict {
+	if d.Corrupt {
+		return th.routeCorrupt(f, d)
+	}
+	switch m := d.Msg.(type) {
+	case protocol.Enter:
+		f.entered[m.From] = true
+		return routeVerdict{}
+
+	case protocol.App:
+		f.apps[m.From] = append(f.apps[m.From], m.Payload)
+		return routeVerdict{}
+
+	case protocol.ToBeSignalled:
+		switch {
+		case m.Round < f.round:
+			th.logf("vote.stale", "from %s round %d < %d", m.From, m.Round, f.round)
+		case m.Round > f.round:
+			f.future = append(f.future, d)
+		case f.sig != nil:
+			dec, err := f.sig.Deliver(m.From, m)
+			if err != nil {
+				th.logf("vote.error", "%v", err)
+			} else if dec.Done {
+				f.sigDec = &dec
+			}
+		default:
+			f.votes = append(f.votes, d)
+		}
+		return routeVerdict{}
+
+	default:
+		r, ok := roundOf(d.Msg)
+		if !ok {
+			th.logf("route.drop", "unexpected %T for %s", d.Msg, f.id)
+			return routeVerdict{}
+		}
+		switch {
+		case r < f.round:
+			return routeVerdict{}
+		case r > f.round:
+			f.future = append(f.future, d)
+			return routeVerdict{}
+		}
+		// A same-round Exception or Suspended while an exit attempt is in
+		// progress means a peer raised instead of voting: the exit attempt
+		// is abandoned and a resolution round begins (stale votes are
+		// discarded by their round tags).
+		if f.sig != nil {
+			f.sig = nil
+			f.sigDec = nil
+			th.logf("exit.abandoned", "%s: exception round %d during exit", f.id, r)
+		}
+		th.ensureInstance(f)
+		out, err := f.inst.Deliver(d.From, d.Msg)
+		if err != nil {
+			th.logf("resolve.error", "%v", err)
+			return routeVerdict{}
+		}
+		return th.applyOutcome(f, d, out)
+	}
+}
+
+func (th *Thread) applyOutcome(f *frame, d transport.Delivery, out resolve.Outcome) routeVerdict {
+	v := routeVerdict{}
+	if out.Informed {
+		f.informed = true
+		v.interrupt = true
+		// "exception information ⇒ uninformed external objects".
+		if exc, ok := d.Msg.(protocol.Exception); ok {
+			f.tx.Inform(exc.Exc)
+		}
+	}
+	if out.Decided && f.decided == nil {
+		o := out
+		f.decided = &o
+	}
+	return v
+}
+
+// routeEnclosing handles a delivery for an action the thread is nested
+// inside of.
+func (th *Thread) routeEnclosing(f *frame, d transport.Delivery) routeVerdict {
+	switch m := d.Msg.(type) {
+	case protocol.Exception, protocol.Suspended:
+		r, _ := roundOf(d.Msg)
+		switch {
+		case r < f.round:
+			return routeVerdict{}
+		case r > f.round:
+			f.future = append(f.future, d)
+			return routeVerdict{}
+		}
+		// §3.3.2: "if A* contains A then abort all nested actions until
+		// A*". The delivery is replayed into the enclosing frame's
+		// resolution instance once the cascade reaches it.
+		if f.pendingAbort == nil {
+			dd := d
+			f.pendingAbort = &dd
+		}
+		return routeVerdict{abortTarget: f.id}
+
+	case protocol.ToBeSignalled:
+		switch {
+		case m.Round < f.round:
+		case m.Round > f.round:
+			f.future = append(f.future, d)
+		default:
+			f.votes = append(f.votes, d)
+		}
+		return routeVerdict{}
+
+	case protocol.App:
+		f.apps[m.From] = append(f.apps[m.From], m.Payload)
+		return routeVerdict{}
+
+	default:
+		th.logf("route.drop", "unexpected %T for enclosing %s", d.Msg, f.id)
+		return routeVerdict{}
+	}
+}
+
+// routeCorrupt applies the §3.4 extension: a corrupted message is treated as
+// a failure-exception vote during signalling, and dropped otherwise.
+func (th *Thread) routeCorrupt(f *frame, d transport.Delivery) routeVerdict {
+	if f.sig != nil {
+		dec := f.sig.MarkFailed(d.From)
+		if dec.Done {
+			f.sigDec = &dec
+		}
+		th.logf("corrupt", "vote from %s treated as ƒ", d.From)
+		return routeVerdict{}
+	}
+	th.logf("corrupt", "dropped corrupt %T from %s", d.Msg, d.From)
+	return routeVerdict{}
+}
+
+// ensureInstance lazily creates the resolution-protocol engine for the
+// frame's current round.
+func (th *Thread) ensureInstance(f *frame) {
+	if f.inst != nil {
+		return
+	}
+	f.inst = th.rt.proto.NewInstance(resolve.Config{
+		Action: f.id,
+		Self:   th.id,
+		Peers:  f.peers,
+		Round:  f.round,
+		Send:   th.send,
+		Resolve: func(raised []except.Raised) except.ID {
+			th.rt.metrics.Add("resolve.calls", 1)
+			th.rt.clock.Sleep(f.spec.Timing.Resolution)
+			id, err := f.spec.Graph.ResolveRaised(raised)
+			if err != nil {
+				th.logf("resolve.error", "%v", err)
+				return f.spec.Graph.Root()
+			}
+			return id
+		},
+	})
+}
+
+// drainFuture replays buffered messages that have become current after a
+// round advance.
+func (th *Thread) drainFuture(f *frame) routeVerdict {
+	var verdict routeVerdict
+	pending := f.future
+	f.future = nil
+	for _, d := range pending {
+		v := th.route(d)
+		if v.interrupt {
+			verdict.interrupt = true
+		}
+		if v.abortTarget != "" && verdict.abortTarget == "" {
+			verdict.abortTarget = v.abortTarget
+		}
+	}
+	return verdict
+}

@@ -1,0 +1,396 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"caaction/internal/except"
+	"caaction/internal/protocol"
+	"caaction/internal/resolve"
+	"caaction/internal/signal"
+	"caaction/internal/transport"
+)
+
+// errSignalTimeout marks an expired wait for toBeSignalled votes.
+var errSignalTimeout = errors.New("core: signalling vote timed out")
+
+// Perform executes a top-level CA action: this thread plays the given role
+// of spec. It returns nil when the action exits successfully, or a
+// *SignalledError carrying the exception this role signalled (an application
+// ε, except.Undo, or except.Failure).
+func (th *Thread) Perform(spec *Spec, role string, prog RoleProgram) error {
+	err := th.perform("", spec, role, prog)
+	if ae, ok := err.(*abortError); ok {
+		// Unreachable for top-level actions (there is no enclosing action
+		// to abort them); report rather than leak internals.
+		return fmt.Errorf("core: internal: top-level abort to %q", ae.target)
+	}
+	return err
+}
+
+// perform runs one action frame to completion. It returns nil, a
+// *SignalledError, an *abortError (for Enter to continue a cascade), or a
+// configuration error.
+func (th *Thread) perform(parent string, spec *Spec, role string, prog RoleProgram) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if prog.Body == nil {
+		return fmt.Errorf("%w: %s/%s", ErrBodyRequired, spec.Name, role)
+	}
+	bound, ok := spec.ThreadFor(role)
+	if !ok {
+		return fmt.Errorf("%w: %q in %s", ErrUnknownRole, role, spec.Name)
+	}
+	if bound != th.id {
+		return fmt.Errorf("%w: role %q of %s is bound to %q, not %q",
+			ErrNotYourRole, role, spec.Name, bound, th.id)
+	}
+
+	id := th.instanceID(parent, spec)
+	f := th.pushFrame(spec, id, role, prog)
+	ctx := &Context{th: th, f: f}
+	th.rt.metrics.Add("action.entries", 1)
+	th.logf("enter", "%s as %s", id, role)
+
+	err := th.entryBarrier(f)
+	if err == nil && !f.hasPendingWork() {
+		err = th.runBody(ctx, prog.Body)
+	}
+	return th.conclude(ctx, err)
+}
+
+func (f *frame) hasPendingWork() bool {
+	return f.informed || f.inst != nil || f.decided != nil
+}
+
+// runBody executes the role body, mapping foreign errors onto the model: an
+// error that is not a control error is an undetected fault, raised as the
+// action's universal exception (§3.2: undefined exceptions resolve to the
+// universal exception).
+func (th *Thread) runBody(ctx *Context, body Body) error {
+	err := body(ctx)
+	return th.mapUserErr(ctx, err)
+}
+
+func (th *Thread) mapUserErr(ctx *Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	var pe *pendingError
+	if errors.As(err, &pe) {
+		return pe
+	}
+	if ctx.f.hasPendingWork() {
+		// The body swallowed a control error but state tells the truth.
+		return &pendingError{kind: kindInterrupt, frame: ctx.f}
+	}
+	return ctx.Raise(ctx.f.spec.Graph.Root(), err.Error())
+}
+
+// conclude drives the frame's state machine after the body (or entry
+// barrier) finished: resolution rounds, handler dispatch, abort cascades and
+// the synchronous exit protocol.
+func (th *Thread) conclude(ctx *Context, err error) error {
+	f := ctx.f
+	for {
+		if pe, ok := err.(*pendingError); ok && pe.kind == kindAbort {
+			eab := th.runAbortion(ctx)
+			th.popFrame(f)
+			th.rt.metrics.Add("action.aborted", 1)
+			th.logf("aborted", "%s (target %s, Eab=%q)", f.id, pe.target, eab)
+			return &abortError{target: pe.target, eab: eab}
+		}
+		if err != nil {
+			if _, ok := err.(*pendingError); !ok {
+				// Configuration errors surface immediately.
+				th.popFrame(f)
+				return err
+			}
+		}
+
+		// Resolution in progress?
+		if f.inst != nil && f.decided == nil {
+			if werr := th.awaitDecision(f); werr != nil {
+				err = werr
+				continue
+			}
+		}
+		if f.decided != nil {
+			out := *f.decided
+			f.decided = nil
+			f.inst = nil
+			f.informed = false
+			f.round++
+			th.rt.metrics.Add("action.rounds", 1)
+			th.logf("resolved", "%s round %d: %s covering %d", f.id, f.round-1,
+				out.Resolved, len(out.Raised))
+			v := th.drainFuture(f)
+			if v.abortTarget != "" {
+				err = &pendingError{kind: kindAbort, frame: f, target: v.abortTarget}
+				continue
+			}
+			err = th.dispatchHandler(ctx, out)
+			continue
+		}
+
+		// Nothing pending: attempt the synchronous exit.
+		dec, werr := th.exitAction(f)
+		if werr != nil {
+			err = werr
+			continue
+		}
+		if dec == nil {
+			// Exit abandoned: a peer raised; resolution is pending.
+			err = nil
+			continue
+		}
+		return th.finalize(f, *dec)
+	}
+}
+
+// dispatchHandler invokes the role's handler for the resolved exception, or
+// applies the termination model's propagation rule when no handler exists:
+// signal the exception itself when the interface declares it, otherwise
+// abort the action with undo (a raised universal exception "usually leads to
+// the signalling of an undo or failure exception").
+func (th *Thread) dispatchHandler(ctx *Context, out resolve.Outcome) error {
+	f := ctx.f
+	if h, ok := f.prog.Handlers[out.Resolved]; ok && h != nil {
+		th.rt.metrics.Add("action.handler_runs", 1)
+		return th.mapUserErr(ctx, h(ctx, out.Resolved, out.Raised))
+	}
+	if out.Resolved != f.spec.Graph.Root() && f.spec.CanSignal(out.Resolved) {
+		f.epsilon = out.Resolved
+	} else {
+		f.epsilon = except.Undo
+	}
+	return nil
+}
+
+// entryBarrier announces this thread at the action's entry point and waits
+// until every participant has arrived. Exceptions raised by fast peers
+// before the barrier completes leave the frame informed; the body is then
+// skipped entirely.
+func (th *Thread) entryBarrier(f *frame) error {
+	for _, p := range f.peers {
+		if p != th.id {
+			th.send(p, protocol.Enter{Action: f.id, From: th.id, Role: f.role})
+		}
+	}
+	return th.pump(f, func() bool { return len(f.entered) == len(f.peers) }, false, 0)
+}
+
+// awaitDecision pumps messages until the current round's resolving exception
+// is known locally.
+func (th *Thread) awaitDecision(f *frame) error {
+	return th.pump(f, func() bool { return f.decided != nil }, false, 0)
+}
+
+// exitAction runs the §3.4 signalling exchange as the synchronous exit
+// protocol. It returns (nil, nil) when the exit was abandoned because a peer
+// raised a same-round exception instead of voting.
+func (th *Thread) exitAction(f *frame) (*signal.Decision, error) {
+	f.sigDec = nil
+	f.sig = signal.New(signal.Config{
+		Action: f.id,
+		Self:   th.id,
+		Peers:  f.peers,
+		Round:  f.round,
+		Send:   th.send,
+		Undo: func() error {
+			th.rt.metrics.Add("action.undos", 1)
+			return f.tx.Undo()
+		},
+	})
+	// Replay same-round votes that arrived before the local vote was cast.
+	pending := f.votes
+	f.votes = nil
+	dec := f.sig.Start(f.epsilon)
+	if dec.Done {
+		f.sigDec = &dec
+	}
+	for _, d := range pending {
+		m, ok := d.Msg.(protocol.ToBeSignalled)
+		if !ok || m.Round != f.round || f.sig == nil {
+			continue
+		}
+		dd, err := f.sig.Deliver(m.From, m)
+		if err != nil {
+			th.logf("vote.error", "%v", err)
+			continue
+		}
+		if dd.Done {
+			f.sigDec = &dd
+		}
+	}
+
+	timeout := f.spec.Timing.SignalTimeout
+	if timeout == 0 {
+		timeout = th.rt.sigTO
+	}
+	deadline := time.Duration(0)
+	if timeout > 0 {
+		deadline = th.rt.clock.Now() + timeout
+	}
+	err := th.pump(f, func() bool { return f.sigDec != nil || f.sig == nil }, false, deadline)
+	if errors.Is(err, errSignalTimeout) && f.sig != nil {
+		// §3.4 extension: missing votes (lost messages) count as ƒ.
+		th.logf("exit.timeout", "%s: treating missing votes as ƒ", f.id)
+		dec := f.sig.MarkFailed(f.sig.Missing()...)
+		if dec.Done {
+			f.sigDec = &dec
+		} else {
+			err = th.pump(f, func() bool { return f.sigDec != nil || f.sig == nil }, false, 0)
+		}
+	} else if err != nil {
+		return nil, err
+	}
+	if f.sig == nil {
+		return nil, nil // abandoned: resolution round begins
+	}
+	res := f.sigDec
+	f.sig = nil
+	f.sigDec = nil
+	return res, nil
+}
+
+// finalize commits or rolls back external effects per the coordinated signal
+// and reports the per-thread outcome.
+func (th *Thread) finalize(f *frame, dec signal.Decision) error {
+	defer th.popFrame(f)
+	switch dec.Signal {
+	case except.None:
+		if err := f.tx.Commit(); err != nil {
+			th.logf("commit.error", "%s: %v", f.id, err)
+		}
+		th.rt.metrics.Add("action.completions", 1)
+		th.logf("exit", "%s: success", f.id)
+		return nil
+	case except.Undo:
+		th.rt.metrics.Add("action.undone", 1)
+		th.logf("exit", "%s: undone (µ)", f.id)
+		return &SignalledError{Action: f.id, Spec: f.spec.Name, Exc: except.Undo}
+	case except.Failure:
+		if !dec.UndoDone {
+			_ = f.tx.Undo() // best effort; failure already coordinated
+		}
+		th.rt.metrics.Add("action.failed", 1)
+		th.logf("exit", "%s: failed (ƒ)", f.id)
+		return &SignalledError{Action: f.id, Spec: f.spec.Name, Exc: except.Failure}
+	default:
+		if err := f.tx.Commit(); err != nil {
+			th.logf("commit.error", "%s: %v", f.id, err)
+		}
+		th.rt.metrics.Add("action.signalled", 1)
+		th.logf("exit", "%s: signalling %s", f.id, dec.Signal)
+		return &SignalledError{Action: f.id, Spec: f.spec.Name, Exc: dec.Signal}
+	}
+}
+
+// runAbortion executes the abortion of this frame as part of a cascade to an
+// enclosing action: the abortion handler runs to completion (modelled cost
+// Tabo), then the role's external-object effects are undone best-effort.
+func (th *Thread) runAbortion(ctx *Context) except.ID {
+	f := ctx.f
+	f.aborting = true
+	th.rt.clock.Sleep(f.spec.Timing.Abortion)
+	eab := except.None
+	if f.prog.OnAbort != nil {
+		eab = f.prog.OnAbort(ctx)
+	}
+	_ = f.tx.Undo()
+	return eab
+}
+
+// absorbAbort finishes an abort cascade at its target frame: the abortion
+// handler's exception Eab (if any) is raised here, then the enclosing-action
+// message that triggered the cascade is processed, leaving the frame
+// suspended or exceptional pending resolution (§3.3.2's post-abortion
+// branch).
+func (th *Thread) absorbAbort(f *frame, ae *abortError) error {
+	th.ensureInstance(f)
+	kind := kindInterrupt
+	if ae.eab != except.None {
+		exc := except.Raised{ID: ae.eab, Origin: th.id, Info: "abortion handler", At: th.rt.clock.Now()}
+		th.rt.metrics.Add("action.raises", 1)
+		out := f.inst.Raise(exc)
+		f.tx.Inform(exc)
+		if out.Decided && f.decided == nil {
+			o := out
+			f.decided = &o
+		}
+		kind = kindRaise
+	}
+	if f.pendingAbort != nil {
+		d := *f.pendingAbort
+		f.pendingAbort = nil
+		out, err := f.inst.Deliver(d.From, d.Msg)
+		if err != nil {
+			th.logf("resolve.error", "absorb: %v", err)
+		} else {
+			th.applyOutcome(f, d, out)
+		}
+	}
+	f.informed = true
+	return &pendingError{kind: kind, frame: f}
+}
+
+// enclosingAbortTarget reports the innermost enclosing frame (strictly above
+// f) holding an unprocessed abort trigger.
+func (th *Thread) enclosingAbortTarget(f *frame) string {
+	for i := len(th.stack) - 1; i >= 0; i-- {
+		if th.stack[i] == f {
+			for j := i - 1; j >= 0; j-- {
+				if th.stack[j].pendingAbort != nil {
+					return th.stack[j].id
+				}
+			}
+			return ""
+		}
+	}
+	return ""
+}
+
+// pump processes incoming deliveries until stop() holds. interruptible
+// selects whether an information verdict (thread informed of concurrent
+// exceptions) unwinds the caller; abort verdicts always do. A non-zero
+// deadline bounds the wait with errSignalTimeout.
+func (th *Thread) pump(f *frame, stop func() bool, interruptible bool, deadline time.Duration) error {
+	for {
+		if t := th.enclosingAbortTarget(f); t != "" && !f.aborting {
+			return &pendingError{kind: kindAbort, frame: f, target: t}
+		}
+		if stop() {
+			return nil
+		}
+		var d transport.Delivery
+		var ok bool
+		if deadline > 0 {
+			now := th.rt.clock.Now()
+			if now >= deadline {
+				return errSignalTimeout
+			}
+			d, ok = th.ep.RecvTimeout(deadline - now)
+			if !ok {
+				if th.rt.clock.Now() >= deadline {
+					return errSignalTimeout
+				}
+				return ErrThreadStopped
+			}
+		} else {
+			d, ok = th.ep.Recv()
+			if !ok {
+				return ErrThreadStopped
+			}
+		}
+		v := th.route(d)
+		if v.abortTarget != "" && !f.aborting {
+			return &pendingError{kind: kindAbort, frame: f, target: v.abortTarget}
+		}
+		if interruptible && v.interrupt && !f.aborting {
+			return &pendingError{kind: kindInterrupt, frame: f}
+		}
+	}
+}

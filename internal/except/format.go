@@ -1,0 +1,96 @@
+package except
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads an exception graph from the paper's declaration syntax
+// (§3.1/§3.2):
+//
+//	graph Move_Loaded_Table        # optional name header
+//	# comments and blank lines are ignored
+//	dual_motor_failures: vm_stop, rm_stop, vm_nmove, rm_nmove
+//	universal: dual_motor_failures, other_undefined
+//	lone_exception                 # a node with no cover relationships
+//
+// Each "er: e1, e2, ..., ek" line declares that er covers the listed
+// exceptions. The graph must validate exactly as with Builder.Build; use
+// "universal" as the root or end the file with "!auto-universal" to have the
+// root synthesised.
+func Parse(r io.Reader) (*Graph, error) {
+	name := "parsed"
+	b := NewBuilder(name)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	renamed := false
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case line == "graph":
+			return nil, fmt.Errorf("except: line %d: empty graph name", lineNo)
+		case strings.HasPrefix(line, "graph "):
+			if renamed {
+				return nil, fmt.Errorf("except: line %d: duplicate graph header", lineNo)
+			}
+			name = strings.TrimSpace(strings.TrimPrefix(line, "graph "))
+			if name == "" {
+				return nil, fmt.Errorf("except: line %d: empty graph name", lineNo)
+			}
+			renamed = true
+			b.name = name
+		case line == "!auto-universal":
+			b.WithUniversal()
+		case strings.Contains(line, ":"):
+			parts := strings.SplitN(line, ":", 2)
+			parent := ID(strings.TrimSpace(parts[0]))
+			if parent == None {
+				return nil, fmt.Errorf("except: line %d: missing parent", lineNo)
+			}
+			var children []ID
+			for _, f := range strings.Split(parts[1], ",") {
+				f = strings.TrimSpace(f)
+				if f == "" {
+					return nil, fmt.Errorf("except: line %d: empty child", lineNo)
+				}
+				children = append(children, ID(f))
+			}
+			if len(children) == 0 {
+				return nil, fmt.Errorf("except: line %d: %q covers nothing", lineNo, parent)
+			}
+			b.Cover(parent, children...)
+		default:
+			if strings.ContainsAny(line, " \t") {
+				return nil, fmt.Errorf("except: line %d: malformed line %q", lineNo, line)
+			}
+			b.Node(ID(line))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("except: reading graph: %w", err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// MustParse is Parse for static graph literals; it panics on error.
+func MustParse(text string) *Graph {
+	g, err := Parse(strings.NewReader(text))
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

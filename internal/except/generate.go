@@ -1,0 +1,123 @@
+package except
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GenerateOption customises GenerateFull.
+type GenerateOption func(*genConfig)
+
+type genConfig struct {
+	maxLevel int
+	exclude  func(members []ID) bool
+}
+
+// MaxLevel limits generation to resolving exceptions of at most the given
+// level (level 1 covers pairs, level 2 triples, ...). Combinations above the
+// limit resolve to the universal exception, implementing the paper's
+// simplification "an exception graph can be structured to contain only part
+// of resolving exceptions" (§3.2). Zero or negative means no limit.
+func MaxLevel(l int) GenerateOption {
+	return func(c *genConfig) { c.maxLevel = l }
+}
+
+// Exclude removes generated resolving exceptions whose member set the
+// predicate rejects, implementing the paper's simplification for
+// combinations that cannot be raised concurrently. Primitives are never
+// excluded.
+func Exclude(pred func(members []ID) bool) GenerateOption {
+	return func(c *genConfig) { c.exclude = pred }
+}
+
+// GenerateFull builds the paper's automatically generated n-level exception
+// graph (§3.2): level 0 holds the given primitive exceptions; level k holds
+// one resolving exception per (k+1)-subset of primitives, named
+// Combined(members...); each resolving exception covers the level-(k-1)
+// subsets it contains; a universal exception covers the maximal nodes.
+//
+// For n primitives without options this yields n·(n−1)/2 nodes at level 1,
+// n·(n−1)·(n−2)/6 at level 2, and so on — the counts stated in the paper.
+func GenerateFull(name string, primitives []ID, opts ...GenerateOption) (*Graph, error) {
+	if len(primitives) == 0 {
+		return nil, ErrEmptyGraph
+	}
+	seen := make(map[ID]bool, len(primitives))
+	for _, p := range primitives {
+		if seen[p] {
+			return nil, fmt.Errorf("except: duplicate primitive %q", p)
+		}
+		seen[p] = true
+	}
+
+	cfg := genConfig{}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	limit := len(primitives) - 1
+	if cfg.maxLevel > 0 && cfg.maxLevel < limit {
+		limit = cfg.maxLevel
+	}
+
+	b := NewBuilder(name).WithUniversal()
+	for _, p := range primitives {
+		b.Node(p)
+	}
+
+	// Work over a sorted copy so "extend with a strictly greater primitive"
+	// enumerates every subset exactly once regardless of input order.
+	sorted := append([]ID(nil), primitives...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	prev := make([][]ID, 0, len(sorted))
+	for _, p := range sorted {
+		prev = append(prev, []ID{p})
+	}
+	for level := 1; level <= limit; level++ {
+		var cur [][]ID
+		for _, members := range prev {
+			last := members[len(members)-1]
+			for _, p := range sorted {
+				if p <= last {
+					continue
+				}
+				ext := append(append([]ID(nil), members...), p)
+				// Excluded combinations produce no node, but stay in the
+				// frontier so their supersets are still generated.
+				cur = append(cur, ext)
+				if cfg.exclude != nil && cfg.exclude(ext) {
+					continue
+				}
+				id := Combined(ext...)
+				// Cover the contained subsets of the previous level that
+				// survived exclusion; any member primitive left uncovered
+				// by surviving children is covered directly, preserving
+				// the invariant that a generated node covers all of its
+				// member primitives.
+				covered := make(map[ID]bool, len(ext))
+				for skip := range ext {
+					sub := make([]ID, 0, len(ext)-1)
+					sub = append(sub, ext[:skip]...)
+					sub = append(sub, ext[skip+1:]...)
+					child := Combined(sub...)
+					if b.known[child] {
+						b.Cover(id, child)
+						for _, m := range sub {
+							covered[m] = true
+						}
+					}
+				}
+				for _, m := range ext {
+					if !covered[m] {
+						b.Cover(id, m)
+					}
+				}
+			}
+		}
+		if len(cur) == 0 {
+			break
+		}
+		prev = cur
+	}
+	return b.Build()
+}

@@ -1,0 +1,229 @@
+package except
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func primsN(n int) []ID {
+	out := make([]ID, n)
+	for i := range out {
+		out[i] = ID(fmt.Sprintf("e%d", i+1))
+	}
+	return out
+}
+
+func TestGenerateFullCountsMatchPaper(t *testing.T) {
+	// §3.2: level 1 has n(n−1)/2 nodes, level 2 has n(n−1)(n−2)/6, level
+	// n−1 has exactly one node, plus one universal root.
+	for n := 2; n <= 6; n++ {
+		g, err := GenerateFull("full", primsN(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		byLevel := make(map[int]int)
+		for _, id := range g.Nodes() {
+			byLevel[g.Level(id)]++
+		}
+		if byLevel[0] != n {
+			t.Fatalf("n=%d level0 = %d", n, byLevel[0])
+		}
+		if n >= 2 && byLevel[1] != n*(n-1)/2 {
+			t.Fatalf("n=%d level1 = %d, want %d", n, byLevel[1], n*(n-1)/2)
+		}
+		if n >= 3 && byLevel[2] != n*(n-1)*(n-2)/6 {
+			t.Fatalf("n=%d level2 = %d, want %d", n, byLevel[2], n*(n-1)*(n-2)/6)
+		}
+		if byLevel[n-1] != 1 && n > 1 {
+			t.Fatalf("n=%d top combination level has %d nodes", n, byLevel[n-1])
+		}
+		// Total: all non-empty subsets + universal = 2^n - 1 + 1.
+		if g.Len() != (1<<n)-1+1 {
+			t.Fatalf("n=%d len = %d, want %d", n, g.Len(), (1 << n))
+		}
+	}
+}
+
+func TestGenerateFullResolution(t *testing.T) {
+	g, err := GenerateFull("full", primsN(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := g.Resolve("e1", "e3")
+	if got != "e1+e3" {
+		t.Fatalf("pair resolve = %q", got)
+	}
+	got, _ = g.Resolve("e2", "e3", "e4")
+	if got != "e2+e3+e4" {
+		t.Fatalf("triple resolve = %q", got)
+	}
+	got, _ = g.Resolve("e1", "e2", "e3", "e4")
+	if got != "e1+e2+e3+e4" {
+		t.Fatalf("full resolve = %q", got)
+	}
+}
+
+func TestGenerateMaxLevel(t *testing.T) {
+	// The paper's Figure 7 style: only pairs are resolvable; three or more
+	// concurrent exceptions escalate to the universal exception.
+	g, err := GenerateFull("pairs", primsN(5), MaxLevel(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := g.Resolve("e1", "e2")
+	if got != "e1+e2" {
+		t.Fatalf("pair = %q", got)
+	}
+	got, _ = g.Resolve("e1", "e2", "e3")
+	if got != Universal {
+		t.Fatalf("triple = %q, want universal", got)
+	}
+}
+
+func TestGenerateExclude(t *testing.T) {
+	// e1 and e2 cannot occur together: their pair node is excluded, so the
+	// pair resolves to the universal exception; other pairs still resolve.
+	g, err := GenerateFull("excl", primsN(3), MaxLevel(1),
+		Exclude(func(members []ID) bool {
+			return len(members) == 2 && members[0] == "e1" && members[1] == "e2"
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Has("e1+e2") {
+		t.Fatal("excluded node present")
+	}
+	got, _ := g.Resolve("e1", "e2")
+	if got != Universal {
+		t.Fatalf("excluded pair = %q", got)
+	}
+	got, _ = g.Resolve("e1", "e3")
+	if got != "e1+e3" {
+		t.Fatalf("surviving pair = %q", got)
+	}
+}
+
+func TestGenerateExcludedChildKeepsPrimitiveCover(t *testing.T) {
+	// Excluding a pair must not leave a triple that fails to cover its
+	// member primitives.
+	g, err := GenerateFull("excl2", primsN(3),
+		Exclude(func(members []ID) bool {
+			return len(members) == 2 && members[0] == "e1" && members[1] == "e2"
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []ID{"e1", "e2", "e3"} {
+		if !g.Covers("e1+e2+e3", p) {
+			t.Fatalf("triple does not cover %q", p)
+		}
+	}
+	got, _ := g.Resolve("e1", "e2")
+	if got != "e1+e2+e3" {
+		t.Fatalf("pair now resolves to %q, want the triple", got)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := GenerateFull("x", nil); err == nil {
+		t.Fatal("empty primitives accepted")
+	}
+	if _, err := GenerateFull("x", []ID{"a", "a"}); err == nil {
+		t.Fatal("duplicate primitives accepted")
+	}
+}
+
+// Property: for any set of primitives raised, the resolving exception covers
+// every raised exception, and no strictly smaller covering node exists.
+func TestResolveCoversAllProperty(t *testing.T) {
+	g, err := GenerateFull("prop", primsN(6), MaxLevel(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prims := g.Primitives()
+	prop := func(seed int64, k uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(k)%len(prims) + 1
+		perm := rng.Perm(len(prims))
+		raised := make([]ID, count)
+		for i := 0; i < count; i++ {
+			raised[i] = prims[perm[i]]
+		}
+		res, err := g.Resolve(raised...)
+		if err != nil {
+			return false
+		}
+		for _, r := range raised {
+			if !g.Covers(res, r) {
+				return false
+			}
+		}
+		// Minimality: every other covering node is at least as large.
+		for _, id := range g.Nodes() {
+			all := true
+			for _, r := range raised {
+				if !g.Covers(id, r) {
+					all = false
+					break
+				}
+			}
+			if all && g.CoverSize(id) < g.CoverSize(res) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: resolution is deterministic and insensitive to raise order.
+func TestResolveOrderInsensitiveProperty(t *testing.T) {
+	g, err := GenerateFull("prop2", primsN(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prims := g.Primitives()
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := rng.Intn(len(prims)) + 1
+		perm := rng.Perm(len(prims))
+		raised := make([]ID, count)
+		for i := range raised {
+			raised[i] = prims[perm[i]]
+		}
+		a, _ := g.Resolve(raised...)
+		rng.Shuffle(len(raised), func(i, j int) { raised[i], raised[j] = raised[j], raised[i] })
+		b, _ := g.Resolve(raised...)
+		return a == b
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkResolvePair(b *testing.B) {
+	g, err := GenerateFull("bench", primsN(8), MaxLevel(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Resolve("e3", "e7"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateFull8(b *testing.B) {
+	prims := primsN(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateFull("bench", prims); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

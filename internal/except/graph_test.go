@@ -1,0 +1,311 @@
+package except
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// fig3 builds the paper's Figure 3 three-level graph over e1, e2, e3.
+func fig3(t *testing.T) *Graph {
+	t.Helper()
+	g, err := NewBuilder("fig3").
+		Cover("e1+e2", "e1", "e2").
+		Cover("e1+e3", "e1", "e3").
+		Cover("e2+e3", "e2", "e3").
+		Cover("e1+e2+e3", "e1+e2", "e1+e3", "e2+e3").
+		Cover(Universal, "e1+e2+e3").
+		Build()
+	if err != nil {
+		t.Fatalf("building fig3: %v", err)
+	}
+	return g
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := fig3(t)
+	if g.Root() != Universal {
+		t.Fatalf("root = %q", g.Root())
+	}
+	if g.Len() != 8 {
+		t.Fatalf("len = %d, want 8", g.Len())
+	}
+	prims := g.Primitives()
+	if len(prims) != 3 {
+		t.Fatalf("primitives = %v", prims)
+	}
+	if g.Level("e1") != 0 || g.Level("e1+e2") != 1 || g.Level("e1+e2+e3") != 2 || g.Level(Universal) != 3 {
+		t.Fatalf("levels wrong: %d %d %d %d",
+			g.Level("e1"), g.Level("e1+e2"), g.Level("e1+e2+e3"), g.Level(Universal))
+	}
+	if g.Level("nope") != -1 {
+		t.Fatal("unknown level should be -1")
+	}
+	if !g.Covers("e1+e2", "e1") || g.Covers("e1+e2", "e3") {
+		t.Fatal("covers relation wrong")
+	}
+	if !g.Covers(Universal, "e2") {
+		t.Fatal("root must cover primitives")
+	}
+	if !g.Covers("e1", "e1") {
+		t.Fatal("node must cover itself")
+	}
+	if g.CoverSize("e1") != 1 || g.CoverSize("e1+e2") != 3 || g.CoverSize(Universal) != 8 {
+		t.Fatalf("cover sizes: %d %d %d",
+			g.CoverSize("e1"), g.CoverSize("e1+e2"), g.CoverSize(Universal))
+	}
+}
+
+func TestResolveSingle(t *testing.T) {
+	g := fig3(t)
+	got, err := g.Resolve("e2")
+	if err != nil || got != "e2" {
+		t.Fatalf("Resolve(e2) = %q, %v", got, err)
+	}
+}
+
+func TestResolvePair(t *testing.T) {
+	g := fig3(t)
+	got, err := g.Resolve("e1", "e2")
+	if err != nil || got != "e1+e2" {
+		t.Fatalf("Resolve(e1,e2) = %q, %v", got, err)
+	}
+}
+
+func TestResolveTriple(t *testing.T) {
+	g := fig3(t)
+	got, err := g.Resolve("e1", "e2", "e3")
+	if err != nil || got != "e1+e2+e3" {
+		t.Fatalf("Resolve = %q, %v", got, err)
+	}
+}
+
+func TestResolveDuplicatesAndOrder(t *testing.T) {
+	g := fig3(t)
+	a, _ := g.Resolve("e2", "e1", "e2", "e1")
+	b, _ := g.Resolve("e1", "e2")
+	if a != b {
+		t.Fatalf("order/duplicates changed result: %q vs %q", a, b)
+	}
+}
+
+func TestResolveResolvingNodeItself(t *testing.T) {
+	g := fig3(t)
+	// A resolving exception raised together with a primitive it covers
+	// resolves to the resolving exception itself.
+	got, _ := g.Resolve("e1+e2", "e1")
+	if got != "e1+e2" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestResolveUndeclaredGoesUniversal(t *testing.T) {
+	g := fig3(t)
+	got, err := g.Resolve("mystery")
+	if err != nil || got != Universal {
+		t.Fatalf("Resolve(mystery) = %q, %v", got, err)
+	}
+	got, _ = g.Resolve("e1", "mystery")
+	if got != Universal {
+		t.Fatalf("mixed undefined = %q", got)
+	}
+}
+
+func TestResolveEmpty(t *testing.T) {
+	g := fig3(t)
+	if _, err := g.Resolve(); !errors.Is(err, ErrNothingRaised) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestResolveRaisedInstances(t *testing.T) {
+	g := fig3(t)
+	got, err := g.ResolveRaised([]Raised{
+		{ID: "e3", Origin: "T1"},
+		{ID: "e1", Origin: "T2"},
+	})
+	if err != nil || got != "e1+e3" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestBuilderWithUniversal(t *testing.T) {
+	g, err := NewBuilder("auto").
+		Cover("motor", "vm_stop", "rm_stop").
+		Node("l_plate").
+		WithUniversal().
+		Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if g.Root() != Universal {
+		t.Fatalf("root = %q", g.Root())
+	}
+	if !g.Covers(Universal, "l_plate") || !g.Covers(Universal, "vm_stop") {
+		t.Fatal("auto universal must cover everything")
+	}
+	got, _ := g.Resolve("vm_stop", "l_plate")
+	if got != Universal {
+		t.Fatalf("uncombined pair should escalate to universal, got %q", got)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		if _, err := NewBuilder("x").Build(); !errors.Is(err, ErrEmptyGraph) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("cycle", func(t *testing.T) {
+		_, err := NewBuilder("x").Cover("a", "b").Cover("b", "c").Cover("c", "a").Build()
+		if !errors.Is(err, ErrCycle) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("self edge", func(t *testing.T) {
+		_, err := NewBuilder("x").Cover("a", "a").Build()
+		if !errors.Is(err, ErrSelfEdge) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("duplicate edge", func(t *testing.T) {
+		_, err := NewBuilder("x").Cover("a", "b").Cover("a", "b").Build()
+		if !errors.Is(err, ErrDuplicateEdge) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("multiple roots", func(t *testing.T) {
+		_, err := NewBuilder("x").Cover("a", "b").Cover("c", "b").Build()
+		if !errors.Is(err, ErrMultipleRoots) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("no root", func(t *testing.T) {
+		// Pure cycle has no root; cycle is detected first.
+		_, err := NewBuilder("x").Cover("a", "b").Cover("b", "a").Build()
+		if err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("reserved", func(t *testing.T) {
+		_, err := NewBuilder("x").Cover(Undo, "a").Build()
+		if !errors.Is(err, ErrReservedID) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+func TestDiamondIsValid(t *testing.T) {
+	// DAG (not a tree): two parents share a child.
+	g, err := NewBuilder("diamond").
+		Cover("left", "base").
+		Cover("right", "base").
+		Cover("top", "left", "right").
+		Build()
+	if err != nil {
+		t.Fatalf("diamond should be valid: %v", err)
+	}
+	got, _ := g.Resolve("left", "right")
+	if got != "top" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSmallestCoverPreferred(t *testing.T) {
+	// "big" covers everything; "small" covers exactly {a, b}. The smaller
+	// subtree must win.
+	g, err := NewBuilder("min").
+		Cover("small", "a", "b").
+		Cover("big", "small", "c").
+		Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	got, _ := g.Resolve("a", "b")
+	if got != "small" {
+		t.Fatalf("got %q, want small", got)
+	}
+	got, _ = g.Resolve("a", "c")
+	if got != "big" {
+		t.Fatalf("got %q, want big", got)
+	}
+}
+
+func TestIDsOfAndCombined(t *testing.T) {
+	ids := IDsOf([]Raised{{ID: "b"}, {ID: "a"}, {ID: "b"}})
+	if len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+		t.Fatalf("IDsOf = %v", ids)
+	}
+	if Combined("c", "a", "b") != "a+b+c" {
+		t.Fatalf("Combined = %q", Combined("c", "a", "b"))
+	}
+	if !IsInterface(Undo) || !IsInterface(Failure) || IsInterface("e1") {
+		t.Fatal("IsInterface wrong")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	text := `graph demo
+# primitives implied
+pair: e1, e2
+universal: pair, e3
+`
+	g, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if g.Name() != "demo" || g.Len() != 5 {
+		t.Fatalf("name=%q len=%d", g.Name(), g.Len())
+	}
+	got, _ := g.Resolve("e1", "e2")
+	if got != "pair" {
+		t.Fatalf("resolve = %q", got)
+	}
+	// Round-trip: String output parses back to an equivalent graph.
+	g2, err := Parse(strings.NewReader(g.String()))
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if g2.Len() != g.Len() || g2.Root() != g.Root() {
+		t.Fatalf("round trip mismatch: %d/%q vs %d/%q", g2.Len(), g2.Root(), g.Len(), g.Root())
+	}
+}
+
+func TestParseAutoUniversalAndLoneNodes(t *testing.T) {
+	text := `graph lone
+pair: a, b
+c
+!auto-universal
+`
+	g, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if g.Root() != Universal || !g.Covers(Universal, "c") {
+		t.Fatal("auto universal missing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"graph a\ngraph b\n",
+		": x\n",
+		"a: \n",
+		"a b c\n",
+		"graph \n",
+	}
+	for _, text := range cases {
+		if _, err := Parse(strings.NewReader(text)); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", text)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse on invalid input did not panic")
+		}
+	}()
+	MustParse("a: a\n")
+}

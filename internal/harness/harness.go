@@ -1,0 +1,96 @@
+// Package harness implements the paper's evaluation (§5): one function per
+// table/figure, each returning typed rows that cmd/caexperiments renders as
+// markdown and the root bench suite measures. Every experiment runs on the
+// deterministic virtual clock, so "total execution time" is exact virtual
+// time, reproducible bit-for-bit.
+//
+// Scenario constants (work chunks, handler costs) are tuned so the baseline
+// points land near the paper's published numbers; EXPERIMENTS.md documents
+// the tuning and compares every paper value against the measured one.
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"caaction/internal/core"
+	"caaction/internal/except"
+	"caaction/internal/resolve"
+	"caaction/internal/trace"
+	"caaction/internal/transport"
+	"caaction/internal/vclock"
+)
+
+// Env bundles one simulated distributed system.
+type Env struct {
+	Clock   *vclock.Virtual
+	Net     *transport.Sim
+	Runtime *core.Runtime
+	Metrics *trace.Metrics
+}
+
+// NewEnv builds a virtual-clock environment with fixed one-way latency
+// (the paper's Tmmax) and the given resolution protocol (nil means the
+// paper's Coordinated algorithm).
+func NewEnv(latency time.Duration, proto resolve.Protocol) (*Env, error) {
+	clk := vclock.NewVirtual()
+	metrics := &trace.Metrics{}
+	net := transport.NewSim(transport.SimConfig{
+		Clock:   clk,
+		Latency: transport.FixedLatency(latency),
+		Metrics: metrics,
+	})
+	rt, err := core.New(core.Config{
+		Clock:    clk,
+		Network:  net,
+		Protocol: proto,
+		Metrics:  metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Env{Clock: clk, Net: net, Runtime: rt, Metrics: metrics}, nil
+}
+
+// Seconds formats a duration as the paper prints times.
+func Seconds(d time.Duration) string {
+	return fmt.Sprintf("%.3f", d.Seconds())
+}
+
+// Table renders a simple markdown table.
+func Table(headers []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString("| " + strings.Join(headers, " | ") + " |\n")
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, r := range rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// threadNames returns T1..Tn.
+func threadNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("T%d", i+1)
+	}
+	return out
+}
+
+// primGraph builds a full exception graph over e1..en.
+func primGraph(n int) *except.Graph {
+	prims := make([]except.ID, n)
+	for i := range prims {
+		prims[i] = except.ID(fmt.Sprintf("e%d", i+1))
+	}
+	g, err := except.GenerateFull("bench", prims)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,165 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"caaction/internal/except"
+	"caaction/internal/resolve"
+)
+
+func TestFig9BaselineNearPaper(t *testing.T) {
+	total, err := RunFig9Point(DefaultFig9())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper baseline: 94.361 s. The scenario is tuned to land within 15%.
+	paper := 94.361391
+	got := total.Seconds()
+	if got < paper*0.85 || got > paper*1.15 {
+		t.Fatalf("baseline total = %.3f s, paper %.3f s (outside ±15%%)", got, paper)
+	}
+}
+
+func TestFig9SlopesMatchPaperShape(t *testing.T) {
+	point := func(mutate func(*Fig9Config)) time.Duration {
+		cfg := DefaultFig9()
+		mutate(&cfg)
+		total, err := RunFig9Point(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return total
+	}
+	base := point(func(c *Fig9Config) {})
+
+	// Tabo and Treso sensitivities are linear with slope ≈ Loops (one
+	// abortion and one resolution per iteration) — the paper's measured
+	// slopes are 19.9 and 20.4 per second.
+	tabo := point(func(c *Fig9Config) { c.Tabo += 500 * time.Millisecond })
+	slope := (tabo - base).Seconds() / 0.5
+	if slope < 15 || slope > 25 {
+		t.Fatalf("Tabo slope = %.1f, want ~20", slope)
+	}
+	treso := point(func(c *Fig9Config) { c.Treso += 500 * time.Millisecond })
+	slope = (treso - base).Seconds() / 0.5
+	if slope < 15 || slope > 25 {
+		t.Fatalf("Treso slope = %.1f, want ~20", slope)
+	}
+
+	// Tmmax sensitivity steepens once latency exceeds the knee (~1 s):
+	// below it the handler cooperation hides behind handler computation.
+	lo1 := point(func(c *Fig9Config) { c.Tmmax = 200 * time.Millisecond })
+	lo2 := point(func(c *Fig9Config) { c.Tmmax = 800 * time.Millisecond })
+	hi1 := point(func(c *Fig9Config) { c.Tmmax = 1600 * time.Millisecond })
+	hi2 := point(func(c *Fig9Config) { c.Tmmax = 2200 * time.Millisecond })
+	below := (lo2 - lo1).Seconds() / 0.6
+	above := (hi2 - hi1).Seconds() / 0.6
+	if above <= below*1.2 {
+		t.Fatalf("no knee: below slope %.1f, above slope %.1f", below, above)
+	}
+}
+
+func TestFig12BaselineAndOrdering(t *testing.T) {
+	base := Fig12Config{Tmmax: time.Second, Tres: 300 * time.Millisecond}
+
+	cfg := base
+	cfg.Protocol = resolve.Coordinated{}
+	ours, err := RunFig12Point(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Protocol = resolve.CR86{}
+	cr, err := RunFig12Point(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: ours 9.153 s, CR 11.771 s. Shape: ours is faster.
+	if ours >= cr {
+		t.Fatalf("ours %.3f ≥ CR %.3f", ours.Seconds(), cr.Seconds())
+	}
+	if got := ours.Seconds(); got < 8 || got > 10.5 {
+		t.Fatalf("ours baseline %.3f s, paper 9.153 s", got)
+	}
+
+	// Tres slope: ours ≈ 1 (single resolution), CR ≈ 3 (per-relay plus
+	// verification) — paper measured 1.05 and 2.93.
+	cfg = base
+	cfg.Tres = 1500 * time.Millisecond
+	cfg.Protocol = resolve.Coordinated{}
+	oursHi, err := RunFig12Point(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Protocol = resolve.CR86{}
+	crHi, err := RunFig12Point(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oursSlope := (oursHi - ours).Seconds() / 1.2
+	crSlope := (crHi - cr).Seconds() / 1.2
+	if oursSlope < 0.8 || oursSlope > 1.3 {
+		t.Fatalf("ours Tres slope = %.2f, want ~1", oursSlope)
+	}
+	if crSlope < 2*oursSlope {
+		t.Fatalf("CR Tres slope = %.2f, want ≥ 2x ours (%.2f)", crSlope, oursSlope)
+	}
+}
+
+func TestMessageComplexityMatchesFormulas(t *testing.T) {
+	rows, err := RunMessageComplexity([]int{2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Messages != r.Formula {
+			t.Errorf("%s N=%d %s: messages %d != formula %d",
+				r.Protocol, r.N, r.Scenario, r.Messages, r.Formula)
+		}
+		if r.ResolveCalls != r.CallsFormula {
+			t.Errorf("%s N=%d %s: calls %d != formula %d",
+				r.Protocol, r.N, r.Scenario, r.ResolveCalls, r.CallsFormula)
+		}
+	}
+}
+
+func TestSignallingCostsMatchFormulas(t *testing.T) {
+	rows, err := RunSignalling([]int{2, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Messages != r.Formula {
+			t.Errorf("%s N=%d: messages %d != formula %d", r.Case, r.N, r.Messages, r.Formula)
+		}
+	}
+}
+
+func TestLemma1BoundHolds(t *testing.T) {
+	rows, err := RunLemma1([]int{0, 1, 2, 3},
+		200*time.Millisecond, 100*time.Millisecond, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Measured > r.Bound {
+			t.Errorf("nmax=%d: measured %v exceeds bound %v", r.Nesting, r.Measured, r.Bound)
+		}
+		if r.Measured <= 0 {
+			t.Errorf("nmax=%d: no handling measured", r.Nesting)
+		}
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	f9 := RenderFig9([]Fig9Row{{Varied: "Tmmax", Value: time.Second, Total: 2 * time.Second, Paper: 3}})
+	f12 := RenderFig12([]Fig12Row{{Varied: "Tres", Value: time.Second, Ours: time.Second, CR: 2 * time.Second}})
+	ms := RenderMsgs([]MsgRow{{Protocol: "coordinated", N: 3, Scenario: "one", Messages: 8, Formula: 8}})
+	sg := RenderSignalling([]SigRow{{Case: "a", N: 3, Messages: 6, Formula: 6, Signal: except.Undo}})
+	lm := RenderLemma1([]Lemma1Row{{Nesting: 1, Measured: time.Second, Bound: 2 * time.Second}})
+	for _, s := range []string{f9, f12, ms, sg, lm} {
+		if len(s) == 0 || s[0] != '|' {
+			t.Fatalf("bad table rendering: %q", s)
+		}
+	}
+}

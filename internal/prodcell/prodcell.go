@@ -1,0 +1,552 @@
+// Package prodcell simulates the FZI industrial production cell (§4): feed
+// belt, elevating rotary table, two-armed rotary robot, press and deposit
+// belt, with the sensors and actuators a control program needs, plus
+// injection of the §4 fault classes (motor stops, motors that never start,
+// stuck sensors, lost plates).
+//
+// The plant is a passive, lazily evaluated state machine over a vclock:
+// actuations start timed motions, sensor reads resolve device positions as
+// of the current clock time, and safety invariants are checked on every
+// actuation. Control programs poll sensors with their own timeouts, which is
+// how the §4 exceptions (vm_stop, rm_nmove, s_stuck, ...) get detected and
+// raised.
+package prodcell
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"caaction/internal/except"
+	"caaction/internal/trace"
+	"caaction/internal/vclock"
+)
+
+// Axes of the cell's devices. Each axis moves between named positions.
+const (
+	AxisTableVert   = "table.vertical" // bottom, top
+	AxisTableRot    = "table.rotation" // feed, robot
+	AxisRobot       = "robot.rotation" // table, press1, press2, deposit
+	AxisArm1        = "robot.arm1"     // retracted, extended
+	AxisArm2        = "robot.arm2"     // retracted, extended
+	AxisPress       = "press"          // open, mid, closed
+	AxisFeedBelt    = "feed_belt"      // rest, delivered
+	AxisDepositBelt = "deposit_belt"   // rest, delivered
+)
+
+// Blank locations.
+const (
+	LocFeedBelt    = "feed_belt"
+	LocTable       = "table"
+	LocArm1        = "arm1"
+	LocArm2        = "arm2"
+	LocPress       = "press"
+	LocDepositBelt = "deposit_belt"
+	LocContainer   = "container"
+	LocFloor       = "floor" // a dropped plate: the l_plate failure
+)
+
+// Fault kinds, matching the primitive exceptions of Figure 7.
+const (
+	FaultMotorStop   except.ID = "m_stop"  // motor stops mid-travel
+	FaultMotorNoMove except.ID = "m_nmove" // motor never starts
+	FaultSensorStuck except.ID = "s_stuck" // position sensor stuck at 0
+	FaultLostPlate   except.ID = "l_plate" // magnet drops the plate
+)
+
+// Errors reported by the plant.
+var (
+	ErrUnknownAxis   = errors.New("prodcell: unknown axis")
+	ErrbadTarget     = errors.New("prodcell: illegal target position")
+	ErrAxisBusy      = errors.New("prodcell: axis already moving")
+	ErrNothingToGrab = errors.New("prodcell: nothing to grab")
+	ErrHandFull      = errors.New("prodcell: arm already holding a plate")
+	ErrNotHolding    = errors.New("prodcell: arm not holding a plate")
+	ErrNoBlank       = errors.New("prodcell: no such blank")
+	ErrBeltOccupied  = errors.New("prodcell: feed belt occupied")
+)
+
+// Config sets motion durations.
+type Config struct {
+	// MoveTime is the default duration of one axis motion.
+	MoveTime time.Duration
+	// BeltTime is the conveyance duration of either belt.
+	BeltTime time.Duration
+	// Log, when non-nil, records plant events.
+	Log *trace.Log
+}
+
+// DefaultConfig returns the timings used by the experiments.
+func DefaultConfig() Config {
+	return Config{MoveTime: 100 * time.Millisecond, BeltTime: 300 * time.Millisecond}
+}
+
+type axisState struct {
+	positions []string // legal positions
+	current   string
+	target    string        // "" when idle
+	arriveAt  time.Duration // valid when target != ""
+	stalled   bool          // motor stopped mid-travel: never arrives
+	stuck     bool          // position sensor reads 0 regardless of truth
+	fault     except.ID     // armed one-shot motor fault
+}
+
+// Blank is one metal blank travelling through the cell.
+type Blank struct {
+	ID     int
+	Loc    string
+	Forged bool
+}
+
+// Plant is the simulated production cell. All methods are safe for
+// concurrent use by the controller threads.
+type Plant struct {
+	clock vclock.Clock
+	cfg   Config
+
+	mu         sync.Mutex
+	axes       map[string]*axisState
+	blanks     map[int]*Blank
+	nextBlank  int
+	lostPlate  map[string]bool // armed l_plate per arm
+	violations []string
+	forgeAt    time.Duration // pending forging completion; 0 = none
+	forgeBlank int
+}
+
+// New returns a production cell at rest.
+func New(clock vclock.Clock, cfg Config) *Plant {
+	if cfg.MoveTime <= 0 {
+		cfg.MoveTime = DefaultConfig().MoveTime
+	}
+	if cfg.BeltTime <= 0 {
+		cfg.BeltTime = DefaultConfig().BeltTime
+	}
+	p := &Plant{
+		clock:     clock,
+		cfg:       cfg,
+		axes:      make(map[string]*axisState),
+		blanks:    make(map[int]*Blank),
+		lostPlate: make(map[string]bool),
+	}
+	add := func(name, initial string, positions ...string) {
+		p.axes[name] = &axisState{positions: positions, current: initial}
+	}
+	add(AxisTableVert, "bottom", "bottom", "top")
+	add(AxisTableRot, "feed", "feed", "robot")
+	add(AxisRobot, "table", "table", "press1", "press2", "deposit")
+	add(AxisArm1, "retracted", "retracted", "extended")
+	add(AxisArm2, "retracted", "retracted", "extended")
+	add(AxisPress, "open", "open", "mid", "closed")
+	add(AxisFeedBelt, "rest", "rest", "delivered")
+	add(AxisDepositBelt, "rest", "rest", "delivered")
+	return p
+}
+
+func (p *Plant) logf(kind, format string, args ...any) {
+	p.cfg.Log.Add(p.clock.Now(), "plant", kind, fmt.Sprintf(format, args...))
+}
+
+// stepLocked resolves motions that have completed by now.
+func (p *Plant) stepLocked() {
+	now := p.clock.Now()
+	for _, a := range p.axes {
+		if a.target != "" && !a.stalled && now >= a.arriveAt {
+			a.current = a.target
+			a.target = ""
+		}
+	}
+	if p.forgeAt > 0 && now >= p.forgeAt {
+		if b, ok := p.blanks[p.forgeBlank]; ok && b.Loc == LocPress {
+			b.Forged = true
+		}
+		p.forgeAt = 0
+	}
+}
+
+// Inject arms a one-shot fault on an axis (motor faults), a persistent
+// sensor fault, or a lost-plate fault on an arm axis.
+func (p *Plant) Inject(kind except.ID, axis string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch kind {
+	case FaultLostPlate:
+		if axis != AxisArm1 && axis != AxisArm2 {
+			return fmt.Errorf("%w: l_plate needs an arm axis, got %q", ErrUnknownAxis, axis)
+		}
+		p.lostPlate[axis] = true
+		return nil
+	case FaultSensorStuck:
+		a, ok := p.axes[axis]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownAxis, axis)
+		}
+		a.stuck = true
+		return nil
+	case FaultMotorStop, FaultMotorNoMove:
+		a, ok := p.axes[axis]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownAxis, axis)
+		}
+		a.fault = kind
+		return nil
+	default:
+		return fmt.Errorf("prodcell: unknown fault kind %q", kind)
+	}
+}
+
+// Repair clears all faults on an axis and, if a motor had stalled, restarts
+// the axis from its stalling point (the motion must be re-actuated).
+func (p *Plant) Repair(axis string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, ok := p.axes[axis]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownAxis, axis)
+	}
+	a.fault = ""
+	a.stuck = false
+	if a.stalled {
+		a.stalled = false
+		a.target = "" // motion abandoned; the controller must re-actuate
+	}
+	p.lostPlate[axis] = false
+	return nil
+}
+
+// Actuate starts moving an axis toward target. Motor faults armed on the
+// axis consume here: m_nmove leaves the axis where it is; m_stop stalls it
+// between positions. Safety invariants are checked and violations recorded.
+func (p *Plant) Actuate(axis, target string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stepLocked()
+	a, ok := p.axes[axis]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownAxis, axis)
+	}
+	legal := false
+	for _, pos := range a.positions {
+		if pos == target {
+			legal = true
+			break
+		}
+	}
+	if !legal {
+		return fmt.Errorf("%w: %s -> %q", ErrbadTarget, axis, target)
+	}
+	if a.target != "" {
+		return fmt.Errorf("%w: %s", ErrAxisBusy, axis)
+	}
+	p.checkSafetyLocked(axis, target)
+	if a.current == target {
+		return nil
+	}
+
+	now := p.clock.Now()
+	dur := p.cfg.MoveTime
+	if axis == AxisFeedBelt || axis == AxisDepositBelt {
+		dur = p.cfg.BeltTime
+	}
+	switch a.fault {
+	case FaultMotorNoMove:
+		a.fault = ""
+		p.logf("fault", "%s: motor never starts (target %s)", axis, target)
+		return nil // silently fails to move; detection is the controller's job
+	case FaultMotorStop:
+		a.fault = ""
+		a.target = target
+		a.stalled = true
+		p.logf("fault", "%s: motor stalls between %s and %s", axis, a.current, target)
+		return nil
+	}
+	a.target = target
+	a.arriveAt = now + dur
+	p.logf("actuate", "%s: %s -> %s (arrives %v)", axis, a.current, target, a.arriveAt)
+
+	// Side effects of completed motions.
+	if axis == AxisPress && target == "closed" {
+		if b := p.blankAtLocked(LocPress); b != nil {
+			p.forgeAt = a.arriveAt
+			p.forgeBlank = b.ID
+		}
+	}
+	if (axis == AxisRobot || axis == AxisArm1) && p.lostPlate[AxisArm1] {
+		p.dropLocked(AxisArm1, LocArm1)
+	}
+	if (axis == AxisRobot || axis == AxisArm2) && p.lostPlate[AxisArm2] {
+		p.dropLocked(AxisArm2, LocArm2)
+	}
+	return nil
+}
+
+func (p *Plant) dropLocked(armAxis, loc string) {
+	if b := p.blankAtLocked(loc); b != nil {
+		b.Loc = LocFloor
+		p.lostPlate[armAxis] = false
+		p.logf("fault", "plate %d dropped from %s", b.ID, loc)
+	}
+}
+
+// checkSafetyLocked records violations of the cell's safety requirements.
+func (p *Plant) checkSafetyLocked(axis, target string) {
+	arm1 := p.axes[AxisArm1]
+	arm2 := p.axes[AxisArm2]
+	armsOut := arm1.current != "retracted" || arm1.target != "" ||
+		arm2.current != "retracted" || arm2.target != ""
+	switch {
+	case axis == AxisPress && target == "closed" &&
+		(p.axes[AxisRobot].current == "press1" || p.axes[AxisRobot].current == "press2") && armsOut:
+		p.violations = append(p.violations,
+			"press closed while a robot arm may be inside")
+	case axis == AxisRobot && armsOut:
+		p.violations = append(p.violations,
+			"robot rotated with an arm extended")
+	case (axis == AxisTableVert || axis == AxisTableRot) &&
+		arm1.current != "retracted" && p.axes[AxisRobot].current == "table":
+		p.violations = append(p.violations,
+			"table moved while arm1 extended over it")
+	}
+}
+
+// Violations returns the recorded safety violations.
+func (p *Plant) Violations() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.violations...)
+}
+
+// At reports whether the axis position sensor reads pos. A stuck sensor
+// always reads false — the physical truth is available through Position.
+func (p *Plant) At(axis, pos string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stepLocked()
+	a, ok := p.axes[axis]
+	if !ok || a.stuck {
+		return false
+	}
+	return a.target == "" && a.current == pos
+}
+
+// Position is the fault-immune encoder reading of an axis: the physical
+// position, or "moving"/"stalled" between positions. Controllers use it as
+// the redundant cross-check that distinguishes s_stuck from motor faults.
+func (p *Plant) Position(axis string) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stepLocked()
+	a, ok := p.axes[axis]
+	if !ok {
+		return ""
+	}
+	switch {
+	case a.stalled:
+		return "stalled"
+	case a.target != "":
+		return "moving"
+	default:
+		return a.current
+	}
+}
+
+// NewBlank puts a fresh blank at the feed belt entry (the environment adds
+// one when the insertion traffic light is green, i.e. the belt is free).
+func (p *Plant) NewBlank() (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stepLocked()
+	if b := p.blankAtLocked(LocFeedBelt); b != nil {
+		return 0, ErrBeltOccupied
+	}
+	p.nextBlank++
+	id := p.nextBlank
+	p.blanks[id] = &Blank{ID: id, Loc: LocFeedBelt}
+	p.axes[AxisFeedBelt].current = "rest"
+	p.logf("blank", "blank %d added to feed belt", id)
+	return id, nil
+}
+
+func (p *Plant) blankAtLocked(loc string) *Blank {
+	var found *Blank
+	for _, b := range p.blanks {
+		if b.Loc == loc && (found == nil || b.ID < found.ID) {
+			found = b
+		}
+	}
+	return found
+}
+
+// BlankAt reports whether some blank is at the location.
+func (p *Plant) BlankAt(loc string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stepLocked()
+	return p.blankAtLocked(loc) != nil
+}
+
+// Blank returns a snapshot of one blank.
+func (p *Plant) Blank(id int) (Blank, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stepLocked()
+	b, ok := p.blanks[id]
+	if !ok {
+		return Blank{}, fmt.Errorf("%w: %d", ErrNoBlank, id)
+	}
+	return *b, nil
+}
+
+// Blanks lists all blanks, ordered by ID.
+func (p *Plant) Blanks() []Blank {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stepLocked()
+	out := make([]Blank, 0, len(p.blanks))
+	for _, b := range p.blanks {
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// transfer moves the blank at from to to, if one is there.
+func (p *Plant) transfer(from, to string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stepLocked()
+	b := p.blankAtLocked(from)
+	if b == nil {
+		return fmt.Errorf("%w: at %q", ErrNothingToGrab, from)
+	}
+	if to == LocArm1 || to == LocArm2 {
+		if p.blankAtLocked(to) != nil {
+			return ErrHandFull
+		}
+	}
+	b.Loc = to
+	p.logf("blank", "blank %d: %s -> %s", b.ID, from, to)
+	return nil
+}
+
+// TransferBeltToTable moves the delivered blank from the feed belt onto the
+// table.
+func (p *Plant) TransferBeltToTable() error { return p.transfer(LocFeedBelt, LocTable) }
+
+// Grab magnetises an arm over its current reach: arm1 picks from the table
+// or the press, arm2 from the press.
+func (p *Plant) Grab(armAxis string) error {
+	from, arm, err := p.reach(armAxis)
+	if err != nil {
+		return err
+	}
+	return p.transfer(from, arm)
+}
+
+// Release demagnetises an arm, dropping its plate at the current reach.
+func (p *Plant) Release(armAxis string) error {
+	to, arm, err := p.reach(armAxis)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	b := p.blankAtLocked(arm)
+	p.mu.Unlock()
+	if b == nil {
+		return ErrNotHolding
+	}
+	return p.transfer(arm, to)
+}
+
+// reach maps an extended arm and the robot angle to the location the arm is
+// over.
+func (p *Plant) reach(armAxis string) (loc, armLoc string, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stepLocked()
+	robot := p.axes[AxisRobot].current
+	switch armAxis {
+	case AxisArm1:
+		armLoc = LocArm1
+		switch robot {
+		case "table":
+			loc = LocTable
+		case "press1":
+			loc = LocPress
+		}
+	case AxisArm2:
+		armLoc = LocArm2
+		switch robot {
+		case "press2":
+			loc = LocPress
+		case "deposit":
+			loc = LocDepositBelt
+		}
+	default:
+		return "", "", fmt.Errorf("%w: %q", ErrUnknownAxis, armAxis)
+	}
+	if loc == "" {
+		return "", "", fmt.Errorf("prodcell: %s reaches nothing at robot angle %q", armAxis, robot)
+	}
+	if p.axes[armAxis].current != "extended" || p.axes[armAxis].target != "" {
+		return "", "", fmt.Errorf("prodcell: %s not extended", armAxis)
+	}
+	return loc, armLoc, nil
+}
+
+// Holding reports whether an arm's magnet sensor sees a plate.
+func (p *Plant) Holding(armAxis string) bool {
+	loc := LocArm1
+	if armAxis == AxisArm2 {
+		loc = LocArm2
+	}
+	return p.BlankAt(loc)
+}
+
+// Consume moves the plate delivered at the deposit belt end into the
+// container (the environment's collector).
+func (p *Plant) Consume() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stepLocked()
+	if p.axes[AxisDepositBelt].current != "delivered" {
+		return fmt.Errorf("prodcell: deposit belt has not delivered")
+	}
+	b := p.blankAtLocked(LocDepositBelt)
+	if b == nil {
+		return fmt.Errorf("%w: on deposit belt", ErrNothingToGrab)
+	}
+	b.Loc = LocContainer
+	p.axes[AxisDepositBelt].current = "rest"
+	p.logf("blank", "plate %d delivered to container (forged=%v)", b.ID, b.Forged)
+	return nil
+}
+
+// Remove takes a blank out of the cell (the operator clearing a dropped or
+// abandoned plate after an aborted cycle).
+func (p *Plant) Remove(id int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.blanks[id]; !ok {
+		return fmt.Errorf("%w: %d", ErrNoBlank, id)
+	}
+	delete(p.blanks, id)
+	p.logf("blank", "blank %d removed by operator", id)
+	return nil
+}
+
+// ResetBelt rearms a belt axis to rest for the next conveyance.
+func (p *Plant) ResetBelt(axis string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stepLocked()
+	a, ok := p.axes[axis]
+	if !ok || (axis != AxisFeedBelt && axis != AxisDepositBelt) {
+		return fmt.Errorf("%w: %q", ErrUnknownAxis, axis)
+	}
+	a.current = "rest"
+	a.target = ""
+	return nil
+}

@@ -1,0 +1,176 @@
+// Package protocol defines the wire messages exchanged by the CA-action
+// runtime: the resolution-protocol messages of §3.3.2 (Exception, Suspended,
+// Commit), the baseline protocols' messages (Relay for Campbell & Randell
+// 1986, Propose/Ack for Romanovsky et al. 1996), the signalling message of
+// §3.4 (ToBeSignalled), and runtime coordination messages (Enter, App).
+//
+// Every message implements Kind, which the transports use to count traffic
+// per message type so the paper's complexity theorems can be checked against
+// measured counts.
+package protocol
+
+import (
+	"encoding/gob"
+	"fmt"
+
+	"caaction/internal/except"
+)
+
+// Message is implemented by everything that travels between threads.
+type Message interface {
+	// Kind returns a short stable name used for metrics and tracing.
+	Kind() string
+}
+
+// Exception is sent by a thread to all other threads of an action when it
+// raises exception Exc (§3.3.2: "Exception(A, Ti, E)").
+//
+// Round tags the resolution round within the action instance (the number of
+// Commits already processed). The paper's algorithm leaves messages of
+// successive rounds distinguishable only by FIFO order, which admits a race
+// when a handler raises immediately after a Commit whose delivery to some
+// peer is still in flight; explicit round numbers close it without changing
+// any message count. All resolution-protocol messages carry the same tag.
+type Exception struct {
+	Action string // action instance identifier
+	From   string // sending thread
+	Round  int
+	Exc    except.Raised
+}
+
+// Kind implements Message.
+func (Exception) Kind() string { return "Exception" }
+
+func (m Exception) String() string {
+	return fmt.Sprintf("Exception(%s, %s, %s)", m.Action, m.From, m.Exc.ID)
+}
+
+// Suspended is sent by a thread that raised no exception itself but has
+// received Exception or Suspended messages from others (§3.3.2:
+// "Suspended(A, Ti, S)").
+type Suspended struct {
+	Action string
+	From   string
+	Round  int
+}
+
+// Kind implements Message.
+func (Suspended) Kind() string { return "Suspended" }
+
+func (m Suspended) String() string {
+	return fmt.Sprintf("Suspended(%s, %s)", m.Action, m.From)
+}
+
+// Commit is sent by the resolving thread after it completes resolution;
+// every receiver invokes its handler for Resolved (§3.3.2: "Commit(A, E)").
+type Commit struct {
+	Action   string
+	From     string
+	Round    int
+	Resolved except.ID
+	// Raised carries the resolved set for diagnostics and handler context.
+	Raised []except.Raised
+}
+
+// Kind implements Message.
+func (Commit) Kind() string { return "Commit" }
+
+func (m Commit) String() string {
+	return fmt.Sprintf("Commit(%s, %s)", m.Action, m.Resolved)
+}
+
+// Relay is used only by the CR-86 baseline: each thread forwards every
+// first-hand exception it learns to all other threads, giving the O(N³)
+// message pattern the paper attributes to Campbell & Randell's scheme.
+type Relay struct {
+	Action string
+	From   string // relaying thread
+	Round  int
+	Exc    except.Raised
+}
+
+// Kind implements Message.
+func (Relay) Kind() string { return "Relay" }
+
+// Propose is used only by the R-96 baseline's agreement round: every thread
+// broadcasts the resolving exception it computed locally.
+type Propose struct {
+	Action   string
+	From     string
+	Round    int
+	Resolved except.ID
+}
+
+// Kind implements Message.
+func (Propose) Kind() string { return "Propose" }
+
+// Ack is used only by the R-96 baseline's final round.
+type Ack struct {
+	Action string
+	From   string
+	Round  int
+}
+
+// Kind implements Message.
+func (Ack) Kind() string { return "Ack" }
+
+// ToBeSignalled is the §3.4 signalling-coordination message: thread From will
+// signal exception Exc (φ when it signals nothing) to the enclosing action.
+// Round is the resolution round the vote belongs to; Phase distinguishes the
+// second exchange forced by an undo (µ) vote whose undo operations may fail.
+type ToBeSignalled struct {
+	Action string
+	From   string
+	Exc    except.ID
+	Round  int
+	Phase  int
+}
+
+// Kind implements Message.
+func (ToBeSignalled) Kind() string { return "ToBeSignalled" }
+
+func (m ToBeSignalled) String() string {
+	exc := string(m.Exc)
+	if m.Exc == except.None {
+		exc = "φ"
+	}
+	return fmt.Sprintf("toBeSignalled(%s, %s, %s, r%d)", m.Action, m.From, exc, m.Round)
+}
+
+// Enter announces that thread From has arrived at the entry point of the
+// action, playing Role; the entry barrier completes when a thread has
+// received Enter from every peer.
+type Enter struct {
+	Action string
+	From   string
+	Role   string
+}
+
+// Kind implements Message.
+func (Enter) Kind() string { return "Enter" }
+
+// App carries application-level cooperation data between two roles of an
+// action. Payloads must be gob-registered to cross the TCP transport.
+type App struct {
+	Action  string
+	From    string
+	ToRole  string
+	Payload any
+}
+
+// Kind implements Message.
+func (App) Kind() string { return "App" }
+
+// RegisterGob registers every protocol message with encoding/gob so they can
+// traverse the TCP transport. Safe to call multiple times.
+func RegisterGob() {
+	gob.Register(Exception{})
+	gob.Register(Suspended{})
+	gob.Register(Commit{})
+	gob.Register(Relay{})
+	gob.Register(Propose{})
+	gob.Register(Ack{})
+	gob.Register(ToBeSignalled{})
+	gob.Register(Enter{})
+	gob.Register(App{})
+}

@@ -1,0 +1,77 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"caaction/internal/except"
+)
+
+func allMessages() []Message {
+	return []Message{
+		Exception{Action: "a#1", From: "T1", Round: 2,
+			Exc: except.Raised{ID: "e1", Origin: "T1", Info: "x"}},
+		Suspended{Action: "a#1", From: "T2", Round: 2},
+		Commit{Action: "a#1", From: "T3", Round: 2, Resolved: "e1+e2",
+			Raised: []except.Raised{{ID: "e1"}, {ID: "e2"}}},
+		Relay{Action: "a#1", From: "T2", Round: 2, Exc: except.Raised{ID: "e1", Origin: "T1"}},
+		Propose{Action: "a#1", From: "T1", Round: 2, Resolved: "e1"},
+		Ack{Action: "a#1", From: "T1", Round: 2},
+		ToBeSignalled{Action: "a#1", From: "T1", Exc: except.Undo, Round: 2, Phase: 2},
+		Enter{Action: "a#1", From: "T1", Role: "producer"},
+		App{Action: "a#1", From: "T1", ToRole: "consumer", Payload: "data"},
+	}
+}
+
+func TestKindsAreDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range allMessages() {
+		k := m.Kind()
+		if k == "" {
+			t.Fatalf("%T has empty kind", m)
+		}
+		if seen[k] {
+			t.Fatalf("duplicate kind %q", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestGobRoundTrip(t *testing.T) {
+	RegisterGob()
+	for _, m := range allMessages() {
+		var buf bytes.Buffer
+		wrapped := struct{ M Message }{m}
+		if err := gob.NewEncoder(&buf).Encode(&wrapped); err != nil {
+			t.Fatalf("encode %T: %v", m, err)
+		}
+		var out struct{ M Message }
+		if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&out); err != nil {
+			t.Fatalf("decode %T: %v", m, err)
+		}
+		if out.M.Kind() != m.Kind() {
+			t.Fatalf("round trip changed kind: %q -> %q", m.Kind(), out.M.Kind())
+		}
+	}
+	// Registration must be idempotent.
+	RegisterGob()
+}
+
+func TestStringForms(t *testing.T) {
+	cases := []struct {
+		msg  interface{ String() string }
+		want string
+	}{
+		{Exception{Action: "a", From: "T1", Exc: except.Raised{ID: "e1"}}, "Exception(a, T1, e1)"},
+		{Suspended{Action: "a", From: "T2"}, "Suspended(a, T2)"},
+		{Commit{Action: "a", Resolved: "e"}, "Commit(a, e)"},
+		{ToBeSignalled{Action: "a", From: "T1", Exc: except.None, Round: 1, Phase: 1},
+			"toBeSignalled(a, T1, φ, r1)"},
+	}
+	for _, tc := range cases {
+		if got := tc.msg.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package resolve
+
+import (
+	"fmt"
+
+	"caaction/internal/except"
+	"caaction/internal/protocol"
+)
+
+// Coordinated is the paper's resolution algorithm (§3.3.2):
+//
+//   - a raiser moves to state X and broadcasts Exception;
+//   - a thread informed of remote exceptions while in state N moves to S and
+//     broadcasts Suspended;
+//   - once a thread holds the exception-or-suspended status of every
+//     participant and it is the thread with the largest identifier among
+//     those in state X, it alone runs the resolution procedure and
+//     broadcasts Commit;
+//   - everyone else decides upon receiving Commit.
+//
+// The message count is (N+1)(N−1) per resolution regardless of how many
+// exceptions were raised concurrently (Theorem 2), and the resolution
+// procedure runs exactly once.
+type Coordinated struct{}
+
+var _ Protocol = Coordinated{}
+
+// Name implements Protocol.
+func (Coordinated) Name() string { return "coordinated" }
+
+// NewInstance implements Protocol.
+func (Coordinated) NewInstance(cfg Config) Instance {
+	return &coordInstance{cfg: cfg, state: StateNormal, entries: make(map[string]entry)}
+}
+
+// entry is one participant's contribution to the LE list (§3.3.1): either a
+// raised exception (state X) or a suspension notice (state S).
+type entry struct {
+	state State
+	exc   except.Raised
+}
+
+type coordInstance struct {
+	cfg     Config
+	state   State
+	entries map[string]entry
+	decided bool
+	out     Outcome
+}
+
+var _ Instance = (*coordInstance)(nil)
+
+func (c *coordInstance) State() State { return c.state }
+
+func (c *coordInstance) Raise(exc except.Raised) Outcome {
+	c.state = StateExceptional
+	c.entries[c.cfg.Self] = entry{state: StateExceptional, exc: exc}
+	broadcast(&c.cfg, protocol.Exception{
+		Action: c.cfg.Action, From: c.cfg.Self, Round: c.cfg.Round, Exc: exc,
+	})
+	c.maybeResolve()
+	return c.outcome(false)
+}
+
+func (c *coordInstance) Deliver(from string, msg protocol.Message) (Outcome, error) {
+	switch m := msg.(type) {
+	case protocol.Exception:
+		if err := validate(&c.cfg, m.Action, m.Round); err != nil {
+			return Outcome{}, err
+		}
+		c.entries[from] = entry{state: StateExceptional, exc: m.Exc}
+		informed := c.suspendIfNormal()
+		c.maybeResolve()
+		return c.outcome(informed), nil
+
+	case protocol.Suspended:
+		if err := validate(&c.cfg, m.Action, m.Round); err != nil {
+			return Outcome{}, err
+		}
+		c.entries[from] = entry{state: StateSuspended}
+		informed := c.suspendIfNormal()
+		c.maybeResolve()
+		return c.outcome(informed), nil
+
+	case protocol.Commit:
+		if err := validate(&c.cfg, m.Action, m.Round); err != nil {
+			return Outcome{}, err
+		}
+		if !c.decided {
+			c.decided = true
+			c.out = Outcome{Decided: true, Resolved: m.Resolved, Raised: m.Raised}
+		}
+		return c.outcome(false), nil
+
+	default:
+		return Outcome{}, fmt.Errorf("%w: %T", ErrUnexpected, msg)
+	}
+}
+
+// suspendIfNormal implements the "if S(Ti) = N then suspend and broadcast
+// Suspended" branch; it reports whether the thread was just informed.
+func (c *coordInstance) suspendIfNormal() bool {
+	if c.state != StateNormal {
+		return false
+	}
+	c.state = StateSuspended
+	c.entries[c.cfg.Self] = entry{state: StateSuspended}
+	broadcast(&c.cfg, protocol.Suspended{
+		Action: c.cfg.Action, From: c.cfg.Self, Round: c.cfg.Round,
+	})
+	return true
+}
+
+// maybeResolve implements the resolver guard: all participants accounted for
+// and self is the largest-identified thread in state X.
+func (c *coordInstance) maybeResolve() {
+	if c.decided || len(c.entries) != len(c.cfg.Peers) || c.state != StateExceptional {
+		return
+	}
+	for id, e := range c.entries {
+		if e.state == StateExceptional && id != c.cfg.Self && ThreadLess(c.cfg.Self, id) {
+			return // a larger-identified exceptional thread will resolve
+		}
+	}
+	raised := c.raisedSet()
+	resolved := c.cfg.Resolve(raised)
+	c.decided = true
+	c.out = Outcome{Decided: true, Resolved: resolved, Raised: raised}
+	broadcast(&c.cfg, protocol.Commit{
+		Action: c.cfg.Action, From: c.cfg.Self, Round: c.cfg.Round,
+		Resolved: resolved, Raised: raised,
+	})
+}
+
+// raisedSet collects the raised exceptions in deterministic (thread) order.
+func (c *coordInstance) raisedSet() []except.Raised {
+	var out []except.Raised
+	for _, id := range c.cfg.Peers {
+		if e, ok := c.entries[id]; ok && e.state == StateExceptional {
+			out = append(out, e.exc)
+		}
+	}
+	return out
+}
+
+func (c *coordInstance) outcome(informed bool) Outcome {
+	out := c.out
+	out.Informed = informed
+	if !c.decided {
+		out = Outcome{Informed: informed}
+	}
+	return out
+}

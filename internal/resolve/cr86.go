@@ -1,0 +1,216 @@
+package resolve
+
+import (
+	"fmt"
+
+	"caaction/internal/except"
+	"caaction/internal/protocol"
+)
+
+// CR86 models Campbell & Randell's 1986 resolution scheme at the message
+// level, the way the paper models it for its comparison experiments (§5.3):
+//
+//   - raisers broadcast Exception; threads informed while normal broadcast
+//     Suspended (the conversation must still account for every
+//     participant);
+//   - every thread that receives a first-hand Exception relays it to all
+//     other threads (except itself and the raiser) — there is no
+//     distinguished resolver, so total knowledge is built redundantly;
+//   - the resolution procedure runs at every thread on every relay
+//     received, and once the thread has full knowledge it broadcasts its
+//     proposal; a final verification resolution runs when all proposals
+//     are in.
+//
+// For N threads all raising concurrently this costs N(N−1) Exception +
+// N(N−1)(N−2) Relay + N(N−1) Propose messages — the O(N³) behaviour the
+// paper attributes to the scheme — and invokes the resolution procedure
+// (N−1)(N−2)+1 times per thread, against exactly once system-wide for
+// Coordinated.
+type CR86 struct{}
+
+var _ Protocol = CR86{}
+
+// Name implements Protocol.
+func (CR86) Name() string { return "cr86" }
+
+// NewInstance implements Protocol.
+func (CR86) NewInstance(cfg Config) Instance {
+	return &cr86Instance{
+		cfg:      cfg,
+		state:    StateNormal,
+		entries:  make(map[string]entry),
+		relays:   make(map[string]map[string]bool),
+		proposes: make(map[string]except.ID),
+	}
+}
+
+type cr86Instance struct {
+	cfg      Config
+	state    State
+	entries  map[string]entry           // per-thread X/S status
+	relays   map[string]map[string]bool // exception origin -> relayers seen
+	proposes map[string]except.ID
+	proposal except.ID
+	haveProp bool // a per-relay resolution result is available
+	proposed bool
+	decided  bool
+	out      Outcome
+}
+
+var _ Instance = (*cr86Instance)(nil)
+
+func (c *cr86Instance) State() State { return c.state }
+
+func (c *cr86Instance) Raise(exc except.Raised) Outcome {
+	c.state = StateExceptional
+	c.entries[c.cfg.Self] = entry{state: StateExceptional, exc: exc}
+	broadcast(&c.cfg, protocol.Exception{
+		Action: c.cfg.Action, From: c.cfg.Self, Round: c.cfg.Round, Exc: exc,
+	})
+	c.maybePropose()
+	return c.outcome(false)
+}
+
+func (c *cr86Instance) Deliver(from string, msg protocol.Message) (Outcome, error) {
+	switch m := msg.(type) {
+	case protocol.Exception:
+		if err := validate(&c.cfg, m.Action, m.Round); err != nil {
+			return Outcome{}, err
+		}
+		c.entries[from] = entry{state: StateExceptional, exc: m.Exc}
+		// First-hand receipt: relay to everyone except self and raiser.
+		for _, p := range c.cfg.Peers {
+			if p != c.cfg.Self && p != from {
+				c.cfg.Send(p, protocol.Relay{
+					Action: c.cfg.Action, From: c.cfg.Self, Round: c.cfg.Round, Exc: m.Exc,
+				})
+			}
+		}
+		informed := c.suspendIfNormal()
+		c.maybePropose()
+		return c.outcome(informed), nil
+
+	case protocol.Relay:
+		if err := validate(&c.cfg, m.Action, m.Round); err != nil {
+			return Outcome{}, err
+		}
+		origin := m.Exc.Origin
+		if c.relays[origin] == nil {
+			c.relays[origin] = make(map[string]bool)
+		}
+		c.relays[origin][from] = true
+		// A relay can outrun the first-hand copy; the exception content
+		// still counts as knowledge.
+		if _, ok := c.entries[origin]; !ok {
+			c.entries[origin] = entry{state: StateExceptional, exc: m.Exc}
+		}
+		// CR-86 has no distinguished resolver: the procedure reruns on
+		// every relay.
+		c.proposal = c.cfg.Resolve(c.raisedSet())
+		c.haveProp = true
+		informed := c.suspendIfNormal()
+		c.maybePropose()
+		return c.outcome(informed), nil
+
+	case protocol.Suspended:
+		if err := validate(&c.cfg, m.Action, m.Round); err != nil {
+			return Outcome{}, err
+		}
+		c.entries[from] = entry{state: StateSuspended}
+		informed := c.suspendIfNormal()
+		c.maybePropose()
+		return c.outcome(informed), nil
+
+	case protocol.Propose:
+		if err := validate(&c.cfg, m.Action, m.Round); err != nil {
+			return Outcome{}, err
+		}
+		c.proposes[from] = m.Resolved
+		c.maybeDecide()
+		return c.outcome(false), nil
+
+	default:
+		return Outcome{}, fmt.Errorf("%w: %T", ErrUnexpected, msg)
+	}
+}
+
+func (c *cr86Instance) suspendIfNormal() bool {
+	if c.state != StateNormal {
+		return false
+	}
+	c.state = StateSuspended
+	c.entries[c.cfg.Self] = entry{state: StateSuspended}
+	broadcast(&c.cfg, protocol.Suspended{
+		Action: c.cfg.Action, From: c.cfg.Self, Round: c.cfg.Round,
+	})
+	return true
+}
+
+// maybePropose fires once phase 1 is complete: every participant accounted
+// for, and every expected relay received (for each foreign raiser r, a relay
+// from every thread other than self and r).
+func (c *cr86Instance) maybePropose() {
+	if c.proposed || len(c.entries) != len(c.cfg.Peers) {
+		return
+	}
+	n := len(c.cfg.Peers)
+	for id, e := range c.entries {
+		if e.state != StateExceptional || id == c.cfg.Self {
+			continue
+		}
+		if len(c.relays[id]) < n-2 {
+			return
+		}
+	}
+	if !c.haveProp {
+		// No relays were due (for example N == 2, or a sole raiser with
+		// no other participants to relay): resolve now.
+		c.proposal = c.cfg.Resolve(c.raisedSet())
+		c.haveProp = true
+	}
+	c.proposed = true
+	c.proposes[c.cfg.Self] = c.proposal
+	broadcast(&c.cfg, protocol.Propose{
+		Action: c.cfg.Action, From: c.cfg.Self, Round: c.cfg.Round, Resolved: c.proposal,
+	})
+	c.maybeDecide()
+}
+
+// maybeDecide fires once every proposal is in: a final verification
+// resolution confirms agreement.
+func (c *cr86Instance) maybeDecide() {
+	if c.decided || !c.proposed || len(c.proposes) != len(c.cfg.Peers) {
+		return
+	}
+	raised := c.raisedSet()
+	verified := c.cfg.Resolve(raised)
+	for _, p := range c.proposes {
+		if p != verified {
+			// Deterministic resolution over identical knowledge cannot
+			// disagree; treat divergence as corruption and escalate.
+			verified = except.Universal
+			break
+		}
+	}
+	c.decided = true
+	c.out = Outcome{Decided: true, Resolved: verified, Raised: raised}
+}
+
+func (c *cr86Instance) raisedSet() []except.Raised {
+	var out []except.Raised
+	for _, id := range c.cfg.Peers {
+		if e, ok := c.entries[id]; ok && e.state == StateExceptional {
+			out = append(out, e.exc)
+		}
+	}
+	return out
+}
+
+func (c *cr86Instance) outcome(informed bool) Outcome {
+	out := c.out
+	out.Informed = informed
+	if !c.decided {
+		out = Outcome{Informed: informed}
+	}
+	return out
+}

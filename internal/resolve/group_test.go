@@ -1,0 +1,108 @@
+package resolve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"caaction/internal/except"
+)
+
+func TestGroupSizeOneMatchesCoordinated(t *testing.T) {
+	g := testGraph(t, 4)
+	raisers := map[string]except.ID{"T1": "e1", "T3": "e3"}
+	want, _ := g.Resolve("e1", "e3")
+
+	single := runScenario(t, Coordinated{}, 4, raisers, g, time.Millisecond, 0, 0)
+	grouped := runScenario(t, CoordinatedGroup{K: 1}, 4, raisers, g, time.Millisecond, 0, 0)
+	checkAgreement(t, single, 4, want)
+	checkAgreement(t, grouped, 4, want)
+	if single.metrics.Get("msg.total") != grouped.metrics.Get("msg.total") {
+		t.Fatalf("K=1 message count %d differs from Coordinated %d",
+			grouped.metrics.Get("msg.total"), single.metrics.Get("msg.total"))
+	}
+	if grouped.resolveCalls != 1 {
+		t.Fatalf("K=1 resolve calls = %d", grouped.resolveCalls)
+	}
+}
+
+func TestGroupAllRaiseConstantFactor(t *testing.T) {
+	// §3.3.3: the resolver-group extension "only contributes a constant
+	// factor": (N+K)(N−1) messages instead of (N+1)(N−1), K resolutions.
+	for _, k := range []int{2, 3} {
+		for n := 3; n <= 6; n++ {
+			g := testGraph(t, n)
+			raisers := make(map[string]except.ID, n)
+			var ids []except.ID
+			for i := 1; i <= n; i++ {
+				id := except.ID(fmt.Sprintf("e%d", i))
+				raisers[fmt.Sprintf("T%d", i)] = id
+				ids = append(ids, id)
+			}
+			want, _ := g.Resolve(ids...)
+			res := runScenario(t, CoordinatedGroup{K: k}, n, raisers, g,
+				10*time.Millisecond, time.Millisecond, 0)
+			checkAgreement(t, res, n, want)
+			if got, wantN := res.metrics.Get("msg.total"), int64((n+k)*(n-1)); got != wantN {
+				t.Errorf("K=%d N=%d: messages = %d, want %d", k, n, got, wantN)
+			}
+			if res.resolveCalls != int64(k) {
+				t.Errorf("K=%d N=%d: resolve calls = %d", k, n, res.resolveCalls)
+			}
+		}
+	}
+}
+
+func TestGroupFewerRaisersThanK(t *testing.T) {
+	// With one raiser and K=3, only the raiser is exceptional: the group
+	// degenerates to a single resolver.
+	g := testGraph(t, 5)
+	res := runScenario(t, CoordinatedGroup{K: 3}, 5,
+		map[string]except.ID{"T2": "e2"}, g, time.Millisecond, 0, 0)
+	checkAgreement(t, res, 5, "e2")
+	if res.resolveCalls != 1 {
+		t.Fatalf("resolve calls = %d, want 1", res.resolveCalls)
+	}
+	if got := res.metrics.Get("msg.Commit"); got != 4 {
+		t.Fatalf("commits = %d, want 4 (one broadcast)", got)
+	}
+}
+
+func TestGroupResolversAreLargestExceptional(t *testing.T) {
+	// Raisers T1, T2, T4 with K=2: the commits must come from T2 and T4.
+	g := testGraph(t, 4)
+	res := runScenario(t, CoordinatedGroup{K: 2}, 4,
+		map[string]except.ID{"T1": "e1", "T2": "e2", "T4": "e4"}, g,
+		5*time.Millisecond, time.Millisecond, 0)
+	want, _ := g.Resolve("e1", "e2", "e4")
+	checkAgreement(t, res, 4, want)
+	if res.resolveCalls != 2 {
+		t.Fatalf("resolve calls = %d, want 2", res.resolveCalls)
+	}
+	if got := res.metrics.Get("msg.Commit"); got != 6 {
+		t.Fatalf("commits = %d, want 6 (two broadcasts)", got)
+	}
+}
+
+func TestGroupDefaultKIsOne(t *testing.T) {
+	if (CoordinatedGroup{}).Name() != "coordinated-group-1" {
+		t.Fatalf("name = %q", CoordinatedGroup{}.Name())
+	}
+	if (CoordinatedGroup{K: -3}).Name() != "coordinated-group-1" {
+		t.Fatalf("negative K not clamped")
+	}
+}
+
+func TestProtocolsAgreeUnderJitterProperty(t *testing.T) {
+	// FIFO is preserved under jittered latency (the transport clamps
+	// per-pair delivery order), so all protocols must still agree.
+	g := testGraph(t, 4)
+	raisers := map[string]except.ID{"T1": "e1", "T2": "e2", "T4": "e4"}
+	want, _ := g.Resolve("e1", "e2", "e4")
+	for seed := int64(1); seed <= 10; seed++ {
+		for _, proto := range []Protocol{Coordinated{}, CoordinatedGroup{K: 2}, CR86{}, R96{}} {
+			res := runScenarioJitter(t, proto, 4, raisers, g, seed)
+			checkAgreement(t, res, 4, want)
+		}
+	}
+}

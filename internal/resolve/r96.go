@@ -1,0 +1,179 @@
+package resolve
+
+import (
+	"fmt"
+
+	"caaction/internal/except"
+	"caaction/internal/protocol"
+)
+
+// R96 models the authors' earlier algorithm (Romanovsky, Xu & Randell 1996)
+// as three all-to-all rounds:
+//
+//  1. every thread broadcasts its status (Exception from raisers, Suspended
+//     from informed threads);
+//  2. once a thread knows every status it runs the resolution procedure
+//     itself and broadcasts the result as a proposal;
+//  3. when all proposals agree the thread broadcasts an acknowledgement and
+//     decides once every acknowledgement is in.
+//
+// This costs 3N(N−1) messages per resolution level (the paper's
+// nmax·3N(N−1) bound) and runs the resolution procedure at every thread —
+// the redundancy the paper's Coordinated algorithm eliminates by electing a
+// single resolver.
+type R96 struct{}
+
+var _ Protocol = R96{}
+
+// Name implements Protocol.
+func (R96) Name() string { return "r96" }
+
+// NewInstance implements Protocol.
+func (R96) NewInstance(cfg Config) Instance {
+	return &r96Instance{
+		cfg:      cfg,
+		state:    StateNormal,
+		entries:  make(map[string]entry),
+		proposes: make(map[string]except.ID),
+		acks:     make(map[string]bool),
+	}
+}
+
+type r96Instance struct {
+	cfg      Config
+	state    State
+	entries  map[string]entry
+	proposes map[string]except.ID
+	acks     map[string]bool
+	proposal except.ID
+	proposed bool
+	acked    bool
+	decided  bool
+	out      Outcome
+}
+
+var _ Instance = (*r96Instance)(nil)
+
+func (c *r96Instance) State() State { return c.state }
+
+func (c *r96Instance) Raise(exc except.Raised) Outcome {
+	c.state = StateExceptional
+	c.entries[c.cfg.Self] = entry{state: StateExceptional, exc: exc}
+	broadcast(&c.cfg, protocol.Exception{
+		Action: c.cfg.Action, From: c.cfg.Self, Round: c.cfg.Round, Exc: exc,
+	})
+	c.maybePropose()
+	return c.outcome(false)
+}
+
+func (c *r96Instance) Deliver(from string, msg protocol.Message) (Outcome, error) {
+	switch m := msg.(type) {
+	case protocol.Exception:
+		if err := validate(&c.cfg, m.Action, m.Round); err != nil {
+			return Outcome{}, err
+		}
+		c.entries[from] = entry{state: StateExceptional, exc: m.Exc}
+		informed := c.suspendIfNormal()
+		c.maybePropose()
+		return c.outcome(informed), nil
+
+	case protocol.Suspended:
+		if err := validate(&c.cfg, m.Action, m.Round); err != nil {
+			return Outcome{}, err
+		}
+		c.entries[from] = entry{state: StateSuspended}
+		informed := c.suspendIfNormal()
+		c.maybePropose()
+		return c.outcome(informed), nil
+
+	case protocol.Propose:
+		if err := validate(&c.cfg, m.Action, m.Round); err != nil {
+			return Outcome{}, err
+		}
+		c.proposes[from] = m.Resolved
+		c.maybeAck()
+		return c.outcome(false), nil
+
+	case protocol.Ack:
+		if err := validate(&c.cfg, m.Action, m.Round); err != nil {
+			return Outcome{}, err
+		}
+		c.acks[from] = true
+		c.maybeDecide()
+		return c.outcome(false), nil
+
+	default:
+		return Outcome{}, fmt.Errorf("%w: %T", ErrUnexpected, msg)
+	}
+}
+
+func (c *r96Instance) suspendIfNormal() bool {
+	if c.state != StateNormal {
+		return false
+	}
+	c.state = StateSuspended
+	c.entries[c.cfg.Self] = entry{state: StateSuspended}
+	broadcast(&c.cfg, protocol.Suspended{
+		Action: c.cfg.Action, From: c.cfg.Self, Round: c.cfg.Round,
+	})
+	return true
+}
+
+func (c *r96Instance) maybePropose() {
+	if c.proposed || len(c.entries) != len(c.cfg.Peers) {
+		return
+	}
+	c.proposal = c.cfg.Resolve(c.raisedSet())
+	c.proposed = true
+	c.proposes[c.cfg.Self] = c.proposal
+	broadcast(&c.cfg, protocol.Propose{
+		Action: c.cfg.Action, From: c.cfg.Self, Round: c.cfg.Round, Resolved: c.proposal,
+	})
+	c.maybeAck()
+}
+
+func (c *r96Instance) maybeAck() {
+	if c.acked || !c.proposed || len(c.proposes) != len(c.cfg.Peers) {
+		return
+	}
+	c.acked = true
+	c.acks[c.cfg.Self] = true
+	broadcast(&c.cfg, protocol.Ack{
+		Action: c.cfg.Action, From: c.cfg.Self, Round: c.cfg.Round,
+	})
+	c.maybeDecide()
+}
+
+func (c *r96Instance) maybeDecide() {
+	if c.decided || !c.acked || len(c.acks) != len(c.cfg.Peers) {
+		return
+	}
+	resolved := c.proposal
+	for _, p := range c.proposes {
+		if p != resolved {
+			resolved = except.Universal
+			break
+		}
+	}
+	c.decided = true
+	c.out = Outcome{Decided: true, Resolved: resolved, Raised: c.raisedSet()}
+}
+
+func (c *r96Instance) raisedSet() []except.Raised {
+	var out []except.Raised
+	for _, id := range c.cfg.Peers {
+		if e, ok := c.entries[id]; ok && e.state == StateExceptional {
+			out = append(out, e.exc)
+		}
+	}
+	return out
+}
+
+func (c *r96Instance) outcome(informed bool) Outcome {
+	out := c.out
+	out.Informed = informed
+	if !c.decided {
+		out = Outcome{Informed: informed}
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+// Package resolve implements the distributed concurrent-exception resolution
+// protocols compared in the paper:
+//
+//   - Coordinated — the paper's own algorithm (§3.3.2): raisers broadcast
+//     Exception, informed threads broadcast Suspended, and exactly one
+//     thread — the one with the largest identifier among those in the
+//     exceptional state — performs resolution and broadcasts Commit. Message
+//     count per resolution: (N+1)(N−1), independent of how many exceptions
+//     were raised concurrently.
+//
+//   - CR86 — a message-level model of Campbell & Randell's 1986 scheme as
+//     the paper models it for its comparison experiments: every first-hand
+//     exception is relayed by each receiver to all other threads, the
+//     resolution procedure runs at every thread on every relay received, and
+//     an agreement round confirms the result. O(N³) messages.
+//
+//   - R96 — a model of the authors' earlier algorithm (Romanovsky et al.
+//     1996): three all-to-all rounds (exceptions/suspensions, proposals,
+//     acknowledgements) with every thread resolving, 3N(N−1) messages.
+//
+// A protocol instance handles exactly one resolution round of one action
+// instance; the runtime creates a fresh instance per round. Instances are
+// confined to their owning thread's event loop and are not safe for
+// concurrent use.
+package resolve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"caaction/internal/except"
+	"caaction/internal/protocol"
+)
+
+// State is a participating thread's state as seen by the resolution
+// protocols (§3.3.1).
+type State int
+
+// Thread states.
+const (
+	// StateNormal is N: executing its normal computation.
+	StateNormal State = iota + 1
+	// StateExceptional is X: the thread raised an exception this round.
+	StateExceptional
+	// StateSuspended is S: the thread halted normal computation because of
+	// exceptions raised elsewhere.
+	StateSuspended
+)
+
+func (s State) String() string {
+	switch s {
+	case StateNormal:
+		return "N"
+	case StateExceptional:
+		return "X"
+	case StateSuspended:
+		return "S"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Config parameterises one protocol instance.
+type Config struct {
+	// Action is the action-instance identifier stamped on messages.
+	Action string
+	// Self is this thread's identifier.
+	Self string
+	// Peers lists every participating thread including Self.
+	Peers []string
+	// Round is the resolution round this instance serves.
+	Round int
+	// Send transmits a message to one peer; supplied by the runtime.
+	Send func(to string, msg protocol.Message)
+	// Resolve runs the resolution procedure over the collected exceptions,
+	// returning the resolving exception. The runtime's implementation
+	// consults the action's exception graph and models the paper's Treso
+	// cost; protocols call it once or many times depending on their design,
+	// which is exactly what experiment E2 measures.
+	Resolve func(raised []except.Raised) except.ID
+}
+
+// Outcome reports the externally visible effects of feeding an instance one
+// event.
+type Outcome struct {
+	// Informed is true when the thread has just learnt of remote trouble
+	// and must halt its normal computation (N → S) if still running.
+	Informed bool
+	// Decided is true when the resolving exception is known locally;
+	// Resolved and Raised are then valid.
+	Decided  bool
+	Resolved except.ID
+	// Raised is the set of concurrently raised exceptions covered by
+	// Resolved (available to handlers for diagnosis).
+	Raised []except.Raised
+}
+
+// Instance is one thread's engine for one resolution round.
+type Instance interface {
+	// Raise processes a local raise by this thread (state → X).
+	Raise(exc except.Raised) Outcome
+	// Deliver processes a protocol message for this round.
+	Deliver(from string, msg protocol.Message) (Outcome, error)
+	// State reports the local thread's protocol state.
+	State() State
+}
+
+// Protocol manufactures per-round instances.
+type Protocol interface {
+	// Name identifies the protocol in metrics and experiment output.
+	Name() string
+	// NewInstance returns an engine for one round; cfg.Send and cfg.Resolve
+	// must be non-nil.
+	NewInstance(cfg Config) Instance
+}
+
+// Errors returned by Deliver.
+var (
+	ErrWrongRound  = errors.New("resolve: message for a different round")
+	ErrWrongAction = errors.New("resolve: message for a different action")
+	ErrUnexpected  = errors.New("resolve: unexpected message type")
+)
+
+// ThreadLess orders thread identifiers the way the paper orders threads
+// ("thread names and the lexicographic ordering could be used"): shorter
+// names first, then lexicographic, so T2 < T10 as intended with numeric
+// suffixes.
+func ThreadLess(a, b string) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	return a < b
+}
+
+// SortThreads sorts thread identifiers by ThreadLess.
+func SortThreads(ids []string) {
+	sort.Slice(ids, func(i, j int) bool { return ThreadLess(ids[i], ids[j]) })
+}
+
+// broadcast sends msg to every peer except self.
+func broadcast(cfg *Config, msg protocol.Message) {
+	for _, p := range cfg.Peers {
+		if p != cfg.Self {
+			cfg.Send(p, msg)
+		}
+	}
+}
+
+// validate checks action/round tags common to all protocol messages.
+func validate(cfg *Config, action string, round int) error {
+	if action != cfg.Action {
+		return fmt.Errorf("%w: got %q want %q", ErrWrongAction, action, cfg.Action)
+	}
+	if round != cfg.Round {
+		return fmt.Errorf("%w: got %d want %d", ErrWrongRound, round, cfg.Round)
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+// Package trace provides lightweight instrumentation shared by the runtime,
+// the transports and the experiment harness: named counters (used to verify
+// the paper's message-complexity theorems against measured counts) and an
+// optional bounded event log for debugging distributed executions.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Metrics is a set of named monotonic counters. The zero value is ready to
+// use. Metrics is safe for concurrent use.
+type Metrics struct {
+	mu     sync.Mutex
+	counts map[string]int64
+}
+
+// Add increments the named counter by delta.
+func (m *Metrics) Add(name string, delta int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.counts == nil {
+		m.counts = make(map[string]int64)
+	}
+	m.counts[name] += delta
+}
+
+// Get returns the current value of the named counter (zero if never added).
+func (m *Metrics) Get(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counts[name]
+}
+
+// Total sums every counter whose name has the given prefix.
+func (m *Metrics) Total(prefix string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total int64
+	for name, v := range m.counts {
+		if strings.HasPrefix(name, prefix) {
+			total += v
+		}
+	}
+	return total
+}
+
+// Snapshot returns a copy of all counters.
+func (m *Metrics) Snapshot() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.counts))
+	for k, v := range m.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset zeroes every counter.
+func (m *Metrics) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.counts = nil
+}
+
+// String renders the counters sorted by name, one per line.
+func (m *Metrics) String() string {
+	snap := m.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s=%d\n", name, snap[name])
+	}
+	return b.String()
+}
+
+// Event is one record in a Log.
+type Event struct {
+	At     time.Duration // virtual or real timestamp
+	Actor  string        // thread or node that produced the event
+	Kind   string        // short machine-readable category
+	Detail string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%12v %-14s %-18s %s", e.At, e.Actor, e.Kind, e.Detail)
+}
+
+// Log is a bounded in-memory event log. A nil *Log is valid and discards
+// events, so call sites never need nil checks. Log is safe for concurrent
+// use.
+type Log struct {
+	mu      sync.Mutex
+	max     int
+	events  []Event
+	dropped int
+}
+
+// NewLog returns a log retaining at most max events (older events are
+// dropped first). max <= 0 means unbounded.
+func NewLog(max int) *Log { return &Log{max: max} }
+
+// Add appends an event; no-op on a nil log.
+func (l *Log) Add(at time.Duration, actor, kind, detail string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{At: at, Actor: actor, Kind: kind, Detail: detail})
+	if l.max > 0 && len(l.events) > l.max {
+		over := len(l.events) - l.max
+		l.events = append(l.events[:0:0], l.events[over:]...)
+		l.dropped += over
+	}
+}
+
+// Events returns a copy of the retained events in order.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
+
+// Dropped reports how many events were discarded due to the bound.
+func (l *Log) Dropped() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// String renders the retained events, one per line.
+func (l *Log) String() string {
+	var b strings.Builder
+	for _, e := range l.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMetricsBasics(t *testing.T) {
+	var m Metrics
+	m.Add("msg.Exception", 2)
+	m.Add("msg.Commit", 1)
+	m.Add("msg.Exception", 3)
+	if m.Get("msg.Exception") != 5 || m.Get("msg.Commit") != 1 {
+		t.Fatalf("counts wrong: %s", m.String())
+	}
+	if m.Get("missing") != 0 {
+		t.Fatal("missing counter not zero")
+	}
+	if m.Total("msg.") != 6 {
+		t.Fatalf("Total = %d", m.Total("msg."))
+	}
+	snap := m.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	snap["msg.Exception"] = 99
+	if m.Get("msg.Exception") != 5 {
+		t.Fatal("snapshot aliases internal state")
+	}
+	if s := m.String(); !strings.Contains(s, "msg.Commit=1") {
+		t.Fatalf("String = %q", s)
+	}
+	m.Reset()
+	if m.Get("msg.Exception") != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	var m Metrics
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				m.Add("n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Get("n") != 1600 {
+		t.Fatalf("n = %d", m.Get("n"))
+	}
+}
+
+func TestLogBoundedRetention(t *testing.T) {
+	l := NewLog(3)
+	for i := 0; i < 5; i++ {
+		l.Add(time.Duration(i)*time.Second, "T1", "k", "d")
+	}
+	events := l.Events()
+	if len(events) != 3 {
+		t.Fatalf("retained %d", len(events))
+	}
+	if events[0].At != 2*time.Second {
+		t.Fatalf("oldest retained = %v", events[0].At)
+	}
+	if l.Dropped() != 2 {
+		t.Fatalf("dropped = %d", l.Dropped())
+	}
+	if s := l.String(); !strings.Contains(s, "T1") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Add(0, "a", "b", "c") // must not panic
+	if l.Events() != nil || l.Dropped() != 0 {
+		t.Fatal("nil log not inert")
+	}
+}
+
+func TestUnboundedLog(t *testing.T) {
+	l := NewLog(0)
+	for i := 0; i < 100; i++ {
+		l.Add(0, "a", "k", "d")
+	}
+	if len(l.Events()) != 100 || l.Dropped() != 0 {
+		t.Fatalf("unbounded log wrong: %d/%d", len(l.Events()), l.Dropped())
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: time.Second, Actor: "T1", Kind: "raise", Detail: "e1"}
+	s := e.String()
+	for _, want := range []string{"1s", "T1", "raise", "e1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Event.String() = %q missing %q", s, want)
+		}
+	}
+}

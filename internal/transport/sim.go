@@ -1,0 +1,219 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"caaction/internal/protocol"
+	"caaction/internal/trace"
+	"caaction/internal/vclock"
+)
+
+// Fault is a fault injector's verdict on one message.
+type Fault int
+
+// Fault verdicts.
+const (
+	// Deliver passes the message through unharmed.
+	Deliver Fault = iota + 1
+	// Drop loses the message (hardware fault / lost message, the paper's
+	// l_mes).
+	Drop
+	// Corrupt delivers the message flagged as damaged; receivers treat it
+	// as a failure exception per the §3.4 extension.
+	Corrupt
+)
+
+// FaultFunc decides the fate of one message from one sender to one receiver.
+type FaultFunc func(from, to string, msg protocol.Message) Fault
+
+// LatencyFunc models one-way message latency; it is invoked under the
+// network lock, so stateful models (jitter) stay deterministic.
+type LatencyFunc func(from, to string) time.Duration
+
+// FixedLatency returns a latency model with constant delay d — the paper's
+// Tmmax parameter.
+func FixedLatency(d time.Duration) LatencyFunc {
+	return func(_, _ string) time.Duration { return d }
+}
+
+// JitterLatency returns base±jitter latency drawn from a deterministic
+// seeded source. FIFO per pair is still enforced by the network.
+func JitterLatency(base, jitter time.Duration, seed int64) LatencyFunc {
+	rng := rand.New(rand.NewSource(seed))
+	return func(_, _ string) time.Duration {
+		if jitter <= 0 {
+			return base
+		}
+		d := base + time.Duration(rng.Int63n(int64(2*jitter))) - jitter
+		if d < 0 {
+			d = 0
+		}
+		return d
+	}
+}
+
+// SimConfig configures a simulated network.
+type SimConfig struct {
+	// Clock drives delivery timing; required.
+	Clock vclock.Clock
+	// Latency models one-way delay; nil means zero latency.
+	Latency LatencyFunc
+	// Metrics, when non-nil, counts sends as "msg.<Kind>" plus "msg.total".
+	Metrics *trace.Metrics
+	// Log, when non-nil, records send/deliver events.
+	Log *trace.Log
+}
+
+// Sim is an in-process simulated network. It guarantees reliable delivery
+// and per-(sender,receiver) FIFO order even under jittered latency, by
+// clamping each delivery to occur no earlier than the previous delivery on
+// the same pair.
+type Sim struct {
+	cfg SimConfig
+
+	mu        sync.Mutex
+	endpoints map[string]*simEndpoint
+	lastAt    map[[2]string]time.Duration
+	fault     FaultFunc
+	closed    bool
+}
+
+var _ Network = (*Sim)(nil)
+
+// NewSim returns a simulated network.
+func NewSim(cfg SimConfig) *Sim {
+	if cfg.Clock == nil {
+		panic("transport: SimConfig.Clock is required")
+	}
+	if cfg.Latency == nil {
+		cfg.Latency = FixedLatency(0)
+	}
+	return &Sim{
+		cfg:       cfg,
+		endpoints: make(map[string]*simEndpoint),
+		lastAt:    make(map[[2]string]time.Duration),
+	}
+}
+
+// SetFault installs a fault injector applied to every subsequent send; nil
+// restores fault-free operation.
+func (s *Sim) SetFault(f FaultFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fault = f
+}
+
+// Endpoint implements Network.
+func (s *Sim) Endpoint(addr string) (Endpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := s.endpoints[addr]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateAddr, addr)
+	}
+	ep := &simEndpoint{net: s, addr: addr, queue: s.cfg.Clock.NewQueue()}
+	s.endpoints[addr] = ep
+	return ep, nil
+}
+
+// Close implements Network.
+func (s *Sim) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	for _, ep := range s.endpoints {
+		ep.queue.Close()
+	}
+	return nil
+}
+
+func (s *Sim) send(from, to string, msg protocol.Message) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	dst, ok := s.endpoints[to]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownAddr, to)
+	}
+
+	if m := s.cfg.Metrics; m != nil {
+		m.Add("msg."+msg.Kind(), 1)
+		m.Add("msg.total", 1)
+	}
+	now := s.cfg.Clock.Now()
+	s.cfg.Log.Add(now, from, "send."+msg.Kind(), fmt.Sprintf("to %s: %v", to, msg))
+
+	verdict := Deliver
+	if s.fault != nil {
+		verdict = s.fault(from, to, msg)
+	}
+	if verdict == Drop {
+		s.cfg.Log.Add(now, from, "drop."+msg.Kind(), "to "+to)
+		return nil
+	}
+
+	at := now + s.cfg.Latency(from, to)
+	pair := [2]string{from, to}
+	if prev := s.lastAt[pair]; at < prev {
+		at = prev // preserve per-pair FIFO under jitter
+	}
+	s.lastAt[pair] = at
+	dst.queue.PutAfter(at-now, Delivery{
+		From:    from,
+		Msg:     msg,
+		Corrupt: verdict == Corrupt,
+	})
+	return nil
+}
+
+type simEndpoint struct {
+	net   *Sim
+	addr  string
+	queue *vclock.Queue
+}
+
+var _ Endpoint = (*simEndpoint)(nil)
+
+func (e *simEndpoint) Addr() string { return e.addr }
+
+func (e *simEndpoint) Send(to string, msg protocol.Message) error {
+	return e.net.send(e.addr, to, msg)
+}
+
+func (e *simEndpoint) Recv() (Delivery, bool) {
+	x, ok := e.queue.Get()
+	if !ok {
+		return Delivery{}, false
+	}
+	return x.(Delivery), true
+}
+
+func (e *simEndpoint) RecvTimeout(timeout time.Duration) (Delivery, bool) {
+	x, ok := e.queue.GetTimeout(timeout)
+	if !ok {
+		return Delivery{}, false
+	}
+	return x.(Delivery), true
+}
+
+func (e *simEndpoint) Pending() int { return e.queue.Len() }
+
+func (e *simEndpoint) Close() error {
+	e.net.mu.Lock()
+	defer e.net.mu.Unlock()
+	if e.net.endpoints[e.addr] == e {
+		delete(e.net.endpoints, e.addr)
+	}
+	e.queue.Close()
+	return nil
+}

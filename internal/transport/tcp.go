@@ -1,0 +1,249 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"caaction/internal/protocol"
+	"caaction/internal/vclock"
+)
+
+// TCP is a Network carrying gob-encoded messages over TCP connections, for
+// genuinely distributed deployments of the runtime (the paper's Ada 95
+// partitions become processes). TCP's byte-stream ordering provides the
+// per-pair FIFO guarantee of Assumption 2; reliability within a session
+// provides Assumption 1.
+//
+// Endpoints created in this process listen on loopback by default; peers in
+// other processes are introduced with SetPeer. Construct with NewTCP.
+type TCP struct {
+	clock vclock.Clock
+
+	mu     sync.Mutex
+	book   map[string]string // logical address -> host:port
+	eps    map[string]*tcpEndpoint
+	closed bool
+}
+
+var _ Network = (*TCP)(nil)
+
+// NewTCP returns a TCP network. The clock is used only for receive queues
+// and timeouts; it should be a real clock in production.
+func NewTCP(clock vclock.Clock) *TCP {
+	protocol.RegisterGob()
+	return &TCP{
+		clock: clock,
+		book:  make(map[string]string),
+		eps:   make(map[string]*tcpEndpoint),
+	}
+}
+
+// SetPeer records the host:port of a logical address served by another
+// process.
+func (t *TCP) SetPeer(addr, hostport string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.book[addr] = hostport
+}
+
+// ListenAddr reports the host:port a local endpoint is listening on, for
+// exchange with other processes.
+func (t *TCP) ListenAddr(addr string) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	hp, ok := t.book[addr]
+	return hp, ok
+}
+
+// Endpoint implements Network.
+func (t *TCP) Endpoint(addr string) (Endpoint, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := t.eps[addr]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateAddr, addr)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	ep := &tcpEndpoint{
+		net:   t,
+		addr:  addr,
+		ln:    ln,
+		queue: t.clock.NewQueue(),
+		conns: make(map[string]*tcpConn),
+	}
+	t.eps[addr] = ep
+	t.book[addr] = ln.Addr().String()
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+// Close implements Network.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	eps := make([]*tcpEndpoint, 0, len(t.eps))
+	for _, ep := range t.eps {
+		eps = append(eps, ep)
+	}
+	t.closed = true
+	t.mu.Unlock()
+	for _, ep := range eps {
+		_ = ep.Close()
+	}
+	return nil
+}
+
+// wire is the on-the-wire frame.
+type wire struct {
+	From string
+	Msg  protocol.Message
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+type tcpEndpoint struct {
+	net   *TCP
+	addr  string
+	ln    net.Listener
+	queue *vclock.Queue
+
+	mu     sync.Mutex
+	conns  map[string]*tcpConn // outbound, keyed by destination logical addr
+	closed bool
+}
+
+var _ Endpoint = (*tcpEndpoint)(nil)
+
+func (e *tcpEndpoint) Addr() string { return e.addr }
+
+func (e *tcpEndpoint) acceptLoop() {
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go e.readLoop(conn)
+	}
+}
+
+func (e *tcpEndpoint) readLoop(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	dec := gob.NewDecoder(conn)
+	for {
+		var w wire
+		if err := dec.Decode(&w); err != nil {
+			return
+		}
+		e.queue.Put(Delivery{From: w.From, Msg: w.Msg})
+	}
+}
+
+func (e *tcpEndpoint) Send(to string, msg protocol.Message) error {
+	c, err := e.dial(to)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(wire{From: e.addr, Msg: msg}); err != nil {
+		// Connection broke: forget it so a later send re-dials.
+		e.mu.Lock()
+		if e.conns[to] == c {
+			delete(e.conns, to)
+		}
+		e.mu.Unlock()
+		_ = c.conn.Close()
+		return fmt.Errorf("transport: send to %q: %w", to, err)
+	}
+	return nil
+}
+
+func (e *tcpEndpoint) dial(to string) (*tcpConn, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := e.conns[to]; ok {
+		e.mu.Unlock()
+		return c, nil
+	}
+	e.mu.Unlock()
+
+	e.net.mu.Lock()
+	hostport, ok := e.net.book[to]
+	e.net.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAddr, to)
+	}
+	conn, err := net.DialTimeout("tcp", hostport, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %q: %w", to, err)
+	}
+	c := &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if prev, ok := e.conns[to]; ok {
+		_ = conn.Close() // lost the race; reuse the established one
+		return prev, nil
+	}
+	e.conns[to] = c
+	return c, nil
+}
+
+func (e *tcpEndpoint) Recv() (Delivery, bool) {
+	x, ok := e.queue.Get()
+	if !ok {
+		return Delivery{}, false
+	}
+	return x.(Delivery), true
+}
+
+func (e *tcpEndpoint) RecvTimeout(timeout time.Duration) (Delivery, bool) {
+	x, ok := e.queue.GetTimeout(timeout)
+	if !ok {
+		return Delivery{}, false
+	}
+	return x.(Delivery), true
+}
+
+func (e *tcpEndpoint) Pending() int { return e.queue.Len() }
+
+func (e *tcpEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	conns := make([]*tcpConn, 0, len(e.conns))
+	for _, c := range e.conns {
+		conns = append(conns, c)
+	}
+	e.mu.Unlock()
+
+	err := e.ln.Close()
+	for _, c := range conns {
+		_ = c.conn.Close()
+	}
+	e.queue.Close()
+
+	e.net.mu.Lock()
+	if e.net.eps[e.addr] == e {
+		delete(e.net.eps, e.addr)
+	}
+	e.net.mu.Unlock()
+	return err
+}

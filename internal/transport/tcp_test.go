@@ -1,0 +1,167 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"caaction/internal/except"
+	"caaction/internal/protocol"
+	"caaction/internal/vclock"
+)
+
+func TestTCPRoundTrip(t *testing.T) {
+	clk := vclock.NewReal()
+	net := NewTCP(clk)
+	defer func() { _ = net.Close() }()
+
+	a, err := net.Endpoint("T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Endpoint("T2")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := protocol.Exception{
+		Action: "act#1",
+		From:   "T1",
+		Exc:    except.Raised{ID: "vm_stop", Origin: "T1", Info: "motor stalled"},
+	}
+	if err := a.Send("T2", want); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := b.RecvTimeout(5 * time.Second)
+	if !ok {
+		t.Fatal("no delivery")
+	}
+	if d.From != "T1" {
+		t.Fatalf("from = %q", d.From)
+	}
+	got, ok := d.Msg.(protocol.Exception)
+	if !ok || got.Exc.ID != "vm_stop" || got.Exc.Info != "motor stalled" {
+		t.Fatalf("got %#v", d.Msg)
+	}
+}
+
+func TestTCPFIFO(t *testing.T) {
+	clk := vclock.NewReal()
+	net := NewTCP(clk)
+	defer func() { _ = net.Close() }()
+	a, _ := net.Endpoint("A")
+	b, _ := net.Endpoint("B")
+
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := a.Send("B", protocol.Ack{Action: "x", From: string(rune(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		d, ok := b.RecvTimeout(5 * time.Second)
+		if !ok {
+			t.Fatalf("missing delivery %d", i)
+		}
+		if d.Msg.(protocol.Ack).From != string(rune(i)) {
+			t.Fatalf("out of order at %d", i)
+		}
+	}
+}
+
+func TestTCPBidirectionalAndMultiplePeers(t *testing.T) {
+	clk := vclock.NewReal()
+	net := NewTCP(clk)
+	defer func() { _ = net.Close() }()
+	eps := make(map[string]Endpoint)
+	names := []string{"T1", "T2", "T3"}
+	for _, n := range names {
+		ep, err := net.Endpoint(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[n] = ep
+	}
+	// Everyone sends to everyone else.
+	for _, from := range names {
+		for _, to := range names {
+			if to == from {
+				continue
+			}
+			if err := eps[from].Send(to, protocol.Suspended{Action: "a", From: from}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, n := range names {
+		seen := map[string]bool{}
+		for i := 0; i < len(names)-1; i++ {
+			d, ok := eps[n].RecvTimeout(5 * time.Second)
+			if !ok {
+				t.Fatalf("%s: missing delivery", n)
+			}
+			seen[d.From] = true
+		}
+		if len(seen) != len(names)-1 {
+			t.Fatalf("%s: saw %v", n, seen)
+		}
+	}
+}
+
+func TestTCPUnknownPeer(t *testing.T) {
+	clk := vclock.NewReal()
+	net := NewTCP(clk)
+	defer func() { _ = net.Close() }()
+	a, _ := net.Endpoint("A")
+	if err := a.Send("ghost", protocol.Ack{}); err == nil {
+		t.Fatal("send to unknown peer succeeded")
+	}
+}
+
+func TestTCPCloseUnblocksRecv(t *testing.T) {
+	clk := vclock.NewReal()
+	net := NewTCP(clk)
+	a, _ := net.Endpoint("A")
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := a.Recv()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := net.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Recv returned ok after close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv did not unblock on close")
+	}
+}
+
+func TestTCPSetPeerAcrossNetworks(t *testing.T) {
+	// Two separate TCP networks model two OS processes; the address book
+	// introduces them to each other.
+	clk := vclock.NewReal()
+	n1 := NewTCP(clk)
+	n2 := NewTCP(clk)
+	defer func() { _ = n1.Close() }()
+	defer func() { _ = n2.Close() }()
+
+	a, _ := n1.Endpoint("A")
+	b, _ := n2.Endpoint("B")
+	bAddr, ok := n2.ListenAddr("B")
+	if !ok {
+		t.Fatal("no listen addr for B")
+	}
+	n1.SetPeer("B", bAddr)
+
+	if err := a.Send("B", protocol.Ack{Action: "cross", From: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := b.RecvTimeout(5 * time.Second)
+	if !ok || d.Msg.(protocol.Ack).Action != "cross" {
+		t.Fatalf("cross-process delivery failed: %+v %v", d, ok)
+	}
+}

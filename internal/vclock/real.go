@@ -1,0 +1,133 @@
+package vclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Real is a Clock backed by the operating-system clock. It exists so the
+// same runtime code can drive both deterministic simulations (Virtual) and
+// genuinely distributed deployments (for example over the TCP transport).
+//
+// The zero value is not usable; construct with NewReal.
+type Real struct {
+	start time.Time
+	wg    sync.WaitGroup
+}
+
+var _ Clock = (*Real)(nil)
+
+// NewReal returns a real-time clock whose Now starts at zero.
+func NewReal() *Real {
+	return &Real{start: time.Now()}
+}
+
+// Now reports the elapsed wall-clock time since the clock was created.
+func (r *Real) Now() time.Duration { return time.Since(r.start) }
+
+// Sleep pauses the calling goroutine for d of wall-clock time.
+func (r *Real) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Go runs fn on a new goroutine tracked by Wait.
+func (r *Real) Go(fn func()) {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		fn()
+	}()
+}
+
+// Wait blocks until every goroutine started with Go has returned.
+func (r *Real) Wait() { r.wg.Wait() }
+
+// NewQueue returns a queue backed by a mutex/condition pair and real timers.
+func (r *Real) NewQueue() *Queue {
+	q := &realQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return &Queue{impl: q}
+}
+
+type realQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []any
+	closed bool
+}
+
+var _ queueImpl = (*realQueue)(nil)
+
+func (q *realQueue) put(x any) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.items = append(q.items, x)
+	q.cond.Broadcast()
+}
+
+func (q *realQueue) putAfter(d time.Duration, x any) {
+	if d <= 0 {
+		q.put(x)
+		return
+	}
+	time.AfterFunc(d, func() { q.put(x) })
+}
+
+func (q *realQueue) get() (any, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	return q.popLocked()
+}
+
+func (q *realQueue) getTimeout(d time.Duration) (any, bool) {
+	deadline := time.Now().Add(d)
+	// sync.Cond has no timed wait; poke the condition when the deadline
+	// passes so the loop below re-checks.
+	timer := time.AfterFunc(d, func() {
+		q.mu.Lock()
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	})
+	defer timer.Stop()
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed && time.Now().Before(deadline) {
+		q.cond.Wait()
+	}
+	return q.popLocked()
+}
+
+func (q *realQueue) tryGet() (any, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.popLocked()
+}
+
+func (q *realQueue) popLocked() (any, bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	x := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return x, true
+}
+
+func (q *realQueue) closeQ() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+func (q *realQueue) length() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}

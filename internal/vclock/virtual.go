@@ -1,0 +1,311 @@
+package vclock
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Virtual is a deterministic virtual clock implementing a conservative
+// discrete-event scheduler over goroutines.
+//
+// Goroutines started with Go (or adopted with Adopt) are "tracked". Virtual
+// time advances only when every tracked goroutine is blocked in a
+// clock-mediated wait (Sleep, Queue.Get, Queue.GetTimeout); at that moment
+// the clock jumps to the earliest scheduled event, fires all events due at
+// that instant in scheduling order, and wakes any waiter whose wake condition
+// now holds. If no events remain while tracked goroutines are blocked, the
+// system is deadlocked: the configured deadlock handler is invoked (the
+// default panics with a diagnostic).
+//
+// The zero value is not usable; construct with NewVirtual.
+type Virtual struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	now     time.Duration
+	running int // tracked goroutines not blocked in a clock wait
+	tracked int // tracked goroutines not yet finished
+	seq     uint64
+
+	timers eventHeap
+	// blocked holds one record per goroutine currently inside blockLocked.
+	blocked map[*waiter]struct{}
+
+	onDeadlock func(info string)
+	dead       bool
+}
+
+var _ Clock = (*Virtual)(nil)
+
+// NewVirtual returns a virtual clock positioned at time zero.
+func NewVirtual() *Virtual {
+	v := &Virtual{blocked: make(map[*waiter]struct{})}
+	v.cond = sync.NewCond(&v.mu)
+	v.onDeadlock = func(info string) {
+		panic("vclock: deadlock: " + info)
+	}
+	return v
+}
+
+// SetDeadlockHandler replaces the handler invoked when all tracked goroutines
+// are blocked and no timed events remain. After the handler returns, the
+// clock releases every blocked waiter (queue receives observe ok=false) so
+// the program can unwind. The default handler panics.
+func (v *Virtual) SetDeadlockHandler(fn func(info string)) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.onDeadlock = fn
+}
+
+// Now reports the current virtual time.
+func (v *Virtual) Now() time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Go starts fn on a new tracked goroutine.
+func (v *Virtual) Go(fn func()) {
+	v.mu.Lock()
+	v.tracked++
+	v.running++
+	v.mu.Unlock()
+	go func() {
+		defer v.release()
+		fn()
+	}()
+}
+
+// Adopt registers the calling goroutine as tracked. It must be paired with
+// Release. Use it when an existing goroutine (for example a test) needs to
+// call blocking clock operations directly.
+func (v *Virtual) Adopt() {
+	v.mu.Lock()
+	v.tracked++
+	v.running++
+	v.mu.Unlock()
+}
+
+// Release unregisters the calling goroutine; see Adopt.
+func (v *Virtual) Release() { v.release() }
+
+func (v *Virtual) release() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.tracked--
+	v.running--
+	if v.running == 0 && len(v.blocked) > 0 {
+		v.advanceLocked()
+	}
+	v.cond.Broadcast()
+}
+
+// Wait blocks the calling (untracked) goroutine until all tracked goroutines
+// have finished.
+func (v *Virtual) Wait() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for v.tracked > 0 {
+		v.cond.Wait()
+	}
+}
+
+// Sleep blocks the calling tracked goroutine for d of virtual time.
+// Non-positive d yields without advancing time.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	deadline := v.now + d
+	v.scheduleLocked(deadline, nil)
+	v.blockLocked(func() bool { return v.now >= deadline || v.dead })
+}
+
+// NewQueue returns a queue whose blocking operations cooperate with this
+// clock.
+func (v *Virtual) NewQueue() *Queue {
+	return &Queue{impl: &virtualQueue{v: v}}
+}
+
+// scheduleLocked registers fn to run at absolute virtual time at. A nil fn
+// is a pure wake-up point.
+func (v *Virtual) scheduleLocked(at time.Duration, fn func()) {
+	if at < v.now {
+		at = v.now
+	}
+	v.seq++
+	heap.Push(&v.timers, &event{at: at, seq: v.seq, fn: fn})
+}
+
+// blockLocked parks the calling goroutine until pred() holds. It must be
+// called with v.mu held by a tracked goroutine; pred is evaluated under v.mu.
+func (v *Virtual) blockLocked(pred func() bool) {
+	if pred() {
+		return
+	}
+	w := &waiter{pred: pred}
+	v.blocked[w] = struct{}{}
+	v.running--
+	if v.running == 0 {
+		v.advanceLocked()
+	}
+	for !pred() {
+		v.cond.Wait()
+	}
+	delete(v.blocked, w)
+	v.running++
+}
+
+// advanceLocked fires events until at least one blocked waiter is satisfied,
+// or declares deadlock. Called with v.mu held and v.running == 0.
+func (v *Virtual) advanceLocked() {
+	for {
+		if v.dead || v.anySatisfiedLocked() {
+			v.cond.Broadcast()
+			return
+		}
+		if v.timers.Len() == 0 {
+			info := fmt.Sprintf("all %d tracked goroutine(s) blocked at virtual time %v with no pending events",
+				v.tracked, v.now)
+			v.dead = true
+			fn := v.onDeadlock
+			v.mu.Unlock()
+			func() {
+				// Re-acquire even when the handler panics, so deferred
+				// unlocks in our callers stay balanced during unwinding.
+				defer v.mu.Lock()
+				fn(info)
+			}()
+			v.cond.Broadcast()
+			return
+		}
+		// Fire every event scheduled for the earliest instant, in
+		// scheduling order, so same-time deliveries stay deterministic.
+		at := v.timers[0].at
+		v.now = at
+		for v.timers.Len() > 0 && v.timers[0].at == at {
+			ev := heap.Pop(&v.timers).(*event)
+			if ev.fn != nil {
+				ev.fn()
+			}
+		}
+	}
+}
+
+func (v *Virtual) anySatisfiedLocked() bool {
+	for w := range v.blocked {
+		if w.pred() {
+			return true
+		}
+	}
+	return false
+}
+
+type waiter struct {
+	pred func() bool
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// virtualQueue shares the clock's monitor so puts, timed puts and blocking
+// gets all interact correctly with virtual-time advancement.
+type virtualQueue struct {
+	v      *Virtual
+	items  []any
+	closed bool
+}
+
+var _ queueImpl = (*virtualQueue)(nil)
+
+func (q *virtualQueue) put(x any) {
+	q.v.mu.Lock()
+	defer q.v.mu.Unlock()
+	q.items = append(q.items, x)
+	q.v.cond.Broadcast()
+}
+
+func (q *virtualQueue) putAfter(d time.Duration, x any) {
+	if d < 0 {
+		d = 0
+	}
+	q.v.mu.Lock()
+	defer q.v.mu.Unlock()
+	q.v.scheduleLocked(q.v.now+d, func() {
+		q.items = append(q.items, x)
+	})
+}
+
+func (q *virtualQueue) get() (any, bool) {
+	q.v.mu.Lock()
+	defer q.v.mu.Unlock()
+	q.v.blockLocked(func() bool { return len(q.items) > 0 || q.closed || q.v.dead })
+	return q.popLocked()
+}
+
+func (q *virtualQueue) getTimeout(d time.Duration) (any, bool) {
+	q.v.mu.Lock()
+	defer q.v.mu.Unlock()
+	deadline := q.v.now + d
+	q.v.scheduleLocked(deadline, nil)
+	q.v.blockLocked(func() bool {
+		return len(q.items) > 0 || q.closed || q.v.now >= deadline || q.v.dead
+	})
+	return q.popLocked()
+}
+
+func (q *virtualQueue) tryGet() (any, bool) {
+	q.v.mu.Lock()
+	defer q.v.mu.Unlock()
+	return q.popLocked()
+}
+
+func (q *virtualQueue) popLocked() (any, bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	x := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return x, true
+}
+
+func (q *virtualQueue) closeQ() {
+	q.v.mu.Lock()
+	defer q.v.mu.Unlock()
+	q.closed = true
+	q.v.cond.Broadcast()
+}
+
+func (q *virtualQueue) length() int {
+	q.v.mu.Lock()
+	defer q.v.mu.Unlock()
+	return len(q.items)
+}

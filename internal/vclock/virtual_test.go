@@ -1,0 +1,293 @@
+package vclock
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestVirtualSleepAdvancesTime(t *testing.T) {
+	v := NewVirtual()
+	var at time.Duration
+	v.Go(func() {
+		v.Sleep(3 * time.Second)
+		at = v.Now()
+	})
+	v.Wait()
+	if at != 3*time.Second {
+		t.Fatalf("Now after Sleep(3s) = %v, want 3s", at)
+	}
+}
+
+func TestVirtualSleepZeroOrNegative(t *testing.T) {
+	v := NewVirtual()
+	v.Go(func() {
+		v.Sleep(0)
+		v.Sleep(-time.Second)
+	})
+	v.Wait()
+	if got := v.Now(); got != 0 {
+		t.Fatalf("Now = %v, want 0", got)
+	}
+}
+
+func TestVirtualConcurrentSleepersOrdering(t *testing.T) {
+	v := NewVirtual()
+	var mu sync.Mutex
+	var order []string
+	record := func(name string) {
+		mu.Lock()
+		defer mu.Unlock()
+		order = append(order, name)
+	}
+	v.Go(func() { v.Sleep(2 * time.Second); record("b") })
+	v.Go(func() { v.Sleep(1 * time.Second); record("a") })
+	v.Go(func() { v.Sleep(3 * time.Second); record("c") })
+	v.Wait()
+	if got := strings.Join(order, ""); got != "abc" {
+		t.Fatalf("wake order = %q, want abc", got)
+	}
+	if v.Now() != 3*time.Second {
+		t.Fatalf("final Now = %v, want 3s", v.Now())
+	}
+}
+
+func TestVirtualQueuePutGet(t *testing.T) {
+	v := NewVirtual()
+	q := v.NewQueue()
+	var got []any
+	v.Go(func() {
+		for i := 0; i < 3; i++ {
+			x, ok := q.Get()
+			if !ok {
+				t.Error("Get returned !ok")
+				return
+			}
+			got = append(got, x)
+		}
+	})
+	v.Go(func() {
+		q.Put(1)
+		q.Put(2)
+		q.Put(3)
+	})
+	v.Wait()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("received %v, want [1 2 3]", got)
+	}
+}
+
+func TestVirtualQueuePutAfterDelaysDelivery(t *testing.T) {
+	v := NewVirtual()
+	q := v.NewQueue()
+	var at time.Duration
+	v.Go(func() {
+		q.PutAfter(5*time.Second, "late")
+		x, ok := q.Get()
+		if !ok || x != "late" {
+			t.Errorf("Get = %v, %v", x, ok)
+		}
+		at = v.Now()
+	})
+	v.Wait()
+	if at != 5*time.Second {
+		t.Fatalf("delivery at %v, want 5s", at)
+	}
+}
+
+func TestVirtualQueueFIFOAcrossSameInstant(t *testing.T) {
+	v := NewVirtual()
+	q := v.NewQueue()
+	var got []any
+	v.Go(func() {
+		// Two deliveries scheduled for the same virtual instant must
+		// arrive in scheduling order.
+		q.PutAfter(time.Second, "first")
+		q.PutAfter(time.Second, "second")
+		for i := 0; i < 2; i++ {
+			x, _ := q.Get()
+			got = append(got, x)
+		}
+	})
+	v.Wait()
+	if len(got) != 2 || got[0] != "first" || got[1] != "second" {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func TestVirtualGetTimeoutExpires(t *testing.T) {
+	v := NewVirtual()
+	q := v.NewQueue()
+	var ok bool
+	var at time.Duration
+	v.Go(func() {
+		_, ok = q.GetTimeout(2 * time.Second)
+		at = v.Now()
+	})
+	v.Wait()
+	if ok {
+		t.Fatal("GetTimeout returned ok on empty queue")
+	}
+	if at != 2*time.Second {
+		t.Fatalf("timed out at %v, want 2s", at)
+	}
+}
+
+func TestVirtualGetTimeoutReceivesEarlier(t *testing.T) {
+	v := NewVirtual()
+	q := v.NewQueue()
+	var got any
+	var at time.Duration
+	v.Go(func() {
+		q.PutAfter(time.Second, 42)
+		got, _ = q.GetTimeout(10 * time.Second)
+		at = v.Now()
+	})
+	v.Wait()
+	if got != 42 || at != time.Second {
+		t.Fatalf("got %v at %v, want 42 at 1s", got, at)
+	}
+}
+
+func TestVirtualQueueClose(t *testing.T) {
+	v := NewVirtual()
+	q := v.NewQueue()
+	var first, second bool
+	var x any
+	v.Go(func() {
+		q.Put("pending")
+		q.Close()
+		x, first = q.Get()
+		_, second = q.Get()
+	})
+	v.Wait()
+	if !first || x != "pending" {
+		t.Fatalf("pre-close element lost: %v %v", x, first)
+	}
+	if second {
+		t.Fatal("Get on closed drained queue returned ok")
+	}
+}
+
+func TestVirtualTryGet(t *testing.T) {
+	v := NewVirtual()
+	q := v.NewQueue()
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("TryGet on empty queue returned ok")
+	}
+	q.Put(7)
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+	if x, ok := q.TryGet(); !ok || x != 7 {
+		t.Fatalf("TryGet = %v, %v", x, ok)
+	}
+}
+
+func TestVirtualDeadlockDetection(t *testing.T) {
+	v := NewVirtual()
+	var info atomic.Value
+	v.SetDeadlockHandler(func(s string) { info.Store(s) })
+	q := v.NewQueue()
+	v.Go(func() {
+		q.Get() // never satisfied: nobody puts
+	})
+	v.Wait()
+	s, _ := info.Load().(string)
+	if s == "" {
+		t.Fatal("deadlock handler not invoked")
+	}
+	if !strings.Contains(s, "blocked") {
+		t.Fatalf("diagnostic %q lacks context", s)
+	}
+}
+
+func TestVirtualManyProducersConsumers(t *testing.T) {
+	v := NewVirtual()
+	const producers, perProducer = 8, 50
+	q := v.NewQueue()
+	var received atomic.Int64
+	v.Go(func() {
+		for {
+			if _, ok := q.Get(); !ok {
+				return
+			}
+			received.Add(1)
+		}
+	})
+	var remaining atomic.Int64
+	remaining.Store(producers)
+	for p := 0; p < producers; p++ {
+		p := p
+		v.Go(func() {
+			for i := 0; i < perProducer; i++ {
+				v.Sleep(time.Duration(p+1) * time.Millisecond)
+				q.Put(i)
+			}
+			if remaining.Add(-1) == 0 {
+				q.Close()
+			}
+		})
+	}
+	v.Wait()
+	if received.Load() != producers*perProducer {
+		t.Fatalf("received %d, want %d", received.Load(), producers*perProducer)
+	}
+}
+
+func TestVirtualAdoptRelease(t *testing.T) {
+	v := NewVirtual()
+	q := v.NewQueue()
+	v.Go(func() {
+		v.Sleep(time.Second)
+		q.Put("hello")
+	})
+	v.Adopt()
+	x, ok := q.Get()
+	v.Release()
+	if !ok || x != "hello" {
+		t.Fatalf("Get = %v, %v", x, ok)
+	}
+	v.Wait()
+}
+
+func TestRealClockBasics(t *testing.T) {
+	r := NewReal()
+	q := r.NewQueue()
+	r.Go(func() { q.Put(1) })
+	if x, ok := q.Get(); !ok || x != 1 {
+		t.Fatalf("Get = %v, %v", x, ok)
+	}
+	if _, ok := q.GetTimeout(5 * time.Millisecond); ok {
+		t.Fatal("GetTimeout on empty queue returned ok")
+	}
+	q.PutAfter(time.Millisecond, 2)
+	if x, ok := q.GetTimeout(time.Second); !ok || x != 2 {
+		t.Fatalf("delayed Get = %v, %v", x, ok)
+	}
+	q.Close()
+	if _, ok := q.Get(); ok {
+		t.Fatal("Get after close returned ok")
+	}
+	r.Wait()
+	if r.Now() <= 0 {
+		t.Fatal("Real.Now not advancing")
+	}
+}
+
+func TestRealTryGetAndLen(t *testing.T) {
+	r := NewReal()
+	q := r.NewQueue()
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("TryGet on empty queue returned ok")
+	}
+	q.Put("x")
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if x, ok := q.TryGet(); !ok || x != "x" {
+		t.Fatalf("TryGet = %v %v", x, ok)
+	}
+}
