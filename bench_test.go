@@ -4,28 +4,23 @@ import (
 	"testing"
 	"time"
 
-	"caaction/internal/control"
-	"caaction/internal/core"
-	"caaction/internal/harness"
-	"caaction/internal/prodcell"
-	"caaction/internal/resolve"
-	"caaction/internal/trace"
-	"caaction/internal/transport"
-	"caaction/internal/vclock"
+	"caaction"
+	"caaction/experiments"
+	"caaction/prodcell"
 )
 
 // The benchmarks below regenerate every table and figure of the paper's
-// evaluation (§5). Each benchmark iteration runs a complete deterministic
-// simulation; the virtual execution time the paper reports is exposed as
-// the "vsec" metric (virtual seconds), while ns/op measures the simulator
-// itself.
+// evaluation (§5) through the public API. Each benchmark iteration runs a
+// complete deterministic simulation; the virtual execution time the paper
+// reports is exposed as the "vsec" metric (virtual seconds), while ns/op
+// measures the simulator itself.
 
 // BenchmarkFig9Baseline is the §5.2 baseline point: Tmmax=0.2s, Tabo=0.1s,
 // Treso=0.3s, 20 iterations — the paper reports 94.36 virtual seconds.
 func BenchmarkFig9Baseline(b *testing.B) {
 	var total time.Duration
 	for i := 0; i < b.N; i++ {
-		d, err := harness.RunFig9Point(harness.DefaultFig9())
+		d, err := experiments.RunFig9Point(experiments.DefaultFig9())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -34,12 +29,12 @@ func BenchmarkFig9Baseline(b *testing.B) {
 	b.ReportMetric(total.Seconds(), "vsec")
 }
 
-func benchFig9(b *testing.B, mutate func(*harness.Fig9Config)) {
+func benchFig9(b *testing.B, mutate func(*experiments.Fig9Config)) {
 	var total time.Duration
 	for i := 0; i < b.N; i++ {
-		cfg := harness.DefaultFig9()
+		cfg := experiments.DefaultFig9()
 		mutate(&cfg)
-		d, err := harness.RunFig9Point(cfg)
+		d, err := experiments.RunFig9Point(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -51,30 +46,30 @@ func benchFig9(b *testing.B, mutate func(*harness.Fig9Config)) {
 // Figure 9/10 sweep points: message passing below and above the knee,
 // abortion and resolution costs.
 func BenchmarkFig9TmmaxBelowKnee(b *testing.B) {
-	benchFig9(b, func(c *harness.Fig9Config) { c.Tmmax = 800 * time.Millisecond })
+	benchFig9(b, func(c *experiments.Fig9Config) { c.Tmmax = 800 * time.Millisecond })
 }
 
 func BenchmarkFig9TmmaxAboveKnee(b *testing.B) {
-	benchFig9(b, func(c *harness.Fig9Config) { c.Tmmax = 2400 * time.Millisecond })
+	benchFig9(b, func(c *experiments.Fig9Config) { c.Tmmax = 2400 * time.Millisecond })
 }
 
 func BenchmarkFig9TaboHigh(b *testing.B) {
-	benchFig9(b, func(c *harness.Fig9Config) { c.Tabo = 2100 * time.Millisecond })
+	benchFig9(b, func(c *experiments.Fig9Config) { c.Tabo = 2100 * time.Millisecond })
 }
 
 func BenchmarkFig9TresoHigh(b *testing.B) {
-	benchFig9(b, func(c *harness.Fig9Config) { c.Treso = 2300 * time.Millisecond })
+	benchFig9(b, func(c *experiments.Fig9Config) { c.Treso = 2300 * time.Millisecond })
 }
 
 // BenchmarkFig12 compares the paper's algorithm with the CR-86 model on the
 // §5.3 scenario (three concurrent exceptions); the paper reports 9.15 s vs
 // 11.77 s at Tmmax=1.0 s, Tres=0.3 s.
-func BenchmarkFig12Coordinated(b *testing.B) {
+func benchFig12(b *testing.B, protocol caaction.ResolutionProtocol) {
 	var total time.Duration
 	for i := 0; i < b.N; i++ {
-		d, err := harness.RunFig12Point(harness.Fig12Config{
+		d, err := experiments.RunFig12Point(experiments.Fig12Config{
 			Tmmax: time.Second, Tres: 300 * time.Millisecond,
-			Protocol: resolve.Coordinated{},
+			Protocol: protocol,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -84,33 +79,21 @@ func BenchmarkFig12Coordinated(b *testing.B) {
 	b.ReportMetric(total.Seconds(), "vsec")
 }
 
-func BenchmarkFig12CR86(b *testing.B) {
-	var total time.Duration
-	for i := 0; i < b.N; i++ {
-		d, err := harness.RunFig12Point(harness.Fig12Config{
-			Tmmax: time.Second, Tres: 300 * time.Millisecond,
-			Protocol: resolve.CR86{},
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		total = d
-	}
-	b.ReportMetric(total.Seconds(), "vsec")
-}
+func BenchmarkFig12Coordinated(b *testing.B) { benchFig12(b, caaction.Coordinated) }
+func BenchmarkFig12CR86(b *testing.B)        { benchFig12(b, caaction.CR86) }
 
 // BenchmarkMessageComplexity measures experiment E3 (the §3.3.3 counts) for
 // N=2..6; the msgs metric is the resolution-message total for the largest N
 // in the all-raise scenario.
-func benchMsgs(b *testing.B, proto resolve.Protocol) {
+func benchMsgs(b *testing.B, protocol caaction.ResolutionProtocol) {
 	var last int64
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.RunMessageComplexity([]int{6})
+		rows, err := experiments.RunMessageComplexity([]int{6})
 		if err != nil {
 			b.Fatal(err)
 		}
 		for _, r := range rows {
-			if r.Protocol == proto.Name() && r.Scenario == "all" {
+			if r.Protocol == protocol.Name() && r.Scenario == "all" {
 				last = r.Messages
 			}
 		}
@@ -118,16 +101,16 @@ func benchMsgs(b *testing.B, proto resolve.Protocol) {
 	b.ReportMetric(float64(last), "msgs")
 }
 
-func BenchmarkMessagesCoordinatedN6(b *testing.B) { benchMsgs(b, resolve.Coordinated{}) }
-func BenchmarkMessagesCR86N6(b *testing.B)        { benchMsgs(b, resolve.CR86{}) }
-func BenchmarkMessagesR96N6(b *testing.B)         { benchMsgs(b, resolve.R96{}) }
+func BenchmarkMessagesCoordinatedN6(b *testing.B) { benchMsgs(b, caaction.Coordinated) }
+func BenchmarkMessagesCR86N6(b *testing.B)        { benchMsgs(b, caaction.CR86) }
+func BenchmarkMessagesR96N6(b *testing.B)         { benchMsgs(b, caaction.R96) }
 
 // BenchmarkSignalling measures experiment E4 (the §3.4 exchange) at N=6;
 // worst case (undo round) is 2N(N−1) messages.
 func BenchmarkSignallingN6(b *testing.B) {
 	var worst int64
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.RunSignalling([]int{6})
+		rows, err := experiments.RunSignalling([]int{6})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -146,18 +129,15 @@ func BenchmarkSignallingN6(b *testing.B) {
 func BenchmarkProductionCellCycle(b *testing.B) {
 	var vsec float64
 	for i := 0; i < b.N; i++ {
-		clk := vclock.NewVirtual()
-		net := transport.NewSim(transport.SimConfig{
-			Clock:   clk,
-			Latency: transport.FixedLatency(time.Millisecond),
-			Metrics: &trace.Metrics{},
-		})
-		rt, err := core.New(core.Config{Clock: clk, Network: net})
+		sys, err := caaction.New(
+			caaction.WithVirtualTime(),
+			caaction.WithSimTransport(time.Millisecond),
+		)
 		if err != nil {
 			b.Fatal(err)
 		}
-		plant := prodcell.New(clk, prodcell.DefaultConfig())
-		ctl, err := control.New(rt, plant, control.DefaultConfig())
+		plant := prodcell.NewPlant(sys, prodcell.DefaultPlantConfig())
+		ctl, err := prodcell.NewController(sys, plant, prodcell.DefaultControlConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -167,7 +147,7 @@ func BenchmarkProductionCellCycle(b *testing.B) {
 				b.Fatalf("%s: %v", th, err)
 			}
 		}
-		vsec = clk.Now().Seconds()
+		vsec = sys.Now().Seconds()
 	}
 	b.ReportMetric(vsec, "vsec")
 }
@@ -176,7 +156,7 @@ func BenchmarkProductionCellCycle(b *testing.B) {
 func BenchmarkLemma1Depth3(b *testing.B) {
 	var measured time.Duration
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.RunLemma1([]int{3},
+		rows, err := experiments.RunLemma1([]int{3},
 			200*time.Millisecond, 100*time.Millisecond, 300*time.Millisecond)
 		if err != nil {
 			b.Fatal(err)

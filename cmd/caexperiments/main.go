@@ -17,7 +17,7 @@ import (
 	"os"
 	"time"
 
-	"caaction/internal/harness"
+	"caaction/experiments"
 )
 
 func main() {
@@ -62,11 +62,11 @@ func fig9() error {
 	fmt.Println("handler raises a second exception, the resolving exception covers both;")
 	fmt.Println("20 iterations. Baseline: Tmmax=0.2s Tabo=0.1s Treso=0.3s.")
 	fmt.Println()
-	rows, err := harness.RunFig9()
+	rows, err := experiments.RunFig9()
 	if err != nil {
 		return err
 	}
-	fmt.Println(harness.RenderFig9(rows))
+	fmt.Println(experiments.RenderFig9(rows))
 	return nil
 }
 
@@ -76,11 +76,11 @@ func fig12() error {
 	fmt.Println("Scenario: 3 threads raise different exceptions nearly simultaneously.")
 	fmt.Println("Sweeps: Tmmax at Tres=0.3s; Tres at Tmmax=1.0s.")
 	fmt.Println()
-	rows, err := harness.RunFig12()
+	rows, err := experiments.RunFig12()
 	if err != nil {
 		return err
 	}
-	fmt.Println(harness.RenderFig12(rows))
+	fmt.Println(experiments.RenderFig12(rows))
 	return nil
 }
 
@@ -92,11 +92,11 @@ func msgs() error {
 	fmt.Println("R-96 3N(N−1) with N resolutions; CR-86 O(N³) relays with per-relay")
 	fmt.Println("resolutions.")
 	fmt.Println()
-	rows, err := harness.RunMessageComplexity([]int{2, 3, 4, 5, 6, 7, 8})
+	rows, err := experiments.RunMessageComplexity([]int{2, 3, 4, 5, 6, 7, 8})
 	if err != nil {
 		return err
 	}
-	fmt.Println(harness.RenderMsgs(rows))
+	fmt.Println(experiments.RenderMsgs(rows))
 	return nil
 }
 
@@ -106,11 +106,11 @@ func signalling() error {
 	fmt.Println("Cases: (a) plain ε mix, (b) one ƒ, (c) one µ with successful undo,")
 	fmt.Println("(d) one µ with one failed undo. Simple cases N(N−1); undo 2N(N−1).")
 	fmt.Println()
-	rows, err := harness.RunSignalling([]int{2, 3, 4, 5, 6, 7, 8})
+	rows, err := experiments.RunSignalling([]int{2, 3, 4, 5, 6, 7, 8})
 	if err != nil {
 		return err
 	}
-	fmt.Println(harness.RenderSignalling(rows))
+	fmt.Println(experiments.RenderSignalling(rows))
 	return nil
 }
 
@@ -120,11 +120,11 @@ func lemma1() error {
 	fmt.Println("T ≤ (2·nmax+3)·Tmmax + nmax·Tabort + (nmax+1)·(Treso+∆max)")
 	fmt.Println("with Tmmax=0.2s, Tabort=0.1s, Treso=0.3s, ∆max=0.2s.")
 	fmt.Println()
-	rows, err := harness.RunLemma1([]int{0, 1, 2, 3, 4},
+	rows, err := experiments.RunLemma1([]int{0, 1, 2, 3, 4},
 		200*time.Millisecond, 100*time.Millisecond, 300*time.Millisecond)
 	if err != nil {
 		return err
 	}
-	fmt.Println(harness.RenderLemma1(rows))
+	fmt.Println(experiments.RenderLemma1(rows))
 	return nil
 }

@@ -18,7 +18,7 @@ import (
 	"os"
 	"strconv"
 
-	"caaction/internal/except"
+	"caaction"
 )
 
 func main() {
@@ -37,9 +37,9 @@ func main() {
 			usage()
 		}
 		g := load(os.Args[2])
-		var raised []except.ID
+		var raised []caaction.Exception
 		for _, a := range os.Args[3:] {
-			raised = append(raised, except.ID(a))
+			raised = append(raised, caaction.Exception(a))
 		}
 		res, err := g.Resolve(raised...)
 		if err != nil {
@@ -55,19 +55,19 @@ func main() {
 		if err != nil || n < 1 {
 			log.Fatalf("bad primitive count %q", os.Args[2])
 		}
-		var opts []except.GenerateOption
+		var opts []caaction.GraphOption
 		if len(os.Args) > 3 {
 			ml, err := strconv.Atoi(os.Args[3])
 			if err != nil {
 				log.Fatalf("bad max level %q", os.Args[3])
 			}
-			opts = append(opts, except.MaxLevel(ml))
+			opts = append(opts, caaction.MaxLevel(ml))
 		}
-		prims := make([]except.ID, n)
+		prims := make([]caaction.Exception, n)
 		for i := range prims {
-			prims[i] = except.ID(fmt.Sprintf("e%d", i+1))
+			prims[i] = caaction.Exception(fmt.Sprintf("e%d", i+1))
 		}
-		g, err := except.GenerateFull("generated", prims, opts...)
+		g, err := caaction.GenerateFullGraph("generated", prims, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -84,7 +84,7 @@ func argOr(i int, def string) string {
 	return def
 }
 
-func load(path string) *except.Graph {
+func load(path string) *caaction.Graph {
 	in := os.Stdin
 	if path != "-" {
 		f, err := os.Open(path)
@@ -94,7 +94,7 @@ func load(path string) *except.Graph {
 		defer func() { _ = f.Close() }()
 		in = f
 	}
-	g, err := except.Parse(in)
+	g, err := caaction.ParseGraph(in)
 	if err != nil {
 		log.Fatal(err)
 	}

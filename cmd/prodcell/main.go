@@ -4,13 +4,15 @@
 //
 // Usage:
 //
-//	prodcell [-cycles N] [-fault kind] [-trace]
+//	prodcell [-cycles N] [-fault kind] [-resolver name] [-trace]
 //
 // Fault kinds: vm_stop, vm_nmove, rm_stop, rm_nmove, dual_motor, s_stuck,
 // l_plate, cs_fault, rt_exc, plain_error. The fault is injected before the
 // first cycle; motor and sensor faults are forward-recovered by the
 // Move_Loaded_Table handlers, a lost plate is signalled as L_PLATE through
 // every nesting level, and unrecoverable faults undo the cycle (µ).
+// -resolver selects the concurrent-exception resolution protocol from the
+// public registry.
 package main
 
 import (
@@ -18,14 +20,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
-	"caaction/internal/control"
-	"caaction/internal/core"
-	"caaction/internal/prodcell"
-	"caaction/internal/trace"
-	"caaction/internal/transport"
-	"caaction/internal/vclock"
+	"caaction"
+	"caaction/prodcell"
 )
 
 func main() {
@@ -33,28 +32,28 @@ func main() {
 	log.SetPrefix("prodcell: ")
 	cycles := flag.Int("cycles", 3, "production cycles to run")
 	fault := flag.String("fault", "", "fault to inject before the first cycle")
+	resolver := flag.String("resolver", "coordinated",
+		"resolution protocol: "+strings.Join(caaction.Resolvers(), "|"))
 	showTrace := flag.Bool("trace", false, "dump the runtime event trace")
 	flag.Parse()
 
-	clk := vclock.NewVirtual()
-	metrics := &trace.Metrics{}
-	var eventLog *trace.Log
-	if *showTrace {
-		eventLog = trace.NewLog(4000)
+	opts := []caaction.Option{
+		caaction.WithVirtualTime(),
+		caaction.WithSimTransport(time.Millisecond),
+		caaction.WithResolver(*resolver),
 	}
-	net := transport.NewSim(transport.SimConfig{
-		Clock:   clk,
-		Latency: transport.FixedLatency(time.Millisecond),
-		Metrics: metrics,
-		Log:     eventLog,
-	})
-	rt, err := core.New(core.Config{Clock: clk, Network: net, Metrics: metrics, Log: eventLog})
+	var eventLog *caaction.Log
+	if *showTrace {
+		eventLog = caaction.NewLog(4000)
+		opts = append(opts, caaction.WithLog(eventLog))
+	}
+	sys, err := caaction.New(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	plant := prodcell.New(clk, prodcell.DefaultConfig())
+	plant := prodcell.NewPlant(sys, prodcell.DefaultPlantConfig())
 
-	cfg := control.DefaultConfig()
+	cfg := prodcell.DefaultControlConfig()
 	switch *fault {
 	case "":
 	case "vm_stop":
@@ -83,15 +82,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	ctl, err := control.New(rt, plant, cfg)
+	ctl, err := prodcell.NewController(sys, plant, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	for i := 1; i <= *cycles; i++ {
 		rep := ctl.RunCycle()
-		fmt.Printf("cycle %d (virtual time %v):\n", i, clk.Now())
-		for _, th := range control.Threads() {
+		fmt.Printf("cycle %d (virtual time %v):\n", i, sys.Now())
+		for _, th := range prodcell.Threads() {
 			outcome := "ok"
 			if err := rep.Outcomes[th]; err != nil {
 				outcome = err.Error()
@@ -124,7 +123,7 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("safety invariants: all held")
-	fmt.Printf("messages sent: %d\n", metrics.Get("msg.total"))
+	fmt.Printf("messages sent: %d\n", sys.Metrics().Get("msg.total"))
 	if eventLog != nil {
 		fmt.Println()
 		fmt.Println("trace (most recent events):")

@@ -1,0 +1,53 @@
+package caaction
+
+import (
+	"errors"
+
+	"caaction/internal/core"
+)
+
+// SignalledError is the per-thread outcome of an action that terminated
+// exceptionally: the exception ε the local role signalled to its caller or
+// enclosing action, with µ (undo) and ƒ (failure) represented by the Undo
+// and Failure identifiers. It supports errors.As directly and matches the
+// ErrSignalled sentinel under errors.Is.
+type SignalledError = core.SignalledError
+
+// Sentinel errors reported by the runtime. All are matched with errors.Is.
+var (
+	// ErrSignalled matches any exceptional action outcome, regardless of
+	// which exception was signalled; use AsSignalled (or errors.As with a
+	// *SignalledError) to inspect it.
+	ErrSignalled = core.ErrSignalled
+	// ErrSpecInvalid reports a structurally invalid action spec.
+	ErrSpecInvalid = core.ErrSpecInvalid
+	// ErrNotYourRole reports a Perform by a thread the role is not bound to.
+	ErrNotYourRole = core.ErrNotYourRole
+	// ErrUnknownRole reports a role name the spec does not declare.
+	ErrUnknownRole = core.ErrUnknownRole
+	// ErrBodyRequired reports a RoleProgram without a body.
+	ErrBodyRequired = core.ErrBodyRequired
+	// ErrThreadStopped reports that the thread's endpoint closed mid-action
+	// (thread shutdown, or a Perform context cancellation).
+	ErrThreadStopped = core.ErrThreadStopped
+	// ErrRecvTimeout is returned by Context.RecvTimeout when no matching
+	// cooperation message arrives in time.
+	ErrRecvTimeout = core.ErrTimeout
+)
+
+// AsSignalled extracts the SignalledError from err, if any.
+func AsSignalled(err error) (*SignalledError, bool) {
+	var se *SignalledError
+	if errors.As(err, &se) {
+		return se, true
+	}
+	return nil, false
+}
+
+// IsUndone reports whether err is an action outcome of µ: aborted with all
+// effects undone.
+func IsUndone(err error) bool { return core.IsUndone(err) }
+
+// IsFailed reports whether err is an action outcome of ƒ: aborted with
+// effects possibly not undone.
+func IsFailed(err error) bool { return core.IsFailed(err) }

@@ -12,76 +12,63 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"caaction/internal/core"
-	"caaction/internal/except"
-	"caaction/internal/transport"
-	"caaction/internal/vclock"
+	"caaction"
 )
 
 func main() {
 	log.SetFlags(0)
-	clk := vclock.NewVirtual()
-	net := transport.NewSim(transport.SimConfig{
-		Clock:   clk,
-		Latency: transport.FixedLatency(2 * time.Millisecond),
-	})
-	rt, err := core.New(core.Config{Clock: clk, Network: net})
+	sys, err := caaction.New(
+		caaction.WithVirtualTime(),
+		caaction.WithSimTransport(2*time.Millisecond),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	accounts := rt.Objects()
-	alice, err := accounts.Define("alice", 1000)
+	alice, err := sys.Define("alice", 1000)
 	if err != nil {
 		log.Fatal(err)
 	}
-	bob, err := accounts.Define("bob", 200)
+	bob, err := sys.Define("bob", 200)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	graph, err := except.NewBuilder("transfer").
-		Node("fraud_alert").
-		Node("ledger_corrupt").
-		WithUniversal().
+	spec, err := caaction.NewSpec("transfer").
+		Role("debit", "T1").
+		Role("credit", "T2").
+		Exception("fraud_alert", "ledger_corrupt").
 		Build()
 	if err != nil {
 		log.Fatal(err)
 	}
-	spec := &core.Spec{
-		Name: "transfer",
-		Roles: []core.Role{
-			{Name: "debit", Thread: "T1"},
-			{Name: "credit", Thread: "T2"},
-		},
-		Graph: graph,
-	}
 
-	t1, err := rt.NewThread("T1")
+	t1, err := sys.Thread("T1")
 	if err != nil {
 		log.Fatal(err)
 	}
-	t2, err := rt.NewThread("T2")
+	t2, err := sys.Thread("T2")
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	runTransfer := func(title string, amount int, debit, credit core.RoleProgram) {
+	runTransfer := func(title string, debit, credit caaction.RoleProgram) {
 		fmt.Printf("== %s ==\n", title)
 		results := make(chan error, 2)
-		clk.Go(func() { results <- t1.Perform(spec, "debit", debit) })
-		clk.Go(func() { results <- t2.Perform(spec, "credit", credit) })
-		clk.Wait()
+		sys.Go(func() { results <- t1.Perform(context.Background(), spec, "debit", debit) })
+		sys.Go(func() { results <- t2.Perform(context.Background(), spec, "credit", credit) })
+		sys.Wait()
 		close(results)
 		for err := range results {
 			switch {
 			case err == nil:
-			case core.IsUndone(err):
+			case caaction.IsUndone(err):
 				fmt.Println("  outcome: aborted and undone (µ)")
-			case core.IsFailed(err):
+			case caaction.IsFailed(err):
 				fmt.Println("  outcome: failed (ƒ)")
 			default:
 				fmt.Printf("  outcome: %v\n", err)
@@ -91,8 +78,8 @@ func main() {
 			alice.Peek(), bob.Peek(), alice.Version(), bob.Version())
 	}
 
-	debitBody := func(amount int, raise except.ID) core.Body {
-		return func(ctx *core.Context) error {
+	debitBody := func(amount int, raise caaction.Exception) caaction.Body {
+		return func(ctx *caaction.Context) error {
 			bal, err := ctx.Tx().Read("alice")
 			if err != nil {
 				return err
@@ -100,13 +87,13 @@ func main() {
 			if err := ctx.Tx().Write("alice", bal.(int)-amount); err != nil {
 				return err
 			}
-			if raise != except.None {
+			if raise != caaction.NoException {
 				return ctx.Raise(raise, "suspicious transfer pattern")
 			}
 			return ctx.Send("credit", amount)
 		}
 	}
-	creditBody := func(ctx *core.Context) error {
+	creditBody := func(ctx *caaction.Context) error {
 		v, err := ctx.Recv("debit")
 		if err != nil {
 			return err
@@ -119,15 +106,15 @@ func main() {
 	}
 
 	// 1. Clean transfer of 300: both objects commit atomically at exit.
-	runTransfer("clean transfer of 300", 300,
-		core.RoleProgram{Body: debitBody(300, except.None)},
-		core.RoleProgram{Body: creditBody},
+	runTransfer("clean transfer of 300",
+		caaction.RoleProgram{Body: debitBody(300, caaction.NoException)},
+		caaction.RoleProgram{Body: creditBody},
 	)
 
 	// 2. Fraud alert: handlers repair the accounts to new valid states —
 	// the debit is reversed and a fee is charged; the action commits the
 	// repaired state (forward error recovery on external objects).
-	repair := func(ctx *core.Context, resolved except.ID, _ []except.Raised) error {
+	repair := func(ctx *caaction.Context, resolved caaction.Exception, _ []caaction.Raised) error {
 		if ctx.Role() == "debit" {
 			bal, err := ctx.Tx().Read("alice")
 			if err != nil {
@@ -137,22 +124,22 @@ func main() {
 		}
 		return nil
 	}
-	runTransfer("transfer of 500 with fraud alert (forward recovery)", 500,
-		core.RoleProgram{
+	runTransfer("transfer of 500 with fraud alert (forward recovery)",
+		caaction.RoleProgram{
 			Body:     debitBody(500, "fraud_alert"),
-			Handlers: map[except.ID]core.Handler{"fraud_alert": repair},
+			Handlers: map[caaction.Exception]caaction.Handler{"fraud_alert": repair},
 		},
-		core.RoleProgram{
+		caaction.RoleProgram{
 			Body:     creditBody,
-			Handlers: map[except.ID]core.Handler{"fraud_alert": func(ctx *core.Context, r except.ID, raised []except.Raised) error { return repair(ctx, r, raised) }},
+			Handlers: map[caaction.Exception]caaction.Handler{"fraud_alert": repair},
 		},
 	)
 
 	// 3. Ledger corruption has no handler: the termination model converts
 	// it to the undo exception µ; the signalling algorithm coordinates the
 	// undo and both accounts are restored to their before-images.
-	runTransfer("transfer of 900 hitting unhandled corruption (undo)", 900,
-		core.RoleProgram{Body: debitBody(900, "ledger_corrupt")},
-		core.RoleProgram{Body: creditBody},
+	runTransfer("transfer of 900 hitting unhandled corruption (undo)",
+		caaction.RoleProgram{Body: debitBody(900, "ledger_corrupt")},
+		caaction.RoleProgram{Body: creditBody},
 	)
 }

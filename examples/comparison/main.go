@@ -1,21 +1,19 @@
 // Comparison: the three resolution protocols side by side on one workload —
 // N threads raising concurrently — printing message counts and virtual
 // completion time. This is a miniature of the paper's §5.3 comparison plus
-// the §3.3.3 complexity table, runnable in milliseconds.
+// the §3.3.3 complexity table, runnable in milliseconds. Protocols are
+// picked from the public registry by name, the same mechanism the CLIs'
+// flags use.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
 	"time"
 
-	"caaction/internal/core"
-	"caaction/internal/except"
-	"caaction/internal/resolve"
-	"caaction/internal/trace"
-	"caaction/internal/transport"
-	"caaction/internal/vclock"
+	"caaction"
 )
 
 const (
@@ -30,76 +28,64 @@ func main() {
 		numThreads, latency, treso)
 	fmt.Printf("%-14s %10s %10s %12s %12s\n",
 		"protocol", "messages", "resolves", "virtual time", "resolved")
-	for _, proto := range []resolve.Protocol{
-		resolve.Coordinated{}, resolve.R96{}, resolve.CR86{},
-	} {
-		msgs, calls, elapsed, resolved := run(proto)
+	for _, name := range []string{"coordinated", "r96", "cr86"} {
+		msgs, calls, elapsed, resolved := run(name)
 		fmt.Printf("%-14s %10d %10d %12v %12s\n",
-			proto.Name(), msgs, calls, elapsed, resolved)
+			name, msgs, calls, elapsed, resolved)
 	}
 	fmt.Println("\nclosed forms (§3.3.3): ours (N+1)(N−1)=24, R-96 3N(N−1)=60,")
 	fmt.Println("CR-86 N(N−1)+N(N−1)(N−2)+N(N−1) relays/proposes = 100 at N=5")
 }
 
-func run(proto resolve.Protocol) (msgs, calls int64, elapsed time.Duration, resolved except.ID) {
-	clk := vclock.NewVirtual()
-	metrics := &trace.Metrics{}
-	net := transport.NewSim(transport.SimConfig{
-		Clock:   clk,
-		Latency: transport.FixedLatency(latency),
-		Metrics: metrics,
-	})
-	rt, err := core.New(core.Config{
-		Clock: clk, Network: net, Protocol: proto, Metrics: metrics,
-	})
+func run(protocol string) (msgs, calls int64, elapsed time.Duration, resolved caaction.Exception) {
+	sys, err := caaction.New(
+		caaction.WithVirtualTime(),
+		caaction.WithSimTransport(latency),
+		caaction.WithResolver(protocol),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	prims := make([]except.ID, numThreads)
+	prims := make([]caaction.Exception, numThreads)
 	for i := range prims {
-		prims[i] = except.ID(fmt.Sprintf("e%d", i+1))
+		prims[i] = caaction.Exception(fmt.Sprintf("e%d", i+1))
 	}
-	graph, err := except.GenerateFull("cmp", prims)
+	graph, err := caaction.GenerateFullGraph("cmp", prims)
 	if err != nil {
 		log.Fatal(err)
 	}
-	roles := make([]core.Role, numThreads)
-	for i := range roles {
-		roles[i] = core.Role{
-			Name:   fmt.Sprintf("r%d", i+1),
-			Thread: fmt.Sprintf("T%d", i+1),
-		}
+	builder := caaction.NewSpec("cmp").UseGraph(graph).ResolutionCost(treso)
+	for i := 0; i < numThreads; i++ {
+		builder.Role(fmt.Sprintf("r%d", i+1), fmt.Sprintf("T%d", i+1))
 	}
-	spec := &core.Spec{
-		Name:   "cmp",
-		Roles:  roles,
-		Graph:  graph,
-		Timing: core.Timing{Resolution: treso},
+	spec, err := builder.Build()
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	var mu sync.Mutex
-	handler := func(ctx *core.Context, res except.ID, _ []except.Raised) error {
+	handler := func(ctx *caaction.Context, res caaction.Exception, _ []caaction.Raised) error {
 		mu.Lock()
 		resolved = res
 		mu.Unlock()
 		return nil
 	}
-	handlers := map[except.ID]core.Handler{}
+	handlers := map[caaction.Exception]caaction.Handler{}
 	for _, id := range graph.Nodes() {
 		handlers[id] = handler
 	}
 
-	for i, r := range roles {
+	for i, r := range spec.Roles {
 		role := r
 		exc := prims[i]
-		th, err := rt.NewThread(role.Thread)
+		th, err := sys.Thread(role.Thread)
 		if err != nil {
 			log.Fatal(err)
 		}
-		clk.Go(func() {
-			err := th.Perform(spec, role.Name, core.RoleProgram{
-				Body: func(ctx *core.Context) error {
+		sys.Go(func() {
+			err := th.Perform(context.Background(), spec, role.Name, caaction.RoleProgram{
+				Body: func(ctx *caaction.Context) error {
 					if err := ctx.Compute(100 * time.Millisecond); err != nil {
 						return err
 					}
@@ -112,10 +98,11 @@ func run(proto resolve.Protocol) (msgs, calls int64, elapsed time.Duration, reso
 			}
 		})
 	}
-	clk.Wait()
+	sys.Wait()
 
+	metrics := sys.Metrics()
 	msgs = metrics.Get("msg.Exception") + metrics.Get("msg.Suspended") +
 		metrics.Get("msg.Commit") + metrics.Get("msg.Relay") +
 		metrics.Get("msg.Propose") + metrics.Get("msg.Ack")
-	return msgs, metrics.Get("resolve.calls"), clk.Now(), resolved
+	return msgs, metrics.Get("resolve.calls"), sys.Now(), resolved
 }

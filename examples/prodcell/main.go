@@ -11,35 +11,27 @@ import (
 	"log"
 	"time"
 
-	"caaction/internal/control"
-	"caaction/internal/core"
-	"caaction/internal/prodcell"
-	"caaction/internal/trace"
-	"caaction/internal/transport"
-	"caaction/internal/vclock"
+	"caaction"
+	"caaction/prodcell"
 )
 
 func main() {
 	log.SetFlags(0)
-	clk := vclock.NewVirtual()
-	metrics := &trace.Metrics{}
-	net := transport.NewSim(transport.SimConfig{
-		Clock:   clk,
-		Latency: transport.FixedLatency(time.Millisecond),
-		Metrics: metrics,
-	})
-	rt, err := core.New(core.Config{Clock: clk, Network: net, Metrics: metrics})
+	sys, err := caaction.New(
+		caaction.WithVirtualTime(),
+		caaction.WithSimTransport(time.Millisecond),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	plant := prodcell.New(clk, prodcell.DefaultConfig())
-	ctl, err := control.New(rt, plant, control.DefaultConfig())
+	plant := prodcell.NewPlant(sys, prodcell.DefaultPlantConfig())
+	ctl, err := prodcell.NewController(sys, plant, prodcell.DefaultControlConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("cycle 1: fault-free")
-	report(ctl.RunCycle(), clk)
+	report(ctl.RunCycle(), sys)
 
 	fmt.Println("cycle 2: both table motors fail concurrently (dual_motor_failures)")
 	if err := plant.Inject(prodcell.FaultMotorStop, prodcell.AxisTableVert); err != nil {
@@ -48,7 +40,7 @@ func main() {
 	if err := plant.Inject(prodcell.FaultMotorStop, prodcell.AxisTableRot); err != nil {
 		log.Fatal(err)
 	}
-	report(ctl.RunCycle(), clk)
+	report(ctl.RunCycle(), sys)
 
 	fmt.Println("plant:")
 	for _, b := range plant.Blanks() {
@@ -60,7 +52,7 @@ func main() {
 	fmt.Println("safety invariants held throughout")
 }
 
-func report(rep *control.Report, clk *vclock.Virtual) {
+func report(rep *prodcell.Report, sys *caaction.System) {
 	ok := 0
 	for _, err := range rep.Outcomes {
 		if err == nil {
@@ -68,7 +60,7 @@ func report(rep *control.Report, clk *vclock.Virtual) {
 		}
 	}
 	fmt.Printf("  %d/%d roles completed normally at virtual time %v\n",
-		ok, len(rep.Outcomes), clk.Now())
+		ok, len(rep.Outcomes), sys.Now())
 	for th, handled := range rep.Handled {
 		fmt.Printf("  %-8s handled %v\n", th, handled)
 	}

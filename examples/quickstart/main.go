@@ -1,53 +1,42 @@
 // Quickstart: two cooperating roles inside one CA action. The producer role
 // detects a fault and raises an exception; both roles are switched to their
 // handlers for the resolved exception and the action completes by forward
-// recovery — the paper's Figure 1 in ~80 lines.
+// recovery — the paper's Figure 1 in ~80 lines — followed by a second
+// action whose unhandled exception aborts it with undo (µ), demonstrating
+// the typed outcome errors.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"time"
 
-	"caaction/internal/core"
-	"caaction/internal/except"
-	"caaction/internal/trace"
-	"caaction/internal/transport"
-	"caaction/internal/vclock"
+	"caaction"
 )
 
 func main() {
 	log.SetFlags(0)
-	clk := vclock.NewVirtual()
-	metrics := &trace.Metrics{}
-	net := transport.NewSim(transport.SimConfig{
-		Clock:   clk,
-		Latency: transport.FixedLatency(5 * time.Millisecond), // Tmmax
-		Metrics: metrics,
-	})
-	rt, err := core.New(core.Config{Clock: clk, Network: net, Metrics: metrics})
+	sys, err := caaction.New(
+		caaction.WithVirtualTime(),
+		caaction.WithSimTransport(5*time.Millisecond), // Tmmax
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Exception context: one declared exception plus the universal root.
-	graph, err := except.NewBuilder("transfer").
-		Node("bad_checksum").
-		WithUniversal().
+	spec, err := caaction.NewSpec("transfer").
+		Role("producer", "T1").
+		Role("consumer", "T2").
+		Exception("bad_checksum").
 		Build()
 	if err != nil {
 		log.Fatal(err)
 	}
-	spec := &core.Spec{
-		Name: "transfer",
-		Roles: []core.Role{
-			{Name: "producer", Thread: "T1"},
-			{Name: "consumer", Thread: "T2"},
-		},
-		Graph: graph,
-	}
 
-	handler := func(ctx *core.Context, resolved except.ID, raised []except.Raised) error {
+	handler := func(ctx *caaction.Context, resolved caaction.Exception, raised []caaction.Raised) error {
 		fmt.Printf("[%v] %s/%s handling %q (raised by %s)\n",
 			ctx.Now(), ctx.Self(), ctx.Role(), resolved, raised[0].Origin)
 		// Forward recovery: resend with a fresh checksum.
@@ -62,17 +51,17 @@ func main() {
 		return nil
 	}
 
-	producer := core.RoleProgram{
-		Body: func(ctx *core.Context) error {
+	producer := caaction.RoleProgram{
+		Body: func(ctx *caaction.Context) error {
 			if err := ctx.Send("consumer", "block-1 (corrupted)"); err != nil {
 				return err
 			}
 			return ctx.Compute(50 * time.Millisecond) // interrupted by the consumer's raise
 		},
-		Handlers: map[except.ID]core.Handler{"bad_checksum": handler},
+		Handlers: map[caaction.Exception]caaction.Handler{"bad_checksum": handler},
 	}
-	consumer := core.RoleProgram{
-		Body: func(ctx *core.Context) error {
+	consumer := caaction.RoleProgram{
+		Body: func(ctx *caaction.Context) error {
 			payload, err := ctx.Recv("producer")
 			if err != nil {
 				return err
@@ -82,29 +71,67 @@ func main() {
 			// producer and coordinates resolution.
 			return ctx.Raise("bad_checksum", "crc mismatch on block-1")
 		},
-		Handlers: map[except.ID]core.Handler{"bad_checksum": handler},
+		Handlers: map[caaction.Exception]caaction.Handler{"bad_checksum": handler},
 	}
 
-	t1, err := rt.NewThread("T1")
+	t1, err := sys.Thread("T1")
 	if err != nil {
 		log.Fatal(err)
 	}
-	t2, err := rt.NewThread("T2")
+	t2, err := sys.Thread("T2")
 	if err != nil {
 		log.Fatal(err)
 	}
-	results := make(chan error, 2)
-	clk.Go(func() { results <- t1.Perform(spec, "producer", producer) })
-	clk.Go(func() { results <- t2.Perform(spec, "consumer", consumer) })
-	clk.Wait()
-	close(results)
-	for err := range results {
-		if err != nil {
-			log.Fatalf("action outcome: %v", err)
-		}
-	}
-	fmt.Printf("action completed successfully at virtual time %v\n", clk.Now())
+	perform(sys, t1, t2, spec, producer, consumer)
+	metrics := sys.Metrics()
+	fmt.Printf("action completed successfully at virtual time %v\n", sys.Now())
 	fmt.Printf("protocol messages: %d (Exception=%d Suspended=%d Commit=%d)\n",
 		metrics.Get("msg.total"),
 		metrics.Get("msg.Exception"), metrics.Get("msg.Suspended"), metrics.Get("msg.Commit"))
+
+	// A second action raises an exception neither role handles: the
+	// termination model converts it to the undo exception µ, coordinated by
+	// the signalling algorithm — the typed outcome below is recovered with
+	// errors.As.
+	audit := caaction.NewSpec("audit").
+		Role("producer", "T1").
+		Role("consumer", "T2").
+		Exception("ledger_corrupt").
+		MustBuild()
+	perform(sys, t1, t2, audit,
+		caaction.RoleProgram{Body: func(ctx *caaction.Context) error {
+			return ctx.Raise("ledger_corrupt", "no handler anywhere")
+		}},
+		caaction.RoleProgram{Body: func(ctx *caaction.Context) error {
+			return ctx.Compute(50 * time.Millisecond)
+		}},
+	)
+}
+
+// perform runs one two-role action and reports each role's typed outcome.
+func perform(sys *caaction.System, t1, t2 *caaction.Thread, spec *caaction.Spec, p1, p2 caaction.RoleProgram) {
+	results := make(chan error, 2)
+	sys.Go(func() { results <- t1.Perform(context.Background(), spec, spec.Roles[0].Name, p1) })
+	sys.Go(func() { results <- t2.Perform(context.Background(), spec, spec.Roles[1].Name, p2) })
+	sys.Wait()
+	close(results)
+	for err := range results {
+		var sig *caaction.SignalledError
+		switch {
+		case err == nil:
+		case errors.As(err, &sig):
+			// Every exceptional outcome matches ErrSignalled; errors.As
+			// recovers which ε/µ/ƒ this role signalled.
+			switch sig.Exc {
+			case caaction.Undo:
+				fmt.Printf("action %s aborted and undone (µ)\n", sig.Action)
+			case caaction.Failure:
+				fmt.Printf("action %s failed (ƒ)\n", sig.Action)
+			default:
+				fmt.Printf("action %s signalled %q\n", sig.Action, sig.Exc)
+			}
+		default:
+			log.Fatalf("action outcome: %v", err)
+		}
+	}
 }

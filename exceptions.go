@@ -1,0 +1,78 @@
+package caaction
+
+import (
+	"io"
+
+	"caaction/internal/except"
+)
+
+// Exception identifies one exception within an action's exception context
+// (the paper's e ∈ E). IDs are compared literally; NoException is the
+// paper's φ.
+type Exception = except.ID
+
+// Raised is one occurrence of an exception inside an action: its identifier
+// plus the raising thread, diagnostic detail and timestamp.
+type Raised = except.Raised
+
+// Reserved exception identifiers from the paper's model (§3.1–3.2).
+const (
+	// NoException is φ: the absence of an exception to signal.
+	NoException = except.None
+	// UniversalException is the root exception present in every graph.
+	UniversalException = except.Universal
+	// Undo is µ: the action was aborted and all its effects were undone.
+	Undo = except.Undo
+	// Failure is ƒ: the action was aborted but its effects may not have
+	// been undone completely.
+	Failure = except.Failure
+	// Abortion is raised inside a nested action when its enclosing action
+	// requires it to abort.
+	Abortion = except.Abortion
+)
+
+// IsInterfaceException reports whether id is one of the pre-defined
+// interface exceptions (µ, ƒ) that require final-stage coordination.
+func IsInterfaceException(id Exception) bool { return except.IsInterface(id) }
+
+// ExceptionsOf extracts the distinct exception IDs from a set of raised
+// instances, sorted for determinism.
+func ExceptionsOf(raised []Raised) []Exception { return except.IDsOf(raised) }
+
+// Graph is an immutable exception graph G(E, R): nodes are exceptions and a
+// directed edge (parent, child) means the parent covers the child.
+// Concurrently raised exceptions resolve to the node with the smallest cover
+// set containing all of them.
+type Graph = except.Graph
+
+// GraphBuilder accumulates nodes and cover edges for a Graph; see NewGraph.
+type GraphBuilder = except.Builder
+
+// NewGraph returns a builder for an exception graph with the given name
+// (typically the owning CA action's name). Most callers can skip explicit
+// graphs entirely: SpecBuilder builds one from its Exception and Cover
+// declarations.
+func NewGraph(name string) *GraphBuilder { return except.NewBuilder(name) }
+
+// ParseGraph reads a graph in the paper's declaration syntax: one
+// "er: e1, e2, ..." line per cover relationship, '#' comments, an optional
+// "graph NAME" header and an optional "!auto-universal" directive.
+func ParseGraph(r io.Reader) (*Graph, error) { return except.Parse(r) }
+
+// GraphOption customises GenerateFullGraph.
+type GraphOption = except.GenerateOption
+
+// MaxLevel caps the height of a generated graph.
+func MaxLevel(l int) GraphOption { return except.MaxLevel(l) }
+
+// ExcludeCombinations drops generated nodes whose member set matches pred.
+func ExcludeCombinations(pred func(members []Exception) bool) GraphOption {
+	return except.Exclude(pred)
+}
+
+// GenerateFullGraph builds the complete lattice over the given primitive
+// exceptions — every combination becomes a resolving node — as used by the
+// paper's complexity experiments.
+func GenerateFullGraph(name string, primitives []Exception, opts ...GraphOption) (*Graph, error) {
+	return except.GenerateFull(name, primitives, opts...)
+}

@@ -1,0 +1,86 @@
+// Package experiments re-exports the paper's evaluation harness (§5): the
+// Figure 9/10 sensitivity sweep, the Figure 12/13 protocol comparison, the
+// §3.3.3 message-complexity counts, the §3.4 signalling costs and the
+// Lemma 1 completion-time bound. Everything runs on the deterministic
+// virtual clock, so results are bit-reproducible; cmd/caexperiments and
+// the benchmarks in the repository root drive these entry points.
+package experiments
+
+import (
+	"time"
+
+	"caaction/internal/harness"
+)
+
+// Fig9Config parameterises one §5.2 sensitivity point; Fig9Row is one
+// rendered sweep row.
+type (
+	Fig9Config = harness.Fig9Config
+	Fig9Row    = harness.Fig9Row
+)
+
+// DefaultFig9 returns the paper's baseline point: Tmmax=0.2s, Tabo=0.1s,
+// Treso=0.3s, 20 iterations (94.36 virtual seconds).
+func DefaultFig9() Fig9Config { return harness.DefaultFig9() }
+
+// RunFig9Point runs one configuration and reports the virtual completion
+// time.
+func RunFig9Point(cfg Fig9Config) (time.Duration, error) { return harness.RunFig9Point(cfg) }
+
+// RunFig9 runs the full Figure 9/10 sweeps.
+func RunFig9() ([]Fig9Row, error) { return harness.RunFig9() }
+
+// RenderFig9 renders sweep rows as a markdown table.
+func RenderFig9(rows []Fig9Row) string { return harness.RenderFig9(rows) }
+
+// Fig12Config parameterises one §5.3 comparison point (its Protocol field
+// takes caaction.Coordinated, caaction.CR86 or caaction.R96); Fig12Row is
+// one rendered row.
+type (
+	Fig12Config = harness.Fig12Config
+	Fig12Row    = harness.Fig12Row
+)
+
+// RunFig12Point runs one comparison point and reports the virtual
+// completion time.
+func RunFig12Point(cfg Fig12Config) (time.Duration, error) { return harness.RunFig12Point(cfg) }
+
+// RunFig12 runs the full Figure 12/13 sweeps.
+func RunFig12() ([]Fig12Row, error) { return harness.RunFig12() }
+
+// RenderFig12 renders comparison rows as a markdown table.
+func RenderFig12(rows []Fig12Row) string { return harness.RenderFig12(rows) }
+
+// MsgRow is one measured message-complexity cell (protocol × N × scenario).
+type MsgRow = harness.MsgRow
+
+// RunMessageComplexity measures resolution-protocol messages and
+// resolution-procedure calls for each thread count in ns, against the
+// §3.3.3 closed forms.
+func RunMessageComplexity(ns []int) ([]MsgRow, error) { return harness.RunMessageComplexity(ns) }
+
+// RenderMsgs renders message-complexity rows as a markdown table.
+func RenderMsgs(rows []MsgRow) string { return harness.RenderMsgs(rows) }
+
+// SigRow is one measured signalling-cost case.
+type SigRow = harness.SigRow
+
+// RunSignalling measures the §3.4 exchange for each thread count in ns:
+// plain ε mixes, a ƒ vote, and µ with successful and failed undos.
+func RunSignalling(ns []int) ([]SigRow, error) { return harness.RunSignalling(ns) }
+
+// RenderSignalling renders signalling rows as a markdown table.
+func RenderSignalling(rows []SigRow) string { return harness.RenderSignalling(rows) }
+
+// Lemma1Row is one measured nesting depth against the Lemma 1 bound.
+type Lemma1Row = harness.Lemma1Row
+
+// RunLemma1 measures worst-case completion times for each nesting depth and
+// checks them against the paper's bound
+// T ≤ (2·nmax+3)·Tmmax + nmax·Tabort + (nmax+1)·(Treso+∆max).
+func RunLemma1(depths []int, tmmax, tabo, treso time.Duration) ([]Lemma1Row, error) {
+	return harness.RunLemma1(depths, tmmax, tabo, treso)
+}
+
+// RenderLemma1 renders Lemma 1 rows as a markdown table.
+func RenderLemma1(rows []Lemma1Row) string { return harness.RenderLemma1(rows) }

@@ -1,0 +1,3 @@
+module caaction
+
+go 1.24

@@ -20,6 +20,13 @@ type SignalledError struct {
 	Exc except.ID
 }
 
+// ErrSignalled is the sentinel matched by errors.Is for every
+// *SignalledError, regardless of which exception was signalled.
+var ErrSignalled = errors.New("core: action signalled an exception")
+
+// Is makes errors.Is(err, ErrSignalled) hold for any signalled outcome.
+func (e *SignalledError) Is(target error) bool { return target == ErrSignalled }
+
 // Error implements error.
 func (e *SignalledError) Error() string {
 	switch e.Exc {

@@ -82,6 +82,11 @@ func (th *Thread) mapUserErr(ctx *Context, err error) error {
 	if errors.As(err, &pe) {
 		return pe
 	}
+	if errors.Is(err, ErrThreadStopped) {
+		// The endpoint was closed under the body (thread shutdown or an
+		// external cancellation): surface the stop instead of raising.
+		return err
+	}
 	if ctx.f.hasPendingWork() {
 		// The body swallowed a control error but state tells the truth.
 		return &pendingError{kind: kindInterrupt, frame: ctx.f}

@@ -23,6 +23,7 @@ type TCP struct {
 	clock vclock.Clock
 
 	mu     sync.Mutex
+	listen string            // host:port listeners bind to; loopback default
 	book   map[string]string // logical address -> host:port
 	eps    map[string]*tcpEndpoint
 	closed bool
@@ -39,6 +40,14 @@ func NewTCP(clock vclock.Clock) *TCP {
 		book:  make(map[string]string),
 		eps:   make(map[string]*tcpEndpoint),
 	}
+}
+
+// SetListenAddr changes the host:port future endpoints listen on (e.g.
+// "0.0.0.0:0" to accept non-loopback peers). The default is "127.0.0.1:0".
+func (t *TCP) SetListenAddr(hostport string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.listen = hostport
 }
 
 // SetPeer records the host:port of a logical address served by another
@@ -68,7 +77,11 @@ func (t *TCP) Endpoint(addr string) (Endpoint, error) {
 	if _, ok := t.eps[addr]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicateAddr, addr)
 	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	listen := t.listen
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}

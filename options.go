@@ -1,0 +1,188 @@
+package caaction
+
+import (
+	"fmt"
+	"time"
+)
+
+// Option configures New. Options are applied in order; where two options
+// set the same knob (e.g. WithVirtualTime and WithRealTime) the last wins.
+// Invalid combinations surface as an error from New, never as a panic.
+type Option func(*config)
+
+type clockKind int
+
+const (
+	clockVirtual clockKind = iota // the default
+	clockReal
+	clockCustom
+)
+
+type config struct {
+	clockKind clockKind
+	clock     Clock // clockCustom only
+
+	transportName string
+	network       Network // overrides the registry when non-nil
+	env           TransportEnv
+
+	resolverName string
+	protocol     ResolutionProtocol // overrides resolverName when non-nil
+
+	signalTimeout time.Duration
+	metrics       *Metrics
+	log           *Log
+
+	err error
+}
+
+func (c *config) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf("caaction: "+format, args...)
+	}
+}
+
+// WithVirtualTime runs the system on the deterministic virtual clock: a
+// conservative discrete-event scheduler under which whole distributed
+// executions are reproducible and simulated minutes pass in microseconds.
+// This is the default.
+func WithVirtualTime() Option {
+	return func(c *config) { c.clockKind = clockVirtual }
+}
+
+// WithRealTime runs the system on the wall clock, for production deployments
+// and for workloads cancelled from real-time contexts.
+func WithRealTime() Option {
+	return func(c *config) { c.clockKind = clockReal }
+}
+
+// WithClock supplies a custom Clock implementation.
+func WithClock(clk Clock) Option {
+	return func(c *config) {
+		if clk == nil {
+			c.fail("WithClock: nil clock")
+			return
+		}
+		c.clockKind = clockCustom
+		c.clock = clk
+	}
+}
+
+// WithSimTransport selects the in-process simulated network (the default)
+// with the given one-way message latency (the paper's Tmmax).
+func WithSimTransport(latency time.Duration) Option {
+	return func(c *config) {
+		c.transportName = "sim"
+		c.env.Latency = latency
+	}
+}
+
+// WithJitter spreads the sim transport's latency uniformly over
+// [latency, latency+jitter], seeded for reproducibility.
+func WithJitter(jitter time.Duration, seed int64) Option {
+	return func(c *config) {
+		c.env.Jitter = jitter
+		c.env.Seed = seed
+	}
+}
+
+// WithTCPTransport selects the gob-over-TCP network for genuinely
+// distributed deployments. addr is the host:port local endpoints listen on;
+// empty means loopback with ephemeral ports. Combine with WithPeer to
+// introduce threads served by other processes, and usually with
+// WithRealTime.
+func WithTCPTransport(addr string) Option {
+	return func(c *config) {
+		c.transportName = "tcp"
+		c.env.ListenAddr = addr
+	}
+}
+
+// WithPeer records the host:port of a logical thread address served by
+// another process (tcp transport).
+func WithPeer(thread, hostport string) Option {
+	return func(c *config) {
+		if c.env.Peers == nil {
+			c.env.Peers = make(map[string]string)
+		}
+		c.env.Peers[thread] = hostport
+	}
+}
+
+// WithTransport selects a registered transport by name ("sim", "tcp", or a
+// name added with RegisterTransport) — the string form used by command-line
+// flags. The name is validated by New.
+func WithTransport(name string) Option {
+	return func(c *config) { c.transportName = name }
+}
+
+// WithNetwork supplies a fully constructed Network, bypassing the transport
+// registry. The System takes ownership and closes it on Close.
+func WithNetwork(n Network) Option {
+	return func(c *config) {
+		if n == nil {
+			c.fail("WithNetwork: nil network")
+			return
+		}
+		c.network = n
+	}
+}
+
+// WithResolver selects a registered resolution protocol by name
+// ("coordinated", "cr86", "r96", or a name added with RegisterResolver) —
+// the string form used by command-line flags. The name is validated by New.
+// The default is "coordinated", the paper's own algorithm.
+func WithResolver(name string) Option {
+	return func(c *config) { c.resolverName = name }
+}
+
+// WithResolutionProtocol supplies a resolution protocol directly.
+func WithResolutionProtocol(p ResolutionProtocol) Option {
+	return func(c *config) {
+		if p == nil {
+			c.fail("WithResolutionProtocol: nil protocol")
+			return
+		}
+		c.protocol = p
+	}
+}
+
+// WithSignalTimeout bounds every action's wait for peers' exit votes; a
+// missing vote is then treated as a failure exception ƒ (the §3.4 extension
+// for lost messages). Zero — the default — disables the timeout, which is
+// correct for reliable transports. Per-action overrides come from
+// SpecBuilder.SignalTimeout.
+func WithSignalTimeout(d time.Duration) Option {
+	return func(c *config) {
+		if d < 0 {
+			c.fail("WithSignalTimeout: negative duration %v", d)
+			return
+		}
+		c.signalTimeout = d
+	}
+}
+
+// WithMetrics shares an externally owned Metrics with the system, so
+// callers can aggregate counters across systems or read them after Close.
+// By default every System owns a fresh Metrics, available via Metrics().
+func WithMetrics(m *Metrics) Option {
+	return func(c *config) {
+		if m == nil {
+			c.fail("WithMetrics: nil metrics")
+			return
+		}
+		c.metrics = m
+	}
+}
+
+// WithLog attaches an event log capturing runtime and transport events
+// (entries, raises, resolutions, exits, sends). By default no log is kept.
+func WithLog(l *Log) Option {
+	return func(c *config) {
+		if l == nil {
+			c.fail("WithLog: nil log")
+			return
+		}
+		c.log = l
+	}
+}

@@ -1,0 +1,193 @@
+package caaction
+
+import (
+	"fmt"
+	"time"
+
+	"caaction/internal/core"
+	"caaction/internal/except"
+)
+
+// Spec declares a CA action: its roles with their thread bindings, the
+// exception graph shared by all roles, the interface exceptions it may
+// signal, and its modelled protocol costs. Build one fluently with NewSpec.
+type Spec = core.Spec
+
+// Role binds one role name of a CA action to the thread performing it.
+type Role = core.Role
+
+// Timing carries the paper's modelled protocol costs for one action.
+type Timing = core.Timing
+
+// RoleProgram is the code one thread contributes to an action: the role's
+// body, its handlers (one per exception it can handle — different roles may
+// handle the same exception differently), and its optional abortion handler.
+type RoleProgram = core.RoleProgram
+
+// Body is a role's normal computation; Handler is a role's handler for one
+// resolved exception; AbortHandler runs when an enclosing action's exception
+// aborts this nested action. All receive a Context and must propagate any
+// error its methods return.
+type (
+	Body         = core.Body
+	Handler      = core.Handler
+	AbortHandler = core.AbortHandler
+)
+
+// Context is a role's interface to the runtime while executing inside one
+// action frame: cooperation messaging (Send/Recv), modelled computation
+// (Compute/Checkpoint), exception raising and signalling (Raise/Signal),
+// nesting (Enter) and external-object access (Tx). Bodies and handlers MUST
+// propagate any non-nil error returned by Context methods — those errors
+// are the cooperative equivalent of the paper's asynchronous transfer of
+// control.
+type Context = core.Context
+
+// SpecBuilder assembles a Spec fluently. Each method returns the builder;
+// the first error sticks and is reported by Build. A builder is not safe
+// for concurrent use and builds one Spec.
+//
+//	spec, err := caaction.NewSpec("transfer").
+//		Role("producer", "T1").
+//		Role("consumer", "T2").
+//		Exception("bad_checksum").
+//		Build()
+type SpecBuilder struct {
+	name     string
+	roles    []Role
+	gb       *GraphBuilder
+	declared bool   // any Exception/Cover call was made
+	graph    *Graph // explicit graph from UseGraph
+	signals  []Exception
+	timing   Timing
+	err      error
+}
+
+// NewSpec starts a builder for an action with the given name. The exception
+// graph is grown from Exception and Cover declarations under an automatic
+// universal root; an action that declares no exceptions still gets the
+// universal exception (every fault then resolves to it).
+func NewSpec(name string) *SpecBuilder {
+	return &SpecBuilder{name: name, gb: except.NewBuilder(name)}
+}
+
+func (b *SpecBuilder) fail(format string, args ...any) *SpecBuilder {
+	if b.err == nil {
+		b.err = fmt.Errorf("caaction: spec %q: "+format, append([]any{b.name}, args...)...)
+	}
+	return b
+}
+
+// Role adds a role performed by the given thread. Declaration order is the
+// action's role order.
+func (b *SpecBuilder) Role(role, thread string) *SpecBuilder {
+	b.roles = append(b.roles, Role{Name: role, Thread: thread})
+	return b
+}
+
+// Exception declares exceptions with no cover relationships (primitives,
+// unless later used as parents in Cover).
+func (b *SpecBuilder) Exception(ids ...Exception) *SpecBuilder {
+	if b.graph != nil {
+		return b.fail("Exception after UseGraph")
+	}
+	b.declared = true
+	for _, id := range ids {
+		b.gb.Node(id)
+	}
+	return b
+}
+
+// Cover declares that parent covers each child in the action's exception
+// graph: a handler for parent can handle any of the children.
+func (b *SpecBuilder) Cover(parent Exception, children ...Exception) *SpecBuilder {
+	if b.graph != nil {
+		return b.fail("Cover after UseGraph")
+	}
+	b.declared = true
+	b.gb.Cover(parent, children...)
+	return b
+}
+
+// UseGraph adopts a pre-built exception graph (from NewGraph, ParseGraph or
+// GenerateFullGraph) instead of growing one from Exception/Cover calls.
+func (b *SpecBuilder) UseGraph(g *Graph) *SpecBuilder {
+	if g == nil {
+		return b.fail("UseGraph: nil graph")
+	}
+	if b.declared {
+		return b.fail("UseGraph after Exception/Cover")
+	}
+	b.graph = g
+	return b
+}
+
+// Signals declares the interface exceptions ε the action may signal to its
+// enclosing action or caller. µ and ƒ are implicitly allowed.
+func (b *SpecBuilder) Signals(ids ...Exception) *SpecBuilder {
+	b.signals = append(b.signals, ids...)
+	return b
+}
+
+// ResolutionCost sets Treso, the modelled cost of one run of the resolution
+// procedure.
+func (b *SpecBuilder) ResolutionCost(d time.Duration) *SpecBuilder {
+	b.timing.Resolution = d
+	return b
+}
+
+// AbortionCost sets Tabo, the modelled cost of one abortion-handler run.
+func (b *SpecBuilder) AbortionCost(d time.Duration) *SpecBuilder {
+	b.timing.Abortion = d
+	return b
+}
+
+// SignalTimeout bounds this action's wait for exit votes, overriding the
+// system-wide WithSignalTimeout default; missing votes are then treated as
+// ƒ. Inner actions should use shorter timeouts than outer ones.
+func (b *SpecBuilder) SignalTimeout(d time.Duration) *SpecBuilder {
+	b.timing.SignalTimeout = d
+	return b
+}
+
+// Build validates the accumulated declarations and returns the Spec. All
+// structural errors — duplicate roles, a thread bound twice, reserved
+// exception identifiers, cyclic cover edges, negative timings — surface
+// here, wrapped so that errors.Is(err, ErrSpecInvalid) holds for spec-level
+// problems.
+func (b *SpecBuilder) Build() (*Spec, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	graph := b.graph
+	if graph == nil {
+		if !b.declared {
+			b.gb.Node(except.Universal)
+		}
+		g, err := b.gb.WithUniversal().Build()
+		if err != nil {
+			return nil, fmt.Errorf("caaction: spec %q: %w", b.name, err)
+		}
+		graph = g
+	}
+	spec := &Spec{
+		Name:    b.name,
+		Roles:   b.roles,
+		Graph:   graph,
+		Signals: b.signals,
+		Timing:  b.timing,
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// MustBuild is Build panicking on error, for specs known statically valid.
+func (b *SpecBuilder) MustBuild() *Spec {
+	spec, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}

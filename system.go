@@ -1,0 +1,177 @@
+package caaction
+
+import (
+	"time"
+
+	"caaction/internal/atomicobj"
+	"caaction/internal/core"
+	"caaction/internal/trace"
+	"caaction/internal/vclock"
+)
+
+// Clock abstracts the passage of time for a simulated or real distributed
+// system; see WithVirtualTime, WithRealTime and WithClock.
+type Clock = vclock.Clock
+
+// Metrics is a concurrency-safe counter set; the runtime and transports
+// record protocol and action counters into it ("msg.total",
+// "action.entries", "resolve.calls", ...). The zero value is ready to use.
+type Metrics = trace.Metrics
+
+// Log is a bounded in-memory event log; attach one with WithLog. Event is
+// one recorded entry.
+type (
+	Log   = trace.Log
+	Event = trace.Event
+)
+
+// NewLog returns a Log retaining at most max events (oldest dropped first).
+func NewLog(max int) *Log { return trace.NewLog(max) }
+
+// Object is an external atomic object: state shared between actions with
+// version counts, before-images for coordinated undo, and damage reports.
+// ObjectOption customises Define, and Tx — available to role code via
+// Context.Tx — tracks one role's use of objects inside an action.
+type (
+	Object       = atomicobj.Object
+	ObjectOption = atomicobj.ObjectOption
+	Tx           = atomicobj.Tx
+	CloneFunc    = atomicobj.CloneFunc
+)
+
+// WithClone makes Define deep-copy object state with fn when taking
+// before-images, for states that are not value types.
+func WithClone(fn CloneFunc) ObjectOption { return atomicobj.WithClone(fn) }
+
+// System is the public facade over the CA-action runtime: one node (or one
+// whole simulation) hosting threads, a clock, a transport and an external
+// atomic-object registry. Construct with New; zero options give a
+// deterministic virtual-time simulation over the in-process transport with
+// the paper's coordinated resolution protocol.
+type System struct {
+	rt      *core.Runtime
+	clock   Clock
+	virtual *vclock.Virtual // non-nil iff the clock is the virtual one
+	net     Network
+	metrics *Metrics
+	log     *Log
+}
+
+// New assembles a System from functional options. See Option and the With*
+// constructors for the available knobs.
+func New(opts ...Option) (*System, error) {
+	cfg := config{transportName: "sim"}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
+
+	var clk Clock
+	var virtual *vclock.Virtual
+	switch cfg.clockKind {
+	case clockReal:
+		clk = vclock.NewReal()
+	case clockCustom:
+		clk = cfg.clock
+		virtual, _ = clk.(*vclock.Virtual)
+	default:
+		virtual = vclock.NewVirtual()
+		clk = virtual
+	}
+
+	if cfg.metrics == nil {
+		cfg.metrics = &Metrics{}
+	}
+
+	net := cfg.network
+	if net == nil {
+		factory, err := TransportByName(cfg.transportName)
+		if err != nil {
+			return nil, err
+		}
+		env := cfg.env
+		env.Clock = clk
+		env.Metrics = cfg.metrics
+		env.Log = cfg.log
+		net, err = factory(env)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	protocol := cfg.protocol
+	if protocol == nil && cfg.resolverName != "" {
+		p, err := Resolver(cfg.resolverName)
+		if err != nil {
+			return nil, err
+		}
+		protocol = p
+	}
+
+	rt, err := core.New(core.Config{
+		Clock:         clk,
+		Network:       net,
+		Protocol:      protocol,
+		Metrics:       cfg.metrics,
+		Log:           cfg.log,
+		SignalTimeout: cfg.signalTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		rt:      rt,
+		clock:   clk,
+		virtual: virtual,
+		net:     net,
+		metrics: cfg.metrics,
+		log:     cfg.log,
+	}, nil
+}
+
+// Go runs fn on a goroutine tracked by the system clock. Under virtual time
+// this is mandatory for goroutines that perform actions: virtual time only
+// advances when every tracked goroutine is blocked in a clock-mediated wait.
+func (s *System) Go(fn func()) { s.clock.Go(fn) }
+
+// Wait blocks until every goroutine started with Go has returned.
+func (s *System) Wait() { s.clock.Wait() }
+
+// Now reports the elapsed (virtual or real) time since the system started.
+func (s *System) Now() time.Duration { return s.clock.Now() }
+
+// Clock returns the system clock.
+func (s *System) Clock() Clock { return s.clock }
+
+// Metrics returns the system's counter set.
+func (s *System) Metrics() *Metrics { return s.metrics }
+
+// Log returns the event log attached with WithLog, or nil.
+func (s *System) Log() *Log { return s.log }
+
+// Network returns the system's transport network.
+func (s *System) Network() Network { return s.net }
+
+// Virtual reports whether the system runs on the deterministic virtual
+// clock.
+func (s *System) Virtual() bool { return s.virtual != nil }
+
+// Define registers an external atomic object with its initial state.
+func (s *System) Define(name string, initial any, opts ...ObjectOption) (*Object, error) {
+	return s.rt.Objects().Define(name, initial, opts...)
+}
+
+// Object returns a previously defined external atomic object.
+func (s *System) Object(name string) (*Object, error) {
+	return s.rt.Objects().Get(name)
+}
+
+// Runtime exposes the underlying runtime for packages that build on
+// caaction (such as caaction/prodcell). Application code should not need
+// it.
+func (s *System) Runtime() *core.Runtime { return s.rt }
+
+// Close shuts the system's network down, detaching every thread endpoint.
+func (s *System) Close() error { return s.net.Close() }
