@@ -1,0 +1,95 @@
+// Package chaos is the public face of the repository's deterministic
+// fault-injection engine and property-based protocol sweep: seeded random
+// scenarios — role counts, generated exception graphs, concurrent and
+// staggered raise sets, nested abort cascades, message drop / duplication /
+// reordering / delay, network partitions and thread crash-stops — executed
+// against the CA-action runtime and checked against the paper's invariants:
+//
+//   - every surviving participant of a resolution round agrees on the same
+//     resolved exception over the same raised set;
+//   - the resolved exception is exactly the cover-set resolution the
+//     action's exception graph prescribes;
+//   - an enclosing raise aborts exactly one nested frame per nesting level
+//     in every descending thread (§3.3.2's cascade);
+//   - per-round message counts respect §3.3.3: (N+1)(N−1) for the paper's
+//     Coordinated algorithm, 3N(N−1) for R96, O(N³) for CR86;
+//   - ClassConcurrent scenarios run under all three resolution protocols
+//     and must produce identical decisions.
+//
+// # The seed-replay contract
+//
+// Every scenario runs on a sequential virtual clock that serializes the
+// whole distributed execution into one deterministic total order, and every
+// random choice (scenario shape and per-message fault rolls alike) derives
+// from the scenario seed. The same seed therefore replays a byte-identical
+// event trace — same perturbation verdicts, same deliveries, same
+// decisions, same outcomes — so a failing scenario is fully reproducible
+// from the seed printed in the sweep report:
+//
+//	res, err := chaos.Run(chaos.Generate(failingSeed))
+//
+// reproduces the exact run, and Result.Trace / Result.Fingerprint render it
+// for inspection. cmd/cachaos drives long sweeps from the command line.
+package chaos
+
+import (
+	"caaction/internal/chaos"
+)
+
+// Faults is a scenario's fault plan: per-message perturbation probabilities
+// plus structural faults (crash-stops, a partition window). The zero value
+// is fault-free.
+type Faults = chaos.Faults
+
+// Scenario is one fully specified randomized experiment, derived from its
+// seed by Generate; Run is a pure function of the scenario.
+type Scenario = chaos.Scenario
+
+// Decision is one thread's record of one completed resolution round;
+// Result is the observable outcome of one scenario run, with Check
+// verifying the paper's invariants against it.
+type (
+	Decision = chaos.Decision
+	Result   = chaos.Result
+)
+
+// Violation is one invariant breach found by a sweep; Summary aggregates a
+// sweep's scenarios, runs, stalls and failures.
+type (
+	Violation = chaos.Violation
+	Summary   = chaos.Summary
+)
+
+// Scenario classes drawn by Generate.
+const (
+	ClassConcurrent = chaos.ClassConcurrent
+	ClassStaggered  = chaos.ClassStaggered
+	ClassNested     = chaos.ClassNested
+	ClassFaulty     = chaos.ClassFaulty
+)
+
+// Resolvers lists the resolution protocols every sweep exercises.
+func Resolvers() []string { return append([]string(nil), chaos.Resolvers...) }
+
+// Generate derives a scenario from its seed: 2–5 threads, a full exception
+// graph over 2–4 primitives, a random raise set, and per-class timing and
+// fault plans.
+func Generate(seed int64) Scenario { return chaos.Generate(seed) }
+
+// Run executes the scenario under its own resolver, deterministically.
+func Run(s Scenario) (*Result, error) { return chaos.Run(s) }
+
+// RunWith executes the scenario under the named resolution protocol
+// ("coordinated", "cr86" or "r96").
+func RunWith(s Scenario, resolver string) (*Result, error) {
+	return chaos.RunWith(s, resolver)
+}
+
+// Sweep generates and runs n scenarios from consecutive seeds starting at
+// baseSeed, checking every invariant; ClassConcurrent scenarios run under
+// all three resolvers and are cross-compared. Every replayEvery-th scenario
+// is run twice and its fingerprints compared, enforcing the seed-replay
+// contract (replayEvery <= 0 disables replays).
+func Sweep(baseSeed int64, n, replayEvery int) *Summary {
+	return chaos.Sweep(baseSeed, n, replayEvery)
+}

@@ -1,0 +1,47 @@
+package chaos_test
+
+import (
+	"testing"
+
+	"caaction/chaos"
+)
+
+// TestChaosPublicSweep drives a sweep through the public facade — the same
+// ≥1000-scenario exploration the internal package runs, proving the public
+// surface alone is enough to reproduce and triage failures.
+func TestChaosPublicSweep(t *testing.T) {
+	sum := chaos.Sweep(5000, 1000, 50)
+	t.Logf("sweep summary:\n%s", sum)
+	if sum.Failed() {
+		t.Fatalf("public chaos sweep failed:\n%s", sum)
+	}
+}
+
+// TestChaosPublicReplay reproduces one scenario from its seed alone and
+// checks the fingerprints match — the workflow a developer follows with a
+// failing seed from a sweep report.
+func TestChaosPublicReplay(t *testing.T) {
+	const seed = 424242
+	s := chaos.Generate(seed)
+	first, err := chaos.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := chaos.Run(chaos.Generate(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Fingerprint() != again.Fingerprint() {
+		t.Fatalf("replay from seed diverged:\n%s\nvs\n%s", first.Fingerprint(), again.Fingerprint())
+	}
+	if len(first.Trace) == 0 {
+		t.Fatal("run produced an empty trace")
+	}
+}
+
+func TestChaosResolversListed(t *testing.T) {
+	rs := chaos.Resolvers()
+	if len(rs) != 3 {
+		t.Fatalf("Resolvers() = %v, want the three paper protocols", rs)
+	}
+}

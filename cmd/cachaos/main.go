@@ -1,0 +1,73 @@
+// Command cachaos runs long deterministic chaos sweeps over the CA-action
+// runtime: seeded random scenarios (concurrent and staggered raises, nested
+// abort cascades, message drop/duplication/reordering/delay, partitions,
+// thread crash-stops) executed under the paper's three resolution protocols
+// and checked against its invariants. Any failure prints the scenario seed;
+// re-running with -replay <seed> reproduces the identical event trace.
+//
+// Usage:
+//
+//	cachaos -n 100000 -seed 1            # sweep 100k scenarios
+//	cachaos -replay 4217 -v              # reproduce one scenario's trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"caaction/chaos"
+)
+
+func main() {
+	var (
+		n           = flag.Int("n", 10000, "number of scenarios to sweep")
+		seed        = flag.Int64("seed", 1, "base seed; scenario i uses seed+i")
+		replayEvery = flag.Int("replay-every", 50, "re-run every k-th scenario and compare traces (0 disables)")
+		replaySeed  = flag.Int64("replay", -1, "reproduce a single scenario from its seed and exit")
+		resolver    = flag.String("resolver", "", "with -replay: run under this resolver instead of the scenario's own")
+		verbose     = flag.Bool("v", false, "with -replay: print the full event trace")
+	)
+	flag.Parse()
+
+	if *replaySeed >= 0 {
+		os.Exit(replay(*replaySeed, *resolver, *verbose))
+	}
+
+	fmt.Printf("sweeping %d scenarios from seed %d...\n", *n, *seed)
+	sum := chaos.Sweep(*seed, *n, *replayEvery)
+	fmt.Print(sum)
+	if sum.Failed() {
+		os.Exit(1)
+	}
+}
+
+func replay(seed int64, resolver string, verbose bool) int {
+	s := chaos.Generate(seed)
+	if resolver == "" {
+		resolver = s.Resolver
+	}
+	res, err := chaos.RunWith(s, resolver)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cachaos:", err)
+		return 2
+	}
+	fmt.Printf("seed %d: class=%s threads=%d primitives=%d depth=%d resolver=%s latency=%v\n",
+		seed, s.Class, s.Threads, s.Primitives, s.Depth, resolver, s.Latency)
+	for _, th := range s.ThreadIDs() {
+		fmt.Printf("  %-4s outcome=%-12s decisions=%v\n", th, res.Outcomes[th], res.Decisions[th])
+	}
+	fmt.Printf("  stalled=%v rounds=%d aborted=%d msgs=%v\n", res.Stalled, res.Rounds, res.Aborted, res.Msg)
+	if verbose {
+		fmt.Println("--- trace ---")
+		fmt.Println(res.Trace)
+	}
+	if v := res.Check(); len(v) > 0 {
+		for _, problem := range v {
+			fmt.Println("VIOLATION:", problem)
+		}
+		return 1
+	}
+	fmt.Println("all invariants held")
+	return 0
+}

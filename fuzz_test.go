@@ -1,0 +1,48 @@
+package caaction_test
+
+import (
+	"strings"
+	"testing"
+
+	"caaction"
+	"caaction/prodcell"
+)
+
+// FuzzParseGraph fuzzes the exception-graph parser with the round-trip
+// property: any text ParseGraph accepts must serialize (Graph.String) back
+// into text that re-parses to the same canonical form — and parsing must
+// never panic on arbitrary input. The seed corpus starts from the paper's
+// Figure 7 graph.
+func FuzzParseGraph(f *testing.F) {
+	f.Add(prodcell.MoveLoadedTableGraph().String())
+	f.Add("graph g\nuniversal: a, b\n")
+	f.Add("universal\n")
+	f.Add("a: b\nb: c\n!auto-universal\n")
+	f.Add("# comment\ngraph Move_Loaded_Table\nuniversal: x\n")
+	f.Add("dual: vm_stop, rm_stop\nuniversal: dual, other\n")
+	f.Add("graph\n")
+	f.Add(":\n")
+	f.Add("a: a\n")
+	f.Add("x y z\n")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		g, err := caaction.ParseGraph(strings.NewReader(text))
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		canon := g.String()
+		g2, err := caaction.ParseGraph(strings.NewReader(canon))
+		if err != nil {
+			t.Fatalf("re-parse of serialized graph failed: %v\ninput:\n%q\nserialized:\n%q",
+				err, text, canon)
+		}
+		if got := g2.String(); got != canon {
+			t.Fatalf("round-trip not stable:\nfirst:\n%q\nsecond:\n%q\ninput:\n%q",
+				canon, got, text)
+		}
+		if g2.Len() != g.Len() || g2.Root() != g.Root() {
+			t.Fatalf("round-trip changed shape: %d/%s vs %d/%s",
+				g.Len(), g.Root(), g2.Len(), g2.Root())
+		}
+	})
+}

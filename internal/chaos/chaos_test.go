@@ -1,0 +1,177 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"caaction/internal/except"
+)
+
+// TestChaosSweep is the main state-space exploration: 1000 seeded scenarios
+// across all classes and resolvers, every invariant checked, every 20th
+// scenario replayed to enforce the seed-replay contract. It must stay well
+// under 60s; -short trims nothing because this sweep size IS the short mode.
+func TestChaosSweep(t *testing.T) {
+	sum := Sweep(1, 1000, 20)
+	t.Logf("sweep summary:\n%s", sum)
+	if sum.Failed() {
+		t.Fatalf("chaos sweep failed:\n%s", sum)
+	}
+	if sum.ByClass[ClassConcurrent] == 0 || sum.ByClass[ClassStaggered] == 0 ||
+		sum.ByClass[ClassNested] == 0 || sum.ByClass[ClassFaulty] == 0 {
+		t.Fatalf("sweep did not cover every class: %v", sum.ByClass)
+	}
+}
+
+// TestChaosReplayIdenticalTrace runs single scenarios many times and demands
+// byte-identical fingerprints — the seed-replay contract, including under an
+// active fault plan.
+func TestChaosReplayIdenticalTrace(t *testing.T) {
+	for _, seed := range []int64{3, 7, 11, 42, 1234, 99991} {
+		s := Generate(seed)
+		first, err := Run(s)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i := 0; i < 4; i++ {
+			again, err := Run(s)
+			if err != nil {
+				t.Fatalf("seed %d replay: %v", seed, err)
+			}
+			if got, want := again.Fingerprint(), first.Fingerprint(); got != want {
+				t.Fatalf("seed %d (%s) replay %d diverged:\n--- first ---\n%s\n--- replay ---\n%s",
+					seed, s.Class, i, want, got)
+			}
+		}
+	}
+}
+
+// TestChaosDropStallsAndIsDetected: certain message loss starves the
+// resolution protocol; the run must stall (not hang, not panic) and the
+// stall must be recorded in the trace.
+func TestChaosDropStallsAndIsDetected(t *testing.T) {
+	s := Generate(1)
+	s.Class = ClassFaulty
+	s.Faults = Faults{Drop: 1.0}
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stalled {
+		t.Fatalf("run with 100%% drop did not stall; outcomes %v", res.Outcomes)
+	}
+	if !strings.Contains(res.Trace, "stall:") {
+		t.Fatalf("trace does not record the stall:\n%s", res.Trace)
+	}
+	if v := res.Check(); len(v) > 0 {
+		t.Fatalf("safety invariants violated under total loss: %v", v)
+	}
+}
+
+// TestChaosCrashLeavesSurvivorsConsistent crash-stops one thread; surviving
+// deciders must still agree.
+func TestChaosCrashLeavesSurvivorsConsistent(t *testing.T) {
+	var sawCrash bool
+	for seed := int64(0); seed < 200; seed++ {
+		s := Generate(seed)
+		if s.Class != ClassFaulty || s.Faults.Crashes == 0 {
+			continue
+		}
+		sawCrash = true
+		res, err := Run(s)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if v := res.Check(); len(v) > 0 {
+			t.Fatalf("seed %d: %v", seed, v)
+		}
+	}
+	if !sawCrash {
+		t.Fatal("no crash scenarios generated in 200 seeds")
+	}
+}
+
+// TestChaosNestedAbortCascade pins the §3.3.2 cascade invariant on concrete
+// nested scenarios: every descender aborts exactly Depth frames.
+func TestChaosNestedAbortCascade(t *testing.T) {
+	var seen int
+	for seed := int64(0); seed < 100 && seen < 5; seed++ {
+		s := Generate(seed)
+		if s.Class != ClassNested {
+			continue
+		}
+		seen++
+		res, err := Run(s)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if v := res.Check(); len(v) > 0 {
+			t.Fatalf("seed %d (depth %d, %d threads): %v", seed, s.Depth, s.Threads, v)
+		}
+		want := int64(s.Depth) * int64(s.Threads-1)
+		if res.Aborted != want {
+			t.Fatalf("seed %d: aborted %d frames, want %d", seed, res.Aborted, want)
+		}
+	}
+	if seen == 0 {
+		t.Fatal("no nested scenarios generated in 100 seeds")
+	}
+}
+
+// TestChaosResolverEquivalenceOnConcurrentRaises runs one hand-built
+// concurrent scenario under all three resolvers and demands identical
+// decisions, matching the graph's cover-set rule.
+func TestChaosResolverEquivalenceOnConcurrentRaises(t *testing.T) {
+	s := Scenario{
+		Seed:       777,
+		Class:      ClassConcurrent,
+		Threads:    4,
+		Primitives: 3,
+		Resolver:   "coordinated",
+		Latency:    time.Millisecond,
+		Raises:     map[string]except.ID{"T1": "e1", "T3": "e2"},
+		RaiseAfter: map[string]time.Duration{},
+		Work:       map[string]time.Duration{"T2": 0, "T4": 5 * time.Millisecond},
+	}
+	g := s.graph()
+	want, err := g.Resolve("e1", "e2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Resolvers {
+		res, err := RunWith(s, name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if v := res.Check(); len(v) > 0 {
+			t.Fatalf("%s: %v", name, v)
+		}
+		for th, ds := range res.Decisions {
+			if len(ds) != 1 || ds[0].Resolved != want {
+				t.Fatalf("%s: thread %s decided %v, want single round resolving %s", name, th, ds, want)
+			}
+		}
+	}
+}
+
+func BenchmarkChaosScenario(b *testing.B) {
+	s := Generate(42)
+	for i := 0; i < b.N; i++ {
+		res, err := Run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v := res.Check(); len(v) > 0 {
+			b.Fatal(v)
+		}
+	}
+}
+
+func BenchmarkChaosSweep10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if sum := Sweep(100, 10, 0); sum.Failed() {
+			b.Fatalf("sweep failed:\n%s", sum)
+		}
+	}
+}

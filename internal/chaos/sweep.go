@@ -1,0 +1,122 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Violation is one invariant breach found by a sweep, reproducible from its
+// scenario seed alone.
+type Violation struct {
+	Seed     int64
+	Resolver string
+	Problem  string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("seed %d (%s): %s", v.Seed, v.Resolver, v.Problem)
+}
+
+// Summary aggregates one sweep.
+type Summary struct {
+	Scenarios int
+	Runs      int
+	ByClass   map[string]int
+	Stalls    int
+	// Violations are invariant breaches; ReplayMismatches are seeds whose
+	// second run produced a different fingerprint (a determinism bug).
+	Violations       []Violation
+	ReplayMismatches []int64
+	// Errors are configuration failures (never expected from Generate).
+	Errors []string
+}
+
+// Failed reports whether the sweep found any problem.
+func (s *Summary) Failed() bool {
+	return len(s.Violations) > 0 || len(s.ReplayMismatches) > 0 || len(s.Errors) > 0
+}
+
+func (s *Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d scenarios, %d runs, %d stalls, classes %v\n",
+		s.Scenarios, s.Runs, s.Stalls, s.ByClass)
+	for _, v := range s.Violations {
+		fmt.Fprintf(&b, "VIOLATION %s\n", v)
+	}
+	for _, seed := range s.ReplayMismatches {
+		fmt.Fprintf(&b, "REPLAY MISMATCH seed %d\n", seed)
+	}
+	for _, e := range s.Errors {
+		fmt.Fprintf(&b, "ERROR %s\n", e)
+	}
+	if !s.Failed() {
+		b.WriteString("all invariants held\n")
+	}
+	return b.String()
+}
+
+// Sweep generates and runs n scenarios from consecutive seeds starting at
+// baseSeed, checking every invariant. ClassConcurrent scenarios run under
+// all three resolvers and their decisions are cross-compared; other classes
+// run under the scenario's own resolver. Every replayEvery-th scenario is
+// run twice and its fingerprints compared, enforcing the seed-replay
+// contract (replayEvery <= 0 disables replays).
+func Sweep(baseSeed int64, n, replayEvery int) *Summary {
+	sum := &Summary{ByClass: make(map[string]int)}
+	for i := 0; i < n; i++ {
+		seed := baseSeed + int64(i)
+		s := Generate(seed)
+		sum.Scenarios++
+		sum.ByClass[s.Class]++
+
+		resolvers := []string{s.Resolver}
+		if s.Class == ClassConcurrent {
+			resolvers = Resolvers
+		}
+		var first *Result
+		for _, name := range resolvers {
+			res, err := RunWith(s, name)
+			sum.Runs++
+			if err != nil {
+				sum.Errors = append(sum.Errors, fmt.Sprintf("seed %d (%s): %v", seed, name, err))
+				continue
+			}
+			if res.Stalled {
+				sum.Stalls++
+			}
+			for _, problem := range res.Check() {
+				sum.Violations = append(sum.Violations, Violation{Seed: seed, Resolver: name, Problem: problem})
+			}
+			if first == nil {
+				first = res
+			} else if d1, d2 := decisionsKey(first), decisionsKey(res); d1 != d2 {
+				sum.Violations = append(sum.Violations, Violation{
+					Seed:     seed,
+					Resolver: name,
+					Problem: fmt.Sprintf("resolver divergence vs %s:\n%s\nvs\n%s",
+						first.Resolver, d1, d2),
+				})
+			}
+		}
+		if replayEvery > 0 && i%replayEvery == 0 && first != nil {
+			again, err := RunWith(s, first.Resolver)
+			sum.Runs++
+			if err != nil {
+				sum.Errors = append(sum.Errors, fmt.Sprintf("seed %d replay: %v", seed, err))
+			} else if again.Fingerprint() != first.Fingerprint() {
+				sum.ReplayMismatches = append(sum.ReplayMismatches, seed)
+			}
+		}
+	}
+	return sum
+}
+
+// decisionsKey renders per-thread decisions and outcomes for cross-resolver
+// comparison (protocols must agree on what was resolved, round by round).
+func decisionsKey(r *Result) string {
+	var b strings.Builder
+	for _, th := range r.Scenario.ThreadIDs() {
+		fmt.Fprintf(&b, "%s %s %v; ", th, r.Outcomes[th], r.Decisions[th])
+	}
+	return b.String()
+}

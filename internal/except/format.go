@@ -57,6 +57,11 @@ func Parse(r io.Reader) (*Graph, error) {
 			if parent == None {
 				return nil, fmt.Errorf("except: line %d: missing parent", lineNo)
 			}
+			if strings.Contains(string(parent), ",") {
+				// A comma is the child-list separator; an identifier
+				// containing one cannot survive a serialize/parse cycle.
+				return nil, fmt.Errorf("except: line %d: comma in identifier %q", lineNo, parent)
+			}
 			var children []ID
 			for _, f := range strings.Split(parts[1], ",") {
 				f = strings.TrimSpace(f)
@@ -72,6 +77,9 @@ func Parse(r io.Reader) (*Graph, error) {
 		default:
 			if strings.ContainsAny(line, " \t") {
 				return nil, fmt.Errorf("except: line %d: malformed line %q", lineNo, line)
+			}
+			if strings.Contains(line, ",") {
+				return nil, fmt.Errorf("except: line %d: comma in identifier %q", lineNo, line)
 			}
 			b.Node(ID(line))
 		}

@@ -415,6 +415,11 @@ func (g *Graph) String() string {
 		}
 		return lines[i].text < lines[j].text
 	})
+	if len(lines) == 0 {
+		// A single-node graph has no cover lines; emit the lone root as a
+		// bare node declaration so String round-trips through Parse.
+		lines = append(lines, line{0, string(g.nodes[g.root].id)})
+	}
 	for _, l := range lines {
 		b.WriteString(l.text)
 		b.WriteByte('\n')

@@ -1,0 +1,190 @@
+package resolve
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"caaction/internal/except"
+	"caaction/internal/protocol"
+)
+
+// pumpNet is a minimal synchronous message fabric for driving protocol
+// instances without a transport: sends enqueue, pump delivers FIFO until
+// quiescent. Deterministic by construction.
+type pumpNet struct {
+	t         *testing.T
+	instances map[string]Instance
+	queue     []pumpMsg
+	decisions map[string]Outcome
+}
+
+type pumpMsg struct {
+	from, to string
+	msg      protocol.Message
+}
+
+func newPumpNet(t *testing.T, p Protocol, g *except.Graph, threads []string) *pumpNet {
+	n := &pumpNet{
+		t:         t,
+		instances: make(map[string]Instance, len(threads)),
+		decisions: make(map[string]Outcome, len(threads)),
+	}
+	for _, th := range threads {
+		th := th
+		n.instances[th] = p.NewInstance(Config{
+			Action: "equiv",
+			Self:   th,
+			Peers:  threads,
+			Send: func(to string, msg protocol.Message) {
+				n.queue = append(n.queue, pumpMsg{from: th, to: to, msg: msg})
+			},
+			Resolve: func(raised []except.Raised) except.ID {
+				id, err := g.ResolveRaised(raised)
+				if err != nil {
+					t.Fatalf("resolve: %v", err)
+				}
+				return id
+			},
+		})
+	}
+	return n
+}
+
+func (n *pumpNet) raise(th string, exc except.ID) {
+	out := n.instances[th].Raise(except.Raised{ID: exc, Origin: th})
+	n.observe(th, out)
+}
+
+func (n *pumpNet) pump() {
+	for len(n.queue) > 0 {
+		m := n.queue[0]
+		n.queue = n.queue[1:]
+		out, err := n.instances[m.to].Deliver(m.from, m.msg)
+		if err != nil {
+			n.t.Fatalf("deliver %T to %s: %v", m.msg, m.to, err)
+		}
+		n.observe(m.to, out)
+	}
+}
+
+func (n *pumpNet) observe(th string, out Outcome) {
+	if out.Decided {
+		if _, ok := n.decisions[th]; !ok {
+			n.decisions[th] = out
+		}
+	}
+}
+
+// randomGraph builds a seeded random exception DAG: a layer of primitives,
+// then levels of resolving exceptions covering random lower-level subsets,
+// under an automatic universal root.
+func randomGraph(rng *rand.Rand) *except.Graph {
+	nPrims := 2 + rng.Intn(5)
+	var lower []except.ID
+	b := except.NewBuilder("random")
+	for i := 0; i < nPrims; i++ {
+		id := except.ID(fmt.Sprintf("p%d", i))
+		b.Node(id)
+		lower = append(lower, id)
+	}
+	all := append([]except.ID(nil), lower...)
+	levels := rng.Intn(3)
+	for l := 0; l < levels; l++ {
+		var cur []except.ID
+		nNodes := 1 + rng.Intn(3)
+		for i := 0; i < nNodes; i++ {
+			if len(lower) < 2 {
+				break
+			}
+			id := except.ID(fmt.Sprintf("r%d_%d", l, i))
+			k := 2 + rng.Intn(len(lower)-1)
+			perm := rng.Perm(len(lower))[:k]
+			children := make([]except.ID, k)
+			for j, pi := range perm {
+				children[j] = lower[pi]
+			}
+			b.Cover(id, children...)
+			cur = append(cur, id)
+			all = append(all, id)
+		}
+		if len(cur) > 0 {
+			lower = cur
+		}
+	}
+	g, err := b.WithUniversal().Build()
+	if err != nil {
+		panic(fmt.Sprintf("random graph invalid: %v", err))
+	}
+	return g
+}
+
+// TestProtocolEquivalenceRandomGraphs is the property test: over 500 seeded
+// random graphs and random concurrent raise-sets, the three resolution
+// protocols must all decide, at every thread, on exactly the cover-set
+// resolution of the raised set — identical across protocols and identical
+// to Graph.Resolve.
+func TestProtocolEquivalenceRandomGraphs(t *testing.T) {
+	protocols := []Protocol{Coordinated{}, CR86{}, R96{}}
+	for seed := int64(0); seed < 500; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			g := randomGraph(rng)
+			nodes := g.Nodes()
+
+			nThreads := 2 + rng.Intn(4)
+			threads := make([]string, nThreads)
+			for i := range threads {
+				threads[i] = fmt.Sprintf("T%d", i+1)
+			}
+			SortThreads(threads)
+
+			nRaisers := 1 + rng.Intn(nThreads)
+			raises := make(map[string]except.ID, nRaisers)
+			var raisedIDs []except.ID
+			for _, i := range rng.Perm(nThreads)[:nRaisers] {
+				exc := nodes[rng.Intn(len(nodes))]
+				raises[threads[i]] = exc
+				raisedIDs = append(raisedIDs, exc)
+			}
+			want, err := g.Resolve(raisedIDs...)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, p := range protocols {
+				net := newPumpNet(t, p, g, threads)
+				// All raises happen before any delivery: the concurrent
+				// worst case every protocol must agree on.
+				for _, th := range threads {
+					if exc, ok := raises[th]; ok {
+						net.raise(th, exc)
+					}
+				}
+				net.pump()
+				if len(net.decisions) != nThreads {
+					t.Fatalf("%s: %d/%d threads decided (raises %v)",
+						p.Name(), len(net.decisions), nThreads, raises)
+				}
+				for th, out := range net.decisions {
+					if out.Resolved != want {
+						t.Fatalf("%s: thread %s resolved %q, want %q (raised %v, graph:\n%s)",
+							p.Name(), th, out.Resolved, want, raisedIDs, g)
+					}
+					if got := except.IDsOf(out.Raised); fmt.Sprint(got) != fmt.Sprint(except.IDsOf(toRaised(raises))) {
+						t.Fatalf("%s: thread %s saw raised set %v, want %v", p.Name(), th, got, raisedIDs)
+					}
+				}
+			}
+		})
+	}
+}
+
+func toRaised(m map[string]except.ID) []except.Raised {
+	var out []except.Raised
+	for th, id := range m {
+		out = append(out, except.Raised{ID: id, Origin: th})
+	}
+	return out
+}

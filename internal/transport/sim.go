@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"caaction/internal/protocol"
@@ -28,6 +29,40 @@ const (
 
 // FaultFunc decides the fate of one message from one sender to one receiver.
 type FaultFunc func(from, to string, msg protocol.Message) Fault
+
+// Verdict is a perturbation applied to one message by a PerturbFunc — the
+// richer fault model the chaos engine drives. The zero Verdict delivers the
+// message unharmed.
+type Verdict struct {
+	// Fault is the base outcome; zero means Deliver.
+	Fault Fault
+	// Delay adds one-way delay on top of the latency model.
+	Delay time.Duration
+	// Copies delivers this many extra duplicates of the message (a retried
+	// send observed twice). All copies arrive at the same instant.
+	Copies int
+	// Reorder exempts this message from the per-pair FIFO clamp, so a later
+	// send on the same pair may overtake it (combine with Delay).
+	Reorder bool
+}
+
+// PerturbFunc decides the perturbation for one message. It is invoked under
+// the network lock in send order, so a stateful (seeded) injector observes a
+// deterministic call sequence whenever the clock serializes execution.
+type PerturbFunc func(from, to string, msg protocol.Message) Verdict
+
+// Stats are the simulated network's traffic counters. Fields are written
+// under the network lock but read with atomic loads, so harnesses may sample
+// them while a scenario is running.
+type Stats struct {
+	Sent       int64 // messages accepted onto the wire (crash-suppressed sends excluded)
+	Delivered  int64 // deliveries enqueued (duplicates counted)
+	Dropped    int64
+	Corrupted  int64
+	Duplicated int64 // extra copies enqueued
+	Reordered  int64 // messages exempted from the FIFO clamp
+	Delayed    int64 // messages given perturbation delay
+}
 
 // LatencyFunc models one-way message latency; it is invoked under the
 // network lock, so stateful models (jitter) stay deterministic.
@@ -78,7 +113,16 @@ type Sim struct {
 	endpoints map[string]*simEndpoint
 	lastAt    map[[2]string]time.Duration
 	fault     FaultFunc
+	perturb   PerturbFunc
 	closed    bool
+
+	// stats fields are written under mu and read atomically by Stats, so
+	// concurrent readers (a chaos harness sampling mid-scenario) never race
+	// with senders.
+	stats struct {
+		sent, delivered, dropped, corrupted atomic.Int64
+		duplicated, reordered, delayed      atomic.Int64
+	}
 }
 
 var _ Network = (*Sim)(nil)
@@ -104,6 +148,48 @@ func (s *Sim) SetFault(f FaultFunc) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.fault = f
+}
+
+// SetPerturb installs a perturbation injector applied to every subsequent
+// send, after any SetFault injector has passed the message; nil removes it.
+func (s *Sim) SetPerturb(f PerturbFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.perturb = f
+}
+
+// Stats returns a snapshot of the network's traffic counters. Safe to call
+// at any time, including while a scenario is running.
+func (s *Sim) Stats() Stats {
+	return Stats{
+		Sent:       s.stats.sent.Load(),
+		Delivered:  s.stats.delivered.Load(),
+		Dropped:    s.stats.dropped.Load(),
+		Corrupted:  s.stats.corrupted.Load(),
+		Duplicated: s.stats.duplicated.Load(),
+		Reordered:  s.stats.reordered.Load(),
+		Delayed:    s.stats.delayed.Load(),
+	}
+}
+
+// CloseEndpoint crash-stops the endpoint bound to addr: the owning thread's
+// pending and future receives observe ok=false (already-buffered deliveries
+// are discarded, a crashed process does not drain its inbox), its subsequent
+// sends are silently dropped, and peers' sends to addr fail with
+// ErrUnknownAddr. It reports whether an endpoint was bound. This is the
+// chaos engine's thread crash primitive; for a graceful detach use
+// Endpoint.Close. The crash marker belongs to the endpoint incarnation, so
+// re-binding the address with Endpoint starts a fresh, healthy endpoint.
+func (s *Sim) CloseEndpoint(addr string) bool {
+	s.mu.Lock()
+	ep, ok := s.endpoints[addr]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	ep.dead.Store(true)
+	_ = ep.Close()
+	return true
 }
 
 // Endpoint implements Network.
@@ -135,11 +221,17 @@ func (s *Sim) Close() error {
 	return nil
 }
 
-func (s *Sim) send(from, to string, msg protocol.Message) error {
+func (s *Sim) send(src *simEndpoint, to string, msg protocol.Message) error {
+	from := src.addr
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
+	}
+	if src.dead.Load() {
+		// A crash-stopped thread's sends never reach the wire.
+		s.cfg.Log.Add(s.cfg.Clock.Now(), from, "crashed."+msg.Kind(), "send suppressed")
+		return nil
 	}
 	dst, ok := s.endpoints[to]
 	if !ok {
@@ -150,29 +242,62 @@ func (s *Sim) send(from, to string, msg protocol.Message) error {
 		m.Add("msg."+msg.Kind(), 1)
 		m.Add("msg.total", 1)
 	}
+	s.stats.sent.Add(1)
 	now := s.cfg.Clock.Now()
 	s.cfg.Log.Add(now, from, "send."+msg.Kind(), fmt.Sprintf("to %s: %v", to, msg))
 
-	verdict := Deliver
+	fault := Deliver
 	if s.fault != nil {
-		verdict = s.fault(from, to, msg)
+		fault = s.fault(from, to, msg)
 	}
-	if verdict == Drop {
+	if fault == Drop {
+		// The perturbation hook is not consulted for messages the legacy
+		// fault injector already lost, per the SetPerturb contract.
+		s.stats.dropped.Add(1)
 		s.cfg.Log.Add(now, from, "drop."+msg.Kind(), "to "+to)
 		return nil
 	}
-
-	at := now + s.cfg.Latency(from, to)
-	pair := [2]string{from, to}
-	if prev := s.lastAt[pair]; at < prev {
-		at = prev // preserve per-pair FIFO under jitter
+	var v Verdict
+	if s.perturb != nil {
+		v = s.perturb(from, to, msg)
 	}
-	s.lastAt[pair] = at
-	dst.queue.PutAfter(at-now, Delivery{
-		From:    from,
-		Msg:     msg,
-		Corrupt: verdict == Corrupt,
-	})
+	if v.Fault == Drop {
+		s.stats.dropped.Add(1)
+		s.cfg.Log.Add(now, from, "drop."+msg.Kind(), "to "+to)
+		return nil
+	}
+	corrupt := fault == Corrupt || v.Fault == Corrupt
+	if corrupt {
+		s.stats.corrupted.Add(1)
+	}
+
+	at := now + s.cfg.Latency(from, to) + v.Delay
+	if v.Delay > 0 {
+		s.stats.delayed.Add(1)
+	}
+	pair := [2]string{from, to}
+	if prev := s.lastAt[pair]; at < prev && !v.Reorder {
+		at = prev // preserve per-pair FIFO under jitter and perturbation
+	}
+	if v.Reorder {
+		// Leave lastAt untouched so later sends may overtake this one.
+		s.stats.reordered.Add(1)
+	} else {
+		s.lastAt[pair] = at
+	}
+	copies := 1 + v.Copies
+	if v.Copies > 0 {
+		s.stats.duplicated.Add(int64(v.Copies))
+		s.cfg.Log.Add(now, from, "dup."+msg.Kind(), fmt.Sprintf("to %s ×%d", to, copies))
+	}
+	for i := 0; i < copies; i++ {
+		s.stats.delivered.Add(1)
+		dst.queue.PutAfter(at-now, Delivery{
+			From:    from,
+			Msg:     msg,
+			Corrupt: corrupt,
+		})
+	}
 	return nil
 }
 
@@ -180,6 +305,9 @@ type simEndpoint struct {
 	net   *Sim
 	addr  string
 	queue *vclock.Queue
+	// dead marks a crash-stop: buffered deliveries are discarded instead of
+	// drained, unlike a graceful Close.
+	dead atomic.Bool
 }
 
 var _ Endpoint = (*simEndpoint)(nil)
@@ -187,12 +315,12 @@ var _ Endpoint = (*simEndpoint)(nil)
 func (e *simEndpoint) Addr() string { return e.addr }
 
 func (e *simEndpoint) Send(to string, msg protocol.Message) error {
-	return e.net.send(e.addr, to, msg)
+	return e.net.send(e, to, msg)
 }
 
 func (e *simEndpoint) Recv() (Delivery, bool) {
 	x, ok := e.queue.Get()
-	if !ok {
+	if !ok || e.dead.Load() {
 		return Delivery{}, false
 	}
 	return x.(Delivery), true
@@ -200,13 +328,18 @@ func (e *simEndpoint) Recv() (Delivery, bool) {
 
 func (e *simEndpoint) RecvTimeout(timeout time.Duration) (Delivery, bool) {
 	x, ok := e.queue.GetTimeout(timeout)
-	if !ok {
+	if !ok || e.dead.Load() {
 		return Delivery{}, false
 	}
 	return x.(Delivery), true
 }
 
-func (e *simEndpoint) Pending() int { return e.queue.Len() }
+func (e *simEndpoint) Pending() int {
+	if e.dead.Load() {
+		return 0
+	}
+	return e.queue.Len()
+}
 
 func (e *simEndpoint) Close() error {
 	e.net.mu.Lock()

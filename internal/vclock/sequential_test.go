@@ -1,0 +1,167 @@
+package vclock
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSequentialRunToBlock verifies that under sequential scheduling at most
+// one tracked goroutine executes at a time, even when several are runnable at
+// the same virtual instant.
+func TestSequentialRunToBlock(t *testing.T) {
+	v := NewVirtualSequential()
+	var mu sync.Mutex
+	active, maxActive := 0, 0
+	enter := func() {
+		mu.Lock()
+		active++
+		if active > maxActive {
+			maxActive = active
+		}
+		mu.Unlock()
+	}
+	leave := func() {
+		mu.Lock()
+		active--
+		mu.Unlock()
+	}
+	for i := 0; i < 8; i++ {
+		v.Go(func() {
+			for step := 0; step < 50; step++ {
+				enter()
+				// A tight non-blocking section: under concurrent wake-up
+				// several goroutines would overlap here.
+				for spin := 0; spin < 100; spin++ {
+					_ = spin * spin
+				}
+				leave()
+				v.Sleep(time.Millisecond)
+			}
+		})
+	}
+	v.Wait()
+	if maxActive != 1 {
+		t.Fatalf("max concurrently running goroutines = %d, want 1", maxActive)
+	}
+}
+
+// TestSequentialDeterministicOrder verifies that the interleaving of
+// same-instant wake-ups is identical across runs: goroutines woken at the
+// same virtual instant resume in start order, every time.
+func TestSequentialDeterministicOrder(t *testing.T) {
+	run := func() string {
+		v := NewVirtualSequential()
+		var mu sync.Mutex
+		var order []string
+		for i := 0; i < 6; i++ {
+			i := i
+			v.Go(func() {
+				for step := 0; step < 10; step++ {
+					v.Sleep(time.Millisecond) // all six wake at the same instant
+					mu.Lock()
+					order = append(order, fmt.Sprintf("g%d.%d", i, step))
+					mu.Unlock()
+				}
+			})
+		}
+		v.Wait()
+		return fmt.Sprint(order)
+	}
+	first := run()
+	for i := 0; i < 20; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d produced a different interleaving:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+}
+
+// TestSequentialQueues verifies producer/consumer traffic through
+// clock-mediated queues under sequential scheduling, including timed gets.
+func TestSequentialQueues(t *testing.T) {
+	v := NewVirtualSequential()
+	q := v.NewQueue()
+	const n = 100
+	var got []int
+	v.Go(func() {
+		for i := 0; i < n; i++ {
+			q.PutAfter(time.Duration(i)*time.Millisecond, i)
+		}
+	})
+	v.Go(func() {
+		for i := 0; i < n; i++ {
+			x, ok := q.GetTimeout(time.Second)
+			if !ok {
+				return
+			}
+			got = append(got, x.(int))
+		}
+	})
+	v.Wait()
+	if len(got) != n {
+		t.Fatalf("received %d items, want %d", len(got), n)
+	}
+	for i, x := range got {
+		if x != i {
+			t.Fatalf("got[%d] = %d, want %d", i, x, i)
+		}
+	}
+	if v.Now() != time.Duration(n-1)*time.Millisecond {
+		t.Fatalf("final time %v, want %v", v.Now(), time.Duration(n-1)*time.Millisecond)
+	}
+}
+
+// TestSequentialDeadlockRelease verifies that a custom deadlock handler
+// releases every blocked goroutine so sequential simulations can unwind after
+// a stall.
+func TestSequentialDeadlockRelease(t *testing.T) {
+	v := NewVirtualSequential()
+	var stalled string
+	v.SetDeadlockHandler(func(info string) { stalled = info })
+	q := v.NewQueue()
+	var okA, okB bool
+	v.Go(func() { _, okA = q.Get() })
+	v.Go(func() { _, okB = q.Get() })
+	v.Wait()
+	if stalled == "" {
+		t.Fatal("deadlock handler not invoked")
+	}
+	if okA || okB {
+		t.Fatalf("gets returned ok after deadlock: %v %v", okA, okB)
+	}
+}
+
+// TestSequentialAfterFunc verifies AfterFunc fires at the requested instant.
+func TestSequentialAfterFunc(t *testing.T) {
+	v := NewVirtualSequential()
+	var at time.Duration
+	v.AfterFunc(250*time.Millisecond, func() { at = v.Now() })
+	v.Go(func() { v.Sleep(time.Second) })
+	v.Wait()
+	if at != 250*time.Millisecond {
+		t.Fatalf("fired at %v, want 250ms", at)
+	}
+}
+
+// TestSequentialAdopt verifies Adopt/Release participate in the turn-taking.
+func TestSequentialAdopt(t *testing.T) {
+	v := NewVirtualSequential()
+	q := v.NewQueue()
+	v.Go(func() {
+		v.Sleep(10 * time.Millisecond)
+		q.Put("hello")
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v.Adopt()
+		defer v.Release()
+		x, ok := q.Get()
+		if !ok || x != "hello" {
+			t.Errorf("Get = %v, %v", x, ok)
+		}
+	}()
+	<-done
+	v.Wait()
+}

@@ -33,19 +33,45 @@ type Virtual struct {
 	// blocked holds one record per goroutine currently inside blockLocked.
 	blocked map[*waiter]struct{}
 
+	// sequential selects run-to-block scheduling: at most one tracked
+	// goroutine executes at a time, and when several waiters become
+	// runnable at the same instant the one started earliest (lowest gid)
+	// always runs first. See NewVirtualSequential.
+	sequential bool
+	nextGID    uint64
+	current    uint64  // gid of the goroutine holding the run token
+	granted    *waiter // chosen but not yet resumed; blocks further grants
+
 	onDeadlock func(info string)
 	dead       bool
 }
 
 var _ Clock = (*Virtual)(nil)
 
-// NewVirtual returns a virtual clock positioned at time zero.
+// NewVirtual returns a virtual clock positioned at time zero. Goroutines
+// woken at the same instant run concurrently, so executions are reproducible
+// in virtual time but not in fine-grained event order.
 func NewVirtual() *Virtual {
 	v := &Virtual{blocked: make(map[*waiter]struct{})}
 	v.cond = sync.NewCond(&v.mu)
 	v.onDeadlock = func(info string) {
 		panic("vclock: deadlock: " + info)
 	}
+	return v
+}
+
+// NewVirtualSequential returns a virtual clock with run-to-block scheduling:
+// exactly one tracked goroutine executes at any moment, each running until it
+// blocks in a clock-mediated wait, and among simultaneously runnable
+// goroutines the one started earliest (by Go/Adopt order) always resumes
+// first. Whole-system executions are then fully deterministic — every send,
+// delivery and random draw happens in an identical total order on every run
+// — which is what the chaos engine's seed-replay contract is built on. The
+// cost is lost intra-instant parallelism, so prefer NewVirtual when only
+// virtual-time reproducibility is needed.
+func NewVirtualSequential() *Virtual {
+	v := NewVirtual()
+	v.sequential = true
 	return v
 }
 
@@ -66,26 +92,53 @@ func (v *Virtual) Now() time.Duration {
 	return v.now
 }
 
-// Go starts fn on a new tracked goroutine.
+// Go starts fn on a new tracked goroutine. Under sequential scheduling the
+// goroutine's start order (the Go call order) is its wake priority for the
+// rest of its life.
 func (v *Virtual) Go(fn func()) {
 	v.mu.Lock()
 	v.tracked++
 	v.running++
+	gid := v.nextGID
+	v.nextGID++
+	seq := v.sequential
 	v.mu.Unlock()
 	go func() {
+		if seq {
+			v.mu.Lock()
+			v.takeTurnLocked(gid)
+			v.mu.Unlock()
+		}
 		defer v.release()
 		fn()
 	}()
 }
 
+// AfterFunc runs fn on a new tracked goroutine once d of virtual time has
+// elapsed — the hook fault injectors use to crash threads or heal partitions
+// at chosen virtual instants. fn runs unlocked and may use any clock
+// operation.
+func (v *Virtual) AfterFunc(d time.Duration, fn func()) {
+	v.Go(func() {
+		v.Sleep(d)
+		fn()
+	})
+}
+
 // Adopt registers the calling goroutine as tracked. It must be paired with
 // Release. Use it when an existing goroutine (for example a test) needs to
-// call blocking clock operations directly.
+// call blocking clock operations directly. Under sequential scheduling the
+// call blocks until the goroutine is granted its first turn.
 func (v *Virtual) Adopt() {
 	v.mu.Lock()
+	defer v.mu.Unlock()
 	v.tracked++
 	v.running++
-	v.mu.Unlock()
+	if v.sequential {
+		gid := v.nextGID
+		v.nextGID++
+		v.takeTurnLocked(gid)
+	}
 }
 
 // Release unregisters the calling goroutine; see Adopt.
@@ -97,7 +150,11 @@ func (v *Virtual) release() {
 	v.tracked--
 	v.running--
 	if v.running == 0 && len(v.blocked) > 0 {
-		v.advanceLocked()
+		if v.sequential {
+			v.scheduleNextLocked()
+		} else {
+			v.advanceLocked()
+		}
 	}
 	v.cond.Broadcast()
 }
@@ -147,6 +204,11 @@ func (v *Virtual) blockLocked(pred func() bool) {
 	if pred() {
 		return
 	}
+	if v.sequential {
+		// The caller holds the run token, so v.current is its gid.
+		v.blockSeqLocked(v.current, pred)
+		return
+	}
 	w := &waiter{pred: pred}
 	v.blocked[w] = struct{}{}
 	v.running--
@@ -158,6 +220,76 @@ func (v *Virtual) blockLocked(pred func() bool) {
 	}
 	delete(v.blocked, w)
 	v.running++
+}
+
+// takeTurnLocked parks a goroutine that has not run yet (Go start, Adopt)
+// until the scheduler grants it the run token.
+func (v *Virtual) takeTurnLocked(gid uint64) {
+	v.blockSeqLocked(gid, func() bool { return true })
+}
+
+// blockSeqLocked is the sequential-mode park: the goroutine gives up the run
+// token and waits until the scheduler chooses it again (its pred satisfied
+// and every lower-gid runnable goroutine already served), or the clock is
+// declared dead, in which case every waiter unwinds.
+func (v *Virtual) blockSeqLocked(gid uint64, pred func() bool) {
+	w := &waiter{pred: pred, gid: gid}
+	v.blocked[w] = struct{}{}
+	v.running--
+	if v.running == 0 {
+		v.scheduleNextLocked()
+	}
+	for !v.dead {
+		if w.chosen {
+			if pred() {
+				break
+			}
+			// Spurious grant: pred was falsified (e.g. by an untracked
+			// TryGet) between the grant and our resume. Give the token
+			// back and re-park.
+			w.chosen = false
+			if v.granted == w {
+				v.granted = nil
+			}
+			if v.running == 0 {
+				v.scheduleNextLocked()
+			}
+			continue
+		}
+		v.cond.Wait()
+	}
+	if v.granted == w {
+		v.granted = nil
+	}
+	delete(v.blocked, w)
+	v.running++
+	v.current = gid
+}
+
+// scheduleNextLocked advances virtual time until at least one waiter is
+// satisfied, then hands the run token to the satisfied waiter with the lowest
+// gid. Called with v.mu held and v.running == 0. A no-op while a grant is
+// still outstanding (the chosen goroutine has not resumed yet).
+func (v *Virtual) scheduleNextLocked() {
+	if v.granted != nil {
+		return
+	}
+	v.advanceLocked()
+	if v.dead {
+		return // advanceLocked broadcast; every waiter unwinds
+	}
+	var best *waiter
+	for w := range v.blocked {
+		if w.pred() && (best == nil || w.gid < best.gid) {
+			best = w
+		}
+	}
+	if best != nil {
+		best.chosen = true
+		v.granted = best
+		v.current = best.gid
+		v.cond.Broadcast()
+	}
 }
 
 // advanceLocked fires events until at least one blocked waiter is satisfied,
@@ -207,6 +339,10 @@ func (v *Virtual) anySatisfiedLocked() bool {
 
 type waiter struct {
 	pred func() bool
+	// Sequential-mode fields: the owning goroutine's start-order id and
+	// whether the scheduler has handed it the run token.
+	gid    uint64
+	chosen bool
 }
 
 type event struct {
