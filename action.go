@@ -1,0 +1,221 @@
+package caaction
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"caaction/internal/core"
+	"caaction/internal/transport"
+	"caaction/internal/vclock"
+)
+
+// ErrSystemClosed reports an operation on a System after Close.
+var ErrSystemClosed = errors.New("caaction: system closed")
+
+// ActionHandle tracks one concurrent CA-action instance started with
+// System.StartAction: which roles are still running, and each role's
+// outcome once it finishes.
+type ActionHandle struct {
+	id    string
+	roles []string
+
+	done      chan struct{} // closed when every role has finished
+	doneQ     *vclock.Queue // clock-integrated completion signal for Wait
+	cancelled atomic.Bool
+
+	mu      sync.Mutex
+	pending int
+	results map[string]error
+}
+
+// ID returns the instance tag assigned to this action — the prefix of every
+// action identifier the instance puts on the wire.
+func (h *ActionHandle) ID() string { return h.id }
+
+// Roles returns the action's role names in spec order.
+func (h *ActionHandle) Roles() []string { return append([]string(nil), h.roles...) }
+
+// Done reports whether every role has finished.
+func (h *ActionHandle) Done() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.pending == 0
+}
+
+// Wait blocks until every role of the action has finished and returns the
+// per-role outcomes (nil for success, a *SignalledError for an exceptional
+// exit, or another error).
+//
+// Wait is clock-integrated: under virtual time it must be called from a
+// goroutine the clock tracks (one started with System.Go) — for example a
+// load driver that starts actions and waits for them. Untracked goroutines
+// (a test's main goroutine) should instead call System.Wait and then read
+// Results.
+func (h *ActionHandle) Wait() map[string]error {
+	for {
+		h.mu.Lock()
+		finished := h.pending == 0
+		h.mu.Unlock()
+		if finished {
+			return h.Results()
+		}
+		// The queue closes when the last role finishes, so this wakes
+		// exactly then; intermediate completions put nothing.
+		if _, ok := h.doneQ.Get(); !ok {
+			return h.Results()
+		}
+	}
+}
+
+// Results returns a snapshot of the per-role outcomes recorded so far; after
+// Done (or Wait) it is the action's complete outcome map.
+func (h *ActionHandle) Results() map[string]error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]error, len(h.results))
+	for role, err := range h.results {
+		out[role] = err
+	}
+	return out
+}
+
+// Err joins the non-nil role outcomes in role order (nil when every role
+// succeeded). Call after Done or Wait.
+func (h *ActionHandle) Err() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var errs []error
+	for _, role := range h.roles {
+		if err := h.results[role]; err != nil {
+			errs = append(errs, fmt.Errorf("role %s: %w", role, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func (h *ActionHandle) finish(role string, err error) {
+	h.mu.Lock()
+	h.results[role] = err
+	h.pending--
+	last := h.pending == 0
+	h.mu.Unlock()
+	if last {
+		close(h.done)
+		h.doneQ.Close()
+	}
+}
+
+// StartAction runs one CA-action instance concurrently with any number of
+// others on the same System: every role of spec gets its own goroutine
+// (started with System.Go, so virtual time keeps working) and its own
+// virtual endpoint demultiplexed from the shared per-thread transport
+// endpoints, and the instance is garbage-collected from the demultiplexer
+// when its last role finishes. progs must supply a RoleProgram with a Body
+// for every role of the spec.
+//
+// Action identifiers of the instance are tagged with a fresh instance tag
+// (ActionHandle.ID), which is what keeps concurrent instances of the same
+// spec — same action names, same thread bindings — separate on the wire.
+// The single-action path (System.Thread + Perform) remains the untagged
+// N=1 case of the same machinery and may run alongside StartAction
+// instances, provided raw threads and specs use disjoint thread addresses.
+//
+// Cancelling ctx closes the instance's endpoints: every role unwinds
+// through the cooperative interrupt path and reports an error matching both
+// ErrThreadStopped and the context cause.
+func (s *System) StartAction(ctx context.Context, spec *Spec, progs map[string]RoleProgram) (*ActionHandle, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if s.closed.Load() {
+		return nil, ErrSystemClosed
+	}
+	if spec == nil {
+		return nil, fmt.Errorf("caaction: StartAction: nil spec")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	for role := range progs {
+		if _, ok := spec.ThreadFor(role); !ok {
+			return nil, fmt.Errorf("%w: %q in %s", ErrUnknownRole, role, spec.Name)
+		}
+	}
+	for _, r := range spec.Roles {
+		if p, ok := progs[r.Name]; !ok || p.Body == nil {
+			return nil, fmt.Errorf("%w: %s/%s", ErrBodyRequired, spec.Name, r.Name)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("caaction: %s not started: %w", spec.Name, context.Cause(ctx))
+	}
+
+	tag := fmt.Sprintf("a%d", s.actionSeq.Add(1))
+	mux := s.muxNet()
+	type roleThread struct {
+		role string
+		th   *core.Thread
+		ep   transport.Endpoint
+	}
+	rts := make([]roleThread, 0, len(spec.Roles))
+	for _, r := range spec.Roles {
+		ep, err := mux.Open(tag, r.Thread)
+		if err != nil {
+			for _, x := range rts {
+				_ = x.ep.Close()
+			}
+			return nil, fmt.Errorf("caaction: StartAction %s: %w", spec.Name, err)
+		}
+		rts = append(rts, roleThread{r.Name, s.rt.NewThreadOn(r.Thread, ep, tag), ep})
+	}
+
+	h := &ActionHandle{
+		id:      tag,
+		done:    make(chan struct{}),
+		doneQ:   s.clock.NewQueue(),
+		pending: len(rts),
+		results: make(map[string]error, len(rts)),
+	}
+	for _, x := range rts {
+		h.roles = append(h.roles, x.role)
+	}
+	for _, x := range rts {
+		x := x
+		prog := progs[x.role]
+		s.Go(func() {
+			err := x.th.Perform(spec, x.role, prog)
+			_ = x.th.Close() // GC: deregister the instance from the mux
+			if h.cancelled.Load() && errors.Is(err, ErrThreadStopped) {
+				err = &cancelledError{spec: spec.Name, role: x.role, cause: context.Cause(ctx)}
+			}
+			h.finish(x.role, err)
+		})
+	}
+	if ctx.Done() != nil {
+		// The watcher is untracked: it blocks on real channels, never on the
+		// clock, and exits as soon as the action finishes.
+		go func() {
+			select {
+			case <-ctx.Done():
+				h.cancelled.Store(true)
+				for _, x := range rts {
+					_ = x.ep.Close()
+				}
+			case <-h.done:
+			}
+		}()
+	}
+	return h, nil
+}
+
+// muxNet lazily creates the demultiplexer the System's concurrent actions
+// share.
+func (s *System) muxNet() *transport.Mux {
+	s.muxOnce.Do(func() {
+		s.mux = transport.NewMux(s.clock, s.net)
+	})
+	return s.mux
+}

@@ -1,0 +1,438 @@
+package caaction_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"caaction"
+)
+
+// pingPongSpec is a two-role action used by the concurrency tests; the
+// producer sends one message the consumer must receive.
+func pingPongSpec(t *testing.T) (*caaction.Spec, map[string]caaction.RoleProgram) {
+	t.Helper()
+	spec, err := caaction.NewSpec("pingpong").
+		Role("producer", "T1").
+		Role("consumer", "T2").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := map[string]caaction.RoleProgram{
+		"producer": {Body: func(ctx *caaction.Context) error {
+			return ctx.Send("consumer", "ping")
+		}},
+		"consumer": {Body: func(ctx *caaction.Context) error {
+			v, err := ctx.Recv("producer")
+			if err != nil {
+				return err
+			}
+			if v != "ping" {
+				return fmt.Errorf("payload %v", v)
+			}
+			return nil
+		}},
+	}
+	return spec, progs
+}
+
+// TestStartActionConcurrentInstances runs many instances of the SAME spec —
+// same action names, same thread bindings — concurrently on one System over
+// the shared sim transport, which is exactly what the mux layer exists for.
+func TestStartActionConcurrentInstances(t *testing.T) {
+	sys, err := caaction.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sys.Close() }()
+	spec, progs := pingPongSpec(t)
+
+	const n = 50
+	handles := make([]*caaction.ActionHandle, n)
+	ids := map[string]bool{}
+	for i := range handles {
+		h, err := sys.StartAction(context.Background(), spec, progs)
+		if err != nil {
+			t.Fatalf("StartAction %d: %v", i, err)
+		}
+		if ids[h.ID()] {
+			t.Fatalf("duplicate instance tag %q", h.ID())
+		}
+		ids[h.ID()] = true
+		handles[i] = h
+	}
+	sys.Wait()
+	for i, h := range handles {
+		if !h.Done() {
+			t.Fatalf("instance %d not done after Wait", i)
+		}
+		if err := h.Err(); err != nil {
+			t.Errorf("instance %d: %v", i, err)
+		}
+	}
+	if got := sys.Metrics().Get("action.completions"); got != 2*n {
+		t.Errorf("action.completions = %d, want %d", got, 2*n)
+	}
+}
+
+// TestStartActionWaitFromTrackedGoroutine drives actions from a tracked
+// driver goroutine using ActionHandle.Wait — the load-harness pattern —
+// including nested waits while other instances are in flight.
+func TestStartActionWaitFromTrackedGoroutine(t *testing.T) {
+	sys, err := caaction.New(caaction.WithSimTransport(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sys.Close() }()
+	spec, progs := pingPongSpec(t)
+
+	var sequentialErr, overlapErr error
+	sys.Go(func() {
+		// Sequential: start, wait, start again (tag reuse GC path).
+		for i := 0; i < 3; i++ {
+			h, err := sys.StartAction(context.Background(), spec, progs)
+			if err != nil {
+				sequentialErr = err
+				return
+			}
+			for role, err := range h.Wait() {
+				if err != nil {
+					sequentialErr = fmt.Errorf("%s: %w", role, err)
+				}
+			}
+		}
+	})
+	sys.Go(func() {
+		// Overlapping: a second driver keeps its own instances in flight.
+		var hs []*caaction.ActionHandle
+		for i := 0; i < 5; i++ {
+			h, err := sys.StartAction(context.Background(), spec, progs)
+			if err != nil {
+				overlapErr = err
+				return
+			}
+			hs = append(hs, h)
+		}
+		for _, h := range hs {
+			h.Wait()
+			if err := h.Err(); err != nil && overlapErr == nil {
+				overlapErr = err
+			}
+		}
+	})
+	sys.Wait()
+	if sequentialErr != nil {
+		t.Errorf("sequential driver: %v", sequentialErr)
+	}
+	if overlapErr != nil {
+		t.Errorf("overlapping driver: %v", overlapErr)
+	}
+}
+
+// TestStartActionExceptionalOutcome checks per-role outcomes of an instance
+// whose resolution ends in a signalled exception.
+func TestStartActionExceptionalOutcome(t *testing.T) {
+	sys, err := caaction.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sys.Close() }()
+	spec, err := caaction.NewSpec("doomed").
+		Role("left", "T1").
+		Role("right", "T2").
+		Exception("boom").
+		Signals("boom").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := map[string]caaction.RoleProgram{
+		"left":  {Body: func(ctx *caaction.Context) error { return ctx.Raise("boom", "kaboom") }},
+		"right": {Body: func(ctx *caaction.Context) error { return ctx.Compute(time.Second) }},
+	}
+	h, err := sys.StartAction(context.Background(), spec, progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Wait()
+	for role, rerr := range h.Results() {
+		se, ok := caaction.AsSignalled(rerr)
+		if !ok || se.Exc != "boom" {
+			t.Errorf("role %s outcome %v, want signalled boom", role, rerr)
+		}
+		if !strings.HasPrefix(se.Action, h.ID()+"!") {
+			t.Errorf("action id %q does not carry instance tag %q", se.Action, h.ID())
+		}
+	}
+	if err := h.Err(); !errors.Is(err, caaction.ErrSignalled) {
+		t.Errorf("Err() = %v, want ErrSignalled match", err)
+	}
+}
+
+// TestStartActionAlongsideThreadPerform checks the N=1 legacy path and the
+// muxed path coexist on one System (disjoint thread addresses).
+func TestStartActionAlongsideThreadPerform(t *testing.T) {
+	sys, err := caaction.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sys.Close() }()
+	spec, progs := pingPongSpec(t)
+
+	soloSpec, err := caaction.NewSpec("solo").Role("only", "S1").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := sys.Thread("S1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloOut := make(chan error, 1)
+	sys.Go(func() {
+		soloOut <- th.Perform(context.Background(), soloSpec, "only", caaction.RoleProgram{
+			Body: func(ctx *caaction.Context) error { return ctx.Compute(time.Millisecond) },
+		})
+	})
+	h, err := sys.StartAction(context.Background(), spec, progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Wait()
+	if err := <-soloOut; err != nil {
+		t.Errorf("legacy Perform alongside StartAction: %v", err)
+	}
+	if err := h.Err(); err != nil {
+		t.Errorf("StartAction alongside legacy Perform: %v", err)
+	}
+}
+
+// TestStartActionCancellation cancels an in-flight instance and expects
+// every role to unwind with an error matching both ErrThreadStopped and the
+// context cause.
+func TestStartActionCancellation(t *testing.T) {
+	sys, err := caaction.New(caaction.WithRealTime())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sys.Close() }()
+	spec, err := caaction.NewSpec("slow").
+		Role("left", "T1").
+		Role("right", "T2").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{}, 2)
+	body := func(ctx *caaction.Context) error {
+		started <- struct{}{}
+		return ctx.Compute(30 * time.Second)
+	}
+	progs := map[string]caaction.RoleProgram{"left": {Body: body}, "right": {Body: body}}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	h, err := sys.StartAction(ctx, spec, progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	<-started
+	cancel()
+	sys.Wait()
+	for role, rerr := range h.Results() {
+		if !errors.Is(rerr, caaction.ErrThreadStopped) {
+			t.Errorf("role %s: %v does not match ErrThreadStopped", role, rerr)
+		}
+		if !errors.Is(rerr, context.Canceled) {
+			t.Errorf("role %s: %v does not match context.Canceled", role, rerr)
+		}
+	}
+}
+
+// TestStartActionErrorPaths is the table of facade misuse cases.
+func TestStartActionErrorPaths(t *testing.T) {
+	spec, progs := pingPongSpec(t)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	cases := []struct {
+		name  string
+		start func(sys *caaction.System) error
+		want  error
+	}{
+		{"nil spec", func(sys *caaction.System) error {
+			_, err := sys.StartAction(context.Background(), nil, progs)
+			return err
+		}, nil},
+		{"missing role program", func(sys *caaction.System) error {
+			_, err := sys.StartAction(context.Background(), spec,
+				map[string]caaction.RoleProgram{"producer": progs["producer"]})
+			return err
+		}, caaction.ErrBodyRequired},
+		{"nil body", func(sys *caaction.System) error {
+			bad := map[string]caaction.RoleProgram{"producer": progs["producer"], "consumer": {}}
+			_, err := sys.StartAction(context.Background(), spec, bad)
+			return err
+		}, caaction.ErrBodyRequired},
+		{"unknown role key", func(sys *caaction.System) error {
+			bad := map[string]caaction.RoleProgram{
+				"producer": progs["producer"], "consumer": progs["consumer"],
+				"ghost": progs["producer"],
+			}
+			_, err := sys.StartAction(context.Background(), spec, bad)
+			return err
+		}, caaction.ErrUnknownRole},
+		{"invalid spec", func(sys *caaction.System) error {
+			bad := &caaction.Spec{Name: "x"}
+			_, err := sys.StartAction(context.Background(), bad, nil)
+			return err
+		}, caaction.ErrSpecInvalid},
+		{"pre-cancelled context", func(sys *caaction.System) error {
+			_, err := sys.StartAction(cancelled, spec, progs)
+			return err
+		}, context.Canceled},
+		{"after Close", func(sys *caaction.System) error {
+			if err := sys.Close(); err != nil {
+				return err
+			}
+			_, err := sys.StartAction(context.Background(), spec, progs)
+			return err
+		}, caaction.ErrSystemClosed},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sys, err := caaction.New()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { _ = sys.Close() }()
+			err = tc.start(sys)
+			if err == nil {
+				t.Fatal("StartAction succeeded, want error")
+			}
+			if tc.want != nil && !errors.Is(err, tc.want) {
+				t.Errorf("err = %v, want errors.Is(err, %v)", err, tc.want)
+			}
+			// Misuse must not leak mux state: a well-formed instance still
+			// runs afterwards (skip when the case closed the system).
+			if tc.name == "after Close" {
+				return
+			}
+			h, err := sys.StartAction(context.Background(), spec, progs)
+			if err != nil {
+				t.Fatalf("clean StartAction after misuse: %v", err)
+			}
+			sys.Wait()
+			if err := h.Err(); err != nil {
+				t.Errorf("clean instance after misuse: %v", err)
+			}
+		})
+	}
+}
+
+// TestThreadAfterClose pins the ErrSystemClosed contract for the legacy
+// single-action path too.
+func TestThreadAfterClose(t *testing.T) {
+	sys, err := caaction.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Thread("T1"); !errors.Is(err, caaction.ErrSystemClosed) {
+		t.Errorf("Thread after Close = %v, want ErrSystemClosed", err)
+	}
+}
+
+// TestSpecNameReservedCharacters pins the wire-format guard: spec names may
+// not contain the action-identifier separators.
+func TestSpecNameReservedCharacters(t *testing.T) {
+	for _, name := range []string{"a!b", "a/b"} {
+		_, err := caaction.NewSpec(name).Role("r", "T1").Build()
+		if !errors.Is(err, caaction.ErrSpecInvalid) {
+			t.Errorf("NewSpec(%q).Build() = %v, want ErrSpecInvalid", name, err)
+		}
+	}
+}
+
+// TestOptionConflicts pins the conflicting-option errors from New.
+func TestOptionConflicts(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []caaction.Option
+	}{
+		{"network plus named transport", []caaction.Option{
+			caaction.WithNetwork(mustNetwork(t)),
+			caaction.WithTransport("sim"),
+		}},
+		{"network plus sim transport", []caaction.Option{
+			caaction.WithSimTransport(0),
+			caaction.WithNetwork(mustNetwork(t)),
+		}},
+		{"protocol plus resolver name", []caaction.Option{
+			caaction.WithResolutionProtocol(caaction.Coordinated),
+			caaction.WithResolver("cr86"),
+		}},
+		{"network plus jitter", []caaction.Option{
+			caaction.WithNetwork(mustNetwork(t)),
+			caaction.WithJitter(time.Millisecond, 1),
+		}},
+		{"network plus peer", []caaction.Option{
+			caaction.WithNetwork(mustNetwork(t)),
+			caaction.WithPeer("T1", "127.0.0.1:9"),
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := caaction.New(tc.opts...); err == nil {
+				t.Error("New accepted conflicting options")
+			}
+		})
+	}
+}
+
+// TestRegistryReplacement pins the documented replace semantics of
+// registering an existing name, and that lookups observe the replacement.
+func TestRegistryReplacement(t *testing.T) {
+	caaction.RegisterResolver("custom-test-resolver", caaction.R96)
+	p, err := caaction.Resolver("custom-test-resolver")
+	if err != nil || p.Name() != "r96" {
+		t.Fatalf("custom resolver lookup = %v, %v", p, err)
+	}
+	caaction.RegisterResolver("custom-test-resolver", caaction.CR86)
+	p, err = caaction.Resolver("custom-test-resolver")
+	if err != nil || p.Name() != "cr86" {
+		t.Fatalf("replaced resolver lookup = %v, %v (replace semantics broken)", p, err)
+	}
+
+	called := false
+	caaction.RegisterTransport("custom-test-transport", func(env caaction.TransportEnv) (caaction.Network, error) {
+		called = true
+		factory, err := caaction.TransportByName("sim")
+		if err != nil {
+			return nil, err
+		}
+		return factory(env)
+	})
+	sys, err := caaction.New(caaction.WithTransport("custom-test-transport"))
+	if err != nil {
+		t.Fatalf("custom transport: %v", err)
+	}
+	_ = sys.Close()
+	if !called {
+		t.Error("custom transport factory never invoked")
+	}
+}
+
+func mustNetwork(t *testing.T) caaction.Network {
+	t.Helper()
+	sys, err := caaction.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys.Network()
+}

@@ -309,15 +309,17 @@ func TestPerformCancellation(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	outcome := make(chan error, 1)
+	started := make(chan struct{})
 	start := time.Now()
 	sys.Go(func() {
 		outcome <- th.Perform(ctx, spec, "solo", caaction.RoleProgram{
 			Body: func(c *caaction.Context) error {
+				close(started)                     // the body is provably running when we cancel
 				return c.Compute(30 * time.Second) // far longer than the test runs
 			},
 		})
 	})
-	time.Sleep(20 * time.Millisecond)
+	<-started
 	cancel()
 	sys.Wait()
 	err = <-outcome

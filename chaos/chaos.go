@@ -16,6 +16,12 @@
 //   - ClassConcurrent scenarios run under all three resolution protocols
 //     and must produce identical decisions.
 //
+// Flat fault-free scenarios may additionally carry a concurrent-actions
+// axis (Scenario.Parallel): the action then runs as several independent
+// instances on one runtime, multiplexed over shared per-thread transport
+// endpoints, and every invariant is checked per instance — participants are
+// keyed "p<k>!T<i>" in Result.Outcomes/Decisions (see Result.Participants).
+//
 // # The seed-replay contract
 //
 // Every scenario runs on a sequential virtual clock that serializes the

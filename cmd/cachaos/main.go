@@ -52,10 +52,10 @@ func replay(seed int64, resolver string, verbose bool) int {
 		fmt.Fprintln(os.Stderr, "cachaos:", err)
 		return 2
 	}
-	fmt.Printf("seed %d: class=%s threads=%d primitives=%d depth=%d resolver=%s latency=%v\n",
-		seed, s.Class, s.Threads, s.Primitives, s.Depth, resolver, s.Latency)
-	for _, th := range s.ThreadIDs() {
-		fmt.Printf("  %-4s outcome=%-12s decisions=%v\n", th, res.Outcomes[th], res.Decisions[th])
+	fmt.Printf("seed %d: class=%s threads=%d primitives=%d depth=%d parallel=%d resolver=%s latency=%v\n",
+		seed, s.Class, s.Threads, s.Primitives, s.Depth, s.Parallel, resolver, s.Latency)
+	for _, p := range res.Participants() {
+		fmt.Printf("  %-8s outcome=%-12s decisions=%v\n", p, res.Outcomes[p], res.Decisions[p])
 	}
 	fmt.Printf("  stalled=%v rounds=%d aborted=%d msgs=%v\n", res.Stalled, res.Rounds, res.Aborted, res.Msg)
 	if verbose {

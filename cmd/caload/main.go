@@ -1,0 +1,97 @@
+// Command caload drives the CA-action load harness: thousands of concurrent
+// action instances — clean commits, exceptional exits, abort cascades,
+// resolution storms — multiplexed over a shared transport on one System,
+// once per requested resolution protocol. It prints a summary and records
+// the full report (throughput, p50/p99 latency, per-kind message counts) as
+// JSON, the BENCH_load.json baseline committed alongside the chaos baseline.
+//
+// Usage:
+//
+//	caload                                   # default workload, all resolvers
+//	caload -actions 5000 -concurrency 256    # heavier run
+//	caload -transport tcp -actions 500       # over real TCP sockets
+//	caload -out BENCH_load.json              # where the JSON lands
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"caaction/load"
+)
+
+type fileReport struct {
+	Description string                  `json:"description"`
+	Date        string                  `json:"date"`
+	Resolvers   map[string]*load.Report `json:"resolvers"`
+}
+
+func main() {
+	var (
+		actions     = flag.Int("actions", 2000, "action instances per resolver")
+		concurrency = flag.Int("concurrency", 128, "instances in flight at once")
+		roles       = flag.Int("roles", 3, "roles (threads) per action")
+		transport   = flag.String("transport", "sim", "transport registry name (sim, tcp)")
+		latency     = flag.Duration("latency", 0, "sim transport one-way latency")
+		seed        = flag.Int64("seed", 1, "workload composition seed")
+		resolvers   = flag.String("resolvers", "coordinated,cr86,r96", "comma-separated resolution protocols")
+		out         = flag.String("out", "BENCH_load.json", "JSON report path ('' disables)")
+	)
+	flag.Parse()
+
+	file := fileReport{
+		Description: "Load-harness baseline: concurrent CA actions over a shared transport. Regenerate with `go run ./cmd/caload`.",
+		Date:        time.Now().UTC().Format("2006-01-02"),
+		Resolvers:   make(map[string]*load.Report),
+	}
+	failed := false
+	for _, resolver := range strings.Split(*resolvers, ",") {
+		resolver = strings.TrimSpace(resolver)
+		if resolver == "" {
+			continue
+		}
+		cfg := load.Config{
+			Actions:     *actions,
+			Concurrency: *concurrency,
+			Roles:       *roles,
+			Resolver:    resolver,
+			Transport:   *transport,
+			Latency:     *latency,
+			Seed:        *seed,
+		}
+		rep, err := load.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "caload: %s: %v\n", resolver, err)
+			os.Exit(2)
+		}
+		file.Resolvers[resolver] = rep
+		fmt.Printf("%-12s %6d actions  %9.0f actions/s  p50 %.2fms  p99 %.2fms  outcomes %v\n",
+			resolver, cfg.Actions, rep.Throughput, rep.Latency.P50, rep.Latency.P99, rep.Outcomes)
+		if len(rep.Unexpected) > 0 {
+			// Keep going and still write the report: the JSON (with its
+			// Unexpected list) is exactly the diagnostic a failed run needs.
+			fmt.Fprintf(os.Stderr, "caload: %s: %d unexpected outcomes, e.g. %s\n",
+				resolver, len(rep.Unexpected), rep.Unexpected[0])
+			failed = true
+		}
+	}
+	if *out != "" {
+		blob, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "caload:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "caload:", err)
+			os.Exit(2)
+		}
+		fmt.Println("wrote", *out)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -47,6 +47,46 @@ func TestChaosReplayIdenticalTrace(t *testing.T) {
 	}
 }
 
+// TestChaosParallelInstances pins the concurrent-actions axis: scenarios
+// with Parallel > 1 are generated, run that many instances over the shared
+// mux, satisfy every invariant per instance, and replay byte-identically.
+func TestChaosParallelInstances(t *testing.T) {
+	var seen int
+	for seed := int64(0); seed < 300 && seen < 8; seed++ {
+		s := Generate(seed)
+		if s.Parallel <= 1 {
+			continue
+		}
+		seen++
+		res, err := Run(s)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if v := res.Check(); len(v) > 0 {
+			t.Fatalf("seed %d (parallel %d): %v", seed, s.Parallel, v)
+		}
+		if got, want := len(res.Participants()), s.Parallel*s.Threads; got != want {
+			t.Fatalf("seed %d: %d participants, want %d", seed, got, want)
+		}
+		for _, p := range res.Participants() {
+			if _, ok := res.Outcomes[p]; !ok {
+				t.Fatalf("seed %d: participant %s has no outcome", seed, p)
+			}
+		}
+		again, err := Run(s)
+		if err != nil {
+			t.Fatalf("seed %d replay: %v", seed, err)
+		}
+		if again.Fingerprint() != res.Fingerprint() {
+			t.Fatalf("seed %d: parallel replay diverged:\n%s\nvs\n%s",
+				seed, res.Fingerprint(), again.Fingerprint())
+		}
+	}
+	if seen == 0 {
+		t.Fatal("no parallel scenarios generated in 300 seeds")
+	}
+}
+
 // TestChaosDropStallsAndIsDetected: certain message loss starves the
 // resolution protocol; the run must stall (not hang, not panic) and the
 // stall must be recorded in the trace.

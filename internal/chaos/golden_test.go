@@ -1,0 +1,80 @@
+package chaos
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden trace files under testdata/golden")
+
+// goldenSeeds pins one deterministic replay per scenario shape. Together
+// they cover every scenario class, all three resolution protocols, and the
+// concurrent-actions (Parallel) axis, so any scheduler, protocol or
+// wire-format change that silently perturbs the deterministic replay fails
+// the byte-for-byte diff below.
+//
+//	seed  2: staggered,  4 threads, coordinated
+//	seed  3: concurrent, 2 threads, coordinated
+//	seed  5: concurrent, 4 threads, cr86, parallel=4 (muxed instances)
+//	seed  7: faulty,     4 threads, coordinated, 1 crash-stop
+//	seed 10: concurrent, 4 threads, cr86
+//	seed 14: staggered,  3 threads, r96, parallel=4 (muxed instances)
+//	seed 20: staggered,  4 threads, r96
+//	seed 23: nested,     5 threads, r96, depth=2 abort cascade
+//	seed 24: faulty,     3 threads, cr86, crash + partition
+var goldenSeeds = []int64{2, 3, 5, 7, 10, 14, 20, 23, 24}
+
+func goldenPath(seed int64) string {
+	return filepath.Join("testdata", "golden", fmt.Sprintf("seed_%d.trace", seed))
+}
+
+func goldenContent(t *testing.T, seed int64) string {
+	t.Helper()
+	s := Generate(seed)
+	res, err := Run(s)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return fmt.Sprintf("# golden trace: chaos seed %d\n# class=%s resolver=%s threads=%d parallel=%d depth=%d\n%s",
+		seed, s.Class, s.Resolver, s.Threads, s.Parallel, s.Depth, res.Fingerprint())
+}
+
+// TestGoldenTraces replays every pinned seed and diffs its fingerprint —
+// engine trace, per-participant decisions and outcomes — byte-for-byte
+// against the committed file. Regenerate deliberately with
+//
+//	go test ./internal/chaos -run TestGoldenTraces -update
+//
+// and review the diff: a changed golden file IS a behaviour change.
+func TestGoldenTraces(t *testing.T) {
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Join("testdata", "golden"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, seed := range goldenSeeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed_%d", seed), func(t *testing.T) {
+			got := goldenContent(t, seed)
+			path := goldenPath(seed)
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("seed %d diverged from golden trace %s.\nThis means the deterministic replay changed; "+
+					"if intentional, regenerate with -update and review the diff.\n--- got ---\n%s\n--- want ---\n%s",
+					seed, path, got, want)
+			}
+		})
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"caaction/internal/core"
 	"caaction/internal/except"
+	"caaction/internal/protocol"
 	"caaction/internal/resolve"
 	"caaction/internal/trace"
 	"caaction/internal/transport"
@@ -61,6 +62,12 @@ type Scenario struct {
 	Threads    int
 	Primitives int
 	Depth      int // nested levels below the outer action (ClassNested)
+	// Parallel is the concurrent-actions axis: when > 1, the scenario's
+	// action runs as that many independent concurrent instances on ONE
+	// runtime, multiplexed over shared per-thread transport endpoints
+	// (transport.Mux). Participants are then keyed "p<k>!T<i>". 0 or 1 is
+	// the single-instance regime with unchanged wire format and trace shape.
+	Parallel   int
 	Resolver   string
 	Latency    time.Duration
 	Raises     map[string]except.ID     // thread -> exception raised
@@ -78,6 +85,32 @@ func (s Scenario) ThreadIDs() []string {
 	}
 	return out
 }
+
+// instanceTags returns the concurrent instance tags of the run: a single ""
+// (the untagged single-instance wire format) unless Parallel > 1.
+func (s Scenario) instanceTags() []string {
+	if s.Parallel <= 1 {
+		return []string{""}
+	}
+	out := make([]string, s.Parallel)
+	for i := range out {
+		out[i] = fmt.Sprintf("p%d", i+1)
+	}
+	return out
+}
+
+// participantKey names one (instance, thread) participant in Outcomes and
+// Decisions: the bare thread id in single-instance runs, "tag!thread" when
+// the concurrent-actions axis is active.
+func participantKey(tag, thread string) string {
+	if tag == "" {
+		return thread
+	}
+	return tag + "!" + thread
+}
+
+// Participant keys use the wire identifier's tag syntax, so the instance a
+// key belongs to is recovered with protocol.InstanceOf.
 
 // nestedRaiseAt is when the ClassNested raiser fires: far enough into the
 // run that every descender has reached the innermost nesting level.
@@ -127,9 +160,11 @@ func Generate(seed int64) Scenario {
 	case c < 7: // 30% staggered fault-free scenarios
 		s.Class = ClassStaggered
 		s.randomRaisers(rng, pick, true)
+		s.drawParallel(rng)
 	default: // 30% concurrent fault-free scenarios
 		s.Class = ClassConcurrent
 		s.randomRaisers(rng, pick, false)
+		s.drawParallel(rng)
 	}
 	for _, th := range s.ThreadIDs() {
 		if _, ok := s.Raises[th]; !ok {
@@ -137,6 +172,15 @@ func Generate(seed int64) Scenario {
 		}
 	}
 	return s
+}
+
+// drawParallel gives a quarter of the fault-free flat scenarios a
+// concurrent-actions axis: 2–4 instances of the action in flight at once
+// over shared transport endpoints.
+func (s *Scenario) drawParallel(rng *rand.Rand) {
+	if rng.Intn(4) == 0 {
+		s.Parallel = 2 + rng.Intn(3)
+	}
 }
 
 // randomRaisers picks 1..n raisers; staggered raisers get spread-out raise
@@ -181,16 +225,31 @@ func (d Decision) String() string {
 type Result struct {
 	Scenario Scenario
 	Resolver string
-	// Outcomes classifies each thread's Perform return: "ok",
+	// Outcomes classifies each participant's Perform return: "ok",
 	// "signalled:<exc>", "stopped" (crash/stall unwind) or "error:<msg>".
+	// Keys are thread ids, or "p<k>!T<i>" when Parallel > 1 (see
+	// Participants).
 	Outcomes map[string]string
-	// Decisions holds each thread's resolution history in round order.
+	// Decisions holds each participant's resolution history in round order.
 	Decisions map[string][]Decision
 	Stalled   bool
-	Rounds    int64 // metrics action.rounds (thread·rounds)
+	Rounds    int64 // metrics action.rounds (participant·rounds)
 	Aborted   int64 // metrics action.aborted (aborted frames)
 	Msg       map[string]int64
 	Trace     string
+}
+
+// Participants lists the run's participant keys in deterministic order: the
+// thread ids, crossed with the instance tags when the concurrent-actions
+// axis is active.
+func (r *Result) Participants() []string {
+	var out []string
+	for _, tag := range r.Scenario.instanceTags() {
+		for _, th := range r.Scenario.ThreadIDs() {
+			out = append(out, participantKey(tag, th))
+		}
+	}
+	return out
 }
 
 // Run executes the scenario under its own resolver.
@@ -259,17 +318,50 @@ func RunWith(s Scenario, resolverName string) (*Result, error) {
 	}
 	var mu sync.Mutex
 
-	for _, th := range threads {
-		th := th
-		ct, err := rt.NewThread(th)
-		if err != nil {
-			return nil, err
+	// With the concurrent-actions axis active, every instance's threads get
+	// virtual endpoints demultiplexed from shared per-thread endpoints; the
+	// single-instance regime keeps the untagged one-endpoint-per-thread
+	// wiring (and trace shape) of earlier revisions. Setup is two-phase:
+	// EVERY endpoint is bound before ANY participant goroutine starts, so an
+	// early goroutine's entry-barrier sends cannot race the remaining binds
+	// (a swallowed ErrUnknownAddr there would stall a fault-free run
+	// nondeterministically). Creation order — all threads of instance 1,
+	// then instance 2, … — fixes goroutine ids and is part of the
+	// deterministic contract.
+	var mux *transport.Mux
+	if s.Parallel > 1 {
+		mux = transport.NewMux(clk, sim)
+	}
+	type participant struct {
+		tag, th, key string
+		ct           *core.Thread
+	}
+	var parts []participant
+	for _, tag := range s.instanceTags() {
+		for _, th := range threads {
+			var ct *core.Thread
+			if tag == "" {
+				ct, err = rt.NewThread(th)
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				ep, err := mux.Open(tag, th)
+				if err != nil {
+					return nil, err
+				}
+				ct = rt.NewThreadOn(th, ep, tag)
+			}
+			parts = append(parts, participant{tag, th, participantKey(tag, th), ct})
 		}
+	}
+	for _, p := range parts {
+		th, key, ct := p.th, p.key, p.ct
 		handlers := make(map[except.ID]core.Handler, g.Len())
 		for _, id := range g.Nodes() {
 			handlers[id] = func(ctx *core.Context, resolved except.ID, raised []except.Raised) error {
 				mu.Lock()
-				res.Decisions[th] = append(res.Decisions[th], Decision{
+				res.Decisions[key] = append(res.Decisions[key], Decision{
 					Round:    ctx.Round() - 1,
 					Resolved: resolved,
 					Raised:   except.IDsOf(raised),
@@ -298,10 +390,17 @@ func RunWith(s Scenario, resolverName string) (*Result, error) {
 				return ctx.Compute(work)
 			}
 		}
+		muxed := p.tag != ""
 		clk.Go(func() {
 			err := ct.Perform(outer, roleFor(th), prog)
+			if muxed {
+				// Deregister the instance so the shared endpoints (and
+				// their pumps) are garbage-collected when the last
+				// instance completes.
+				_ = ct.Close()
+			}
 			mu.Lock()
-			res.Outcomes[th] = classify(err)
+			res.Outcomes[key] = classify(err)
 			mu.Unlock()
 		})
 	}
@@ -363,8 +462,8 @@ func (r *Result) Fingerprint() string {
 	var b strings.Builder
 	b.WriteString(r.Trace)
 	b.WriteString("\n--\n")
-	for _, th := range r.Scenario.ThreadIDs() {
-		fmt.Fprintf(&b, "%s %s %v\n", th, r.Outcomes[th], r.Decisions[th])
+	for _, p := range r.Participants() {
+		fmt.Fprintf(&b, "%s %s %v\n", p, r.Outcomes[p], r.Decisions[p])
 	}
 	fmt.Fprintf(&b, "stalled=%v rounds=%d aborted=%d\n", r.Stalled, r.Rounds, r.Aborted)
 	return b.String()
@@ -390,28 +489,41 @@ func (r *Result) Check() []string {
 	return v
 }
 
-// checkAgreement: for every resolution round, all threads that decided that
-// round report the same resolved exception over the same raised set.
+// checkAgreement: within every action instance, all participants that
+// decided a given round report the same resolved exception over the same
+// raised set. (Different concurrent instances are independent actions and
+// may legitimately disagree.)
 func (r *Result) checkAgreement() []string {
 	var v []string
-	byRound := make(map[int]map[string]string) // round -> rendering -> threads
-	for th, ds := range r.Decisions {
+	type slot struct {
+		instance string
+		round    int
+	}
+	byRound := make(map[slot]map[string]string) // slot -> rendering -> participants
+	for p, ds := range r.Decisions {
+		inst := protocol.InstanceOf(p)
 		for _, d := range ds {
-			if byRound[d.Round] == nil {
-				byRound[d.Round] = make(map[string]string)
+			sl := slot{inst, d.Round}
+			if byRound[sl] == nil {
+				byRound[sl] = make(map[string]string)
 			}
 			key := fmt.Sprintf("%s%v", d.Resolved, d.Raised)
-			byRound[d.Round][key] += th + " "
+			byRound[sl][key] += p + " "
 		}
 	}
-	rounds := make([]int, 0, len(byRound))
-	for rd := range byRound {
-		rounds = append(rounds, rd)
+	slots := make([]slot, 0, len(byRound))
+	for sl := range byRound {
+		slots = append(slots, sl)
 	}
-	sort.Ints(rounds)
-	for _, rd := range rounds {
-		if len(byRound[rd]) > 1 {
-			v = append(v, fmt.Sprintf("round %d disagreement: %v", rd, byRound[rd]))
+	sort.Slice(slots, func(i, j int) bool {
+		if slots[i].instance != slots[j].instance {
+			return slots[i].instance < slots[j].instance
+		}
+		return slots[i].round < slots[j].round
+	})
+	for _, sl := range slots {
+		if len(byRound[sl]) > 1 {
+			v = append(v, fmt.Sprintf("instance %q round %d disagreement: %v", sl.instance, sl.round, byRound[sl]))
 		}
 	}
 	return v
@@ -450,19 +562,19 @@ func (r *Result) checkResolution() []string {
 	return v
 }
 
-// checkLive: fault-free runs must not stall, every thread completes the
-// action cleanly, and every thread decided at least one round.
+// checkLive: fault-free runs must not stall, every participant completes
+// its action cleanly, and every participant decided at least one round.
 func (r *Result) checkLive() []string {
 	var v []string
 	if r.Stalled {
 		v = append(v, "fault-free run stalled")
 	}
-	for _, th := range r.Scenario.ThreadIDs() {
-		if out := r.Outcomes[th]; out != "ok" {
-			v = append(v, fmt.Sprintf("%s outcome %q, want ok", th, out))
+	for _, p := range r.Participants() {
+		if out := r.Outcomes[p]; out != "ok" {
+			v = append(v, fmt.Sprintf("%s outcome %q, want ok", p, out))
 		}
-		if len(r.Decisions[th]) == 0 {
-			v = append(v, th+" never decided a round")
+		if len(r.Decisions[p]) == 0 {
+			v = append(v, p+" never decided a round")
 		}
 	}
 	if n := int64(r.Scenario.Threads); r.Rounds%n != 0 {
@@ -484,18 +596,24 @@ func (r *Result) checkAbortCascade() []string {
 }
 
 // checkMessageBounds verifies the §3.3.3 per-round message complexities
-// against measured per-kind counts, with R completed rounds and N threads:
+// against measured per-kind counts, with N threads and R the number of
+// completed rounds summed over all P concurrent instances (so the bounds
+// hold for any distribution of rounds across instances):
 //
 //	coordinated: Exception+Suspended = R·N(N−1), Commit = R·(N−1)
 //	r96:         Exception+Suspended = Propose = Ack = R·N(N−1)
 //	cr86:        Exception+Suspended = Propose = R·N(N−1),
-//	             Relay = raises·(N−1)(N−2)
+//	             Relay ≤ R·N(N−1)(N−2)
 //
-// plus Enter = N(N−1) for the flat action and ToBeSignalled ≤ (R+1)·N(N−1)
-// exit votes.
+// plus Enter = P·N(N−1) for the flat actions and ToBeSignalled ≤
+// (R+P)·N(N−1) exit votes ((Rp+1)·N(N−1) per instance).
 func (r *Result) checkMessageBounds() []string {
 	var v []string
 	n := int64(r.Scenario.Threads)
+	instances := int64(1)
+	if r.Scenario.Parallel > 1 {
+		instances = int64(r.Scenario.Parallel)
+	}
 	rounds := r.Rounds / n
 	nn := n * (n - 1)
 	status := r.Msg["Exception"] + r.Msg["Suspended"]
@@ -523,11 +641,11 @@ func (r *Result) checkMessageBounds() []string {
 			v = append(v, fmt.Sprintf("cr86 Relay %d exceeds R·N(N−1)(N−2) = %d", r.Msg["Relay"], max))
 		}
 	}
-	if r.Msg["Enter"] != nn {
-		v = append(v, fmt.Sprintf("Enter %d, want N(N−1) = %d", r.Msg["Enter"], nn))
+	if r.Msg["Enter"] != instances*nn {
+		v = append(v, fmt.Sprintf("Enter %d, want P·N(N−1) = %d", r.Msg["Enter"], instances*nn))
 	}
-	if votes, max := r.Msg["ToBeSignalled"], (rounds+1)*nn; votes > max {
-		v = append(v, fmt.Sprintf("ToBeSignalled %d exceeds (R+1)·N(N−1) = %d", votes, max))
+	if votes, max := r.Msg["ToBeSignalled"], (rounds+instances)*nn; votes > max {
+		v = append(v, fmt.Sprintf("ToBeSignalled %d exceeds (R+P)·N(N−1) = %d", votes, max))
 	}
 	return v
 }

@@ -111,12 +111,13 @@ func Sweep(baseSeed int64, n, replayEvery int) *Summary {
 	return sum
 }
 
-// decisionsKey renders per-thread decisions and outcomes for cross-resolver
-// comparison (protocols must agree on what was resolved, round by round).
+// decisionsKey renders per-participant decisions and outcomes for
+// cross-resolver comparison (protocols must agree on what was resolved,
+// round by round).
 func decisionsKey(r *Result) string {
 	var b strings.Builder
-	for _, th := range r.Scenario.ThreadIDs() {
-		fmt.Fprintf(&b, "%s %s %v; ", th, r.Outcomes[th], r.Decisions[th])
+	for _, p := range r.Participants() {
+		fmt.Fprintf(&b, "%s %s %v; ", p, r.Outcomes[p], r.Decisions[p])
 	}
 	return b.String()
 }

@@ -111,6 +111,11 @@ type Thread struct {
 	rt *Runtime
 	id string
 	ep transport.Endpoint
+	// prefix tags every top-level action instance this thread performs
+	// ("a7!" for a muxed thread, "" for the single-action path), so
+	// concurrent instances sharing a transport stay distinguishable on the
+	// wire; see internal/protocol's action-instance identifier format.
+	prefix string
 
 	stack    []*frame
 	retained map[string][]transport.Delivery
@@ -124,14 +129,29 @@ func (rt *Runtime) NewThread(id string) (*Thread, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: thread %q: %w", id, err)
 	}
+	return rt.NewThreadOn(id, ep, ""), nil
+}
+
+// NewThreadOn creates a thread reading from an externally provided endpoint
+// — typically a virtual endpoint handed out by internal/transport.Mux — as
+// one participant of the named concurrent action instance. Every top-level
+// action the thread performs gets the instance tag as its identifier prefix,
+// which is what the mux demultiplexes inbound messages by. An empty instance
+// leaves identifiers untagged (the single-action wire format).
+func (rt *Runtime) NewThreadOn(id string, ep transport.Endpoint, instance string) *Thread {
+	prefix := ""
+	if instance != "" {
+		prefix = protocol.TagInstance(instance, "")
+	}
 	return &Thread{
 		rt:       rt,
 		id:       id,
 		ep:       ep,
+		prefix:   prefix,
 		retained: make(map[string][]transport.Delivery),
 		dead:     make(map[string]bool),
 		seq:      make(map[string]int),
-	}, nil
+	}
 }
 
 // ID returns the thread identifier.
@@ -152,40 +172,11 @@ func (th *Thread) logf(kind, format string, args ...any) {
 func (th *Thread) instanceID(parent string, spec *Spec) string {
 	key := parent + "/" + spec.Name
 	th.seq[key]++
-	return fmt.Sprintf("%s%s#%d", prefixOf(parent), spec.Name, th.seq[key])
-}
-
-func prefixOf(parent string) string {
-	if parent == "" {
-		return ""
+	prefix := th.prefix // top-level actions carry the mux instance tag
+	if parent != "" {
+		prefix = parent + "/"
 	}
-	return parent + "/"
-}
-
-// actionOf extracts the action-instance tag from any protocol message.
-func actionOf(msg protocol.Message) string {
-	switch m := msg.(type) {
-	case protocol.Exception:
-		return m.Action
-	case protocol.Suspended:
-		return m.Action
-	case protocol.Commit:
-		return m.Action
-	case protocol.Relay:
-		return m.Action
-	case protocol.Propose:
-		return m.Action
-	case protocol.Ack:
-		return m.Action
-	case protocol.ToBeSignalled:
-		return m.Action
-	case protocol.Enter:
-		return m.Action
-	case protocol.App:
-		return m.Action
-	default:
-		return ""
-	}
+	return fmt.Sprintf("%s%s#%d", prefix, spec.Name, th.seq[key])
 }
 
 // roundOf extracts the resolution-round tag from resolution-protocol
@@ -235,8 +226,13 @@ type frame struct {
 	entered map[string]bool
 	apps    map[string][]any
 
-	// Abort coordination.
-	pendingAbort *transport.Delivery // enclosing-action message that aborts my nested work
+	// Abort coordination: same-round resolution messages received for this
+	// frame while the thread was nested inside it. The first one triggers
+	// the §3.3.2 abort cascade; ALL of them are replayed into the frame's
+	// resolution instance once the cascade reaches it — dropping any
+	// (including baseline-protocol Relay/Propose/Ack traffic) can starve
+	// the enclosing resolution and deadlock every participant.
+	pendingAbort []transport.Delivery
 	aborting     bool
 
 	tx *atomicobj.Tx
@@ -314,7 +310,7 @@ type routeVerdict struct {
 
 // route dispatches one delivery according to §3.3.2's receive rules.
 func (th *Thread) route(d transport.Delivery) routeVerdict {
-	act := actionOf(d.Msg)
+	act := protocol.ActionOf(d.Msg)
 	if act == "" {
 		th.logf("route.drop", "unroutable %T", d.Msg)
 		return routeVerdict{}
@@ -420,24 +416,6 @@ func (th *Thread) applyOutcome(f *frame, d transport.Delivery, out resolve.Outco
 // inside of.
 func (th *Thread) routeEnclosing(f *frame, d transport.Delivery) routeVerdict {
 	switch m := d.Msg.(type) {
-	case protocol.Exception, protocol.Suspended:
-		r, _ := roundOf(d.Msg)
-		switch {
-		case r < f.round:
-			return routeVerdict{}
-		case r > f.round:
-			f.future = append(f.future, d)
-			return routeVerdict{}
-		}
-		// §3.3.2: "if A* contains A then abort all nested actions until
-		// A*". The delivery is replayed into the enclosing frame's
-		// resolution instance once the cascade reaches it.
-		if f.pendingAbort == nil {
-			dd := d
-			f.pendingAbort = &dd
-		}
-		return routeVerdict{abortTarget: f.id}
-
 	case protocol.ToBeSignalled:
 		switch {
 		case m.Round < f.round:
@@ -453,8 +431,29 @@ func (th *Thread) routeEnclosing(f *frame, d transport.Delivery) routeVerdict {
 		return routeVerdict{}
 
 	default:
-		th.logf("route.drop", "unexpected %T for enclosing %s", d.Msg, f.id)
-		return routeVerdict{}
+		// Every round-tagged resolution message — Exception and Suspended,
+		// but equally the baseline protocols' Relay/Propose/Ack and a
+		// Commit — is evidence of exceptional activity in the enclosing
+		// action. §3.3.2: "if A* contains A then abort all nested actions
+		// until A*". Buffer the delivery; the whole batch is replayed into
+		// the enclosing frame's resolution instance once the cascade
+		// reaches it (absorbAbort). Dropping any of them — the bug this
+		// branch once had for Relay — starves protocols that need relayed
+		// knowledge and deadlocks the resolution.
+		r, ok := roundOf(d.Msg)
+		if !ok {
+			th.logf("route.drop", "unexpected %T for enclosing %s", d.Msg, f.id)
+			return routeVerdict{}
+		}
+		switch {
+		case r < f.round:
+			return routeVerdict{}
+		case r > f.round:
+			f.future = append(f.future, d)
+			return routeVerdict{}
+		}
+		f.pendingAbort = append(f.pendingAbort, d)
+		return routeVerdict{abortTarget: f.id}
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"caaction/internal/core"
 	"caaction/internal/except"
+	"caaction/internal/resolve"
 	"caaction/internal/transport"
 	"caaction/internal/vclock"
 )
@@ -312,6 +313,102 @@ func TestDeepNestingAbortCascade(t *testing.T) {
 	for _, k := range []string{"a", "b"} {
 		if v, _ := rec.Load(k); v != except.ID("both") {
 			t.Fatalf("handler %s saw %v, want both", k, v)
+		}
+	}
+}
+
+// TestNestedAbortPreservesRelayedResolution pins the abort-window routing
+// fix: a baseline-protocol Relay that reaches a thread while it is still
+// nested (here it even OVERTAKES the enclosing raise, via per-pair
+// latencies) must be buffered and replayed into the enclosing resolution
+// after the abort cascade, not dropped. Under CR-86, dropping it starves
+// maybePropose at that thread and deadlocks the whole action in
+// awaitDecision.
+func TestNestedAbortPreservesRelayedResolution(t *testing.T) {
+	clk := vclock.NewVirtual()
+	failed := make(chan string, 1)
+	clk.SetDeadlockHandler(func(info string) {
+		select {
+		case failed <- info:
+		default:
+		}
+	})
+	// T3 -> T2 is slow; every other pair is fast. T3's raise reaches T1
+	// quickly, T1 relays to T2 quickly, so T2 sees the Relay (in its nested
+	// frame) well before the first-hand Exception.
+	lat := func(from, to string) time.Duration {
+		if from == "T3" && to == "T2" {
+			return 50 * time.Millisecond
+		}
+		return time.Millisecond
+	}
+	sim := transport.NewSim(transport.SimConfig{Clock: clk, Latency: lat})
+	rt, err := core.New(core.Config{Clock: clk, Network: sim, Protocol: resolve.CR86{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := except.GenerateFull("relay", []except.ID{"halt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := &core.Spec{
+		Name: "outer",
+		Roles: []core.Role{
+			{Name: "a", Thread: "T1"}, {Name: "b", Thread: "T2"}, {Name: "c", Thread: "T3"},
+		},
+		Graph: g,
+	}
+	nested := &core.Spec{
+		Name:  "inner",
+		Roles: []core.Role{{Name: "a", Thread: "T1"}, {Name: "b", Thread: "T2"}},
+		Graph: g,
+	}
+
+	outcomes := make(chan error, 3)
+	// Descenders announce themselves to the raiser in the outer action, then
+	// descend; the raiser raises only after both notices, so the Exception
+	// finds both peers inside the nested action. Its slow T3->T2 leg then
+	// guarantees T1's Relay reaches T2's NESTED frame first.
+	descend := func(role string) core.RoleProgram {
+		return core.RoleProgram{Body: func(ctx *core.Context) error {
+			if err := ctx.Send("c", "descending"); err != nil {
+				return err
+			}
+			return ctx.Enter(nested, role, core.RoleProgram{
+				Body: func(c *core.Context) error { return c.Compute(time.Hour) },
+			})
+		}}
+	}
+	raiser := core.RoleProgram{Body: func(ctx *core.Context) error {
+		for _, role := range []string{"a", "b"} {
+			if _, err := ctx.Recv(role); err != nil {
+				return err
+			}
+		}
+		if err := ctx.Compute(5 * time.Millisecond); err != nil {
+			return err
+		}
+		return ctx.Raise("halt", "abort the nested pair")
+	}}
+	for th, prog := range map[string]core.RoleProgram{"T1": descend("a"), "T2": descend("b"), "T3": raiser} {
+		ct, err := rt.NewThread(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		role, _ := outer.RoleOf(th)
+		prog, ct := prog, ct
+		clk.Go(func() { outcomes <- ct.Perform(outer, role, prog) })
+	}
+	clk.Wait()
+	select {
+	case info := <-failed:
+		t.Fatalf("action deadlocked — enclosing-frame resolution message lost during abort window: %s", info)
+	default:
+	}
+	for i := 0; i < 3; i++ {
+		err := <-outcomes
+		if _, ok := core.Signalled(err); !ok {
+			t.Errorf("outcome %v, want a signalled exception (µ)", err)
 		}
 	}
 }

@@ -328,15 +328,15 @@ func (th *Thread) absorbAbort(f *frame, ae *abortError) error {
 		}
 		kind = kindRaise
 	}
-	if f.pendingAbort != nil {
-		d := *f.pendingAbort
-		f.pendingAbort = nil
+	pending := f.pendingAbort
+	f.pendingAbort = nil
+	for _, d := range pending {
 		out, err := f.inst.Deliver(d.From, d.Msg)
 		if err != nil {
 			th.logf("resolve.error", "absorb: %v", err)
-		} else {
-			th.applyOutcome(f, d, out)
+			continue
 		}
+		th.applyOutcome(f, d, out)
 	}
 	f.informed = true
 	return &pendingError{kind: kind, frame: f}
@@ -348,7 +348,7 @@ func (th *Thread) enclosingAbortTarget(f *frame) string {
 	for i := len(th.stack) - 1; i >= 0; i-- {
 		if th.stack[i] == f {
 			for j := i - 1; j >= 0; j-- {
-				if th.stack[j].pendingAbort != nil {
+				if len(th.stack[j].pendingAbort) > 0 {
 					return th.stack[j].id
 				}
 			}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"caaction/internal/except"
@@ -57,6 +58,12 @@ type Spec struct {
 func (s *Spec) Validate() error {
 	if s.Name == "" {
 		return fmt.Errorf("%w: empty name", ErrSpecInvalid)
+	}
+	if strings.ContainsAny(s.Name, "!/") {
+		// '/' separates nesting levels and '!' terminates the mux instance
+		// tag in action-instance identifiers; a name containing either
+		// would make identifiers ambiguous on the wire.
+		return fmt.Errorf("%w: name %q contains a reserved character ('!' or '/')", ErrSpecInvalid, s.Name)
 	}
 	if len(s.Roles) == 0 {
 		return fmt.Errorf("%w: %s has no roles", ErrSpecInvalid, s.Name)

@@ -7,11 +7,28 @@
 // Every message implements Kind, which the transports use to count traffic
 // per message type so the paper's complexity theorems can be checked against
 // measured counts.
+//
+// # Action-instance identifiers
+//
+// Every message carries the identifier of the action instance it belongs to
+// in its Action field. Identifiers are hierarchical: a nested action's
+// identifier is its parent's identifier, '/', the spec name and a per-parent
+// sequence number ("outer#1/inner#2"). Since the concurrent multi-action
+// runtime, an identifier may additionally start with a mux instance tag
+// terminated by '!' ("a7!transfer#1/leg#1"): the tag names one concurrent
+// top-level action instance multiplexed over a shared transport endpoint,
+// and the demultiplexer (internal/transport.Mux) routes inbound messages by
+// it. Tags never contain '!' or '/', and spec names may contain neither
+// (core.Spec.Validate enforces this), so InstanceOf is unambiguous.
+// Identifiers without a tag — the single-action N=1 path — are routed to
+// the thread's sole runtime instance exactly as before, which keeps the two
+// wire formats interoperable.
 package protocol
 
 import (
 	"encoding/gob"
 	"fmt"
+	"strings"
 
 	"caaction/internal/except"
 )
@@ -160,6 +177,53 @@ type App struct {
 
 // Kind implements Message.
 func (App) Kind() string { return "App" }
+
+// ActionOf returns the action-instance identifier a message is tagged with,
+// or "" for an unroutable (non-protocol) message.
+func ActionOf(msg Message) string {
+	switch m := msg.(type) {
+	case Exception:
+		return m.Action
+	case Suspended:
+		return m.Action
+	case Commit:
+		return m.Action
+	case Relay:
+		return m.Action
+	case Propose:
+		return m.Action
+	case Ack:
+		return m.Action
+	case ToBeSignalled:
+		return m.Action
+	case Enter:
+		return m.Action
+	case App:
+		return m.Action
+	default:
+		return ""
+	}
+}
+
+// InstanceOf extracts the mux instance tag from an action-instance
+// identifier: the prefix before the first '!', or "" when the identifier is
+// untagged (the single-action wire format).
+func InstanceOf(action string) string {
+	if i := strings.IndexByte(action, '!'); i >= 0 {
+		return action[:i]
+	}
+	return ""
+}
+
+// TagInstance prefixes an action-instance identifier with a mux instance
+// tag. It panics on tags containing the reserved characters '!' or '/' —
+// tag construction is programmatic, so a bad tag is a wiring bug.
+func TagInstance(tag, action string) string {
+	if strings.ContainsAny(tag, "!/") {
+		panic(fmt.Sprintf("protocol: instance tag %q contains a reserved character", tag))
+	}
+	return tag + "!" + action
+}
 
 // RegisterGob registers every protocol message with encoding/gob so they can
 // traverse the TCP transport. Safe to call multiple times.

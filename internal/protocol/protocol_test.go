@@ -58,6 +58,48 @@ func TestGobRoundTrip(t *testing.T) {
 	RegisterGob()
 }
 
+func TestActionOfCoversEveryMessage(t *testing.T) {
+	for _, m := range allMessages() {
+		if got := ActionOf(m); got != "a#1" {
+			t.Errorf("ActionOf(%T) = %q, want %q", m, got, "a#1")
+		}
+	}
+	if got := ActionOf(nil); got != "" {
+		t.Errorf("ActionOf(nil) = %q, want empty", got)
+	}
+}
+
+func TestInstanceTags(t *testing.T) {
+	cases := []struct {
+		action, instance string
+	}{
+		{"transfer#1", ""},                   // untagged single-action format
+		{"outer#1/inner#2", ""},              // nesting without a tag
+		{"a7!transfer#1", "a7"},              // tagged top-level
+		{"a7!transfer#1/leg#1", "a7"},        // tag inherited by nesting
+		{TagInstance("p3", "chaos#1"), "p3"}, // round trip
+		{"", ""},
+	}
+	for _, tc := range cases {
+		if got := InstanceOf(tc.action); got != tc.instance {
+			t.Errorf("InstanceOf(%q) = %q, want %q", tc.action, got, tc.instance)
+		}
+	}
+}
+
+func TestTagInstanceRejectsReservedCharacters(t *testing.T) {
+	for _, tag := range []string{"a!b", "a/b", "!", "/"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("TagInstance(%q, _) did not panic", tag)
+				}
+			}()
+			TagInstance(tag, "x#1")
+		}()
+	}
+}
+
 func TestStringForms(t *testing.T) {
 	cases := []struct {
 		msg  interface{ String() string }

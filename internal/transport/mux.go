@@ -1,0 +1,339 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"caaction/internal/protocol"
+	"caaction/internal/vclock"
+)
+
+// Bounds on the per-shared-endpoint bookkeeping a Mux keeps for traffic that
+// cannot be delivered right now. Both exist so a long-lived system's memory
+// stays bounded no matter how many action instances pass through it.
+const (
+	// muxDeadCap bounds the completed-instance set remembered per shared
+	// endpoint so that late traffic for a finished instance is dropped
+	// instead of retained forever. Once exceeded, the oldest completions are
+	// forgotten — a message for one of those would be re-retained (and then
+	// evicted by muxRetainCap), never mis-delivered.
+	muxDeadCap = 4096
+	// muxRetainCap bounds the deliveries buffered for instances that have
+	// not opened yet (a fast peer's message racing the local Open).
+	muxRetainCap = 1024
+)
+
+// Mux multiplexes many concurrent action instances over one shared transport
+// endpoint per thread address — the demultiplexing layer of the concurrent
+// multi-action runtime.
+//
+// Open(instance, thread) hands out a virtual Endpoint for one (action
+// instance, participating thread) pair. All virtual endpoints of a thread
+// address share a single underlying Network endpoint bound to that address:
+// sends go straight to the shared endpoint, and a per-address pump goroutine
+// routes every inbound delivery to the virtual endpoint of the instance
+// named by the message's action-identifier tag (protocol.InstanceOf).
+// Messages for instances that have not opened yet are retained (bounded)
+// until they open; messages for completed instances are dropped.
+//
+// Garbage collection: closing a virtual endpoint marks its instance
+// complete, and closing the last instance of a thread address tears the
+// shared endpoint and its pump down, releasing the address for re-binding.
+// The pump is started with Clock.Go, so under the virtual clock it
+// participates in time advancement like every other runtime goroutine and
+// whole muxed simulations stay deterministic.
+type Mux struct {
+	clock vclock.Clock
+	net   Network
+
+	mu     sync.Mutex
+	shared map[string]*muxShared
+	closed bool
+}
+
+// NewMux returns a demultiplexer over the given network. The clock must be
+// the same one driving the rest of the simulation or deployment.
+func NewMux(clock vclock.Clock, net Network) *Mux {
+	if clock == nil || net == nil {
+		panic("transport: NewMux requires a clock and a network")
+	}
+	return &Mux{clock: clock, net: net, shared: make(map[string]*muxShared)}
+}
+
+// Open attaches the named action instance to a thread address, lazily
+// binding the address's shared endpoint (and starting its pump) on first
+// use. The returned Endpoint reports Addr() == thread, so runtime code is
+// oblivious to the multiplexing. Opening the same (instance, thread) pair
+// twice while the first is still open fails with ErrDuplicateAddr.
+func (m *Mux) Open(instance, thread string) (Endpoint, error) {
+	if instance == "" {
+		return nil, fmt.Errorf("transport: mux: empty instance tag")
+	}
+	_ = protocol.TagInstance(instance, "") // panics on reserved characters
+	for {
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			return nil, ErrClosed
+		}
+		sh, ok := m.shared[thread]
+		if !ok {
+			real, err := m.net.Endpoint(thread)
+			if err != nil {
+				m.mu.Unlock()
+				return nil, fmt.Errorf("transport: mux: bind %q: %w", thread, err)
+			}
+			sh = &muxShared{
+				mux:      m,
+				addr:     thread,
+				real:     real,
+				open:     make(map[string]*muxEndpoint),
+				dead:     make(map[string]struct{}),
+				retained: make(map[string][]Delivery),
+			}
+			// The pump is infrastructure: its blocking receive must not count
+			// toward the virtual clock's deadlock detection.
+			if dm, ok := real.(interface{ MarkDaemon() }); ok {
+				dm.MarkDaemon()
+			}
+			m.shared[thread] = sh
+			m.clock.Go(sh.pump)
+		}
+		m.mu.Unlock()
+
+		sh.mu.Lock()
+		if sh.closed {
+			// The shared endpoint was torn down between our lookup and this
+			// lock (its last instance closed, or its address crashed); retry
+			// so a fresh one is bound.
+			sh.mu.Unlock()
+			continue
+		}
+		if _, dup := sh.open[instance]; dup {
+			sh.mu.Unlock()
+			return nil, fmt.Errorf("%w: instance %q on %q", ErrDuplicateAddr, instance, thread)
+		}
+		ep := &muxEndpoint{shared: sh, instance: instance, queue: m.clock.NewQueue()}
+		sh.open[instance] = ep
+		// A reused tag may still sit in the dead set from its previous
+		// incarnation; routing prefers the open table, so delivery is
+		// unaffected while open, and the marker (kept, to keep deadOrder
+		// duplicate-free) resumes dropping late traffic after the re-close.
+		if pend := sh.retained[instance]; len(pend) > 0 {
+			delete(sh.retained, instance)
+			sh.retainedLen -= len(pend)
+			for _, d := range pend {
+				ep.queue.Put(d)
+			}
+		}
+		sh.mu.Unlock()
+		return ep, nil
+	}
+}
+
+// Close tears every shared endpoint down. The underlying network is NOT
+// closed — the Mux does not own it.
+func (m *Mux) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	all := make([]*muxShared, 0, len(m.shared))
+	for _, sh := range m.shared {
+		all = append(all, sh)
+	}
+	m.shared = make(map[string]*muxShared)
+	m.mu.Unlock()
+	for _, sh := range all {
+		sh.teardown()
+	}
+	return nil
+}
+
+// forget removes a torn-down shared endpoint from the address map so a later
+// Open re-binds the address.
+func (m *Mux) forget(sh *muxShared) {
+	m.mu.Lock()
+	if m.shared[sh.addr] == sh {
+		delete(m.shared, sh.addr)
+	}
+	m.mu.Unlock()
+}
+
+// muxShared is one thread address's attachment: the real endpoint, its pump,
+// and the instance routing table.
+type muxShared struct {
+	mux  *Mux
+	addr string
+	real Endpoint
+
+	mu          sync.Mutex
+	open        map[string]*muxEndpoint
+	dead        map[string]struct{}
+	deadOrder   []string
+	retained    map[string][]Delivery
+	retainedLen int
+	closed      bool
+}
+
+// pump routes inbound deliveries to per-instance virtual endpoints until the
+// real endpoint closes (teardown or crash-stop).
+func (sh *muxShared) pump() {
+	for {
+		d, ok := sh.real.Recv()
+		if !ok {
+			sh.abandoned()
+			return
+		}
+		sh.dispatch(d)
+	}
+}
+
+func (sh *muxShared) dispatch(d Delivery) {
+	inst := protocol.InstanceOf(protocol.ActionOf(d.Msg))
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if ep, ok := sh.open[inst]; ok {
+		ep.queue.Put(d)
+		return
+	}
+	if _, done := sh.dead[inst]; done || inst == "" {
+		return // late traffic for a completed instance, or an untagged stray
+	}
+	if sh.retainedLen >= muxRetainCap {
+		return // bounded: a flood for never-opening instances is dropped
+	}
+	sh.retained[inst] = append(sh.retained[inst], d)
+	sh.retainedLen++
+}
+
+// abandoned propagates a dead real endpoint (crash-stop, network close) to
+// every open instance: their queues close, so blocked receivers observe the
+// stop exactly as they would on an unmuxed endpoint.
+func (sh *muxShared) abandoned() {
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return
+	}
+	sh.closed = true
+	open := make([]*muxEndpoint, 0, len(sh.open))
+	for _, ep := range sh.open {
+		open = append(open, ep)
+	}
+	sh.mu.Unlock()
+	sh.mux.forget(sh)
+	for _, ep := range open {
+		ep.queue.Close()
+	}
+}
+
+// teardown closes the real endpoint (stopping the pump) and every open
+// instance queue; used by Mux.Close.
+func (sh *muxShared) teardown() {
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return
+	}
+	sh.closed = true
+	open := make([]*muxEndpoint, 0, len(sh.open))
+	for _, ep := range sh.open {
+		open = append(open, ep)
+	}
+	sh.mu.Unlock()
+	_ = sh.real.Close()
+	for _, ep := range open {
+		ep.queue.Close()
+	}
+}
+
+// markDeadLocked records a completed instance, bounded by muxDeadCap. The
+// dead set and deadOrder stay duplicate-free even under tag reuse, so
+// eviction accounting never removes a marker out of turn.
+func (sh *muxShared) markDeadLocked(instance string) {
+	if _, dup := sh.dead[instance]; !dup {
+		sh.dead[instance] = struct{}{}
+		sh.deadOrder = append(sh.deadOrder, instance)
+		if len(sh.deadOrder) > muxDeadCap {
+			evict := sh.deadOrder[0]
+			sh.deadOrder = sh.deadOrder[1:]
+			delete(sh.dead, evict)
+		}
+	}
+	if pend := sh.retained[instance]; pend != nil {
+		delete(sh.retained, instance)
+		sh.retainedLen -= len(pend)
+	}
+}
+
+// muxEndpoint is one (action instance, thread) virtual endpoint.
+type muxEndpoint struct {
+	shared   *muxShared
+	instance string
+	queue    *vclock.Queue
+}
+
+var _ Endpoint = (*muxEndpoint)(nil)
+
+// Addr returns the thread address, not the instance tag: runtime code
+// addresses peers by thread, and the instance travels in the message's
+// action identifier.
+func (e *muxEndpoint) Addr() string { return e.shared.addr }
+
+func (e *muxEndpoint) Send(to string, msg protocol.Message) error {
+	return e.shared.real.Send(to, msg)
+}
+
+func (e *muxEndpoint) Recv() (Delivery, bool) {
+	x, ok := e.queue.Get()
+	if !ok {
+		return Delivery{}, false
+	}
+	return x.(Delivery), true
+}
+
+func (e *muxEndpoint) RecvTimeout(timeout time.Duration) (Delivery, bool) {
+	x, ok := e.queue.GetTimeout(timeout)
+	if !ok {
+		return Delivery{}, false
+	}
+	return x.(Delivery), true
+}
+
+func (e *muxEndpoint) Pending() int { return e.queue.Len() }
+
+// Close completes this instance on this thread address: the instance is
+// garbage-collected from the routing table (late traffic for it is dropped),
+// and closing the address's last instance tears the shared endpoint down,
+// stopping its pump and freeing the address.
+func (e *muxEndpoint) Close() error {
+	sh := e.shared
+	sh.mu.Lock()
+	if sh.open[e.instance] != e {
+		sh.mu.Unlock()
+		return nil // already closed, or superseded by a tag-reuse reopen
+	}
+	delete(sh.open, e.instance)
+	sh.markDeadLocked(e.instance)
+	e.queue.Close()
+	last := len(sh.open) == 0 && !sh.closed
+	if last {
+		sh.closed = true
+	}
+	sh.mu.Unlock()
+	if last {
+		// Close the real endpoint BEFORE forgetting the shared entry: a
+		// concurrent Open of this address then either still finds the entry
+		// (sees sh.closed, retries until forget runs) or re-binds after the
+		// address is genuinely free — never while the old endpoint is still
+		// bound, which would fail the bind with ErrDuplicateAddr.
+		err := sh.real.Close()
+		sh.mux.forget(sh)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,282 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"caaction/internal/protocol"
+	"caaction/internal/vclock"
+)
+
+func muxPair(t *testing.T) (*vclock.Virtual, *Sim, *Mux) {
+	t.Helper()
+	clk := vclock.NewVirtual()
+	sim := NewSim(SimConfig{Clock: clk})
+	return clk, sim, NewMux(clk, sim)
+}
+
+// enter builds the simplest routable message for one instance.
+func enter(instance, from string) protocol.Message {
+	return protocol.Enter{Action: protocol.TagInstance(instance, "act#1"), From: from}
+}
+
+func closeAll(eps ...Endpoint) {
+	for _, ep := range eps {
+		_ = ep.Close()
+	}
+}
+
+// TestMuxRoutesByInstance sends interleaved traffic for two instances over
+// one shared endpoint pair and checks each virtual endpoint sees exactly its
+// own instance's messages.
+func TestMuxRoutesByInstance(t *testing.T) {
+	clk, _, mux := muxPair(t)
+
+	open := func(instance, thread string) Endpoint {
+		ep, err := mux.Open(instance, thread)
+		if err != nil {
+			t.Fatalf("Open(%s, %s): %v", instance, thread, err)
+		}
+		return ep
+	}
+	a1, b1 := open("i1", "T1"), open("i1", "T2")
+	a2, b2 := open("i2", "T1"), open("i2", "T2")
+	if a1.Addr() != "T1" || a2.Addr() != "T1" {
+		t.Fatalf("virtual endpoints report addrs %q/%q, want thread address", a1.Addr(), a2.Addr())
+	}
+
+	got := make(chan string, 2)
+	recvOne := func(ep Endpoint, label string) {
+		clk.Go(func() {
+			d, ok := ep.Recv()
+			if !ok {
+				t.Errorf("%s: endpoint closed early", label)
+				got <- label + ":closed"
+				return
+			}
+			got <- label + ":" + protocol.InstanceOf(protocol.ActionOf(d.Msg))
+		})
+	}
+	recvOne(b1, "b1")
+	recvOne(b2, "b2")
+
+	clk.Go(func() {
+		if err := a1.Send("T2", enter("i1", "T1")); err != nil {
+			t.Errorf("send i1: %v", err)
+		}
+		if err := a2.Send("T2", enter("i2", "T1")); err != nil {
+			t.Errorf("send i2: %v", err)
+		}
+	})
+	seen := map[string]bool{<-got: true, <-got: true}
+	if !seen["b1:i1"] || !seen["b2:i2"] {
+		t.Fatalf("routing wrong: %v", seen)
+	}
+	closeAll(a1, b1, a2, b2) // tears down both pumps, so Wait returns
+	clk.Wait()
+}
+
+// TestMuxRetainsEarlyTraffic delivers a message for an instance before that
+// instance opens locally; Open must flush it.
+func TestMuxRetainsEarlyTraffic(t *testing.T) {
+	clk, _, mux := muxPair(t)
+	a, err := mux.Open("i1", "T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T2's shared endpoint exists (instance i1 open) but instance i9 has not
+	// opened there yet.
+	b, err := mux.Open("i1", "T2")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	clk.Go(func() {
+		defer close(done)
+		if err := a.Send("T2", enter("i9", "T1")); err != nil {
+			t.Errorf("send: %v", err)
+			return
+		}
+		// Let the pump retain it, then open the instance and receive.
+		clk.Sleep(time.Millisecond)
+		late, err := mux.Open("i9", "T2")
+		if err != nil {
+			t.Errorf("late open: %v", err)
+			return
+		}
+		defer closeAll(late)
+		d, ok := late.RecvTimeout(time.Second)
+		if !ok {
+			t.Error("retained delivery not flushed to late-opened instance")
+			return
+		}
+		if inst := protocol.InstanceOf(protocol.ActionOf(d.Msg)); inst != "i9" {
+			t.Errorf("flushed delivery for %q, want i9", inst)
+		}
+	})
+	<-done
+	closeAll(a, b)
+	clk.Wait()
+}
+
+// TestMuxGarbageCollection closes the last instance of an address and checks
+// (a) the shared endpoint is torn down, (b) the address is released for
+// re-binding.
+func TestMuxGarbageCollection(t *testing.T) {
+	clk, sim, mux := muxPair(t)
+	a, err := mux.Open("i1", "T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mux.Open("i1", "T2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mux.Open("i1", "T2"); !errors.Is(err, ErrDuplicateAddr) {
+		t.Fatalf("duplicate open = %v, want ErrDuplicateAddr", err)
+	}
+
+	if err := b.Close(); err != nil {
+		t.Fatalf("close T2 instance: %v", err)
+	}
+	// T2's only instance completed: the shared endpoint is gone, so a send
+	// to it now fails at the network layer.
+	done := make(chan struct{})
+	clk.Go(func() {
+		defer close(done)
+		if err := a.Send("T2", enter("i1", "T1")); !errors.Is(err, ErrUnknownAddr) {
+			t.Errorf("send to GCed address = %v, want ErrUnknownAddr", err)
+		}
+	})
+	<-done
+	if err := a.Close(); err != nil {
+		t.Fatalf("close T1 instance: %v", err)
+	}
+	clk.Wait() // both pumps exited
+
+	// The addresses are free again: raw binds must succeed.
+	for _, addr := range []string{"T1", "T2"} {
+		if _, err := sim.Endpoint(addr); err != nil {
+			t.Fatalf("address %s not released after GC: %v", addr, err)
+		}
+	}
+}
+
+// TestMuxDeadInstanceTrafficDropped checks a completed instance's late
+// traffic is dropped while another instance keeps the shared endpoint alive.
+func TestMuxDeadInstanceTrafficDropped(t *testing.T) {
+	clk, _, mux := muxPair(t)
+	a, _ := mux.Open("i1", "T1")
+	dead, _ := mux.Open("i1", "T2")
+	alive, _ := mux.Open("i2", "T2")
+	_ = dead.Close()
+
+	done := make(chan struct{})
+	clk.Go(func() {
+		defer close(done)
+		_ = a.Send("T2", enter("i1", "T1")) // for the completed instance
+		_ = a.Send("T2", enter("i2", "T1")) // for the live one
+		d, ok := alive.Recv()
+		if !ok {
+			t.Error("live instance closed early")
+			return
+		}
+		if inst := protocol.InstanceOf(protocol.ActionOf(d.Msg)); inst != "i2" {
+			t.Errorf("live instance received %q's traffic", inst)
+		}
+		if alive.Pending() != 0 {
+			t.Errorf("dead instance's traffic leaked: %d pending", alive.Pending())
+		}
+	})
+	<-done
+	closeAll(a, alive)
+	clk.Wait()
+}
+
+// TestMuxCrashPropagates crash-stops a shared endpoint and checks every open
+// instance on it observes the stop.
+func TestMuxCrashPropagates(t *testing.T) {
+	clk, sim, mux := muxPair(t)
+	a, _ := mux.Open("i1", "T1")
+	b1, _ := mux.Open("i1", "T2")
+	b2, _ := mux.Open("i2", "T2")
+
+	done := make(chan struct{})
+	clk.Go(func() {
+		defer close(done)
+		sim.CloseEndpoint("T2")
+		for _, ep := range []Endpoint{b1, b2} {
+			if _, ok := ep.Recv(); ok {
+				t.Error("instance endpoint survived a crash-stop of its address")
+			}
+		}
+	})
+	<-done
+	closeAll(a, b1, b2)
+	clk.Wait()
+}
+
+// TestMuxOpenCloseChurn hammers one thread address with concurrent
+// open/close cycles from many goroutines. This is the regression test for a
+// teardown-ordering race: the last Close of an address must fully release
+// the underlying endpoint before the address book forgets it, or a racing
+// Open re-binds against the still-bound endpoint and spuriously fails with
+// ErrDuplicateAddr.
+func TestMuxOpenCloseChurn(t *testing.T) {
+	clk := vclock.NewReal() // real concurrency is the point here
+	sim := NewSim(SimConfig{Clock: clk})
+	mux := NewMux(clk, sim)
+
+	const goroutines = 8
+	cycles := 50000 // the broken ordering fails within ~10k cycles
+	if testing.Short() {
+		cycles = 5000
+	}
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		go func() {
+			for i := 0; i < cycles; i++ {
+				ep, err := mux.Open(fmt.Sprintf("g%d-c%d", g, i), "T1")
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d cycle %d: %w", g, i, err)
+					return
+				}
+				if err := ep.Close(); err != nil {
+					errs <- fmt.Errorf("goroutine %d cycle %d close: %w", g, i, err)
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMuxOpenValidation(t *testing.T) {
+	_, _, mux := muxPair(t)
+	if _, err := mux.Open("", "T1"); err == nil {
+		t.Error("empty instance tag accepted")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("reserved character in instance tag did not panic")
+			}
+		}()
+		_, _ = mux.Open("a!b", "T1")
+	}()
+	if err := mux.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mux.Open("i1", "T1"); !errors.Is(err, ErrClosed) {
+		t.Errorf("Open after Close = %v, want ErrClosed", err)
+	}
+}

@@ -314,6 +314,11 @@ var _ Endpoint = (*simEndpoint)(nil)
 
 func (e *simEndpoint) Addr() string { return e.addr }
 
+// MarkDaemon marks receives on this endpoint as virtual-clock daemon waits;
+// see vclock.Queue.SetDaemon. The Mux marks the shared endpoints its pumps
+// read from.
+func (e *simEndpoint) MarkDaemon() { e.queue.SetDaemon() }
+
 func (e *simEndpoint) Send(to string, msg protocol.Message) error {
 	return e.net.send(e, to, msg)
 }

@@ -22,7 +22,9 @@ import (
 type TCP struct {
 	clock vclock.Clock
 
-	mu     sync.Mutex
+	// mu is read-mostly on the send hot path (every dial consults the book
+	// to detect address re-binds), so readers take the shared lock.
+	mu     sync.RWMutex
 	listen string            // host:port listeners bind to; loopback default
 	book   map[string]string // logical address -> host:port
 	eps    map[string]*tcpEndpoint
@@ -61,8 +63,8 @@ func (t *TCP) SetPeer(addr, hostport string) {
 // ListenAddr reports the host:port a local endpoint is listening on, for
 // exchange with other processes.
 func (t *TCP) ListenAddr(addr string) (string, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	hp, ok := t.book[addr]
 	return hp, ok
 }
@@ -123,6 +125,12 @@ type tcpConn struct {
 	mu   sync.Mutex
 	conn net.Conn
 	enc  *gob.Encoder
+	// hostport is the physical address this connection was dialled to; a
+	// cached connection is only reused while the logical address still
+	// resolves there (re-binding an address — e.g. the mux tearing a thread
+	// address down and a later instance reopening it on a fresh port —
+	// would otherwise leave peers sending into the dead incarnation).
+	hostport string
 }
 
 type tcpEndpoint struct {
@@ -139,6 +147,10 @@ type tcpEndpoint struct {
 var _ Endpoint = (*tcpEndpoint)(nil)
 
 func (e *tcpEndpoint) Addr() string { return e.addr }
+
+// MarkDaemon marks receives on this endpoint as virtual-clock daemon waits;
+// see vclock.Queue.SetDaemon.
+func (e *tcpEndpoint) MarkDaemon() { e.queue.SetDaemon() }
 
 func (e *tcpEndpoint) acceptLoop() {
 	for {
@@ -183,34 +195,43 @@ func (e *tcpEndpoint) Send(to string, msg protocol.Message) error {
 }
 
 func (e *tcpEndpoint) dial(to string) (*tcpConn, error) {
+	e.net.mu.RLock()
+	hostport, ok := e.net.book[to]
+	e.net.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAddr, to)
+	}
+
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		return nil, ErrClosed
 	}
 	if c, ok := e.conns[to]; ok {
-		e.mu.Unlock()
-		return c, nil
+		if c.hostport == hostport {
+			e.mu.Unlock()
+			return c, nil
+		}
+		// The logical address re-bound to a new physical address since this
+		// connection was dialled: drop the stale connection and re-dial.
+		delete(e.conns, to)
+		_ = c.conn.Close()
 	}
 	e.mu.Unlock()
 
-	e.net.mu.Lock()
-	hostport, ok := e.net.book[to]
-	e.net.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownAddr, to)
-	}
 	conn, err := net.DialTimeout("tcp", hostport, 5*time.Second)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %q: %w", to, err)
 	}
-	c := &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
+	c := &tcpConn{conn: conn, enc: gob.NewEncoder(conn), hostport: hostport}
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if prev, ok := e.conns[to]; ok {
+	if prev, ok := e.conns[to]; ok && prev.hostport == hostport {
 		_ = conn.Close() // lost the race; reuse the established one
 		return prev, nil
+	} else if ok {
+		_ = prev.conn.Close() // racing dial to a stale incarnation
 	}
 	e.conns[to] = c
 	return c, nil

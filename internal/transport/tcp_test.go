@@ -122,11 +122,16 @@ func TestTCPCloseUnblocksRecv(t *testing.T) {
 	net := NewTCP(clk)
 	a, _ := net.Endpoint("A")
 	done := make(chan bool, 1)
+	entered := make(chan struct{})
 	go func() {
+		close(entered)
 		_, ok := a.Recv()
 		done <- ok
 	}()
-	time.Sleep(10 * time.Millisecond)
+	// Close unblocks a Recv in progress and fails a Recv issued after it
+	// alike, so no sleep is needed — just don't close before the goroutine
+	// exists.
+	<-entered
 	if err := net.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -137,6 +142,41 @@ func TestTCPCloseUnblocksRecv(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("Recv did not unblock on close")
+	}
+}
+
+// TestTCPRebindInvalidatesCachedConns closes an address and re-binds it on
+// a fresh port (what the mux's GC does when an address's last instance
+// completes and a later instance reopens it); a peer's cached connection to
+// the old incarnation must be dropped and re-dialled, not silently written
+// into the dead socket.
+func TestTCPRebindInvalidatesCachedConns(t *testing.T) {
+	clk := vclock.NewReal()
+	net := NewTCP(clk)
+	defer func() { _ = net.Close() }()
+
+	a, _ := net.Endpoint("A")
+	b1, _ := net.Endpoint("B")
+	if err := a.Send("B", protocol.Ack{Action: "one", From: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := b1.RecvTimeout(5 * time.Second); !ok || d.Msg.(protocol.Ack).Action != "one" {
+		t.Fatalf("first incarnation delivery failed: %+v %v", d, ok)
+	}
+
+	if err := b1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := net.Endpoint("B") // fresh incarnation, fresh port
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("B", protocol.Ack{Action: "two", From: "A"}); err != nil {
+		t.Fatalf("send after re-bind: %v", err)
+	}
+	d, ok := b2.RecvTimeout(5 * time.Second)
+	if !ok || d.Msg.(protocol.Ack).Action != "two" {
+		t.Fatalf("message went to the dead incarnation: %+v %v", d, ok)
 	}
 }
 

@@ -53,6 +53,7 @@ type queueImpl interface {
 	tryGet() (any, bool)
 	closeQ()
 	length() int
+	setDaemon()
 }
 
 // Put appends x to the queue, waking one blocked receiver.
@@ -76,6 +77,13 @@ func (q *Queue) TryGet() (any, bool) { return q.impl.tryGet() }
 // Close marks the queue closed. Pending elements remain receivable; blocked
 // and future receivers observe ok=false once the queue drains.
 func (q *Queue) Close() { q.impl.closeQ() }
+
+// SetDaemon marks receives on this queue as daemon waits: goroutines parked
+// in them are infrastructure (demultiplexer pumps, background routers), so
+// under the virtual clock they are excluded from deadlock detection — a
+// system whose only parked goroutines are daemons is considered idle, not
+// deadlocked. No-op on a real clock's queue.
+func (q *Queue) SetDaemon() { q.impl.setDaemon() }
 
 // Len reports the number of buffered elements.
 func (q *Queue) Len() int { return q.impl.length() }

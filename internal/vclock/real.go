@@ -63,6 +63,13 @@ var _ queueImpl = (*realQueue)(nil)
 func (q *realQueue) put(x any) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if q.closed {
+		// A closed mailbox drops new arrivals: receivers can never observe
+		// them (they see ok=false once the pre-close backlog drains), so
+		// keeping them would only leak — e.g. a lingering TCP read loop
+		// feeding a torn-down endpoint's queue forever.
+		return
+	}
 	q.items = append(q.items, x)
 	q.cond.Broadcast()
 }
@@ -131,3 +138,6 @@ func (q *realQueue) length() int {
 	defer q.mu.Unlock()
 	return len(q.items)
 }
+
+// setDaemon is meaningful only for the virtual clock's deadlock detection.
+func (q *realQueue) setDaemon() {}

@@ -179,7 +179,7 @@ func (v *Virtual) Sleep(d time.Duration) {
 	defer v.mu.Unlock()
 	deadline := v.now + d
 	v.scheduleLocked(deadline, nil)
-	v.blockLocked(func() bool { return v.now >= deadline || v.dead })
+	v.blockLocked(func() bool { return v.now >= deadline || v.dead }, false)
 }
 
 // NewQueue returns a queue whose blocking operations cooperate with this
@@ -200,16 +200,19 @@ func (v *Virtual) scheduleLocked(at time.Duration, fn func()) {
 
 // blockLocked parks the calling goroutine until pred() holds. It must be
 // called with v.mu held by a tracked goroutine; pred is evaluated under v.mu.
-func (v *Virtual) blockLocked(pred func() bool) {
+// A daemon wait is infrastructure (a demux pump, a background router): it
+// does not count toward deadlock detection, so a system whose only parked
+// goroutines are daemons is idle, not deadlocked.
+func (v *Virtual) blockLocked(pred func() bool, daemon bool) {
 	if pred() {
 		return
 	}
 	if v.sequential {
 		// The caller holds the run token, so v.current is its gid.
-		v.blockSeqLocked(v.current, pred)
+		v.blockSeqLocked(v.current, pred, daemon)
 		return
 	}
-	w := &waiter{pred: pred}
+	w := &waiter{pred: pred, daemon: daemon}
 	v.blocked[w] = struct{}{}
 	v.running--
 	if v.running == 0 {
@@ -225,15 +228,15 @@ func (v *Virtual) blockLocked(pred func() bool) {
 // takeTurnLocked parks a goroutine that has not run yet (Go start, Adopt)
 // until the scheduler grants it the run token.
 func (v *Virtual) takeTurnLocked(gid uint64) {
-	v.blockSeqLocked(gid, func() bool { return true })
+	v.blockSeqLocked(gid, func() bool { return true }, false)
 }
 
 // blockSeqLocked is the sequential-mode park: the goroutine gives up the run
 // token and waits until the scheduler chooses it again (its pred satisfied
 // and every lower-gid runnable goroutine already served), or the clock is
 // declared dead, in which case every waiter unwinds.
-func (v *Virtual) blockSeqLocked(gid uint64, pred func() bool) {
-	w := &waiter{pred: pred, gid: gid}
+func (v *Virtual) blockSeqLocked(gid uint64, pred func() bool, daemon bool) {
+	w := &waiter{pred: pred, gid: gid, daemon: daemon}
 	v.blocked[w] = struct{}{}
 	v.running--
 	if v.running == 0 {
@@ -301,6 +304,12 @@ func (v *Virtual) advanceLocked() {
 			return
 		}
 		if v.timers.Len() == 0 {
+			if !v.anyNonDaemonBlockedLocked() {
+				// Only daemon infrastructure is parked: the system is idle,
+				// waiting for external stimulus (a new Go, an untracked Put),
+				// not deadlocked.
+				return
+			}
 			info := fmt.Sprintf("all %d tracked goroutine(s) blocked at virtual time %v with no pending events",
 				v.tracked, v.now)
 			v.dead = true
@@ -337,8 +346,32 @@ func (v *Virtual) anySatisfiedLocked() bool {
 	return false
 }
 
+// kickLocked resumes the sequential scheduler after an untracked mutation —
+// a Queue.Put or Close from a goroutine the clock does not track. In the
+// daemon-idle state (every tracked goroutine parked, only daemons blocked,
+// no grant outstanding) nothing else would ever call scheduleNextLocked, so
+// a waiter whose predicate the mutation just satisfied would never be
+// granted the run token. No-op outside sequential mode: non-sequential
+// waiters self-check their predicates on the broadcast.
+func (v *Virtual) kickLocked() {
+	if v.sequential && v.running == 0 && len(v.blocked) > 0 {
+		v.scheduleNextLocked()
+	}
+}
+
+func (v *Virtual) anyNonDaemonBlockedLocked() bool {
+	for w := range v.blocked {
+		if !w.daemon {
+			return true
+		}
+	}
+	return false
+}
+
 type waiter struct {
 	pred func() bool
+	// daemon waits are infrastructure and excluded from deadlock detection.
+	daemon bool
 	// Sequential-mode fields: the owning goroutine's start-order id and
 	// whether the scheduler has handed it the run token.
 	gid    uint64
@@ -377,6 +410,7 @@ type virtualQueue struct {
 	v      *Virtual
 	items  []any
 	closed bool
+	daemon bool
 }
 
 var _ queueImpl = (*virtualQueue)(nil)
@@ -384,8 +418,12 @@ var _ queueImpl = (*virtualQueue)(nil)
 func (q *virtualQueue) put(x any) {
 	q.v.mu.Lock()
 	defer q.v.mu.Unlock()
+	if q.closed {
+		return // a closed mailbox drops new arrivals; see realQueue.put
+	}
 	q.items = append(q.items, x)
 	q.v.cond.Broadcast()
+	q.v.kickLocked()
 }
 
 func (q *virtualQueue) putAfter(d time.Duration, x any) {
@@ -395,14 +433,17 @@ func (q *virtualQueue) putAfter(d time.Duration, x any) {
 	q.v.mu.Lock()
 	defer q.v.mu.Unlock()
 	q.v.scheduleLocked(q.v.now+d, func() {
-		q.items = append(q.items, x)
+		if !q.closed {
+			q.items = append(q.items, x)
+		}
 	})
+	q.v.kickLocked()
 }
 
 func (q *virtualQueue) get() (any, bool) {
 	q.v.mu.Lock()
 	defer q.v.mu.Unlock()
-	q.v.blockLocked(func() bool { return len(q.items) > 0 || q.closed || q.v.dead })
+	q.v.blockLocked(func() bool { return len(q.items) > 0 || q.closed || q.v.dead }, q.daemon)
 	return q.popLocked()
 }
 
@@ -413,8 +454,14 @@ func (q *virtualQueue) getTimeout(d time.Duration) (any, bool) {
 	q.v.scheduleLocked(deadline, nil)
 	q.v.blockLocked(func() bool {
 		return len(q.items) > 0 || q.closed || q.v.now >= deadline || q.v.dead
-	})
+	}, q.daemon)
 	return q.popLocked()
+}
+
+func (q *virtualQueue) setDaemon() {
+	q.v.mu.Lock()
+	defer q.v.mu.Unlock()
+	q.daemon = true
 }
 
 func (q *virtualQueue) tryGet() (any, bool) {
@@ -438,6 +485,7 @@ func (q *virtualQueue) closeQ() {
 	defer q.v.mu.Unlock()
 	q.closed = true
 	q.v.cond.Broadcast()
+	q.v.kickLocked()
 }
 
 func (q *virtualQueue) length() int {

@@ -1,0 +1,486 @@
+// Package load is the CA-action runtime's load harness: it drives thousands
+// of concurrent action instances through one System over a shared transport
+// (the concurrent multi-action runtime behind System.StartAction) with a
+// configurable mix of outcomes — clean commits, exceptional exits through
+// the signalling protocol, abort cascades through nested actions, and
+// resolution storms where every role raises at once — and reports wall-clock
+// throughput, per-action latency percentiles and per-kind protocol message
+// counts.
+//
+// The harness runs on the real clock: unlike the chaos engine (which proves
+// protocol properties in deterministic virtual time), load measures what the
+// hardware actually does. The workload composition is still deterministic in
+// Config.Seed, so runs are comparable across commits; cmd/caload records
+// them as BENCH_load.json.
+package load
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"caaction"
+)
+
+// Action kinds the mix is drawn from.
+const (
+	// KindCommit: every role computes briefly and the action exits cleanly.
+	KindCommit = "commit"
+	// KindSignal: one role raises a declared exception with no handler; the
+	// action exits exceptionally, signalling it as ε to every caller.
+	KindSignal = "signal"
+	// KindAbort: every role but one descends into a nested action; the
+	// remaining role raises in the enclosing action, forcing the §3.3.2
+	// abort cascade and a coordinated undo (µ).
+	KindAbort = "abort"
+	// KindStorm: every role raises its own exception concurrently — a
+	// resolution storm — and handles the resolved cover, committing.
+	KindStorm = "storm"
+)
+
+// Mix weights the action kinds in the generated workload. The zero value
+// (all weights zero) means DefaultMix.
+type Mix struct {
+	Commit int `json:"commit"`
+	Signal int `json:"signal"`
+	Abort  int `json:"abort"`
+	Storm  int `json:"storm"`
+}
+
+// DefaultMix is commit-heavy with a steady trickle of every failure shape.
+var DefaultMix = Mix{Commit: 6, Signal: 2, Abort: 1, Storm: 1}
+
+func (m Mix) total() int { return m.Commit + m.Signal + m.Abort + m.Storm }
+
+// pick draws a kind from the mix with one rng roll.
+func (m Mix) pick(rng *rand.Rand) string {
+	n := rng.Intn(m.total())
+	switch {
+	case n < m.Commit:
+		return KindCommit
+	case n < m.Commit+m.Signal:
+		return KindSignal
+	case n < m.Commit+m.Signal+m.Abort:
+		return KindAbort
+	default:
+		return KindStorm
+	}
+}
+
+// Config parameterises one load run. The zero value is usable: 500 actions,
+// 64 in flight, 3 roles, the coordinated resolver over the sim transport.
+type Config struct {
+	// Actions is the total number of action instances to run.
+	Actions int `json:"actions"`
+	// Concurrency is the number of driver goroutines, i.e. the maximum
+	// number of instances in flight at once.
+	Concurrency int `json:"concurrency"`
+	// Roles is the number of participating roles (and threads) per action.
+	Roles int `json:"roles"`
+	// Resolver is the resolution-protocol registry name.
+	Resolver string `json:"resolver"`
+	// Transport is the transport registry name ("sim" or "tcp").
+	Transport string `json:"transport"`
+	// Latency is the sim transport's modelled one-way delay.
+	Latency time.Duration `json:"latency_ns"`
+	// Seed makes the workload composition deterministic.
+	Seed int64 `json:"seed"`
+	// Mix weights the action kinds; the zero Mix means DefaultMix.
+	Mix Mix `json:"mix"`
+}
+
+func (c Config) withDefaults() Config {
+	if c.Actions <= 0 {
+		c.Actions = 500
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 64
+	}
+	if c.Roles < 2 {
+		c.Roles = 3
+	}
+	if c.Resolver == "" {
+		c.Resolver = "coordinated"
+	}
+	if c.Transport == "" {
+		c.Transport = "sim"
+	}
+	if c.Mix.total() <= 0 {
+		c.Mix = DefaultMix
+	}
+	return c
+}
+
+// Percentiles summarises a latency distribution in milliseconds.
+type Percentiles struct {
+	P50 float64 `json:"p50_ms"`
+	P90 float64 `json:"p90_ms"`
+	P99 float64 `json:"p99_ms"`
+	Max float64 `json:"max_ms"`
+}
+
+func percentiles(durations []time.Duration) Percentiles {
+	if len(durations) == 0 {
+		return Percentiles{}
+	}
+	sorted := append([]time.Duration(nil), durations...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(sorted)-1))
+		return float64(sorted[i]) / float64(time.Millisecond)
+	}
+	return Percentiles{
+		P50: at(0.50),
+		P90: at(0.90),
+		P99: at(0.99),
+		Max: float64(sorted[len(sorted)-1]) / float64(time.Millisecond),
+	}
+}
+
+// KindStats aggregates the instances of one action kind.
+type KindStats struct {
+	Actions int         `json:"actions"`
+	Latency Percentiles `json:"latency"`
+}
+
+// Report is the outcome of one load run.
+type Report struct {
+	Config     Config      `json:"config"`
+	WallSecs   float64     `json:"wall_seconds"`
+	Throughput float64     `json:"actions_per_second"`
+	Latency    Percentiles `json:"latency"`
+	// Outcomes counts per-action classifications: "ok", "undone", "failed",
+	// "signalled:<exc>" or "error:<msg>".
+	Outcomes map[string]int        `json:"outcomes"`
+	Kinds    map[string]*KindStats `json:"kinds"`
+	// Messages are the transport's per-kind message counters ("Exception",
+	// "Commit", "Enter", ...).
+	Messages map[string]int64 `json:"messages"`
+	// Unexpected lists actions whose outcome did not match their kind's
+	// expectation; a healthy run has none.
+	Unexpected []string `json:"unexpected,omitempty"`
+}
+
+// Run executes one load run and aggregates its report. It is synchronous:
+// when it returns, every instance has completed and the System is closed.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	metrics := &caaction.Metrics{}
+	opts := []caaction.Option{
+		caaction.WithRealTime(),
+		caaction.WithMetrics(metrics),
+	}
+	switch cfg.Transport {
+	case "sim":
+		opts = append(opts, caaction.WithSimTransport(cfg.Latency))
+	default:
+		opts = append(opts, caaction.WithTransport(cfg.Transport))
+	}
+	if cfg.Resolver != "" {
+		opts = append(opts, caaction.WithResolver(cfg.Resolver))
+	}
+	sys, err := caaction.New(opts...)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = sys.Close() }()
+
+	w, err := newWorkload(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	type sample struct {
+		kind, outcome string
+		latency       time.Duration
+		unexpected    string
+	}
+	samples := make([]sample, cfg.Actions)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Concurrency; i++ {
+		wg.Add(1)
+		sys.Go(func() {
+			defer wg.Done()
+			for {
+				idx := int(next.Add(1) - 1)
+				if idx >= cfg.Actions {
+					return
+				}
+				kind := w.kindOf(idx)
+				spec, progs := w.action(kind)
+				t0 := time.Now()
+				h, err := sys.StartAction(context.Background(), spec, progs)
+				var outcome string
+				if err != nil {
+					outcome = "error: " + err.Error()
+				} else {
+					outcome = classify(h.Wait())
+				}
+				s := sample{kind: kind, outcome: outcome, latency: time.Since(t0)}
+				if want := w.expect(kind); outcome != want {
+					s.unexpected = fmt.Sprintf("action %d (%s): outcome %q, want %q", idx, kind, outcome, want)
+				}
+				samples[idx] = s
+			}
+		})
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := &Report{
+		Config:     cfg,
+		WallSecs:   wall.Seconds(),
+		Throughput: float64(cfg.Actions) / wall.Seconds(),
+		Outcomes:   make(map[string]int),
+		Kinds:      make(map[string]*KindStats),
+		Messages:   make(map[string]int64),
+	}
+	all := make([]time.Duration, 0, len(samples))
+	perKind := make(map[string][]time.Duration)
+	for _, s := range samples {
+		rep.Outcomes[s.outcome]++
+		all = append(all, s.latency)
+		perKind[s.kind] = append(perKind[s.kind], s.latency)
+		if s.unexpected != "" {
+			rep.Unexpected = append(rep.Unexpected, s.unexpected)
+		}
+	}
+	rep.Latency = percentiles(all)
+	for kind, ds := range perKind {
+		rep.Kinds[kind] = &KindStats{Actions: len(ds), Latency: percentiles(ds)}
+	}
+	for name, v := range metrics.Snapshot() {
+		if len(name) > 4 && name[:4] == "msg." {
+			rep.Messages[name[4:]] = v
+		}
+	}
+	return rep, nil
+}
+
+// classify reduces an instance's per-role outcomes to one action outcome
+// with a fixed severity order — failed > undone > error > signalled > ok —
+// and roles visited in sorted order, so identical runs always classify
+// identically (map iteration order must not leak into the report).
+func classify(results map[string]error) string {
+	roles := make([]string, 0, len(results))
+	for role := range results {
+		roles = append(roles, role)
+	}
+	sort.Strings(roles)
+	var failed, undone bool
+	var firstErr, signalled string
+	for _, role := range roles {
+		err := results[role]
+		switch {
+		case err == nil:
+		case caaction.IsFailed(err):
+			failed = true
+		case caaction.IsUndone(err):
+			undone = true
+		default:
+			if se, ok := caaction.AsSignalled(err); ok {
+				if signalled == "" {
+					signalled = "signalled:" + string(se.Exc)
+				}
+			} else if firstErr == "" {
+				firstErr = "error: " + err.Error()
+			}
+		}
+	}
+	switch {
+	case failed:
+		return "failed"
+	case undone:
+		return "undone"
+	case firstErr != "":
+		return firstErr
+	case signalled != "":
+		return signalled
+	default:
+		return "ok"
+	}
+}
+
+// workload owns the per-kind specs and programs, all safe for concurrent
+// reuse across instances (specs are immutable and programs only touch their
+// per-instance Context).
+type workload struct {
+	cfg   Config
+	specs map[string]*caaction.Spec
+	progs map[string]map[string]caaction.RoleProgram
+}
+
+func roleName(i int) string { return fmt.Sprintf("r%d", i+1) }
+
+// threadName returns the shared thread addresses every instance muxes over.
+func threadName(i int) string { return fmt.Sprintf("L%d", i+1) }
+
+func newWorkload(cfg Config) (*workload, error) {
+	w := &workload{
+		cfg:   cfg,
+		specs: make(map[string]*caaction.Spec),
+		progs: make(map[string]map[string]caaction.RoleProgram),
+	}
+	for _, build := range []func(Config) (string, *caaction.Spec, map[string]caaction.RoleProgram, error){
+		buildCommit, buildSignal, buildAbort, buildStorm,
+	} {
+		kind, spec, progs, err := build(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("load: building %s workload: %w", kind, err)
+		}
+		w.specs[kind] = spec
+		w.progs[kind] = progs
+	}
+	return w, nil
+}
+
+// kindOf draws action idx's kind, deterministically in (Seed, idx).
+func (w *workload) kindOf(idx int) string {
+	rng := rand.New(rand.NewSource(w.cfg.Seed + int64(idx)))
+	return w.cfg.Mix.pick(rng)
+}
+
+func (w *workload) action(kind string) (*caaction.Spec, map[string]caaction.RoleProgram) {
+	return w.specs[kind], w.progs[kind]
+}
+
+// expect is each kind's deterministic outcome.
+func (w *workload) expect(kind string) string {
+	switch kind {
+	case KindSignal:
+		return "signalled:overload"
+	case KindAbort:
+		return "undone"
+	default:
+		return "ok"
+	}
+}
+
+func rolesOn(b *caaction.SpecBuilder, n int) *caaction.SpecBuilder {
+	for i := 0; i < n; i++ {
+		b = b.Role(roleName(i), threadName(i))
+	}
+	return b
+}
+
+func buildCommit(cfg Config) (string, *caaction.Spec, map[string]caaction.RoleProgram, error) {
+	spec, err := rolesOn(caaction.NewSpec("load-commit"), cfg.Roles).Build()
+	if err != nil {
+		return KindCommit, nil, nil, err
+	}
+	progs := make(map[string]caaction.RoleProgram, cfg.Roles)
+	for i := 0; i < cfg.Roles; i++ {
+		progs[roleName(i)] = caaction.RoleProgram{
+			Body: func(ctx *caaction.Context) error { return ctx.Checkpoint() },
+		}
+	}
+	return KindCommit, spec, progs, nil
+}
+
+func buildSignal(cfg Config) (string, *caaction.Spec, map[string]caaction.RoleProgram, error) {
+	spec, err := rolesOn(caaction.NewSpec("load-signal"), cfg.Roles).
+		Exception("overload").
+		Signals("overload").
+		Build()
+	if err != nil {
+		return KindSignal, nil, nil, err
+	}
+	progs := make(map[string]caaction.RoleProgram, cfg.Roles)
+	progs[roleName(0)] = caaction.RoleProgram{
+		Body: func(ctx *caaction.Context) error { return ctx.Raise("overload", "load raiser") },
+	}
+	for i := 1; i < cfg.Roles; i++ {
+		progs[roleName(i)] = caaction.RoleProgram{
+			// Wait for the raiser's Exception; the control error unwinds the
+			// body and — with no handler but "overload" declared in Signals —
+			// every role signals ε = overload.
+			Body: func(ctx *caaction.Context) error { return ctx.Compute(time.Hour) },
+		}
+	}
+	return KindSignal, spec, progs, nil
+}
+
+func buildAbort(cfg Config) (string, *caaction.Spec, map[string]caaction.RoleProgram, error) {
+	raiser := roleName(cfg.Roles - 1)
+	outer, err := rolesOn(caaction.NewSpec("load-abort"), cfg.Roles).
+		Exception("halt").
+		Build()
+	if err != nil {
+		return KindAbort, nil, nil, err
+	}
+	nestedB := caaction.NewSpec("load-abort-nest")
+	for i := 0; i < cfg.Roles-1; i++ {
+		nestedB = nestedB.Role(roleName(i), threadName(i))
+	}
+	nested, err := nestedB.Build()
+	if err != nil {
+		return KindAbort, nil, nil, err
+	}
+
+	progs := make(map[string]caaction.RoleProgram, cfg.Roles)
+	for i := 0; i < cfg.Roles-1; i++ {
+		role := roleName(i)
+		progs[role] = caaction.RoleProgram{
+			Body: func(ctx *caaction.Context) error {
+				// Tell the raiser we are about to descend, then sit in the
+				// nested action until its abort cascade throws us out.
+				if err := ctx.Send(raiser, "descending"); err != nil {
+					return err
+				}
+				return ctx.Enter(nested, role, caaction.RoleProgram{
+					Body: func(c *caaction.Context) error { return c.Compute(time.Hour) },
+				})
+			},
+		}
+	}
+	progs[raiser] = caaction.RoleProgram{
+		Body: func(ctx *caaction.Context) error {
+			for i := 0; i < cfg.Roles-1; i++ {
+				if _, err := ctx.Recv(roleName(i)); err != nil {
+					return err
+				}
+			}
+			return ctx.Raise("halt", "load abort")
+		},
+	}
+	return KindAbort, outer, progs, nil
+}
+
+func buildStorm(cfg Config) (string, *caaction.Spec, map[string]caaction.RoleProgram, error) {
+	b := rolesOn(caaction.NewSpec("load-storm"), cfg.Roles)
+	excs := make([]caaction.Exception, cfg.Roles)
+	for i := range excs {
+		excs[i] = caaction.Exception(fmt.Sprintf("e%d", i+1))
+	}
+	spec, err := b.Exception(excs...).Build()
+	if err != nil {
+		return KindStorm, nil, nil, err
+	}
+	// Whatever subset of the storm lands in round 0 — one raise or all of
+	// them — some cover resolves it; handling every node keeps the outcome
+	// a clean commit.
+	handled := func(ctx *caaction.Context, resolved caaction.Exception, raised []caaction.Raised) error {
+		return nil
+	}
+	handlers := make(map[caaction.Exception]caaction.Handler)
+	for _, node := range spec.Graph.Nodes() {
+		handlers[node] = handled
+	}
+	progs := make(map[string]caaction.RoleProgram, cfg.Roles)
+	for i := 0; i < cfg.Roles; i++ {
+		exc := excs[i]
+		progs[roleName(i)] = caaction.RoleProgram{
+			Body: func(ctx *caaction.Context) error {
+				return ctx.Raise(exc, "storm")
+			},
+			Handlers: handlers,
+		}
+	}
+	return KindStorm, spec, progs, nil
+}

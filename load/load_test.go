@@ -1,0 +1,172 @@
+package load_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"caaction"
+	"caaction/load"
+)
+
+// TestLoadSimMixedOutcomes runs the full mix over the sim transport and
+// checks every action produced exactly its kind's expected outcome.
+func TestLoadSimMixedOutcomes(t *testing.T) {
+	cfg := load.Config{Actions: 400, Concurrency: 64, Roles: 3, Seed: 7}
+	if testing.Short() {
+		cfg.Actions = 120
+	}
+	rep, err := load.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Unexpected) > 0 {
+		t.Fatalf("unexpected outcomes (%d):\n%v", len(rep.Unexpected), rep.Unexpected[:min(5, len(rep.Unexpected))])
+	}
+	total := 0
+	for _, n := range rep.Outcomes {
+		total += n
+	}
+	if total != cfg.Actions {
+		t.Errorf("outcome total %d, want %d", total, cfg.Actions)
+	}
+	for _, kind := range []string{load.KindCommit, load.KindSignal, load.KindAbort, load.KindStorm} {
+		if rep.Kinds[kind] == nil || rep.Kinds[kind].Actions == 0 {
+			t.Errorf("mix produced no %s actions", kind)
+		}
+	}
+	if rep.Throughput <= 0 {
+		t.Errorf("throughput = %v", rep.Throughput)
+	}
+	if rep.Messages["Enter"] == 0 || rep.Messages["ToBeSignalled"] == 0 {
+		t.Errorf("protocol message counts missing: %v", rep.Messages)
+	}
+}
+
+// TestLoadResolverComparison runs the same seeded workload under all three
+// resolution protocols; outcomes must agree (the protocols are equivalent in
+// what they decide, only their message complexity differs).
+func TestLoadResolverComparison(t *testing.T) {
+	actions := 150
+	if testing.Short() {
+		actions = 60
+	}
+	var first map[string]int
+	for _, resolver := range []string{"coordinated", "cr86", "r96"} {
+		rep, err := load.Run(load.Config{Actions: actions, Concurrency: 32, Seed: 11, Resolver: resolver})
+		if err != nil {
+			t.Fatalf("%s: %v", resolver, err)
+		}
+		if len(rep.Unexpected) > 0 {
+			t.Fatalf("%s: unexpected outcomes: %v", resolver, rep.Unexpected[:min(5, len(rep.Unexpected))])
+		}
+		if first == nil {
+			first = rep.Outcomes
+		} else {
+			for outcome, n := range first {
+				if rep.Outcomes[outcome] != n {
+					t.Errorf("%s: outcome %q count %d, coordinated had %d",
+						resolver, outcome, rep.Outcomes[outcome], n)
+				}
+			}
+		}
+	}
+}
+
+// TestLoadTCPSharedEndpointPair stresses the demultiplexer over the real TCP
+// transport: ≥100 concurrent actions all muxed over one TCP endpoint pair.
+// Run under -race this is the transport's data-race coverage.
+func TestLoadTCPSharedEndpointPair(t *testing.T) {
+	cfg := load.Config{
+		Actions:     120,
+		Concurrency: 40,
+		Roles:       2, // exactly one endpoint pair
+		Transport:   "tcp",
+		Seed:        3,
+	}
+	if testing.Short() {
+		cfg.Actions = 50
+	}
+	rep, err := load.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Unexpected) > 0 {
+		t.Fatalf("unexpected outcomes over TCP (%d):\n%v",
+			len(rep.Unexpected), rep.Unexpected[:min(5, len(rep.Unexpected))])
+	}
+	total := 0
+	for _, n := range rep.Outcomes {
+		total += n
+	}
+	if total != cfg.Actions {
+		t.Errorf("outcome total %d, want %d", total, cfg.Actions)
+	}
+}
+
+// TestThousandConcurrentActions is the acceptance bar for the concurrent
+// multi-action runtime: one System holds ≥1000 action instances in flight
+// simultaneously — every instance provably entered before any may complete,
+// enforced by a gate all bodies block on — and drives them all to a correct
+// completion over the shared sim transport.
+func TestThousandConcurrentActions(t *testing.T) {
+	const n = 1000
+	sys, err := caaction.New(caaction.WithRealTime(), caaction.WithSimTransport(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sys.Close() }()
+
+	spec, err := caaction.NewSpec("flood").
+		Role("left", "T1").
+		Role("right", "T2").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 2*n)
+	body := func(ctx *caaction.Context) error {
+		entered <- struct{}{}
+		<-gate // held until all n instances are in flight
+		return ctx.Checkpoint()
+	}
+	progs := map[string]caaction.RoleProgram{"left": {Body: body}, "right": {Body: body}}
+
+	handles := make([]*caaction.ActionHandle, n)
+	for i := range handles {
+		h, err := sys.StartAction(context.Background(), spec, progs)
+		if err != nil {
+			t.Fatalf("StartAction %d: %v", i, err)
+		}
+		handles[i] = h
+	}
+	deadline := time.After(2 * time.Minute)
+	for i := 0; i < 2*n; i++ {
+		select {
+		case <-entered:
+		case <-deadline:
+			t.Fatalf("only %d of %d roles entered in time", i, 2*n)
+		}
+	}
+	close(gate) // all 1000 instances are concurrent right now
+	sys.Wait()
+	for i, h := range handles {
+		if !h.Done() {
+			t.Fatalf("instance %d not done", i)
+		}
+		if err := h.Err(); err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+	}
+	if got := sys.Metrics().Get("action.completions"); got != 2*n {
+		t.Errorf("action.completions = %d, want %d", got, 2*n)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -23,17 +23,37 @@ type config struct {
 	clock     Clock // clockCustom only
 
 	transportName string
-	network       Network // overrides the registry when non-nil
+	transportSet  bool // an explicit With*Transport option was given
+	jitterSet     bool
+	network       Network
 	env           TransportEnv
 
 	resolverName string
-	protocol     ResolutionProtocol // overrides resolverName when non-nil
+	protocol     ResolutionProtocol
 
 	signalTimeout time.Duration
 	metrics       *Metrics
 	log           *Log
 
 	err error
+}
+
+// validate rejects conflicting option combinations once all options have
+// been applied (so the check is order-independent).
+func (c *config) validate() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.network != nil && c.transportSet {
+		return fmt.Errorf("caaction: WithNetwork conflicts with selecting a transport by name; pass one or the other")
+	}
+	if c.network != nil && (c.jitterSet || c.env.Peers != nil) {
+		return fmt.Errorf("caaction: WithJitter/WithPeer configure registry-built transports and have no effect with WithNetwork")
+	}
+	if c.protocol != nil && c.resolverName != "" {
+		return fmt.Errorf("caaction: WithResolutionProtocol conflicts with WithResolver(%q); pass one or the other", c.resolverName)
+	}
+	return nil
 }
 
 func (c *config) fail(format string, args ...any) {
@@ -73,6 +93,7 @@ func WithClock(clk Clock) Option {
 func WithSimTransport(latency time.Duration) Option {
 	return func(c *config) {
 		c.transportName = "sim"
+		c.transportSet = true
 		c.env.Latency = latency
 	}
 }
@@ -81,6 +102,7 @@ func WithSimTransport(latency time.Duration) Option {
 // [latency, latency+jitter], seeded for reproducibility.
 func WithJitter(jitter time.Duration, seed int64) Option {
 	return func(c *config) {
+		c.jitterSet = true
 		c.env.Jitter = jitter
 		c.env.Seed = seed
 	}
@@ -94,6 +116,7 @@ func WithJitter(jitter time.Duration, seed int64) Option {
 func WithTCPTransport(addr string) Option {
 	return func(c *config) {
 		c.transportName = "tcp"
+		c.transportSet = true
 		c.env.ListenAddr = addr
 	}
 }
@@ -113,7 +136,10 @@ func WithPeer(thread, hostport string) Option {
 // name added with RegisterTransport) — the string form used by command-line
 // flags. The name is validated by New.
 func WithTransport(name string) Option {
-	return func(c *config) { c.transportName = name }
+	return func(c *config) {
+		c.transportName = name
+		c.transportSet = true
+	}
 }
 
 // WithNetwork supplies a fully constructed Network, bypassing the transport

@@ -1,11 +1,14 @@
 package caaction
 
 import (
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"caaction/internal/atomicobj"
 	"caaction/internal/core"
 	"caaction/internal/trace"
+	"caaction/internal/transport"
 	"caaction/internal/vclock"
 )
 
@@ -55,6 +58,14 @@ type System struct {
 	net     Network
 	metrics *Metrics
 	log     *Log
+
+	// Concurrent multi-action state: the demultiplexer StartAction instances
+	// share (created lazily), the instance-tag sequence, and the closed
+	// marker consulted by Thread and StartAction.
+	muxOnce   sync.Once
+	mux       *transport.Mux
+	actionSeq atomic.Int64
+	closed    atomic.Bool
 }
 
 // New assembles a System from functional options. See Option and the With*
@@ -64,8 +75,8 @@ func New(opts ...Option) (*System, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	if cfg.err != nil {
-		return nil, cfg.err
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 
 	var clk Clock
@@ -173,5 +184,11 @@ func (s *System) Object(name string) (*Object, error) {
 // it.
 func (s *System) Runtime() *core.Runtime { return s.rt }
 
-// Close shuts the system's network down, detaching every thread endpoint.
-func (s *System) Close() error { return s.net.Close() }
+// Close shuts the system down: the demultiplexer (if any concurrent actions
+// ran) and the network close, detaching every thread endpoint. Subsequent
+// Thread and StartAction calls fail with ErrSystemClosed.
+func (s *System) Close() error {
+	s.closed.Store(true)
+	_ = s.muxNet().Close() // via muxOnce, so a racing StartAction is safe
+	return s.net.Close()
+}

@@ -20,6 +20,9 @@ type Thread struct {
 
 // Thread creates a thread with its own transport endpoint bound to id.
 func (s *System) Thread(id string) (*Thread, error) {
+	if s.closed.Load() {
+		return nil, ErrSystemClosed
+	}
 	inner, err := s.rt.NewThread(id)
 	if err != nil {
 		return nil, err
