@@ -18,6 +18,7 @@ import (
 // BenchmarkFig9Baseline is the §5.2 baseline point: Tmmax=0.2s, Tabo=0.1s,
 // Treso=0.3s, 20 iterations — the paper reports 94.36 virtual seconds.
 func BenchmarkFig9Baseline(b *testing.B) {
+	b.ReportAllocs()
 	var total time.Duration
 	for i := 0; i < b.N; i++ {
 		d, err := experiments.RunFig9Point(experiments.DefaultFig9())
@@ -46,18 +47,22 @@ func benchFig9(b *testing.B, mutate func(*experiments.Fig9Config)) {
 // Figure 9/10 sweep points: message passing below and above the knee,
 // abortion and resolution costs.
 func BenchmarkFig9TmmaxBelowKnee(b *testing.B) {
+	b.ReportAllocs()
 	benchFig9(b, func(c *experiments.Fig9Config) { c.Tmmax = 800 * time.Millisecond })
 }
 
 func BenchmarkFig9TmmaxAboveKnee(b *testing.B) {
+	b.ReportAllocs()
 	benchFig9(b, func(c *experiments.Fig9Config) { c.Tmmax = 2400 * time.Millisecond })
 }
 
 func BenchmarkFig9TaboHigh(b *testing.B) {
+	b.ReportAllocs()
 	benchFig9(b, func(c *experiments.Fig9Config) { c.Tabo = 2100 * time.Millisecond })
 }
 
 func BenchmarkFig9TresoHigh(b *testing.B) {
+	b.ReportAllocs()
 	benchFig9(b, func(c *experiments.Fig9Config) { c.Treso = 2300 * time.Millisecond })
 }
 
@@ -65,6 +70,7 @@ func BenchmarkFig9TresoHigh(b *testing.B) {
 // §5.3 scenario (three concurrent exceptions); the paper reports 9.15 s vs
 // 11.77 s at Tmmax=1.0 s, Tres=0.3 s.
 func benchFig12(b *testing.B, protocol caaction.ResolutionProtocol) {
+	b.ReportAllocs()
 	var total time.Duration
 	for i := 0; i < b.N; i++ {
 		d, err := experiments.RunFig12Point(experiments.Fig12Config{
@@ -86,6 +92,7 @@ func BenchmarkFig12CR86(b *testing.B)        { benchFig12(b, caaction.CR86) }
 // N=2..6; the msgs metric is the resolution-message total for the largest N
 // in the all-raise scenario.
 func benchMsgs(b *testing.B, protocol caaction.ResolutionProtocol) {
+	b.ReportAllocs()
 	var last int64
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.RunMessageComplexity([]int{6})
@@ -108,6 +115,7 @@ func BenchmarkMessagesR96N6(b *testing.B)         { benchMsgs(b, caaction.R96) }
 // BenchmarkSignalling measures experiment E4 (the §3.4 exchange) at N=6;
 // worst case (undo round) is 2N(N−1) messages.
 func BenchmarkSignallingN6(b *testing.B) {
+	b.ReportAllocs()
 	var worst int64
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.RunSignalling([]int{6})
@@ -127,6 +135,7 @@ func BenchmarkSignallingN6(b *testing.B) {
 // (experiment E5): eight controller threads, four nesting levels, one forged
 // plate delivered.
 func BenchmarkProductionCellCycle(b *testing.B) {
+	b.ReportAllocs()
 	var vsec float64
 	for i := 0; i < b.N; i++ {
 		sys, err := caaction.New(
@@ -154,6 +163,7 @@ func BenchmarkProductionCellCycle(b *testing.B) {
 
 // BenchmarkLemma1 measures experiment E6 at nesting depth 3.
 func BenchmarkLemma1Depth3(b *testing.B) {
+	b.ReportAllocs()
 	var measured time.Duration
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.RunLemma1([]int{3},

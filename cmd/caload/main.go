@@ -69,8 +69,8 @@ func main() {
 			os.Exit(2)
 		}
 		file.Resolvers[resolver] = rep
-		fmt.Printf("%-12s %6d actions  %9.0f actions/s  p50 %.2fms  p99 %.2fms  outcomes %v\n",
-			resolver, cfg.Actions, rep.Throughput, rep.Latency.P50, rep.Latency.P99, rep.Outcomes)
+		fmt.Printf("%-12s %6d actions  %9.0f actions/s  p50 %.2fms  p99 %.2fms  %7.0f allocs/action  outcomes %v\n",
+			resolver, cfg.Actions, rep.Throughput, rep.Latency.P50, rep.Latency.P99, rep.AllocsPerAction, rep.Outcomes)
 		if len(rep.Unexpected) > 0 {
 			// Keep going and still write the report: the JSON (with its
 			// Unexpected list) is exactly the diagnostic a failed run needs.

@@ -1,0 +1,309 @@
+// Command perfgate is the CI performance-regression gate: it compares a
+// fresh `go test -bench` run and a fresh caload report against the
+// committed baselines (BENCH_chaos.json, BENCH_load.json) and fails the
+// build when a hot-path metric regresses beyond tolerance.
+//
+// Gated metrics:
+//
+//   - allocs_per_op (benchmarks) — hardware-independent, so it is compared
+//     across machines at the standard tolerance. Only regressions fail;
+//     improvements are reported (and should be committed as the new
+//     baseline).
+//   - virtual_seconds / messages (benchmarks) — deterministic paper anchors
+//     (Fig9/Fig12 virtual times, §3.3.3 message counts); they must match
+//     the baseline within the much tighter -exact-tolerance in either
+//     direction.
+//   - actions_per_second, p99_ms and allocs_per_action (load report, per
+//     resolver) — throughput may not drop and p99 may not rise beyond
+//     tolerance.
+//
+// ns/op and B/op are recorded in the comparison artifact but not gated
+// (they vary with hardware).
+//
+// Usage (what .github/workflows/ci.yml runs):
+//
+//	go test -run xxx -bench . -benchmem ./... | tee bench.out
+//	go run ./cmd/caload -out BENCH_load_new.json
+//	go run ./cmd/perfgate -bench bench.out -load BENCH_load_new.json \
+//	    -report perf_comparison.json
+//
+// Regenerating baselines after an intentional perf change:
+//
+//	go test -run xxx -bench . -benchmem ./...   # update BENCH_chaos.json numbers
+//	go run ./cmd/caload                         # rewrites BENCH_load.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchBaseline mirrors BENCH_chaos.json.
+type benchBaseline struct {
+	Benchmarks []struct {
+		Pkg            string  `json:"pkg"`
+		Name           string  `json:"name"`
+		NsPerOp        float64 `json:"ns_per_op"`
+		VirtualSeconds float64 `json:"virtual_seconds"`
+		Messages       float64 `json:"messages"`
+		BytesPerOp     float64 `json:"bytes_per_op"`
+		AllocsPerOp    float64 `json:"allocs_per_op"`
+	} `json:"benchmarks"`
+}
+
+// loadBaseline mirrors BENCH_load.json (only the gated fields).
+type loadBaseline struct {
+	Resolvers map[string]struct {
+		Throughput      float64 `json:"actions_per_second"`
+		AllocsPerAction float64 `json:"allocs_per_action"`
+		Latency         struct {
+			P99 float64 `json:"p99_ms"`
+		} `json:"latency"`
+	} `json:"resolvers"`
+}
+
+// benchResult is one parsed `go test -bench` output line.
+type benchResult struct {
+	nsPerOp     float64
+	vsec        float64
+	msgs        float64
+	bytesPerOp  float64
+	allocsPerOp float64
+	hasAllocs   bool
+}
+
+// row is one comparison in the artifact.
+type row struct {
+	Subject  string  `json:"subject"` // "bench:<Name>" or "load:<resolver>"
+	Metric   string  `json:"metric"`
+	Baseline float64 `json:"baseline"`
+	Current  float64 `json:"current"`
+	DeltaPct float64 `json:"delta_pct"`
+	Status   string  `json:"status"` // "ok", "improved", "FAIL", "info"
+}
+
+type gate struct {
+	rows   []row
+	failed bool
+}
+
+// check records one comparison. dir > 0 means "larger is worse" (allocs,
+// p99), dir < 0 means "smaller is worse" (throughput), dir == 0 means the
+// value must match within tolerance in either direction (paper anchors).
+func (g *gate) check(subject, metric string, base, cur, tol float64, dir int) {
+	delta := 0.0
+	if base != 0 {
+		delta = (cur - base) / math.Abs(base) * 100
+	}
+	status := "ok"
+	switch {
+	case dir > 0 && cur > base*(1+tol):
+		status = "FAIL"
+	case dir < 0 && cur < base*(1-tol):
+		status = "FAIL"
+	case dir == 0 && math.Abs(cur-base) > math.Abs(base)*tol:
+		status = "FAIL"
+	case dir > 0 && cur < base*(1-tol):
+		status = "improved"
+	case dir < 0 && cur > base*(1+tol):
+		status = "improved"
+	}
+	if status == "FAIL" {
+		g.failed = true
+	}
+	g.rows = append(g.rows, row{Subject: subject, Metric: metric,
+		Baseline: base, Current: cur, DeltaPct: delta, Status: status})
+}
+
+func (g *gate) info(subject, metric string, base, cur float64) {
+	delta := 0.0
+	if base != 0 {
+		delta = (cur - base) / math.Abs(base) * 100
+	}
+	g.rows = append(g.rows, row{Subject: subject, Metric: metric,
+		Baseline: base, Current: cur, DeltaPct: delta, Status: "info"})
+}
+
+func (g *gate) fail(subject, why string) {
+	g.failed = true
+	g.rows = append(g.rows, row{Subject: subject, Metric: why, Status: "FAIL"})
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkFig9Baseline-4   300   935295 ns/op   94.00 vsec   275675 B/op   3306 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// parseBenchFile returns results keyed "pkg|name" (pkg from the preceding
+// "pkg:" header line), so same-named benchmarks in different packages never
+// collide.
+func parseBenchFile(path string) (map[string]benchResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }()
+	out := make(map[string]benchResult)
+	pkg := ""
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		var r benchResult
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.nsPerOp = v
+			case "vsec":
+				r.vsec = v
+			case "msgs":
+				r.msgs = v
+			case "B/op":
+				r.bytesPerOp = v
+			case "allocs/op":
+				r.allocsPerOp = v
+				r.hasAllocs = true
+			}
+		}
+		out[pkg+"|"+m[1]] = r
+	}
+	return out, sc.Err()
+}
+
+func readJSON(path string, into any) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(blob, into)
+}
+
+func main() {
+	var (
+		benchFile     = flag.String("bench", "", "go test -bench output to gate ('' skips the bench gate)")
+		benchBase     = flag.String("bench-baseline", "BENCH_chaos.json", "committed benchmark baseline")
+		loadFile      = flag.String("load", "", "fresh caload JSON report to gate ('' skips the load gate)")
+		loadBase      = flag.String("load-baseline", "BENCH_load.json", "committed load baseline")
+		tolerance     = flag.Float64("tolerance", 0.25, "fractional tolerance for perf metrics (allocs, throughput, p99)")
+		loadTol       = flag.Float64("load-tolerance", 0, "override tolerance for the wall-clock load metrics (actions_per_second, p99); 0 inherits -tolerance. Throughput and tail latency are hardware-sensitive, so a gate whose baseline was recorded on different hardware may need this looser than the allocation gates")
+		exactTol      = flag.Float64("exact-tolerance", 0.02, "tolerance for deterministic metrics (virtual seconds, message counts)")
+		reportPath    = flag.String("report", "", "write the comparison artifact JSON here ('' disables)")
+		requireAllocs = flag.Bool("require-allocs", true, "fail when a baselined benchmark reports no allocs/op (run with -benchmem)")
+	)
+	flag.Parse()
+
+	g := &gate{}
+	if *benchFile != "" {
+		results, err := parseBenchFile(*benchFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfgate: parse bench:", err)
+			os.Exit(2)
+		}
+		var base benchBaseline
+		if err := readJSON(*benchBase, &base); err != nil {
+			fmt.Fprintln(os.Stderr, "perfgate: read baseline:", err)
+			os.Exit(2)
+		}
+		for _, b := range base.Benchmarks {
+			r, ok := results[b.Pkg+"|"+b.Name]
+			subject := "bench:" + b.Name
+			if !ok {
+				g.fail(subject, "benchmark missing from run")
+				continue
+			}
+			if b.AllocsPerOp > 0 {
+				if r.hasAllocs {
+					g.check(subject, "allocs_per_op", b.AllocsPerOp, r.allocsPerOp, *tolerance, +1)
+				} else if *requireAllocs {
+					g.fail(subject, "no allocs/op in run (use -benchmem)")
+				}
+			}
+			if b.VirtualSeconds > 0 {
+				g.check(subject, "virtual_seconds", b.VirtualSeconds, r.vsec, *exactTol, 0)
+			}
+			if b.Messages > 0 {
+				g.check(subject, "messages", b.Messages, r.msgs, *exactTol, 0)
+			}
+			g.info(subject, "ns_per_op", b.NsPerOp, r.nsPerOp)
+			if b.BytesPerOp > 0 && r.bytesPerOp > 0 {
+				g.info(subject, "bytes_per_op", b.BytesPerOp, r.bytesPerOp)
+			}
+		}
+	}
+
+	if *loadTol == 0 {
+		*loadTol = *tolerance
+	}
+	if *loadFile != "" {
+		var cur, base loadBaseline
+		if err := readJSON(*loadFile, &cur); err != nil {
+			fmt.Fprintln(os.Stderr, "perfgate: read load report:", err)
+			os.Exit(2)
+		}
+		if err := readJSON(*loadBase, &base); err != nil {
+			fmt.Fprintln(os.Stderr, "perfgate: read load baseline:", err)
+			os.Exit(2)
+		}
+		for name, b := range base.Resolvers {
+			subject := "load:" + name
+			c, ok := cur.Resolvers[name]
+			if !ok {
+				g.fail(subject, "resolver missing from run")
+				continue
+			}
+			g.check(subject, "actions_per_second", b.Throughput, c.Throughput, *loadTol, -1)
+			g.check(subject, "p99_ms", b.Latency.P99, c.Latency.P99, *loadTol, +1)
+			if b.AllocsPerAction > 0 && c.AllocsPerAction > 0 {
+				g.check(subject, "allocs_per_action", b.AllocsPerAction, c.AllocsPerAction, *tolerance, +1)
+			}
+		}
+	}
+
+	if len(g.rows) == 0 {
+		fmt.Fprintln(os.Stderr, "perfgate: nothing to compare (pass -bench and/or -load)")
+		os.Exit(2)
+	}
+
+	for _, r := range g.rows {
+		fmt.Printf("%-10s %-38s %-18s base %14.2f  now %14.2f  %+7.1f%%\n",
+			r.Status, r.Subject, r.Metric, r.Baseline, r.Current, r.DeltaPct)
+	}
+	if *reportPath != "" {
+		blob, err := json.MarshalIndent(struct {
+			Failed bool  `json:"failed"`
+			Rows   []row `json:"rows"`
+		}{g.failed, g.rows}, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfgate:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*reportPath, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "perfgate:", err)
+			os.Exit(2)
+		}
+	}
+	if g.failed {
+		fmt.Println("perfgate: FAIL — performance regressed beyond tolerance (or a baselined benchmark vanished)")
+		os.Exit(1)
+	}
+	fmt.Println("perfgate: ok")
+}

@@ -36,6 +36,15 @@ func (c *Context) Role() string { return c.f.role }
 // ActionID returns the action instance identifier.
 func (c *Context) ActionID() string { return c.f.id }
 
+// Depth returns the action's nesting depth: 0 for a top-level action, 1
+// for its direct children, and so on. Read from the identifier's parsed
+// form cached on the frame — no string splitting.
+func (c *Context) Depth() int { return c.f.pid.Depth }
+
+// InstanceTag returns the mux instance tag of the concurrent action
+// instance this frame belongs to ("" on the single-action wire format).
+func (c *Context) InstanceTag() string { return c.f.pid.Tag }
+
 // SpecName returns the action's specification name.
 func (c *Context) SpecName() string { return c.f.spec.Name }
 
@@ -62,7 +71,7 @@ func (c *Context) pre() error {
 	if c.f.aborting {
 		return nil // abortion handlers run to completion, uninterrupted
 	}
-	if c.f.informed || c.f.decided != nil {
+	if c.f.informed || c.f.hasDecided {
 		return &pendingError{kind: kindInterrupt, frame: c.f}
 	}
 	return nil
@@ -82,13 +91,14 @@ func (c *Context) Raise(id except.ID, info string) error {
 	f, th := c.f, c.th
 	th.ensureInstance(f)
 	exc := except.Raised{ID: id, Origin: th.id, Info: info, At: th.rt.clock.Now()}
-	th.rt.metrics.Add("action.raises", 1)
-	th.logf("raise", "%s: %s (%s)", f.id, id, info)
+	th.rt.counters.raises.Add(1)
+	if th.logOn {
+		th.logf("raise", "%s: %s (%s)", f.id, id, info)
+	}
 	out := f.inst.Raise(exc)
 	f.tx.Inform(exc)
-	if out.Decided && f.decided == nil {
-		o := out
-		f.decided = &o
+	if out.Decided && !f.hasDecided {
+		f.decided, f.hasDecided = out, true
 	}
 	return &pendingError{kind: kindRaise, frame: f}
 }
@@ -262,7 +272,7 @@ func (c *Context) Enter(spec *Spec, role string, prog RoleProgram) error {
 	if c.f.aborting {
 		return fmt.Errorf("core: Enter inside abortion handler of %s", c.f.id)
 	}
-	err := c.th.perform(c.f.id, spec, role, prog)
+	err := c.th.perform(c.f, spec, role, prog)
 	switch e := err.(type) {
 	case nil:
 		return nil

@@ -22,6 +22,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"caaction/internal/atomicobj"
@@ -65,6 +66,15 @@ type Runtime struct {
 	metrics *trace.Metrics
 	log     *trace.Log
 	sigTO   time.Duration
+
+	// counters are the runtime's metric counters, interned once at
+	// construction so the per-action paths bump atomics instead of paying a
+	// map lookup (and the string key's interface boxing) per event.
+	counters struct {
+		entries, rounds, handlerRuns, raises *trace.Counter
+		undos, completions, undone, failed   *trace.Counter
+		signalled, aborted, resolveCalls     *trace.Counter
+	}
 }
 
 // New validates cfg and returns a Runtime.
@@ -84,7 +94,7 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = &trace.Metrics{}
 	}
-	return &Runtime{
+	rt := &Runtime{
 		clock:   cfg.Clock,
 		net:     cfg.Network,
 		objects: cfg.Objects,
@@ -92,7 +102,19 @@ func New(cfg Config) (*Runtime, error) {
 		metrics: cfg.Metrics,
 		log:     cfg.Log,
 		sigTO:   cfg.SignalTimeout,
-	}, nil
+	}
+	rt.counters.entries = cfg.Metrics.Counter("action.entries")
+	rt.counters.rounds = cfg.Metrics.Counter("action.rounds")
+	rt.counters.handlerRuns = cfg.Metrics.Counter("action.handler_runs")
+	rt.counters.raises = cfg.Metrics.Counter("action.raises")
+	rt.counters.undos = cfg.Metrics.Counter("action.undos")
+	rt.counters.completions = cfg.Metrics.Counter("action.completions")
+	rt.counters.undone = cfg.Metrics.Counter("action.undone")
+	rt.counters.failed = cfg.Metrics.Counter("action.failed")
+	rt.counters.signalled = cfg.Metrics.Counter("action.signalled")
+	rt.counters.aborted = cfg.Metrics.Counter("action.aborted")
+	rt.counters.resolveCalls = cfg.Metrics.Counter("resolve.calls")
+	return rt, nil
 }
 
 // Clock returns the runtime's clock.
@@ -115,12 +137,29 @@ type Thread struct {
 	// ("a7!" for a muxed thread, "" for the single-action path), so
 	// concurrent instances sharing a transport stay distinguishable on the
 	// wire; see internal/protocol's action-instance identifier format.
+	// tag is the bare instance tag ("a7", "" when unmuxed).
 	prefix string
+	tag    string
+	// logOn caches whether the runtime has a log, so hot paths skip event
+	// construction (and the boxing of logf arguments) entirely when
+	// logging is disabled.
+	logOn bool
+	// sendFn is the bound send method, created once so per-round protocol
+	// engines don't allocate a fresh method value each time they are wired.
+	sendFn func(to string, msg protocol.Message)
 
 	stack    []*frame
 	retained map[string][]transport.Delivery
 	dead     map[string]bool
-	seq      map[string]int
+	seq      map[seqKey]int
+}
+
+// seqKey identifies one (parent instance, spec name) nesting sequence; a
+// struct key avoids the per-nesting string concatenation a composite string
+// key would cost.
+type seqKey struct {
+	parent string
+	name   string
 }
 
 // NewThread creates a thread with its own transport endpoint.
@@ -143,15 +182,19 @@ func (rt *Runtime) NewThreadOn(id string, ep transport.Endpoint, instance string
 	if instance != "" {
 		prefix = protocol.TagInstance(instance, "")
 	}
-	return &Thread{
+	th := &Thread{
 		rt:       rt,
 		id:       id,
 		ep:       ep,
 		prefix:   prefix,
+		tag:      instance,
+		logOn:    rt.log.Enabled(),
 		retained: make(map[string][]transport.Delivery),
 		dead:     make(map[string]bool),
-		seq:      make(map[string]int),
+		seq:      make(map[seqKey]int),
 	}
+	th.sendFn = th.send
+	return th
 }
 
 // ID returns the thread identifier.
@@ -160,23 +203,45 @@ func (th *Thread) ID() string { return th.id }
 // Close releases the thread's endpoint.
 func (th *Thread) Close() error { return th.ep.Close() }
 
+// logf records a runtime event. Hot paths guard calls with th.logOn so a
+// disabled log never pays for argument boxing or formatting; the internal
+// check keeps cold call sites safe without a guard.
 func (th *Thread) logf(kind, format string, args ...any) {
-	th.rt.log.Add(th.rt.clock.Now(), th.id, kind, fmt.Sprintf(format, args...))
+	if !th.logOn {
+		return
+	}
+	th.rt.log.Addf(th.rt.clock.Now(), th.id, kind, format, args...)
 }
 
-// instanceID derives the agreed identifier for the next instance of spec
-// under the given parent instance. All participants derive identical ids
-// because cooperating threads perform the same nesting sequence — the
-// paper's "every thread has a name list of the nested actions it is to
-// participate in".
-func (th *Thread) instanceID(parent string, spec *Spec) string {
-	key := parent + "/" + spec.Name
-	th.seq[key]++
-	prefix := th.prefix // top-level actions carry the mux instance tag
-	if parent != "" {
-		prefix = parent + "/"
+// instancePID derives the agreed identifier (parsed form included) for the
+// next instance of spec under the given parent frame (nil for top-level).
+// All participants derive identical ids because cooperating threads perform
+// the same nesting sequence — the paper's "every thread has a name list of
+// the nested actions it is to participate in". Nested identifiers extend
+// the parent frame's cached ParsedID, so nothing re-splits the parent
+// string; this runs once per action instance on the load harness's hottest
+// constructor path.
+func (th *Thread) instancePID(parent *frame, spec *Spec) protocol.ParsedID {
+	key := seqKey{name: spec.Name}
+	if parent != nil {
+		key.parent = parent.id
 	}
-	return fmt.Sprintf("%s%s#%d", prefix, spec.Name, th.seq[key])
+	th.seq[key]++
+	n := th.seq[key]
+	// Hand-build the "<name>#<n>" leaf segment.
+	b := make([]byte, 0, len(spec.Name)+8)
+	b = append(b, spec.Name...)
+	b = append(b, '#')
+	b = strconv.AppendInt(b, int64(n), 10)
+	base := string(b)
+	if parent != nil {
+		return parent.pid.Child(base)
+	}
+	// Top-level actions carry the mux instance tag.
+	if th.prefix == "" {
+		return protocol.ParsedID{Raw: base, Base: base}
+	}
+	return protocol.ParsedID{Raw: th.prefix + base, Tag: th.tag, Base: base}
 }
 
 // roundOf extracts the resolution-round tag from resolution-protocol
@@ -202,29 +267,39 @@ func roundOf(msg protocol.Message) (int, bool) {
 
 // frame is one level of the thread's action stack (the paper's SAi).
 type frame struct {
-	th    *Thread
-	spec  *Spec
-	id    string
+	th   *Thread
+	spec *Spec
+	id   string
+	// pid is the identifier's parsed form (tag, parent, depth), computed
+	// once here so no later path re-splits the identifier string.
+	pid   protocol.ParsedID
 	role  string
 	prog  RoleProgram
-	peers []string // participating threads, sorted by resolve.ThreadLess
+	peers []string // participating threads, sorted by resolve.ThreadLess; shared with the Spec's cache, never mutated
 
-	// Resolution state for the current round.
-	round    int
-	inst     resolve.Instance
-	decided  *resolve.Outcome
-	informed bool
+	// Resolution state for the current round. decided is meaningful only
+	// while hasDecided (value + flag instead of a pointer, so recording a
+	// decision never heap-escapes an Outcome per round).
+	round      int
+	inst       resolve.Instance
+	decided    resolve.Outcome
+	hasDecided bool
+	informed   bool
 
-	// Exit / signalling state.
-	sig     *signal.Instance
-	sigDec  *signal.Decision
-	votes   []transport.Delivery // same-round votes buffered before sig exists
-	epsilon except.ID
+	// Exit / signalling state; sigDec is meaningful only while hasSigDec.
+	sig       *signal.Instance
+	sigDec    signal.Decision
+	hasSigDec bool
+	votes     []transport.Delivery // same-round votes buffered before sig exists
+	epsilon   except.ID
 
 	// Buffers.
-	future  []transport.Delivery // messages for rounds not reached yet
-	entered map[string]bool
-	apps    map[string][]any
+	future []transport.Delivery // messages for rounds not reached yet
+	// entered marks arrivals at the entry barrier, indexed like peers;
+	// enteredN counts distinct arrivals (duplicate Enters are idempotent).
+	entered  []bool
+	enteredN int
+	apps     map[string][]any // lazily allocated on the first App payload
 
 	// Abort coordination: same-round resolution messages received for this
 	// frame while the thread was nested inside it. The first one triggers
@@ -238,20 +313,22 @@ type frame struct {
 	tx *atomicobj.Tx
 }
 
-func (th *Thread) pushFrame(spec *Spec, id, role string, prog RoleProgram) *frame {
-	peers := spec.Threads()
-	resolve.SortThreads(peers)
+func (th *Thread) pushFrame(parent *frame, spec *Spec, role string, prog RoleProgram) *frame {
+	peers := spec.sortedThreads()
+	pid := th.instancePID(parent, spec)
+	id := pid.Raw
 	f := &frame{
 		th:      th,
 		spec:    spec,
 		id:      id,
+		pid:     pid,
 		role:    role,
 		prog:    prog,
 		peers:   peers,
-		entered: map[string]bool{th.id: true},
-		apps:    make(map[string][]any),
+		entered: make([]bool, len(peers)),
 		tx:      th.rt.objects.Begin(id),
 	}
+	f.markEntered(th.id)
 	th.stack = append(th.stack, f)
 	// Consume messages that arrived before this thread entered the action.
 	if pend := th.retained[id]; len(pend) > 0 {
@@ -272,6 +349,30 @@ func (th *Thread) popFrame(f *frame) {
 			break
 		}
 	}
+}
+
+// markEntered records one arrival at the frame's entry barrier. Arrivals
+// from non-participants are ignored, and duplicates (a chaos fault
+// re-delivering an Enter) are idempotent.
+func (f *frame) markEntered(thread string) {
+	for i, p := range f.peers {
+		if p == thread {
+			if !f.entered[i] {
+				f.entered[i] = true
+				f.enteredN++
+			}
+			return
+		}
+	}
+}
+
+// addApp buffers one cooperation payload, allocating the per-sender map
+// lazily (most actions never exchange App messages).
+func (f *frame) addApp(from string, payload any) {
+	if f.apps == nil {
+		f.apps = make(map[string][]any)
+	}
+	f.apps[from] = append(f.apps[from], payload)
 }
 
 func (th *Thread) top() *frame {
@@ -338,11 +439,11 @@ func (th *Thread) routeInnermost(f *frame, d transport.Delivery) routeVerdict {
 	}
 	switch m := d.Msg.(type) {
 	case protocol.Enter:
-		f.entered[m.From] = true
+		f.markEntered(m.From)
 		return routeVerdict{}
 
 	case protocol.App:
-		f.apps[m.From] = append(f.apps[m.From], m.Payload)
+		f.addApp(m.From, m.Payload)
 		return routeVerdict{}
 
 	case protocol.ToBeSignalled:
@@ -356,7 +457,7 @@ func (th *Thread) routeInnermost(f *frame, d transport.Delivery) routeVerdict {
 			if err != nil {
 				th.logf("vote.error", "%v", err)
 			} else if dec.Done {
-				f.sigDec = &dec
+				f.sigDec, f.hasSigDec = dec, true
 			}
 		default:
 			f.votes = append(f.votes, d)
@@ -382,7 +483,7 @@ func (th *Thread) routeInnermost(f *frame, d transport.Delivery) routeVerdict {
 		// discarded by their round tags).
 		if f.sig != nil {
 			f.sig = nil
-			f.sigDec = nil
+			f.sigDec, f.hasSigDec = signal.Decision{}, false
 			th.logf("exit.abandoned", "%s: exception round %d during exit", f.id, r)
 		}
 		th.ensureInstance(f)
@@ -405,9 +506,8 @@ func (th *Thread) applyOutcome(f *frame, d transport.Delivery, out resolve.Outco
 			f.tx.Inform(exc.Exc)
 		}
 	}
-	if out.Decided && f.decided == nil {
-		o := out
-		f.decided = &o
+	if out.Decided && !f.hasDecided {
+		f.decided, f.hasDecided = out, true
 	}
 	return v
 }
@@ -427,7 +527,7 @@ func (th *Thread) routeEnclosing(f *frame, d transport.Delivery) routeVerdict {
 		return routeVerdict{}
 
 	case protocol.App:
-		f.apps[m.From] = append(f.apps[m.From], m.Payload)
+		f.addApp(m.From, m.Payload)
 		return routeVerdict{}
 
 	default:
@@ -463,7 +563,7 @@ func (th *Thread) routeCorrupt(f *frame, d transport.Delivery) routeVerdict {
 	if f.sig != nil {
 		dec := f.sig.MarkFailed(d.From)
 		if dec.Done {
-			f.sigDec = &dec
+			f.sigDec, f.hasSigDec = dec, true
 		}
 		th.logf("corrupt", "vote from %s treated as ƒ", d.From)
 		return routeVerdict{}
@@ -483,9 +583,9 @@ func (th *Thread) ensureInstance(f *frame) {
 		Self:   th.id,
 		Peers:  f.peers,
 		Round:  f.round,
-		Send:   th.send,
+		Send:   th.sendFn,
 		Resolve: func(raised []except.Raised) except.ID {
-			th.rt.metrics.Add("resolve.calls", 1)
+			th.rt.counters.resolveCalls.Add(1)
 			th.rt.clock.Sleep(f.spec.Timing.Resolution)
 			id, err := f.spec.Graph.ResolveRaised(raised)
 			if err != nil {

@@ -760,3 +760,98 @@ func TestSignalValidation(t *testing.T) {
 		t.Fatalf("T2 outcome %v", res["T2"])
 	}
 }
+
+// TestContextDepthAndInstanceTag pins the parsed-identifier cache on the
+// frame: depth and mux tag are read straight from the cached form, for
+// top-level and nested frames, with and without an instance tag.
+func TestContextDepthAndInstanceTag(t *testing.T) {
+	e := newEnv(t, time.Millisecond, 2)
+	nested := spec2(t, "inner", graph3(t))
+	outer := spec2(t, "outer", graph3(t))
+
+	type seen struct {
+		id   string
+		d    int
+		tag  string
+		nid  string
+		nd   int
+		ntag string
+	}
+	var got seen
+	progs := map[string]core.RoleProgram{
+		"a": {Body: func(ctx *core.Context) error {
+			got.id, got.d, got.tag = ctx.ActionID(), ctx.Depth(), ctx.InstanceTag()
+			return ctx.Enter(nested, "a", core.RoleProgram{Body: func(c2 *core.Context) error {
+				got.nid, got.nd, got.ntag = c2.ActionID(), c2.Depth(), c2.InstanceTag()
+				return nil
+			}})
+		}},
+		"b": {Body: func(ctx *core.Context) error {
+			return ctx.Enter(nested, "b", core.RoleProgram{Body: noopBody})
+		}},
+	}
+	for _, err := range e.run(outer, progs) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got.id != "outer#1" || got.d != 0 || got.tag != "" {
+		t.Fatalf("outer frame: id=%q depth=%d tag=%q", got.id, got.d, got.tag)
+	}
+	if got.nid != "outer#1/inner#1" || got.nd != 1 || got.ntag != "" {
+		t.Fatalf("nested frame: id=%q depth=%d tag=%q", got.nid, got.nd, got.ntag)
+	}
+}
+
+// TestInstanceTagOnMuxedThread: a thread created with an instance tag
+// (NewThreadOn) derives tagged identifiers whose cached parsed form carries
+// the tag at every nesting level.
+func TestInstanceTagOnMuxedThread(t *testing.T) {
+	clk := vclock.NewVirtual()
+	net := transport.NewSim(transport.SimConfig{Clock: clk})
+	rt, err := core.New(core.Config{Clock: clk, Network: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &core.Spec{
+		Name:  "solo",
+		Roles: []core.Role{{Name: "a", Thread: "T1"}},
+		Graph: graph3(t),
+	}
+	ep, err := net.Endpoint("T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := rt.NewThreadOn("T1", ep, "a7")
+	var id, tag string
+	var depth int
+	clk.Go(func() {
+		_ = th.Perform(spec, "a", core.RoleProgram{Body: func(ctx *core.Context) error {
+			id, tag, depth = ctx.ActionID(), ctx.InstanceTag(), ctx.Depth()
+			return nil
+		}})
+	})
+	clk.Wait()
+	if id != "a7!solo#1" || tag != "a7" || depth != 0 {
+		t.Fatalf("muxed frame: id=%q tag=%q depth=%d", id, tag, depth)
+	}
+}
+
+// TestValidateFailureIsNotCached: an invalid spec can be fixed and
+// retried — only the first SUCCESSFUL Validate latches.
+func TestValidateFailureIsNotCached(t *testing.T) {
+	s := &core.Spec{ // no name yet
+		Roles: []core.Role{{Name: "a", Thread: "T1"}},
+		Graph: graph3(t),
+	}
+	if err := s.Validate(); err == nil {
+		t.Fatal("empty name validated")
+	}
+	s.Name = "fixed"
+	if err := s.Validate(); err != nil {
+		t.Fatalf("corrected spec still rejected: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("cached success lost: %v", err)
+	}
+}

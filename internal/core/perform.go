@@ -20,7 +20,7 @@ var errSignalTimeout = errors.New("core: signalling vote timed out")
 // *SignalledError carrying the exception this role signalled (an application
 // ε, except.Undo, or except.Failure).
 func (th *Thread) Perform(spec *Spec, role string, prog RoleProgram) error {
-	err := th.perform("", spec, role, prog)
+	err := th.perform(nil, spec, role, prog)
 	if ae, ok := err.(*abortError); ok {
 		// Unreachable for top-level actions (there is no enclosing action
 		// to abort them); report rather than leak internals.
@@ -29,10 +29,10 @@ func (th *Thread) Perform(spec *Spec, role string, prog RoleProgram) error {
 	return err
 }
 
-// perform runs one action frame to completion. It returns nil, a
-// *SignalledError, an *abortError (for Enter to continue a cascade), or a
-// configuration error.
-func (th *Thread) perform(parent string, spec *Spec, role string, prog RoleProgram) error {
+// perform runs one action frame to completion under the given parent frame
+// (nil for a top-level action). It returns nil, a *SignalledError, an
+// *abortError (for Enter to continue a cascade), or a configuration error.
+func (th *Thread) perform(parent *frame, spec *Spec, role string, prog RoleProgram) error {
 	if err := spec.Validate(); err != nil {
 		return err
 	}
@@ -48,11 +48,13 @@ func (th *Thread) perform(parent string, spec *Spec, role string, prog RoleProgr
 			ErrNotYourRole, role, spec.Name, bound, th.id)
 	}
 
-	id := th.instanceID(parent, spec)
-	f := th.pushFrame(spec, id, role, prog)
+	f := th.pushFrame(parent, spec, role, prog)
+	id := f.id
 	ctx := &Context{th: th, f: f}
-	th.rt.metrics.Add("action.entries", 1)
-	th.logf("enter", "%s as %s", id, role)
+	th.rt.counters.entries.Add(1)
+	if th.logOn {
+		th.logf("enter", "%s as %s", id, role)
+	}
 
 	err := th.entryBarrier(f)
 	if err == nil && !f.hasPendingWork() {
@@ -62,7 +64,7 @@ func (th *Thread) perform(parent string, spec *Spec, role string, prog RoleProgr
 }
 
 func (f *frame) hasPendingWork() bool {
-	return f.informed || f.inst != nil || f.decided != nil
+	return f.informed || f.inst != nil || f.hasDecided
 }
 
 // runBody executes the role body, mapping foreign errors onto the model: an
@@ -103,7 +105,7 @@ func (th *Thread) conclude(ctx *Context, err error) error {
 		if pe, ok := err.(*pendingError); ok && pe.kind == kindAbort {
 			eab := th.runAbortion(ctx)
 			th.popFrame(f)
-			th.rt.metrics.Add("action.aborted", 1)
+			th.rt.counters.aborted.Add(1)
 			th.logf("aborted", "%s (target %s, Eab=%q)", f.id, pe.target, eab)
 			return &abortError{target: pe.target, eab: eab}
 		}
@@ -116,21 +118,23 @@ func (th *Thread) conclude(ctx *Context, err error) error {
 		}
 
 		// Resolution in progress?
-		if f.inst != nil && f.decided == nil {
+		if f.inst != nil && !f.hasDecided {
 			if werr := th.awaitDecision(f); werr != nil {
 				err = werr
 				continue
 			}
 		}
-		if f.decided != nil {
-			out := *f.decided
-			f.decided = nil
+		if f.hasDecided {
+			out := f.decided
+			f.decided, f.hasDecided = resolve.Outcome{}, false
 			f.inst = nil
 			f.informed = false
 			f.round++
-			th.rt.metrics.Add("action.rounds", 1)
-			th.logf("resolved", "%s round %d: %s covering %d", f.id, f.round-1,
-				out.Resolved, len(out.Raised))
+			th.rt.counters.rounds.Add(1)
+			if th.logOn {
+				th.logf("resolved", "%s round %d: %s covering %d", f.id, f.round-1,
+					out.Resolved, len(out.Raised))
+			}
 			v := th.drainFuture(f)
 			if v.abortTarget != "" {
 				err = &pendingError{kind: kindAbort, frame: f, target: v.abortTarget}
@@ -141,17 +145,17 @@ func (th *Thread) conclude(ctx *Context, err error) error {
 		}
 
 		// Nothing pending: attempt the synchronous exit.
-		dec, werr := th.exitAction(f)
+		dec, decided, werr := th.exitAction(f)
 		if werr != nil {
 			err = werr
 			continue
 		}
-		if dec == nil {
+		if !decided {
 			// Exit abandoned: a peer raised; resolution is pending.
 			err = nil
 			continue
 		}
-		return th.finalize(f, *dec)
+		return th.finalize(f, dec)
 	}
 }
 
@@ -163,7 +167,7 @@ func (th *Thread) conclude(ctx *Context, err error) error {
 func (th *Thread) dispatchHandler(ctx *Context, out resolve.Outcome) error {
 	f := ctx.f
 	if h, ok := f.prog.Handlers[out.Resolved]; ok && h != nil {
-		th.rt.metrics.Add("action.handler_runs", 1)
+		th.rt.counters.handlerRuns.Add(1)
 		return th.mapUserErr(ctx, h(ctx, out.Resolved, out.Raised))
 	}
 	if out.Resolved != f.spec.Graph.Root() && f.spec.CanSignal(out.Resolved) {
@@ -184,50 +188,49 @@ func (th *Thread) entryBarrier(f *frame) error {
 			th.send(p, protocol.Enter{Action: f.id, From: th.id, Role: f.role})
 		}
 	}
-	return th.pump(f, func() bool { return len(f.entered) == len(f.peers) }, false, 0)
+	return th.pump(f, untilEntered, 0)
 }
 
 // awaitDecision pumps messages until the current round's resolving exception
 // is known locally.
 func (th *Thread) awaitDecision(f *frame) error {
-	return th.pump(f, func() bool { return f.decided != nil }, false, 0)
+	return th.pump(f, untilDecided, 0)
 }
 
 // exitAction runs the §3.4 signalling exchange as the synchronous exit
-// protocol. It returns (nil, nil) when the exit was abandoned because a peer
+// protocol. decided is false when the exit was abandoned because a peer
 // raised a same-round exception instead of voting.
-func (th *Thread) exitAction(f *frame) (*signal.Decision, error) {
-	f.sigDec = nil
+func (th *Thread) exitAction(f *frame) (dec signal.Decision, decided bool, err error) {
+	f.sigDec, f.hasSigDec = signal.Decision{}, false
 	f.sig = signal.New(signal.Config{
 		Action: f.id,
 		Self:   th.id,
 		Peers:  f.peers,
 		Round:  f.round,
-		Send:   th.send,
+		Send:   th.sendFn,
 		Undo: func() error {
-			th.rt.metrics.Add("action.undos", 1)
+			th.rt.counters.undos.Add(1)
 			return f.tx.Undo()
 		},
 	})
 	// Replay same-round votes that arrived before the local vote was cast.
 	pending := f.votes
 	f.votes = nil
-	dec := f.sig.Start(f.epsilon)
-	if dec.Done {
-		f.sigDec = &dec
+	if d0 := f.sig.Start(f.epsilon); d0.Done {
+		f.sigDec, f.hasSigDec = d0, true
 	}
 	for _, d := range pending {
 		m, ok := d.Msg.(protocol.ToBeSignalled)
 		if !ok || m.Round != f.round || f.sig == nil {
 			continue
 		}
-		dd, err := f.sig.Deliver(m.From, m)
-		if err != nil {
-			th.logf("vote.error", "%v", err)
+		dd, derr := f.sig.Deliver(m.From, m)
+		if derr != nil {
+			th.logf("vote.error", "%v", derr)
 			continue
 		}
 		if dd.Done {
-			f.sigDec = &dd
+			f.sigDec, f.hasSigDec = dd, true
 		}
 	}
 
@@ -239,26 +242,26 @@ func (th *Thread) exitAction(f *frame) (*signal.Decision, error) {
 	if timeout > 0 {
 		deadline = th.rt.clock.Now() + timeout
 	}
-	err := th.pump(f, func() bool { return f.sigDec != nil || f.sig == nil }, false, deadline)
+	err = th.pump(f, untilExitDecision, deadline)
 	if errors.Is(err, errSignalTimeout) && f.sig != nil {
 		// §3.4 extension: missing votes (lost messages) count as ƒ.
 		th.logf("exit.timeout", "%s: treating missing votes as ƒ", f.id)
-		dec := f.sig.MarkFailed(f.sig.Missing()...)
-		if dec.Done {
-			f.sigDec = &dec
+		dm := f.sig.MarkFailed(f.sig.Missing()...)
+		if dm.Done {
+			f.sigDec, f.hasSigDec = dm, true
 		} else {
-			err = th.pump(f, func() bool { return f.sigDec != nil || f.sig == nil }, false, 0)
+			err = th.pump(f, untilExitDecision, 0)
 		}
 	} else if err != nil {
-		return nil, err
+		return signal.Decision{}, false, err
 	}
 	if f.sig == nil {
-		return nil, nil // abandoned: resolution round begins
+		return signal.Decision{}, false, nil // abandoned: resolution round begins
 	}
-	res := f.sigDec
+	res, ok := f.sigDec, f.hasSigDec
 	f.sig = nil
-	f.sigDec = nil
-	return res, nil
+	f.sigDec, f.hasSigDec = signal.Decision{}, false
+	return res, ok, nil
 }
 
 // finalize commits or rolls back external effects per the coordinated signal
@@ -270,25 +273,27 @@ func (th *Thread) finalize(f *frame, dec signal.Decision) error {
 		if err := f.tx.Commit(); err != nil {
 			th.logf("commit.error", "%s: %v", f.id, err)
 		}
-		th.rt.metrics.Add("action.completions", 1)
-		th.logf("exit", "%s: success", f.id)
+		th.rt.counters.completions.Add(1)
+		if th.logOn {
+			th.logf("exit", "%s: success", f.id)
+		}
 		return nil
 	case except.Undo:
-		th.rt.metrics.Add("action.undone", 1)
+		th.rt.counters.undone.Add(1)
 		th.logf("exit", "%s: undone (µ)", f.id)
 		return &SignalledError{Action: f.id, Spec: f.spec.Name, Exc: except.Undo}
 	case except.Failure:
 		if !dec.UndoDone {
 			_ = f.tx.Undo() // best effort; failure already coordinated
 		}
-		th.rt.metrics.Add("action.failed", 1)
+		th.rt.counters.failed.Add(1)
 		th.logf("exit", "%s: failed (ƒ)", f.id)
 		return &SignalledError{Action: f.id, Spec: f.spec.Name, Exc: except.Failure}
 	default:
 		if err := f.tx.Commit(); err != nil {
 			th.logf("commit.error", "%s: %v", f.id, err)
 		}
-		th.rt.metrics.Add("action.signalled", 1)
+		th.rt.counters.signalled.Add(1)
 		th.logf("exit", "%s: signalling %s", f.id, dec.Signal)
 		return &SignalledError{Action: f.id, Spec: f.spec.Name, Exc: dec.Signal}
 	}
@@ -319,12 +324,11 @@ func (th *Thread) absorbAbort(f *frame, ae *abortError) error {
 	kind := kindInterrupt
 	if ae.eab != except.None {
 		exc := except.Raised{ID: ae.eab, Origin: th.id, Info: "abortion handler", At: th.rt.clock.Now()}
-		th.rt.metrics.Add("action.raises", 1)
+		th.rt.counters.raises.Add(1)
 		out := f.inst.Raise(exc)
 		f.tx.Inform(exc)
-		if out.Decided && f.decided == nil {
-			o := out
-			f.decided = &o
+		if out.Decided && !f.hasDecided {
+			f.decided, f.hasDecided = out, true
 		}
 		kind = kindRaise
 	}
@@ -358,16 +362,41 @@ func (th *Thread) enclosingAbortTarget(f *frame) string {
 	return ""
 }
 
-// pump processes incoming deliveries until stop() holds. interruptible
-// selects whether an information verdict (thread informed of concurrent
-// exceptions) unwinds the caller; abort verdicts always do. A non-zero
-// deadline bounds the wait with errSignalTimeout.
-func (th *Thread) pump(f *frame, stop func() bool, interruptible bool, deadline time.Duration) error {
+// pumpCond selects what a pump waits for. An enum (instead of a stop
+// closure) keeps the protocol wait loops allocation-free — pumps run per
+// barrier, per round and per exit on every action.
+type pumpCond int
+
+const (
+	// untilEntered: every participant has arrived at the entry barrier.
+	untilEntered pumpCond = iota
+	// untilDecided: the current round's resolving exception is known.
+	untilDecided
+	// untilExitDecision: the exit exchange concluded, or was abandoned.
+	untilExitDecision
+)
+
+func (f *frame) condMet(cond pumpCond) bool {
+	switch cond {
+	case untilEntered:
+		return f.enteredN == len(f.peers)
+	case untilDecided:
+		return f.hasDecided
+	default:
+		return f.hasSigDec || f.sig == nil
+	}
+}
+
+// pump processes incoming deliveries until cond holds. Information verdicts
+// (thread informed of concurrent exceptions) are left for cond to observe;
+// abort verdicts always unwind. A non-zero deadline bounds the wait with
+// errSignalTimeout.
+func (th *Thread) pump(f *frame, cond pumpCond, deadline time.Duration) error {
 	for {
 		if t := th.enclosingAbortTarget(f); t != "" && !f.aborting {
 			return &pendingError{kind: kindAbort, frame: f, target: t}
 		}
-		if stop() {
+		if f.condMet(cond) {
 			return nil
 		}
 		var d transport.Delivery
@@ -393,9 +422,6 @@ func (th *Thread) pump(f *frame, stop func() bool, interruptible bool, deadline 
 		v := th.route(d)
 		if v.abortTarget != "" && !f.aborting {
 			return &pendingError{kind: kindAbort, frame: f, target: v.abortTarget}
-		}
-		if interruptible && v.interrupt && !f.aborting {
-			return &pendingError{kind: kindInterrupt, frame: f}
 		}
 	}
 }

@@ -3,9 +3,12 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"caaction/internal/except"
+	"caaction/internal/resolve"
 )
 
 // Role binds one role name of a CA action to the thread that performs it.
@@ -38,6 +41,15 @@ type Timing struct {
 // graph shared by all roles (§3.1: "the set e of exceptions for a CA action
 // is identical for each role"), and the interface exceptions the action may
 // signal.
+//
+// A Spec is validated once and then treated as immutable: the first
+// successful Validate (every Perform calls it) caches the verdict and the
+// sorted participant set, and the Spec is shared by every concurrent
+// instance performing it. Do not mutate a Spec's fields after it has been
+// used — later Performs would see the stale cache — and do not copy a Spec
+// by value (it contains the cache's lock; share the pointer, which is what
+// SpecBuilder.Build returns). Failed validations are not cached, so an
+// invalid Spec may be corrected and retried.
 type Spec struct {
 	// Name identifies the action; instance identifiers derive from it.
 	Name string
@@ -52,10 +64,51 @@ type Spec struct {
 	Signals []except.ID
 	// Timing carries the modelled protocol costs.
 	Timing Timing
+
+	// prep caches the first SUCCESSFUL Validate and the sorted participant
+	// set. Specs are shared immutably across concurrent action instances
+	// (the load harness reuses one Spec for thousands), so re-validating
+	// and re-sorting per Perform would be pure hot-path waste. Failures
+	// are not cached — an invalid spec can be fixed and retried. A Spec
+	// mutated after a successful Validate keeps the stale verdict — build
+	// specs once (SpecBuilder does).
+	prep struct {
+		done    atomic.Bool
+		mu      sync.Mutex
+		threads []string
+	}
 }
 
-// Validate checks structural invariants of the spec.
+// Validate checks structural invariants of the spec. The first successful
+// verdict is cached; see Spec.prep.
 func (s *Spec) Validate() error {
+	if s.prep.done.Load() {
+		return nil
+	}
+	s.prep.mu.Lock()
+	defer s.prep.mu.Unlock()
+	if s.prep.done.Load() {
+		return nil
+	}
+	if err := s.validate(); err != nil {
+		return err
+	}
+	threads := s.Threads()
+	resolve.SortThreads(threads)
+	s.prep.threads = threads
+	s.prep.done.Store(true)
+	return nil
+}
+
+// sortedThreads returns the participating threads sorted by
+// resolve.ThreadLess, cached by Validate. Callers must not mutate the
+// returned slice (frames share it).
+func (s *Spec) sortedThreads() []string {
+	_ = s.Validate()
+	return s.prep.threads
+}
+
+func (s *Spec) validate() error {
 	if s.Name == "" {
 		return fmt.Errorf("%w: empty name", ErrSpecInvalid)
 	}

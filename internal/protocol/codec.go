@@ -1,0 +1,377 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"caaction/internal/except"
+)
+
+// Binary wire codec for the nine protocol messages — the TCP transport's
+// default encoding since the hot-path overhaul (gob remains available behind
+// an option for wire compatibility with older deployments).
+//
+// A frame is the payload the transport length-prefixes onto the stream:
+//
+//	frame   := tag(u8) from(string) fields...
+//	tag     := kind index + 1 (0 is invalid, catching zeroed buffers)
+//	string  := uvarint byte-length, then that many bytes
+//	int     := zigzag varint (encoding/binary's varint)
+//	raised  := id(string) origin(string) info(string) at(int, nanoseconds)
+//	[]raised:= uvarint count, then count × raised
+//
+// Fields follow each message struct's declaration order. App payloads carry
+// a type tag for the common cooperation payload types (nil, string, bool,
+// int, int64, float64, []byte); any other type falls back to a nested gob
+// encoding of the interface value, so everything that crossed the gob wire
+// still crosses the binary wire.
+//
+// AppendFrame appends to a caller-supplied buffer (the transport pools
+// them), so a steady-state send performs zero codec allocations for the
+// eight fixed-shape messages and for fast-path App payloads.
+
+// ErrCodec reports a malformed or truncated binary frame.
+var ErrCodec = errors.New("protocol: malformed frame")
+
+// App payload type tags for the binary codec's fast paths; payloadGob marks
+// a nested gob encoding of any other type.
+const (
+	payloadNil = iota
+	payloadString
+	payloadBool
+	payloadInt
+	payloadInt64
+	payloadFloat64
+	payloadBytes
+	payloadGob = 0xff
+)
+
+// AppendFrame appends the binary encoding of one message (with the sending
+// endpoint's logical address) to buf and returns the extended buffer.
+func AppendFrame(buf []byte, from string, msg Message) ([]byte, error) {
+	kind := KindIndexOf(msg)
+	if kind < 0 {
+		return buf, fmt.Errorf("%w: cannot encode foreign message %T", ErrCodec, msg)
+	}
+	buf = append(buf, byte(kind+1))
+	buf = appendString(buf, from)
+	switch m := msg.(type) {
+	case Exception:
+		buf = appendString(buf, m.Action)
+		buf = appendString(buf, m.From)
+		buf = appendInt(buf, int64(m.Round))
+		buf = appendRaised(buf, m.Exc)
+	case Suspended:
+		buf = appendString(buf, m.Action)
+		buf = appendString(buf, m.From)
+		buf = appendInt(buf, int64(m.Round))
+	case Commit:
+		buf = appendString(buf, m.Action)
+		buf = appendString(buf, m.From)
+		buf = appendInt(buf, int64(m.Round))
+		buf = appendString(buf, string(m.Resolved))
+		buf = binary.AppendUvarint(buf, uint64(len(m.Raised)))
+		for _, r := range m.Raised {
+			buf = appendRaised(buf, r)
+		}
+	case Relay:
+		buf = appendString(buf, m.Action)
+		buf = appendString(buf, m.From)
+		buf = appendInt(buf, int64(m.Round))
+		buf = appendRaised(buf, m.Exc)
+	case Propose:
+		buf = appendString(buf, m.Action)
+		buf = appendString(buf, m.From)
+		buf = appendInt(buf, int64(m.Round))
+		buf = appendString(buf, string(m.Resolved))
+	case Ack:
+		buf = appendString(buf, m.Action)
+		buf = appendString(buf, m.From)
+		buf = appendInt(buf, int64(m.Round))
+	case ToBeSignalled:
+		buf = appendString(buf, m.Action)
+		buf = appendString(buf, m.From)
+		buf = appendString(buf, string(m.Exc))
+		buf = appendInt(buf, int64(m.Round))
+		buf = appendInt(buf, int64(m.Phase))
+	case Enter:
+		buf = appendString(buf, m.Action)
+		buf = appendString(buf, m.From)
+		buf = appendString(buf, m.Role)
+	case App:
+		buf = appendString(buf, m.Action)
+		buf = appendString(buf, m.From)
+		buf = appendString(buf, m.ToRole)
+		var err error
+		if buf, err = appendPayload(buf, m.Payload); err != nil {
+			return buf, err
+		}
+	}
+	return buf, nil
+}
+
+// DecodeFrame decodes one binary frame produced by AppendFrame.
+func DecodeFrame(data []byte) (from string, msg Message, err error) {
+	d := decoder{data: data}
+	tag := d.byte()
+	from = d.string()
+	kind := int(tag) - 1
+	switch kind {
+	case KindException:
+		m := Exception{Action: d.string(), From: d.string(), Round: d.int()}
+		m.Exc = d.raised()
+		msg = m
+	case KindSuspended:
+		msg = Suspended{Action: d.string(), From: d.string(), Round: d.int()}
+	case KindCommit:
+		m := Commit{Action: d.string(), From: d.string(), Round: d.int(),
+			Resolved: except.ID(d.string())}
+		// A raised entry is at least 4 bytes: three empty strings + At.
+		if n := d.count(4); n > 0 {
+			m.Raised = make([]except.Raised, n)
+			for i := range m.Raised {
+				m.Raised[i] = d.raised()
+			}
+		}
+		msg = m
+	case KindRelay:
+		m := Relay{Action: d.string(), From: d.string(), Round: d.int()}
+		m.Exc = d.raised()
+		msg = m
+	case KindPropose:
+		msg = Propose{Action: d.string(), From: d.string(), Round: d.int(),
+			Resolved: except.ID(d.string())}
+	case KindAck:
+		msg = Ack{Action: d.string(), From: d.string(), Round: d.int()}
+	case KindToBeSignalled:
+		msg = ToBeSignalled{Action: d.string(), From: d.string(),
+			Exc: except.ID(d.string()), Round: d.int(), Phase: d.int()}
+	case KindEnter:
+		msg = Enter{Action: d.string(), From: d.string(), Role: d.string()}
+	case KindApp:
+		m := App{Action: d.string(), From: d.string(), ToRole: d.string()}
+		m.Payload = d.payload()
+		msg = m
+	default:
+		return "", nil, fmt.Errorf("%w: unknown kind tag %d", ErrCodec, tag)
+	}
+	if d.err != nil {
+		return "", nil, d.err
+	}
+	if len(d.data) != 0 {
+		return "", nil, fmt.Errorf("%w: %d trailing bytes", ErrCodec, len(d.data))
+	}
+	return from, msg, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendInt(buf []byte, v int64) []byte {
+	return binary.AppendVarint(buf, v)
+}
+
+func appendRaised(buf []byte, r except.Raised) []byte {
+	buf = appendString(buf, string(r.ID))
+	buf = appendString(buf, r.Origin)
+	buf = appendString(buf, r.Info)
+	return appendInt(buf, int64(r.At))
+}
+
+func appendPayload(buf []byte, payload any) ([]byte, error) {
+	switch p := payload.(type) {
+	case nil:
+		return append(buf, payloadNil), nil
+	case string:
+		buf = append(buf, payloadString)
+		return appendString(buf, p), nil
+	case bool:
+		buf = append(buf, payloadBool)
+		if p {
+			return append(buf, 1), nil
+		}
+		return append(buf, 0), nil
+	case int:
+		buf = append(buf, payloadInt)
+		return appendInt(buf, int64(p)), nil
+	case int64:
+		buf = append(buf, payloadInt64)
+		return appendInt(buf, p), nil
+	case float64:
+		buf = append(buf, payloadFloat64)
+		return binary.BigEndian.AppendUint64(buf, math.Float64bits(p)), nil
+	case []byte:
+		buf = append(buf, payloadBytes)
+		buf = binary.AppendUvarint(buf, uint64(len(p)))
+		return append(buf, p...), nil
+	default:
+		// Anything else rides a nested gob encoding of the interface value,
+		// so the payload type set matches the gob wire's exactly.
+		var nested bytes.Buffer
+		if err := gob.NewEncoder(&nested).Encode(&payload); err != nil {
+			return buf, fmt.Errorf("%w: app payload %T: %v", ErrCodec, payload, err)
+		}
+		buf = append(buf, payloadGob)
+		buf = binary.AppendUvarint(buf, uint64(nested.Len()))
+		return append(buf, nested.Bytes()...), nil
+	}
+}
+
+// decoder is a cursor over one frame; the first malformation latches err and
+// every subsequent read returns zero values, so call sites stay linear.
+type decoder struct {
+	data []byte
+	err  error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: truncated %s", ErrCodec, what)
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil || len(d.data) < 1 {
+		d.fail("byte")
+		return 0
+	}
+	b := d.data[0]
+	d.data = d.data[1:]
+	return b
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data)
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.data = d.data[n:]
+	return v
+}
+
+func (d *decoder) int() int {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.data)
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.data = d.data[n:]
+	return int(v)
+}
+
+func (d *decoder) int64() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.data)
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.data = d.data[n:]
+	return v
+}
+
+func (d *decoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.data)) {
+		d.fail("string")
+		return ""
+	}
+	s := string(d.data[:n])
+	d.data = d.data[n:]
+	return s
+}
+
+// count reads a collection length, bounding it by the bytes remaining
+// divided by the collection's minimum per-element encoding size, so a
+// hostile length prefix cannot force an allocation any larger than the
+// frame that carried it (a raised entry encodes to ≥ 4 bytes but occupies
+// 56 in memory — without the element bound a 1 MiB frame could demand a
+// ~56 MB slice before decoding fails).
+func (d *decoder) count(minElemSize int) int {
+	n := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(len(d.data))/uint64(minElemSize) {
+		d.fail("collection")
+		return 0
+	}
+	return int(n)
+}
+
+func (d *decoder) raised() except.Raised {
+	return except.Raised{
+		ID:     except.ID(d.string()),
+		Origin: d.string(),
+		Info:   d.string(),
+		At:     time.Duration(d.int64()),
+	}
+}
+
+func (d *decoder) payload() any {
+	switch tag := d.byte(); tag {
+	case payloadNil:
+		return nil
+	case payloadString:
+		return d.string()
+	case payloadBool:
+		return d.byte() != 0
+	case payloadInt:
+		return d.int()
+	case payloadInt64:
+		return d.int64()
+	case payloadFloat64:
+		if d.err != nil || len(d.data) < 8 {
+			d.fail("float64")
+			return nil
+		}
+		v := math.Float64frombits(binary.BigEndian.Uint64(d.data))
+		d.data = d.data[8:]
+		return v
+	case payloadBytes:
+		n := d.count(1)
+		if d.err != nil {
+			return nil
+		}
+		b := append([]byte(nil), d.data[:n]...)
+		d.data = d.data[n:]
+		return b
+	case payloadGob:
+		n := d.count(1)
+		if d.err != nil {
+			return nil
+		}
+		nested := d.data[:n]
+		d.data = d.data[n:]
+		var payload any
+		if err := gob.NewDecoder(bytes.NewReader(nested)).Decode(&payload); err != nil && d.err == nil {
+			d.err = fmt.Errorf("%w: app payload gob: %v", ErrCodec, err)
+			return nil
+		}
+		return payload
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("%w: unknown payload tag %d", ErrCodec, tag)
+		}
+		return nil
+	}
+}

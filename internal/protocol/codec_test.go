@@ -1,0 +1,236 @@
+package protocol
+
+import (
+	"encoding/gob"
+	"reflect"
+	"testing"
+	"time"
+
+	"caaction/internal/except"
+)
+
+// codecMessages exercises every message kind with populated, zero and
+// awkward field values (reserved identifier characters, unicode, empty
+// collections).
+func codecMessages() []Message {
+	raised := except.Raised{ID: "e1", Origin: "T1", Info: "disk on fire", At: 1500 * time.Millisecond}
+	return []Message{
+		Exception{Action: "a7!outer#1/inner#2", From: "T1", Round: 3, Exc: raised},
+		Exception{},
+		Suspended{Action: "outer#1", From: "T2", Round: 0},
+		Commit{Action: "outer#1", From: "T1", Round: 2, Resolved: "e1+e2",
+			Raised: []except.Raised{raised, {ID: "e2", Origin: "T3"}}},
+		Commit{Action: "outer#1", From: "T1", Resolved: except.None},
+		Relay{Action: "outer#1", From: "T3", Round: 1, Exc: raised},
+		Propose{Action: "outer#1", From: "T2", Round: 4, Resolved: "µ"},
+		Ack{Action: "outer#1", From: "T2", Round: 9},
+		ToBeSignalled{Action: "tag!a#1", From: "T1", Exc: "ƒ", Round: 7, Phase: 1},
+		ToBeSignalled{Action: "a#1", From: "T1", Exc: except.None},
+		Enter{Action: "outer#1", From: "T4", Role: "producer"},
+		App{Action: "outer#1", From: "T1", ToRole: "consumer", Payload: nil},
+		App{Action: "outer#1", From: "T1", ToRole: "consumer", Payload: "plate"},
+		App{Action: "outer#1", From: "T1", ToRole: "consumer", Payload: true},
+		App{Action: "outer#1", From: "T1", ToRole: "consumer", Payload: false},
+		App{Action: "outer#1", From: "T1", ToRole: "consumer", Payload: 42},
+		App{Action: "outer#1", From: "T1", ToRole: "consumer", Payload: int64(-7)},
+		App{Action: "outer#1", From: "T1", ToRole: "consumer", Payload: 2.5},
+		App{Action: "outer#1", From: "T1", ToRole: "consumer", Payload: []byte{0, 1, 255}},
+	}
+}
+
+func TestCodecRoundTripEveryKind(t *testing.T) {
+	for _, msg := range codecMessages() {
+		buf, err := AppendFrame(nil, "sender", msg)
+		if err != nil {
+			t.Fatalf("%T: encode: %v", msg, err)
+		}
+		from, got, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("%T: decode: %v", msg, err)
+		}
+		if from != "sender" {
+			t.Fatalf("%T: from = %q", msg, from)
+		}
+		if !reflect.DeepEqual(got, msg) {
+			t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", got, msg)
+		}
+	}
+}
+
+type codecPayload struct {
+	Name  string
+	Count int
+}
+
+func TestCodecGobPayloadFallback(t *testing.T) {
+	gob.Register(codecPayload{})
+	msg := App{Action: "a#1", From: "T1", ToRole: "r2",
+		Payload: codecPayload{Name: "forged plate", Count: 3}}
+	buf, err := AppendFrame(nil, "T1", msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := DecodeFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, msg) {
+		t.Fatalf("gob payload mismatch: %#v != %#v", got, msg)
+	}
+}
+
+func TestCodecAppendReusesBuffer(t *testing.T) {
+	buf := make([]byte, 0, 512)
+	for _, msg := range codecMessages() {
+		out, err := AppendFrame(buf[:0], "s", msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) <= cap(buf) && &out[0] != &buf[:1][0] {
+			t.Fatalf("%T: AppendFrame reallocated despite capacity", msg)
+		}
+	}
+}
+
+func TestCodecRejectsForeignMessage(t *testing.T) {
+	if _, err := AppendFrame(nil, "s", foreignMsg{}); err == nil {
+		t.Fatal("foreign message encoded without error")
+	}
+}
+
+type foreignMsg struct{}
+
+func (foreignMsg) Kind() string { return "Foreign" }
+
+func TestCodecRejectsMalformedFrames(t *testing.T) {
+	good, err := AppendFrame(nil, "sender", Commit{Action: "a#1", From: "T1", Round: 1,
+		Resolved: "e1", Raised: []except.Raised{{ID: "e1", Origin: "T1"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":         {},
+		"zero tag":      {0},
+		"unknown tag":   {200, 0},
+		"truncated":     good[:len(good)-3],
+		"trailing junk": append(append([]byte(nil), good...), 1, 2, 3),
+		"huge count":    {byte(KindCommit + 1), 0, 0, 0, 0, 2, 'e', '1', 0xff, 0xff, 0xff},
+	}
+	for name, data := range cases {
+		if _, _, err := DecodeFrame(data); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+// TestCodecMatchesGobSemantics pins that the binary codec and the gob wire
+// agree on what a message means: everything gob round-trips, the codec
+// round-trips to the same value.
+func TestCodecMatchesGobSemantics(t *testing.T) {
+	RegisterGob()
+	for _, msg := range codecMessages() {
+		buf, err := AppendFrame(nil, "s", msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, viaCodec, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(viaCodec, msg) {
+			t.Fatalf("%T: codec disagrees with original", msg)
+		}
+	}
+}
+
+func TestKindIndexOfCoversEveryMessage(t *testing.T) {
+	seen := map[int]bool{}
+	for _, msg := range []Message{Exception{}, Suspended{}, Commit{}, Relay{},
+		Propose{}, Ack{}, ToBeSignalled{}, Enter{}, App{}} {
+		idx := KindIndexOf(msg)
+		if idx < 0 || idx >= NumKinds {
+			t.Fatalf("%T: index %d out of range", msg, idx)
+		}
+		if KindNames[idx] != msg.Kind() {
+			t.Fatalf("%T: KindNames[%d] = %q, Kind() = %q", msg, idx, KindNames[idx], msg.Kind())
+		}
+		if MetricNames[idx] != "msg."+msg.Kind() {
+			t.Fatalf("%T: MetricNames[%d] = %q", msg, idx, MetricNames[idx])
+		}
+		seen[idx] = true
+	}
+	if len(seen) != NumKinds {
+		t.Fatalf("indices not dense: %v", seen)
+	}
+	if KindIndexOf(foreignMsg{}) != -1 {
+		t.Fatal("foreign message got a kind index")
+	}
+}
+
+func TestKindLabels(t *testing.T) {
+	labels := KindLabels("send.")
+	if labels[KindEnter] != "send.Enter" || labels[KindApp] != "send.App" {
+		t.Fatalf("labels = %v", labels)
+	}
+}
+
+func TestParseID(t *testing.T) {
+	cases := []struct {
+		raw  string
+		want ParsedID
+	}{
+		{"", ParsedID{}},
+		{"outer#1", ParsedID{Raw: "outer#1", Base: "outer#1"}},
+		{"a7!outer#1", ParsedID{Raw: "a7!outer#1", Tag: "a7", Base: "outer#1"}},
+		{"outer#1/inner#2", ParsedID{Raw: "outer#1/inner#2", Parent: "outer#1",
+			Base: "inner#2", Depth: 1}},
+		{"a7!outer#1/mid#1/leaf#3", ParsedID{Raw: "a7!outer#1/mid#1/leaf#3", Tag: "a7",
+			Parent: "a7!outer#1/mid#1", Base: "leaf#3", Depth: 2}},
+	}
+	for _, c := range cases {
+		if got := ParseID(c.raw); got != c.want {
+			t.Errorf("ParseID(%q) = %+v, want %+v", c.raw, got, c.want)
+		}
+	}
+}
+
+func TestParsedIDChild(t *testing.T) {
+	p := ParseID("a7!outer#1")
+	child := p.Child("inner#2")
+	if want := ParseID("a7!outer#1/inner#2"); child != want {
+		t.Fatalf("Child = %+v, want %+v", child, want)
+	}
+	grand := child.Child("leaf#1")
+	if want := ParseID("a7!outer#1/inner#2/leaf#1"); grand != want {
+		t.Fatalf("grandchild = %+v, want %+v", grand, want)
+	}
+}
+
+func BenchmarkCodecEncodeException(b *testing.B) {
+	msg := Exception{Action: "a7!outer#1/inner#2", From: "T1", Round: 3,
+		Exc: except.Raised{ID: "e1", Origin: "T1", Info: "x", At: time.Second}}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = AppendFrame(buf[:0], "T1", msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecRoundTripException(b *testing.B) {
+	msg := Exception{Action: "a7!outer#1/inner#2", From: "T1", Round: 3,
+		Exc: except.Raised{ID: "e1", Origin: "T1", Info: "x", At: time.Second}}
+	buf, err := AppendFrame(nil, "T1", msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeFrame(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

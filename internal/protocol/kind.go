@@ -1,0 +1,85 @@
+package protocol
+
+// Dense kind indices for the nine protocol messages. Hot paths (per-send
+// metric counters, the binary codec's tag byte, per-kind log labels) key
+// fixed-size arrays by these instead of concatenating strings around
+// Message.Kind() on every message.
+const (
+	KindException = iota
+	KindSuspended
+	KindCommit
+	KindRelay
+	KindPropose
+	KindAck
+	KindToBeSignalled
+	KindEnter
+	KindApp
+	// NumKinds is the number of protocol message kinds.
+	NumKinds
+)
+
+// KindNames maps a kind index to its Message.Kind() string.
+var KindNames = [NumKinds]string{
+	KindException:     "Exception",
+	KindSuspended:     "Suspended",
+	KindCommit:        "Commit",
+	KindRelay:         "Relay",
+	KindPropose:       "Propose",
+	KindAck:           "Ack",
+	KindToBeSignalled: "ToBeSignalled",
+	KindEnter:         "Enter",
+	KindApp:           "App",
+}
+
+// MetricNames maps a kind index to its interned per-kind metric name
+// ("msg.<Kind>"), so transports never rebuild the string per send.
+var MetricNames = [NumKinds]string{
+	KindException:     "msg.Exception",
+	KindSuspended:     "msg.Suspended",
+	KindCommit:        "msg.Commit",
+	KindRelay:         "msg.Relay",
+	KindPropose:       "msg.Propose",
+	KindAck:           "msg.Ack",
+	KindToBeSignalled: "msg.ToBeSignalled",
+	KindEnter:         "msg.Enter",
+	KindApp:           "msg.App",
+}
+
+// KindIndexOf returns the dense kind index of one of the nine protocol
+// messages, or -1 for a foreign Message implementation (custom transports
+// may carry their own types; callers fall back to the string APIs).
+func KindIndexOf(msg Message) int {
+	switch msg.(type) {
+	case Exception:
+		return KindException
+	case Suspended:
+		return KindSuspended
+	case Commit:
+		return KindCommit
+	case Relay:
+		return KindRelay
+	case Propose:
+		return KindPropose
+	case Ack:
+		return KindAck
+	case ToBeSignalled:
+		return KindToBeSignalled
+	case Enter:
+		return KindEnter
+	case App:
+		return KindApp
+	default:
+		return -1
+	}
+}
+
+// KindLabels precomputes "<prefix><Kind>" for every kind, for transports
+// that log per-kind event labels ("send.", "drop.", ...) without a per-send
+// concatenation.
+func KindLabels(prefix string) [NumKinds]string {
+	var out [NumKinds]string
+	for i, name := range KindNames {
+		out[i] = prefix + name
+	}
+	return out
+}

@@ -2,6 +2,13 @@
 // the transports and the experiment harness: named counters (used to verify
 // the paper's message-complexity theorems against measured counts) and an
 // optional bounded event log for debugging distributed executions.
+//
+// Both facilities are built for the per-message hot path. Counters are
+// lock-free atomics that callers intern once (Metrics.Counter) so a send
+// costs one atomic add — no mutex, no map lookup, no name allocation. The
+// log is nil-disabled: a nil *Log reports Enabled() == false, and hot call
+// sites guard event construction behind that check so disabled logging costs
+// zero allocations (see Sim.send and Thread.logf for the pattern).
 package trace
 
 import (
@@ -9,62 +16,96 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Metrics is a set of named monotonic counters. The zero value is ready to
-// use. Metrics is safe for concurrent use.
-type Metrics struct {
-	mu     sync.Mutex
-	counts map[string]int64
+// Counter is one named monotonic counter inside a Metrics: a lock-free
+// atomic that hot paths intern once via Metrics.Counter and then bump
+// without any lookup. A nil *Counter is valid and discards adds, so call
+// sites wired to an optional Metrics need no nil checks.
+type Counter struct {
+	n atomic.Int64
 }
 
-// Add increments the named counter by delta.
-func (m *Metrics) Add(name string, delta int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.counts == nil {
-		m.counts = make(map[string]int64)
+// Add increments the counter by delta; no-op on a nil counter.
+func (c *Counter) Add(delta int64) {
+	if c != nil {
+		c.n.Add(delta)
 	}
-	m.counts[name] += delta
+}
+
+// Value returns the current count (zero on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Metrics is a set of named monotonic counters. The zero value is ready to
+// use. Metrics is safe for concurrent use; counter bumps are lock-free.
+type Metrics struct {
+	// counters maps name -> *Counter. Interning a new name takes the map's
+	// internal locks once; every subsequent Add on that name is an atomic.
+	counters sync.Map
+}
+
+// Counter interns the named counter and returns it. The returned pointer
+// stays valid (and visible to Get/Snapshot/Total) for the lifetime of the
+// Metrics — hot paths should intern once and keep the pointer.
+func (m *Metrics) Counter(name string) *Counter {
+	if c, ok := m.counters.Load(name); ok {
+		return c.(*Counter)
+	}
+	c, _ := m.counters.LoadOrStore(name, new(Counter))
+	return c.(*Counter)
+}
+
+// Add increments the named counter by delta. For per-message paths prefer
+// interning with Counter and bumping the result directly.
+func (m *Metrics) Add(name string, delta int64) {
+	m.Counter(name).Add(delta)
 }
 
 // Get returns the current value of the named counter (zero if never added).
 func (m *Metrics) Get(name string) int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.counts[name]
+	if c, ok := m.counters.Load(name); ok {
+		return c.(*Counter).Value()
+	}
+	return 0
 }
 
 // Total sums every counter whose name has the given prefix.
 func (m *Metrics) Total(prefix string) int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	var total int64
-	for name, v := range m.counts {
-		if strings.HasPrefix(name, prefix) {
-			total += v
+	m.counters.Range(func(k, v any) bool {
+		if strings.HasPrefix(k.(string), prefix) {
+			total += v.(*Counter).Value()
 		}
-	}
+		return true
+	})
 	return total
 }
 
 // Snapshot returns a copy of all counters.
 func (m *Metrics) Snapshot() map[string]int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(map[string]int64, len(m.counts))
-	for k, v := range m.counts {
-		out[k] = v
-	}
+	out := make(map[string]int64)
+	m.counters.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*Counter).Value()
+		return true
+	})
 	return out
 }
 
-// Reset zeroes every counter.
+// Reset zeroes every counter. Interned Counter pointers remain valid: they
+// are zeroed in place, so their names stay visible to Snapshot (with value
+// zero) rather than disappearing from under their holders.
 func (m *Metrics) Reset() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.counts = nil
+	m.counters.Range(func(_, v any) bool {
+		v.(*Counter).n.Store(0)
+		return true
+	})
 }
 
 // String renders the counters sorted by name, one per line.
@@ -97,6 +138,17 @@ func (e Event) String() string {
 // Log is a bounded in-memory event log. A nil *Log is valid and discards
 // events, so call sites never need nil checks. Log is safe for concurrent
 // use.
+//
+// Hot paths must not pay for disabled logging: guard everything that
+// formats, concatenates or boxes arguments behind Enabled(), e.g.
+//
+//	if log.Enabled() {
+//		log.Add(now, actor, kind, fmt.Sprintf(...))
+//	}
+//
+// or use Addf, which defers formatting until after the nil check (callers
+// still pay for boxing the variadic arguments, so prefer the Enabled guard
+// on zero-alloc paths).
 type Log struct {
 	mu      sync.Mutex
 	max     int
@@ -107,6 +159,11 @@ type Log struct {
 // NewLog returns a log retaining at most max events (older events are
 // dropped first). max <= 0 means unbounded.
 func NewLog(max int) *Log { return &Log{max: max} }
+
+// Enabled reports whether events are being recorded. It is the hot-path
+// fast gate: a nil log is disabled, and call sites skip all event
+// construction when it returns false.
+func (l *Log) Enabled() bool { return l != nil }
 
 // Add appends an event; no-op on a nil log.
 func (l *Log) Add(at time.Duration, actor, kind, detail string) {
@@ -121,6 +178,16 @@ func (l *Log) Add(at time.Duration, actor, kind, detail string) {
 		l.events = append(l.events[:0:0], l.events[over:]...)
 		l.dropped += over
 	}
+}
+
+// Addf appends an event with a lazily formatted detail: the format is only
+// rendered when the log is enabled. Boxing args still costs the caller, so
+// zero-alloc paths should guard with Enabled instead.
+func (l *Log) Addf(at time.Duration, actor, kind, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.Add(at, actor, kind, fmt.Sprintf(format, args...))
 }
 
 // Events returns a copy of the retained events in order.

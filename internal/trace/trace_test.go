@@ -56,6 +56,64 @@ func TestMetricsConcurrent(t *testing.T) {
 	}
 }
 
+func TestCounterInterning(t *testing.T) {
+	var m Metrics
+	c := m.Counter("msg.Exception")
+	if c2 := m.Counter("msg.Exception"); c2 != c {
+		t.Fatal("Counter did not intern: distinct pointers for one name")
+	}
+	c.Add(3)
+	m.Add("msg.Exception", 2)
+	if c.Value() != 5 || m.Get("msg.Exception") != 5 {
+		t.Fatalf("interned counter out of sync: %d / %d", c.Value(), m.Get("msg.Exception"))
+	}
+	m.Reset()
+	if c.Value() != 0 {
+		t.Fatal("Reset did not zero the interned counter in place")
+	}
+	c.Add(7) // the pointer must survive Reset
+	if m.Get("msg.Exception") != 7 {
+		t.Fatalf("post-Reset adds lost: %d", m.Get("msg.Exception"))
+	}
+}
+
+func TestNilCounterIsSafe(t *testing.T) {
+	var c *Counter
+	c.Add(1) // must not panic
+	if c.Value() != 0 {
+		t.Fatal("nil counter not inert")
+	}
+}
+
+func TestCounterZeroAllocAdd(t *testing.T) {
+	var m Metrics
+	c := m.Counter("hot")
+	if n := testing.AllocsPerRun(100, func() { c.Add(1) }); n != 0 {
+		t.Fatalf("interned Counter.Add allocates: %v allocs/op", n)
+	}
+}
+
+func TestLogEnabled(t *testing.T) {
+	var nilLog *Log
+	if nilLog.Enabled() {
+		t.Fatal("nil log reports enabled")
+	}
+	if !NewLog(0).Enabled() {
+		t.Fatal("real log reports disabled")
+	}
+}
+
+func TestLogAddf(t *testing.T) {
+	l := NewLog(0)
+	l.Addf(time.Second, "T1", "k", "x=%d", 7)
+	events := l.Events()
+	if len(events) != 1 || events[0].Detail != "x=7" {
+		t.Fatalf("Addf events = %v", events)
+	}
+	var nilLog *Log
+	nilLog.Addf(0, "a", "k", "x=%d", 7) // must not panic or format
+}
+
 func TestLogBoundedRetention(t *testing.T) {
 	l := NewLog(3)
 	for i := 0; i < 5; i++ {

@@ -124,7 +124,7 @@ func (m *Mux) Open(instance, thread string) (Endpoint, error) {
 			delete(sh.retained, instance)
 			sh.retainedLen -= len(pend)
 			for _, d := range pend {
-				ep.queue.Put(d)
+				ep.queue.Put(borrowDelivery(d.From, d.Msg, d.Corrupt))
 			}
 		}
 		sh.mu.Unlock()
@@ -197,7 +197,7 @@ func (sh *muxShared) dispatch(d Delivery) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if ep, ok := sh.open[inst]; ok {
-		ep.queue.Put(d)
+		ep.queue.Put(borrowDelivery(d.From, d.Msg, d.Corrupt))
 		return
 	}
 	if _, done := sh.dead[inst]; done || inst == "" {
@@ -289,19 +289,11 @@ func (e *muxEndpoint) Send(to string, msg protocol.Message) error {
 }
 
 func (e *muxEndpoint) Recv() (Delivery, bool) {
-	x, ok := e.queue.Get()
-	if !ok {
-		return Delivery{}, false
-	}
-	return x.(Delivery), true
+	return unboxDelivery(e.queue.Get())
 }
 
 func (e *muxEndpoint) RecvTimeout(timeout time.Duration) (Delivery, bool) {
-	x, ok := e.queue.GetTimeout(timeout)
-	if !ok {
-		return Delivery{}, false
-	}
-	return x.(Delivery), true
+	return unboxDelivery(e.queue.GetTimeout(timeout))
 }
 
 func (e *muxEndpoint) Pending() int { return e.queue.Len() }

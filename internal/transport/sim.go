@@ -94,7 +94,10 @@ func JitterLatency(base, jitter time.Duration, seed int64) LatencyFunc {
 type SimConfig struct {
 	// Clock drives delivery timing; required.
 	Clock vclock.Clock
-	// Latency models one-way delay; nil means zero latency.
+	// Latency models one-way delay; nil means zero latency (and, on a real
+	// clock with no fault injectors and no log, enables the lock-free send
+	// fast path — pass FixedLatency(0) instead to model zero latency while
+	// keeping every send on the locked path).
 	Latency LatencyFunc
 	// Metrics, when non-nil, counts sends as "msg.<Kind>" plus "msg.total".
 	Metrics *trace.Metrics
@@ -102,23 +105,69 @@ type SimConfig struct {
 	Log *trace.Log
 }
 
+// Per-kind event labels, precomputed so an enabled log never concatenates
+// them per send (and a disabled one never touches them at all).
+var (
+	simSendLabels    = protocol.KindLabels("send.")
+	simDropLabels    = protocol.KindLabels("drop.")
+	simDupLabels     = protocol.KindLabels("dup.")
+	simCrashedLabels = protocol.KindLabels("crashed.")
+)
+
+// simLabel returns the precomputed per-kind label, falling back to a
+// concatenation for foreign message types (only ever paid with an enabled
+// log).
+func simLabel(table *[protocol.NumKinds]string, kind int, prefix string, msg protocol.Message) string {
+	if kind >= 0 {
+		return table[kind]
+	}
+	return prefix + msg.Kind()
+}
+
 // Sim is an in-process simulated network. It guarantees reliable delivery
 // and per-(sender,receiver) FIFO order even under jittered latency, by
 // clamping each delivery to occur no earlier than the previous delivery on
 // the same pair.
+//
+// Sends normally serialize on one network lock (which is what makes
+// injected faults and the FIFO clamp deterministic under the virtual
+// clock). A pristine real-time network — wall clock, zero latency, no
+// fault injector ever installed, no log — routes sends over a lock-free
+// fast path instead: per-(sender,receiver) FIFO is preserved by each
+// receive queue's own ordering, and nothing else in that configuration
+// observes cross-pair send order. This is the load harness's
+// configuration, where the global lock would otherwise serialize every
+// message of thousands of concurrent actions.
 type Sim struct {
 	cfg SimConfig
+	// zeroLat and realtime gate the fast path; fixed at construction.
+	zeroLat  bool
+	realtime bool
+	// pristine is true until a fault or perturbation injector is first
+	// installed; it then latches false forever (in-flight clamp history
+	// could otherwise be bypassed when an injector is removed again).
+	pristine atomic.Bool
+	closed   atomic.Bool
 
-	mu        sync.Mutex
-	endpoints map[string]*simEndpoint
-	lastAt    map[[2]string]time.Duration
-	fault     FaultFunc
-	perturb   PerturbFunc
-	closed    bool
+	// endpoints is keyed by address; sync.Map so fast-path sends resolve
+	// destinations without the network lock.
+	endpoints sync.Map // string -> *simEndpoint
 
-	// stats fields are written under mu and read atomically by Stats, so
-	// concurrent readers (a chaos harness sampling mid-scenario) never race
-	// with senders.
+	mu      sync.Mutex
+	lastAt  map[[2]string]time.Duration
+	fault   FaultFunc
+	perturb PerturbFunc
+
+	// counters are the interned per-kind "msg.<Kind>" counters plus
+	// "msg.total", filled lazily (so only kinds actually sent appear in
+	// metric snapshots) when cfg.Metrics is set. A send then costs one
+	// atomic add per counter — no lock, no map, no string concat.
+	counters [protocol.NumKinds]atomic.Pointer[trace.Counter]
+	total    atomic.Pointer[trace.Counter]
+
+	// stats fields are atomics: senders on the fast path bump them without
+	// the network lock, and readers (a chaos harness sampling mid-scenario)
+	// never race with senders.
 	stats struct {
 		sent, delivered, dropped, corrupted atomic.Int64
 		duplicated, reordered, delayed      atomic.Int64
@@ -132,29 +181,47 @@ func NewSim(cfg SimConfig) *Sim {
 	if cfg.Clock == nil {
 		panic("transport: SimConfig.Clock is required")
 	}
+	s := &Sim{
+		cfg:    cfg,
+		lastAt: make(map[[2]string]time.Duration),
+	}
+	s.zeroLat = cfg.Latency == nil
 	if cfg.Latency == nil {
-		cfg.Latency = FixedLatency(0)
+		s.cfg.Latency = FixedLatency(0)
 	}
-	return &Sim{
-		cfg:       cfg,
-		endpoints: make(map[string]*simEndpoint),
-		lastAt:    make(map[[2]string]time.Duration),
-	}
+	_, s.realtime = cfg.Clock.(interface{ RealTime() })
+	s.pristine.Store(true)
+	return s
 }
 
-// SetFault installs a fault injector applied to every subsequent send; nil
-// restores fault-free operation.
+// SetFault installs a fault injector applied to every send that begins
+// after SetFault returns; nil restores fault-free operation (but the
+// lock-free fast path stays off once any injector has been seen). On a
+// pristine real-time network, sends already in flight inside the fast path
+// when the first injector is installed may still deliver uninspected —
+// install injectors before traffic starts when every message must be
+// subject to them (the chaos engine does; its virtual-clock networks never
+// use the fast path at all).
 func (s *Sim) SetFault(f FaultFunc) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if f != nil {
+		s.pristine.Store(false)
+	}
 	s.fault = f
 }
 
-// SetPerturb installs a perturbation injector applied to every subsequent
-// send, after any SetFault injector has passed the message; nil removes it.
+// SetPerturb installs a perturbation injector applied to every send that
+// begins after SetPerturb returns, after any SetFault injector has passed
+// the message; nil removes it (but the lock-free fast path stays off once
+// any injector has been seen). The first-installation visibility caveat on
+// SetFault applies here too.
 func (s *Sim) SetPerturb(f PerturbFunc) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if f != nil {
+		s.pristine.Store(false)
+	}
 	s.perturb = f
 }
 
@@ -181,12 +248,11 @@ func (s *Sim) Stats() Stats {
 // Endpoint.Close. The crash marker belongs to the endpoint incarnation, so
 // re-binding the address with Endpoint starts a fresh, healthy endpoint.
 func (s *Sim) CloseEndpoint(addr string) bool {
-	s.mu.Lock()
-	ep, ok := s.endpoints[addr]
-	s.mu.Unlock()
+	x, ok := s.endpoints.Load(addr)
 	if !ok {
 		return false
 	}
+	ep := x.(*simEndpoint)
 	ep.dead.Store(true)
 	_ = ep.Close()
 	return true
@@ -196,14 +262,13 @@ func (s *Sim) CloseEndpoint(addr string) bool {
 func (s *Sim) Endpoint(addr string) (Endpoint, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return nil, ErrClosed
 	}
-	if _, ok := s.endpoints[addr]; ok {
+	ep := &simEndpoint{net: s, addr: addr, queue: s.cfg.Clock.NewQueue()}
+	if _, dup := s.endpoints.LoadOrStore(addr, ep); dup {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicateAddr, addr)
 	}
-	ep := &simEndpoint{net: s, addr: addr, queue: s.cfg.Clock.NewQueue()}
-	s.endpoints[addr] = ep
 	return ep, nil
 }
 
@@ -211,40 +276,95 @@ func (s *Sim) Endpoint(addr string) (Endpoint, error) {
 func (s *Sim) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Swap(true) {
 		return nil
 	}
-	s.closed = true
-	for _, ep := range s.endpoints {
-		ep.queue.Close()
+	s.endpoints.Range(func(_, x any) bool {
+		x.(*simEndpoint).queue.Close()
+		return true
+	})
+	return nil
+}
+
+// countSend bumps the interned per-kind and total counters; no-op without a
+// Metrics. Interning is idempotent (Metrics.Counter returns the same
+// pointer), so concurrent first sends of a kind race benignly.
+func (s *Sim) countSend(kind int, msg protocol.Message) {
+	m := s.cfg.Metrics
+	if m == nil {
+		return
 	}
+	if kind >= 0 {
+		c := s.counters[kind].Load()
+		if c == nil {
+			c = m.Counter(protocol.MetricNames[kind])
+			s.counters[kind].Store(c)
+		}
+		c.Add(1)
+	} else {
+		m.Add("msg."+msg.Kind(), 1)
+	}
+	t := s.total.Load()
+	if t == nil {
+		t = m.Counter("msg.total")
+		s.total.Store(t)
+	}
+	t.Add(1)
+}
+
+// fastSend is the lock-free hot path: real clock, zero latency, no fault
+// injector ever installed, no log, one of the nine protocol messages.
+// Per-pair FIFO holds because the destination queue orders this sender's
+// (sequential) puts; nothing else in this configuration reads send order.
+func (s *Sim) fastSend(src *simEndpoint, to string, msg protocol.Message, kind int) error {
+	if src.dead.Load() {
+		return nil // crash-stopped sends never reach the wire
+	}
+	x, ok := s.endpoints.Load(to)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownAddr, to)
+	}
+	s.countSend(kind, msg)
+	s.stats.sent.Add(1)
+	s.stats.delivered.Add(1)
+	x.(*simEndpoint).queue.Put(borrowDelivery(src.addr, msg, false))
 	return nil
 }
 
 func (s *Sim) send(src *simEndpoint, to string, msg protocol.Message) error {
 	from := src.addr
+	kind := protocol.KindIndexOf(msg)
+	lg := s.cfg.Log
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if kind >= 0 && lg == nil && s.realtime && s.zeroLat && s.pristine.Load() {
+		return s.fastSend(src, to, msg, kind)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
 	if src.dead.Load() {
 		// A crash-stopped thread's sends never reach the wire.
-		s.cfg.Log.Add(s.cfg.Clock.Now(), from, "crashed."+msg.Kind(), "send suppressed")
+		if lg.Enabled() {
+			lg.Add(s.cfg.Clock.Now(), from, simLabel(&simCrashedLabels, kind, "crashed.", msg), "send suppressed")
+		}
 		return nil
 	}
-	dst, ok := s.endpoints[to]
+	x, ok := s.endpoints.Load(to)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownAddr, to)
 	}
+	dst := x.(*simEndpoint)
 
-	if m := s.cfg.Metrics; m != nil {
-		m.Add("msg."+msg.Kind(), 1)
-		m.Add("msg.total", 1)
-	}
+	s.countSend(kind, msg)
 	s.stats.sent.Add(1)
 	now := s.cfg.Clock.Now()
-	s.cfg.Log.Add(now, from, "send."+msg.Kind(), fmt.Sprintf("to %s: %v", to, msg))
+	if lg.Enabled() {
+		lg.Add(now, from, simLabel(&simSendLabels, kind, "send.", msg), fmt.Sprintf("to %s: %v", to, msg))
+	}
 
 	fault := Deliver
 	if s.fault != nil {
@@ -254,7 +374,9 @@ func (s *Sim) send(src *simEndpoint, to string, msg protocol.Message) error {
 		// The perturbation hook is not consulted for messages the legacy
 		// fault injector already lost, per the SetPerturb contract.
 		s.stats.dropped.Add(1)
-		s.cfg.Log.Add(now, from, "drop."+msg.Kind(), "to "+to)
+		if lg.Enabled() {
+			lg.Add(now, from, simLabel(&simDropLabels, kind, "drop.", msg), "to "+to)
+		}
 		return nil
 	}
 	var v Verdict
@@ -263,7 +385,9 @@ func (s *Sim) send(src *simEndpoint, to string, msg protocol.Message) error {
 	}
 	if v.Fault == Drop {
 		s.stats.dropped.Add(1)
-		s.cfg.Log.Add(now, from, "drop."+msg.Kind(), "to "+to)
+		if lg.Enabled() {
+			lg.Add(now, from, simLabel(&simDropLabels, kind, "drop.", msg), "to "+to)
+		}
 		return nil
 	}
 	corrupt := fault == Corrupt || v.Fault == Corrupt
@@ -288,15 +412,13 @@ func (s *Sim) send(src *simEndpoint, to string, msg protocol.Message) error {
 	copies := 1 + v.Copies
 	if v.Copies > 0 {
 		s.stats.duplicated.Add(int64(v.Copies))
-		s.cfg.Log.Add(now, from, "dup."+msg.Kind(), fmt.Sprintf("to %s ×%d", to, copies))
+		if lg.Enabled() {
+			lg.Add(now, from, simLabel(&simDupLabels, kind, "dup.", msg), fmt.Sprintf("to %s ×%d", to, copies))
+		}
 	}
 	for i := 0; i < copies; i++ {
 		s.stats.delivered.Add(1)
-		dst.queue.PutAfter(at-now, Delivery{
-			From:    from,
-			Msg:     msg,
-			Corrupt: corrupt,
-		})
+		dst.queue.PutAfter(at-now, borrowDelivery(from, msg, corrupt))
 	}
 	return nil
 }
@@ -323,20 +445,21 @@ func (e *simEndpoint) Send(to string, msg protocol.Message) error {
 	return e.net.send(e, to, msg)
 }
 
-func (e *simEndpoint) Recv() (Delivery, bool) {
-	x, ok := e.queue.Get()
+// unbox copies a pooled delivery out of its box and recycles it.
+func (e *simEndpoint) unbox(x any, ok bool) (Delivery, bool) {
+	d, ok := unboxDelivery(x, ok)
 	if !ok || e.dead.Load() {
-		return Delivery{}, false
+		return Delivery{}, false // crash-stop: buffered deliveries are lost
 	}
-	return x.(Delivery), true
+	return d, true
+}
+
+func (e *simEndpoint) Recv() (Delivery, bool) {
+	return e.unbox(e.queue.Get())
 }
 
 func (e *simEndpoint) RecvTimeout(timeout time.Duration) (Delivery, bool) {
-	x, ok := e.queue.GetTimeout(timeout)
-	if !ok || e.dead.Load() {
-		return Delivery{}, false
-	}
-	return x.(Delivery), true
+	return e.unbox(e.queue.GetTimeout(timeout))
 }
 
 func (e *simEndpoint) Pending() int {
@@ -349,8 +472,17 @@ func (e *simEndpoint) Pending() int {
 func (e *simEndpoint) Close() error {
 	e.net.mu.Lock()
 	defer e.net.mu.Unlock()
-	if e.net.endpoints[e.addr] == e {
-		delete(e.net.endpoints, e.addr)
+	if e.net.endpoints.CompareAndDelete(e.addr, e) {
+		// Forget the per-pair FIFO history involving this address: the
+		// endpoint incarnation is gone (graceful close or crash-stop), so
+		// retaining its entries would both leak — a long-lived system churns
+		// through unboundedly many addresses — and clamp an unrelated future
+		// incarnation's deliveries behind the dead one's schedule.
+		for pair := range e.net.lastAt {
+			if pair[0] == e.addr || pair[1] == e.addr {
+				delete(e.net.lastAt, pair)
+			}
+		}
 	}
 	e.queue.Close()
 	return nil

@@ -1,8 +1,11 @@
 package transport
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -11,16 +14,26 @@ import (
 	"caaction/internal/vclock"
 )
 
-// TCP is a Network carrying gob-encoded messages over TCP connections, for
+// TCP is a Network carrying protocol messages over TCP connections, for
 // genuinely distributed deployments of the runtime (the paper's Ada 95
 // partitions become processes). TCP's byte-stream ordering provides the
 // per-pair FIFO guarantee of Assumption 2; reliability within a session
 // provides Assumption 1.
 //
+// Messages travel in the hand-rolled length-prefixed binary codec
+// (internal/protocol's AppendFrame/DecodeFrame) by default, with encode
+// buffers pooled so a steady-state send performs no codec allocations. The
+// legacy gob wire remains available behind SetGobWire for compatibility
+// with peers that have not upgraded; both ends of a deployment must agree.
+//
 // Endpoints created in this process listen on loopback by default; peers in
 // other processes are introduced with SetPeer. Construct with NewTCP.
 type TCP struct {
 	clock vclock.Clock
+
+	// gobWire selects the legacy gob encoding instead of the binary codec.
+	// It must be configured before endpoints are created.
+	gobWire bool
 
 	// mu is read-mostly on the send hot path (every dial consults the book
 	// to detect address re-binds), so readers take the shared lock.
@@ -33,15 +46,38 @@ type TCP struct {
 
 var _ Network = (*TCP)(nil)
 
-// NewTCP returns a TCP network. The clock is used only for receive queues
-// and timeouts; it should be a real clock in production.
+// maxFrame bounds one binary frame (1 MiB): a length prefix beyond it marks
+// a corrupt or hostile stream and closes the connection instead of
+// attempting the allocation.
+const maxFrame = 1 << 20
+
+// frameBufPool recycles binary-codec encode/decode buffers.
+var frameBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+// NewTCP returns a TCP network speaking the binary wire codec. The clock is
+// used only for receive queues and timeouts; it should be a real clock in
+// production.
 func NewTCP(clock vclock.Clock) *TCP {
-	protocol.RegisterGob()
+	protocol.RegisterGob() // App payload fallbacks still ride gob
 	return &TCP{
 		clock: clock,
 		book:  make(map[string]string),
 		eps:   make(map[string]*tcpEndpoint),
 	}
+}
+
+// SetGobWire selects the legacy gob wire format instead of the binary
+// codec, for wire compatibility with older peers. It must be called before
+// any Endpoint is created, and every process of a deployment must agree.
+func (t *TCP) SetGobWire(on bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.gobWire = on
 }
 
 // SetListenAddr changes the host:port future endpoints listen on (e.g.
@@ -115,7 +151,7 @@ func (t *TCP) Close() error {
 	return nil
 }
 
-// wire is the on-the-wire frame.
+// wire is the gob wire's on-the-wire frame (legacy format).
 type wire struct {
 	From string
 	Msg  protocol.Message
@@ -124,7 +160,7 @@ type wire struct {
 type tcpConn struct {
 	mu   sync.Mutex
 	conn net.Conn
-	enc  *gob.Encoder
+	enc  *gob.Encoder // gob wire only; nil on the binary codec
 	// hostport is the physical address this connection was dialled to; a
 	// cached connection is only reused while the logical address still
 	// resolves there (re-binding an address — e.g. the mux tearing a thread
@@ -164,13 +200,43 @@ func (e *tcpEndpoint) acceptLoop() {
 
 func (e *tcpEndpoint) readLoop(conn net.Conn) {
 	defer func() { _ = conn.Close() }()
-	dec := gob.NewDecoder(conn)
+	e.net.mu.RLock()
+	gobWire := e.net.gobWire
+	e.net.mu.RUnlock()
+	if gobWire {
+		dec := gob.NewDecoder(conn)
+		for {
+			var w wire
+			if err := dec.Decode(&w); err != nil {
+				return
+			}
+			e.queue.Put(borrowDelivery(w.From, w.Msg, false))
+		}
+	}
+	br := bufio.NewReader(conn)
+	var hdr [4]byte
+	bp := frameBufPool.Get().(*[]byte)
+	defer frameBufPool.Put(bp)
 	for {
-		var w wire
-		if err := dec.Decode(&w); err != nil {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			return
 		}
-		e.queue.Put(Delivery{From: w.From, Msg: w.Msg})
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n > maxFrame {
+			return // corrupt or hostile stream
+		}
+		if cap(*bp) < int(n) {
+			*bp = make([]byte, 0, n)
+		}
+		buf := (*bp)[:n]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return
+		}
+		from, msg, err := protocol.DecodeFrame(buf)
+		if err != nil {
+			return // a framing error poisons the stream; drop the connection
+		}
+		e.queue.Put(borrowDelivery(from, msg, false))
 	}
 }
 
@@ -179,24 +245,57 @@ func (e *tcpEndpoint) Send(to string, msg protocol.Message) error {
 	if err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.enc.Encode(wire{From: e.addr, Msg: msg}); err != nil {
-		// Connection broke: forget it so a later send re-dials.
-		e.mu.Lock()
-		if e.conns[to] == c {
-			delete(e.conns, to)
+	err, broken := e.write(c, msg)
+	if err != nil {
+		if broken {
+			// Connection broke mid-stream: forget it so a later send
+			// re-dials. Pre-I/O codec errors (a foreign message type, an
+			// oversize frame) leave the healthy connection cached — nothing
+			// reached the wire, so the stream is not poisoned.
+			e.mu.Lock()
+			if e.conns[to] == c {
+				delete(e.conns, to)
+			}
+			e.mu.Unlock()
+			_ = c.conn.Close()
 		}
-		e.mu.Unlock()
-		_ = c.conn.Close()
 		return fmt.Errorf("transport: send to %q: %w", to, err)
 	}
 	return nil
 }
 
+// write encodes and transmits one message on an established connection.
+// broken reports whether the error (if any) poisoned the connection's byte
+// stream, requiring a re-dial.
+func (e *tcpEndpoint) write(c *tcpConn, msg protocol.Message) (err error, broken bool) {
+	if c.enc != nil { // gob wire: the encoder writes directly to the stream
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		err := c.enc.Encode(wire{From: e.addr, Msg: msg})
+		return err, err != nil
+	}
+	bp := frameBufPool.Get().(*[]byte)
+	defer frameBufPool.Put(bp)
+	buf := append((*bp)[:0], 0, 0, 0, 0) // length prefix placeholder
+	buf, err = protocol.AppendFrame(buf, e.addr, msg)
+	if err != nil {
+		return err, false
+	}
+	if len(buf)-4 > maxFrame {
+		return fmt.Errorf("%w: frame of %d bytes exceeds the %d-byte bound", protocol.ErrCodec, len(buf)-4, maxFrame), false
+	}
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	*bp = buf[:0] // keep any growth for the next send
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, err = c.conn.Write(buf)
+	return err, err != nil
+}
+
 func (e *tcpEndpoint) dial(to string) (*tcpConn, error) {
 	e.net.mu.RLock()
 	hostport, ok := e.net.book[to]
+	gobWire := e.net.gobWire
 	e.net.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownAddr, to)
@@ -223,7 +322,10 @@ func (e *tcpEndpoint) dial(to string) (*tcpConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %q: %w", to, err)
 	}
-	c := &tcpConn{conn: conn, enc: gob.NewEncoder(conn), hostport: hostport}
+	c := &tcpConn{conn: conn, hostport: hostport}
+	if gobWire {
+		c.enc = gob.NewEncoder(conn)
+	}
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -238,19 +340,11 @@ func (e *tcpEndpoint) dial(to string) (*tcpConn, error) {
 }
 
 func (e *tcpEndpoint) Recv() (Delivery, bool) {
-	x, ok := e.queue.Get()
-	if !ok {
-		return Delivery{}, false
-	}
-	return x.(Delivery), true
+	return unboxDelivery(e.queue.Get())
 }
 
 func (e *tcpEndpoint) RecvTimeout(timeout time.Duration) (Delivery, bool) {
-	x, ok := e.queue.GetTimeout(timeout)
-	if !ok {
-		return Delivery{}, false
-	}
-	return x.(Delivery), true
+	return unboxDelivery(e.queue.GetTimeout(timeout))
 }
 
 func (e *tcpEndpoint) Pending() int { return e.queue.Len() }

@@ -44,6 +44,125 @@ func TestTCPRoundTrip(t *testing.T) {
 	}
 }
 
+// TestTCPGobWireOption pins the legacy wire format behind SetGobWire: a
+// network configured for gob still round-trips every message kind,
+// including gob-registered App payloads.
+func TestTCPGobWireOption(t *testing.T) {
+	clk := vclock.NewReal()
+	net := NewTCP(clk)
+	net.SetGobWire(true)
+	defer func() { _ = net.Close() }()
+
+	a, err := net.Endpoint("T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Endpoint("T2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := protocol.Commit{Action: "act#1", From: "T1", Round: 2, Resolved: "e1",
+		Raised: []except.Raised{{ID: "e1", Origin: "T1", Info: "x"}}}
+	if err := a.Send("T2", want); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := b.RecvTimeout(5 * time.Second)
+	if !ok {
+		t.Fatal("no delivery")
+	}
+	got, ok := d.Msg.(protocol.Commit)
+	if !ok || got.Resolved != "e1" || len(got.Raised) != 1 || d.From != "T1" {
+		t.Fatalf("gob wire round trip: %#v (from %q)", d.Msg, d.From)
+	}
+}
+
+// TestTCPBinaryWireAppPayload: the binary codec's gob fallback carries
+// arbitrary registered App payloads across real sockets.
+func TestTCPBinaryWireAppPayload(t *testing.T) {
+	clk := vclock.NewReal()
+	net := NewTCP(clk)
+	defer func() { _ = net.Close() }()
+	a, err := net.Endpoint("T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Endpoint("T2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// string payloads ride the codec fast path; send one of each shape.
+	msgs := []protocol.Message{
+		protocol.App{Action: "a#1", From: "T1", ToRole: "r2", Payload: "fast-path"},
+		protocol.App{Action: "a#1", From: "T1", ToRole: "r2", Payload: 42},
+		protocol.App{Action: "a#1", From: "T1", ToRole: "r2", Payload: nil},
+	}
+	for _, m := range msgs {
+		if err := a.Send("T2", m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		d, ok := b.RecvTimeout(5 * time.Second)
+		if !ok {
+			t.Fatalf("missing delivery %d", i)
+		}
+		got := d.Msg.(protocol.App)
+		if got.Payload != want.(protocol.App).Payload {
+			t.Fatalf("payload %d = %#v, want %#v", i, got.Payload, want)
+		}
+	}
+}
+
+// TestTCPCodecErrorKeepsConnection: a pre-I/O encode failure (foreign
+// message type) must not tear down the healthy cached connection — nothing
+// reached the wire, so subsequent sends keep working without a re-dial.
+func TestTCPCodecErrorKeepsConnection(t *testing.T) {
+	clk := vclock.NewReal()
+	net := NewTCP(clk)
+	defer func() { _ = net.Close() }()
+	a, err := net.Endpoint("T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Endpoint("T2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("T2", protocol.Ack{Action: "x", From: "T1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.RecvTimeout(5 * time.Second); !ok {
+		t.Fatal("no delivery")
+	}
+	ep := a.(*tcpEndpoint)
+	ep.mu.Lock()
+	before := ep.conns["T2"]
+	ep.mu.Unlock()
+	if before == nil {
+		t.Fatal("no cached connection after first send")
+	}
+
+	if err := a.Send("T2", foreignKindMsg{}); err == nil {
+		t.Fatal("foreign message encoded without error")
+	}
+	ep.mu.Lock()
+	after := ep.conns["T2"]
+	ep.mu.Unlock()
+	if after != before {
+		t.Fatal("codec error dropped the healthy cached connection")
+	}
+	if err := a.Send("T2", protocol.Ack{Action: "y", From: "T1"}); err != nil {
+		t.Fatalf("send after codec error: %v", err)
+	}
+	if _, ok := b.RecvTimeout(5 * time.Second); !ok {
+		t.Fatal("no delivery after codec error")
+	}
+}
+
+type foreignKindMsg struct{}
+
+func (foreignKindMsg) Kind() string { return "ForeignKind" }
+
 func TestTCPFIFO(t *testing.T) {
 	clk := vclock.NewReal()
 	net := NewTCP(clk)

@@ -14,6 +14,7 @@ package transport
 
 import (
 	"errors"
+	"sync"
 	"time"
 
 	"caaction/internal/protocol"
@@ -26,6 +27,39 @@ type Delivery struct {
 	// Corrupt marks a message damaged in transit by fault injection; the
 	// §3.4 extension treats such messages as a failure exception.
 	Corrupt bool
+}
+
+// deliveryPool recycles the *Delivery boxes that travel through receive
+// queues. Queues store `any`, so putting a Delivery by value would box it
+// (one heap allocation per message); every transport instead enqueues a
+// pooled pointer and the receive side copies the value out and returns the
+// box. This is what makes a steady-state sim send allocation-free.
+var deliveryPool = sync.Pool{New: func() any { return new(Delivery) }}
+
+// borrowDelivery fills a pooled delivery box.
+func borrowDelivery(from string, msg protocol.Message, corrupt bool) *Delivery {
+	d := deliveryPool.Get().(*Delivery)
+	d.From, d.Msg, d.Corrupt = from, msg, corrupt
+	return d
+}
+
+// releaseDelivery clears and returns a delivery box to the pool. Callers
+// must have copied the value out first and must not touch the box again.
+func releaseDelivery(d *Delivery) {
+	*d = Delivery{}
+	deliveryPool.Put(d)
+}
+
+// unboxDelivery adapts a queue pop into the value-typed Endpoint.Recv
+// contract, recycling the box.
+func unboxDelivery(x any, ok bool) (Delivery, bool) {
+	if !ok {
+		return Delivery{}, false
+	}
+	dp := x.(*Delivery)
+	d := *dp
+	releaseDelivery(dp)
+	return d, true
 }
 
 // Endpoint is one thread's attachment to the network.

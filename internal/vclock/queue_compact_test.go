@@ -1,0 +1,64 @@
+package vclock
+
+import "testing"
+
+// TestQueueBacklogMemoryBounded is the regression test for the
+// head-indexed deque: a queue that never fully drains (persistent backlog)
+// must not grow its backing array with total throughput — the dead prefix
+// is compacted once it dominates, bounding memory at O(pending).
+func TestQueueBacklogMemoryBounded(t *testing.T) {
+	r := NewReal()
+	q := r.NewQueue()
+	const backlog = 100
+	for i := 0; i < backlog; i++ {
+		q.Put(i)
+	}
+	// One put, one pop per cycle: the queue holds `backlog` items forever.
+	for i := 0; i < 100_000; i++ {
+		q.Put(i)
+		if _, ok := q.TryGet(); !ok {
+			t.Fatal("pop failed with a non-empty backlog")
+		}
+	}
+	if q.Len() != backlog {
+		t.Fatalf("backlog drifted: %d items, want %d", q.Len(), backlog)
+	}
+	impl := q.impl.(*realQueue)
+	if c := cap(impl.items); c > 8*backlog {
+		t.Fatalf("backing array grew with throughput: cap %d for a backlog of %d", c, backlog)
+	}
+	// FIFO must survive compaction: items drain in insertion order.
+	prev := -1
+	for {
+		x, ok := q.TryGet()
+		if !ok {
+			break
+		}
+		if v := x.(int); v <= prev {
+			t.Fatalf("order broken after compaction: %d after %d", v, prev)
+		} else {
+			prev = v
+		}
+	}
+}
+
+// Same contract for the virtual queue (untracked puts + TryGet need no
+// tracked goroutines).
+func TestVirtualQueueBacklogMemoryBounded(t *testing.T) {
+	v := NewVirtual()
+	q := v.NewQueue()
+	const backlog = 100
+	for i := 0; i < backlog; i++ {
+		q.Put(i)
+	}
+	for i := 0; i < 100_000; i++ {
+		q.Put(i)
+		if _, ok := q.TryGet(); !ok {
+			t.Fatal("pop failed with a non-empty backlog")
+		}
+	}
+	impl := q.impl.(*virtualQueue)
+	if c := cap(impl.items); c > 8*backlog {
+		t.Fatalf("backing array grew with throughput: cap %d for a backlog of %d", c, backlog)
+	}
+}

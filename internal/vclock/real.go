@@ -25,6 +25,11 @@ func NewReal() *Real {
 // Now reports the elapsed wall-clock time since the clock was created.
 func (r *Real) Now() time.Duration { return time.Since(r.start) }
 
+// RealTime marks this clock as wall-clock-backed. Components that keep a
+// deterministic slow path for virtual clocks (e.g. the sim transport's
+// lock-free send fast path) detect it by this marker method.
+func (r *Real) RealTime() {}
+
 // Sleep pauses the calling goroutine for d of wall-clock time.
 func (r *Real) Sleep(d time.Duration) {
 	if d > 0 {
@@ -51,10 +56,13 @@ func (r *Real) NewQueue() *Queue {
 	return &Queue{impl: q}
 }
 
+// realQueue's items form a head-indexed deque; see virtualQueue for why
+// (steady-state put/pop cycles must not reallocate the backing array).
 type realQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	items  []any
+	head   int
 	closed bool
 }
 
@@ -82,10 +90,12 @@ func (q *realQueue) putAfter(d time.Duration, x any) {
 	time.AfterFunc(d, func() { q.put(x) })
 }
 
+func (q *realQueue) pendingLocked() int { return len(q.items) - q.head }
+
 func (q *realQueue) get() (any, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
+	for q.pendingLocked() == 0 && !q.closed {
 		q.cond.Wait()
 	}
 	return q.popLocked()
@@ -104,7 +114,7 @@ func (q *realQueue) getTimeout(d time.Duration) (any, bool) {
 
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed && time.Now().Before(deadline) {
+	for q.pendingLocked() == 0 && !q.closed && time.Now().Before(deadline) {
 		q.cond.Wait()
 	}
 	return q.popLocked()
@@ -117,12 +127,13 @@ func (q *realQueue) tryGet() (any, bool) {
 }
 
 func (q *realQueue) popLocked() (any, bool) {
-	if len(q.items) == 0 {
+	if q.pendingLocked() == 0 {
 		return nil, false
 	}
-	x := q.items[0]
-	q.items[0] = nil
-	q.items = q.items[1:]
+	x := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	q.items, q.head = compactQueue(q.items, q.head)
 	return x, true
 }
 
@@ -136,7 +147,7 @@ func (q *realQueue) closeQ() {
 func (q *realQueue) length() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.items)
+	return q.pendingLocked()
 }
 
 // setDaemon is meaningful only for the virtual clock's deadlock detection.

@@ -1,7 +1,6 @@
 package vclock
 
 import (
-	"container/heap"
 	"fmt"
 	"sync"
 	"time"
@@ -179,7 +178,7 @@ func (v *Virtual) Sleep(d time.Duration) {
 	defer v.mu.Unlock()
 	deadline := v.now + d
 	v.scheduleLocked(deadline, nil)
-	v.blockLocked(func() bool { return v.now >= deadline || v.dead }, false)
+	v.blockLocked(waiter{kind: waitSleep, deadline: deadline})
 }
 
 // NewQueue returns a queue whose blocking operations cooperate with this
@@ -191,52 +190,83 @@ func (v *Virtual) NewQueue() *Queue {
 // scheduleLocked registers fn to run at absolute virtual time at. A nil fn
 // is a pure wake-up point.
 func (v *Virtual) scheduleLocked(at time.Duration, fn func()) {
-	if at < v.now {
-		at = v.now
-	}
-	v.seq++
-	heap.Push(&v.timers, &event{at: at, seq: v.seq, fn: fn})
+	v.pushEventLocked(event{at: at, fn: fn})
 }
 
-// blockLocked parks the calling goroutine until pred() holds. It must be
-// called with v.mu held by a tracked goroutine; pred is evaluated under v.mu.
-// A daemon wait is infrastructure (a demux pump, a background router): it
-// does not count toward deadlock detection, so a system whose only parked
-// goroutines are daemons is idle, not deadlocked.
-func (v *Virtual) blockLocked(pred func() bool, daemon bool) {
-	if pred() {
+// scheduleItemLocked registers the delivery of item into q at absolute
+// virtual time at. Carrying the (queue, item) pair on the event itself —
+// instead of a closure capturing them — keeps the per-message schedule
+// allocation-free (events live by value in the heap).
+func (v *Virtual) scheduleItemLocked(at time.Duration, q *virtualQueue, item any) {
+	v.pushEventLocked(event{at: at, q: q, item: item})
+}
+
+func (v *Virtual) pushEventLocked(ev event) {
+	if ev.at < v.now {
+		ev.at = v.now
+	}
+	v.seq++
+	ev.seq = v.seq
+	v.timers.push(ev)
+}
+
+// fire runs one popped event with v.mu held.
+func (v *Virtual) fireLocked(ev event) {
+	if ev.q != nil {
+		if !ev.q.closed {
+			ev.q.items = append(ev.q.items, ev.item)
+		}
 		return
 	}
+	if ev.fn != nil {
+		ev.fn()
+	}
+}
+
+// blockLocked parks the calling goroutine until its wait condition holds.
+// It must be called with v.mu held by a tracked goroutine; conditions are
+// evaluated under v.mu. A daemon wait is infrastructure (a demux pump, a
+// background router): it does not count toward deadlock detection, so a
+// system whose only parked goroutines are daemons is idle, not deadlocked.
+//
+// The waiter is passed by value and copied to the heap only when the
+// goroutine actually parks, so an already-satisfied wait (an item sitting
+// in the queue, an expired deadline) allocates nothing.
+func (v *Virtual) blockLocked(w waiter) {
+	if w.satisfied(v) {
+		return
+	}
+	wp := new(waiter)
+	*wp = w
 	if v.sequential {
 		// The caller holds the run token, so v.current is its gid.
-		v.blockSeqLocked(v.current, pred, daemon)
+		wp.gid = v.current
+		v.blockSeqLocked(wp)
 		return
 	}
-	w := &waiter{pred: pred, daemon: daemon}
-	v.blocked[w] = struct{}{}
+	v.blocked[wp] = struct{}{}
 	v.running--
 	if v.running == 0 {
 		v.advanceLocked()
 	}
-	for !pred() {
+	for !wp.satisfied(v) {
 		v.cond.Wait()
 	}
-	delete(v.blocked, w)
+	delete(v.blocked, wp)
 	v.running++
 }
 
 // takeTurnLocked parks a goroutine that has not run yet (Go start, Adopt)
 // until the scheduler grants it the run token.
 func (v *Virtual) takeTurnLocked(gid uint64) {
-	v.blockSeqLocked(gid, func() bool { return true }, false)
+	v.blockSeqLocked(&waiter{kind: waitAlways, gid: gid})
 }
 
 // blockSeqLocked is the sequential-mode park: the goroutine gives up the run
-// token and waits until the scheduler chooses it again (its pred satisfied
-// and every lower-gid runnable goroutine already served), or the clock is
-// declared dead, in which case every waiter unwinds.
-func (v *Virtual) blockSeqLocked(gid uint64, pred func() bool, daemon bool) {
-	w := &waiter{pred: pred, gid: gid, daemon: daemon}
+// token and waits until the scheduler chooses it again (its condition
+// satisfied and every lower-gid runnable goroutine already served), or the
+// clock is declared dead, in which case every waiter unwinds.
+func (v *Virtual) blockSeqLocked(w *waiter) {
 	v.blocked[w] = struct{}{}
 	v.running--
 	if v.running == 0 {
@@ -244,12 +274,12 @@ func (v *Virtual) blockSeqLocked(gid uint64, pred func() bool, daemon bool) {
 	}
 	for !v.dead {
 		if w.chosen {
-			if pred() {
+			if w.satisfied(v) {
 				break
 			}
-			// Spurious grant: pred was falsified (e.g. by an untracked
-			// TryGet) between the grant and our resume. Give the token
-			// back and re-park.
+			// Spurious grant: the condition was falsified (e.g. by an
+			// untracked TryGet) between the grant and our resume. Give the
+			// token back and re-park.
 			w.chosen = false
 			if v.granted == w {
 				v.granted = nil
@@ -266,7 +296,7 @@ func (v *Virtual) blockSeqLocked(gid uint64, pred func() bool, daemon bool) {
 	}
 	delete(v.blocked, w)
 	v.running++
-	v.current = gid
+	v.current = w.gid
 }
 
 // scheduleNextLocked advances virtual time until at least one waiter is
@@ -283,7 +313,7 @@ func (v *Virtual) scheduleNextLocked() {
 	}
 	var best *waiter
 	for w := range v.blocked {
-		if w.pred() && (best == nil || w.gid < best.gid) {
+		if w.satisfied(v) && (best == nil || w.gid < best.gid) {
 			best = w
 		}
 	}
@@ -303,7 +333,7 @@ func (v *Virtual) advanceLocked() {
 			v.cond.Broadcast()
 			return
 		}
-		if v.timers.Len() == 0 {
+		if len(v.timers) == 0 {
 			if !v.anyNonDaemonBlockedLocked() {
 				// Only daemon infrastructure is parked: the system is idle,
 				// waiting for external stimulus (a new Go, an untracked Put),
@@ -328,18 +358,15 @@ func (v *Virtual) advanceLocked() {
 		// scheduling order, so same-time deliveries stay deterministic.
 		at := v.timers[0].at
 		v.now = at
-		for v.timers.Len() > 0 && v.timers[0].at == at {
-			ev := heap.Pop(&v.timers).(*event)
-			if ev.fn != nil {
-				ev.fn()
-			}
+		for len(v.timers) > 0 && v.timers[0].at == at {
+			v.fireLocked(v.timers.pop())
 		}
 	}
 }
 
 func (v *Virtual) anySatisfiedLocked() bool {
 	for w := range v.blocked {
-		if w.pred() {
+		if w.satisfied(v) {
 			return true
 		}
 	}
@@ -368,8 +395,28 @@ func (v *Virtual) anyNonDaemonBlockedLocked() bool {
 	return false
 }
 
+// waitKind selects a waiter's wake condition. Structured conditions (a
+// queue pointer and a deadline) replace the predicate closures the waits
+// once carried: evaluating them allocates nothing, and constructing a
+// waiter on the fast path (condition already true) costs nothing at all.
+type waitKind int
+
+const (
+	// waitAlways is immediately satisfiable — a new goroutine waiting only
+	// for the sequential scheduler's run token.
+	waitAlways waitKind = iota
+	// waitSleep wakes at a virtual-time deadline.
+	waitSleep
+	// waitQueue wakes when its queue has an item or closes.
+	waitQueue
+	// waitQueueDeadline is waitQueue bounded by a deadline.
+	waitQueueDeadline
+)
+
 type waiter struct {
-	pred func() bool
+	kind     waitKind
+	q        *virtualQueue
+	deadline time.Duration
 	// daemon waits are infrastructure and excluded from deadlock detection.
 	daemon bool
 	// Sequential-mode fields: the owning goroutine's start-order id and
@@ -378,37 +425,101 @@ type waiter struct {
 	chosen bool
 }
 
-type event struct {
-	at  time.Duration
-	seq uint64
-	fn  func()
+// satisfied evaluates the wake condition; v.mu must be held. A dead clock
+// satisfies every waiter so the system can unwind.
+func (w *waiter) satisfied(v *Virtual) bool {
+	if v.dead {
+		return true
+	}
+	switch w.kind {
+	case waitAlways:
+		return true
+	case waitSleep:
+		return v.now >= w.deadline
+	case waitQueue:
+		return w.q.pendingLocked() > 0 || w.q.closed
+	default: // waitQueueDeadline
+		return w.q.pendingLocked() > 0 || w.q.closed || v.now >= w.deadline
+	}
 }
 
-type eventHeap []*event
+// event is one scheduled occurrence: a timed callback (fn), a timed queue
+// delivery (q, item), or — with both unset — a pure wake-up point. Events
+// live by value in the heap, so scheduling one allocates nothing beyond
+// amortized heap growth.
+type event struct {
+	at   time.Duration
+	seq  uint64
+	fn   func()
+	q    *virtualQueue
+	item any
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+// eventHeap is a hand-rolled binary min-heap of events ordered by
+// (at, seq). seq is a total tiebreak, so the pop order — and with it every
+// golden trace — is exactly the schedule order container/heap produced,
+// without its per-event pointer and interface boxing allocations.
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release fn/item references
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
 }
 
 // virtualQueue shares the clock's monitor so puts, timed puts and blocking
 // gets all interact correctly with virtual-time advancement.
+//
+// Items form a head-indexed deque: pops advance head instead of re-slicing,
+// and the backing array rewinds once drained, so a steady-state
+// put/pop cycle never reallocates (a walking [1:] re-slice would exhaust
+// capacity and force a fresh array every cap pops).
 type virtualQueue struct {
 	v      *Virtual
 	items  []any
+	head   int
 	closed bool
 	daemon bool
 }
@@ -432,18 +543,16 @@ func (q *virtualQueue) putAfter(d time.Duration, x any) {
 	}
 	q.v.mu.Lock()
 	defer q.v.mu.Unlock()
-	q.v.scheduleLocked(q.v.now+d, func() {
-		if !q.closed {
-			q.items = append(q.items, x)
-		}
-	})
+	q.v.scheduleItemLocked(q.v.now+d, q, x)
 	q.v.kickLocked()
 }
+
+func (q *virtualQueue) pendingLocked() int { return len(q.items) - q.head }
 
 func (q *virtualQueue) get() (any, bool) {
 	q.v.mu.Lock()
 	defer q.v.mu.Unlock()
-	q.v.blockLocked(func() bool { return len(q.items) > 0 || q.closed || q.v.dead }, q.daemon)
+	q.v.blockLocked(waiter{kind: waitQueue, q: q, daemon: q.daemon})
 	return q.popLocked()
 }
 
@@ -452,9 +561,7 @@ func (q *virtualQueue) getTimeout(d time.Duration) (any, bool) {
 	defer q.v.mu.Unlock()
 	deadline := q.v.now + d
 	q.v.scheduleLocked(deadline, nil)
-	q.v.blockLocked(func() bool {
-		return len(q.items) > 0 || q.closed || q.v.now >= deadline || q.v.dead
-	}, q.daemon)
+	q.v.blockLocked(waiter{kind: waitQueueDeadline, q: q, deadline: deadline, daemon: q.daemon})
 	return q.popLocked()
 }
 
@@ -471,13 +578,35 @@ func (q *virtualQueue) tryGet() (any, bool) {
 }
 
 func (q *virtualQueue) popLocked() (any, bool) {
-	if len(q.items) == 0 {
+	if q.pendingLocked() == 0 {
 		return nil, false
 	}
-	x := q.items[0]
-	q.items[0] = nil
-	q.items = q.items[1:]
+	x := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	q.items, q.head = compactQueue(q.items, q.head)
 	return x, true
+}
+
+// compactQueue bounds a head-indexed deque's dead prefix: a drained queue
+// rewinds onto its backing array for free, and a queue that never fully
+// drains (persistent backlog) is compacted once the dead prefix dominates,
+// so memory stays O(pending) instead of growing with total throughput.
+// Both operations are allocation-free, preserving the zero-alloc
+// steady-state send contract.
+func compactQueue(items []any, head int) ([]any, int) {
+	const threshold = 64
+	switch {
+	case head == len(items):
+		return items[:0], 0
+	case head >= threshold && head*2 >= len(items):
+		n := copy(items, items[head:])
+		for i := n; i < len(items); i++ {
+			items[i] = nil // release references past the new tail
+		}
+		return items[:n], 0
+	}
+	return items, head
 }
 
 func (q *virtualQueue) closeQ() {
@@ -491,5 +620,5 @@ func (q *virtualQueue) closeQ() {
 func (q *virtualQueue) length() int {
 	q.v.mu.Lock()
 	defer q.v.mu.Unlock()
-	return len(q.items)
+	return q.pendingLocked()
 }

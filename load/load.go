@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -149,10 +150,15 @@ type KindStats struct {
 
 // Report is the outcome of one load run.
 type Report struct {
-	Config     Config      `json:"config"`
-	WallSecs   float64     `json:"wall_seconds"`
-	Throughput float64     `json:"actions_per_second"`
-	Latency    Percentiles `json:"latency"`
+	Config     Config  `json:"config"`
+	WallSecs   float64 `json:"wall_seconds"`
+	Throughput float64 `json:"actions_per_second"`
+	// AllocsPerAction and BytesPerAction are process-wide heap allocation
+	// counts divided by the number of actions — the load harness's
+	// equivalent of the benchmarks' allocs/op, watched by the perf gate.
+	AllocsPerAction float64     `json:"allocs_per_action"`
+	BytesPerAction  float64     `json:"bytes_per_action"`
+	Latency         Percentiles `json:"latency"`
 	// Outcomes counts per-action classifications: "ok", "undone", "failed",
 	// "signalled:<exc>" or "error:<msg>".
 	Outcomes map[string]int        `json:"outcomes"`
@@ -202,6 +208,8 @@ func Run(cfg Config) (*Report, error) {
 	samples := make([]sample, cfg.Actions)
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	for i := 0; i < cfg.Concurrency; i++ {
 		wg.Add(1)
@@ -232,14 +240,18 @@ func Run(cfg Config) (*Report, error) {
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 
 	rep := &Report{
-		Config:     cfg,
-		WallSecs:   wall.Seconds(),
-		Throughput: float64(cfg.Actions) / wall.Seconds(),
-		Outcomes:   make(map[string]int),
-		Kinds:      make(map[string]*KindStats),
-		Messages:   make(map[string]int64),
+		Config:          cfg,
+		WallSecs:        wall.Seconds(),
+		Throughput:      float64(cfg.Actions) / wall.Seconds(),
+		AllocsPerAction: float64(memAfter.Mallocs-memBefore.Mallocs) / float64(cfg.Actions),
+		BytesPerAction:  float64(memAfter.TotalAlloc-memBefore.TotalAlloc) / float64(cfg.Actions),
+		Outcomes:        make(map[string]int),
+		Kinds:           make(map[string]*KindStats),
+		Messages:        make(map[string]int64),
 	}
 	all := make([]time.Duration, 0, len(samples))
 	perKind := make(map[string][]time.Duration)

@@ -121,6 +121,16 @@ func WithTCPTransport(addr string) Option {
 	}
 }
 
+// WithGobWire selects the legacy gob wire format for the TCP transport
+// instead of the default length-prefixed binary codec, for wire
+// compatibility with peers running older releases. Every process of a
+// deployment must agree on the wire format. The binary codec is both the
+// default and the fast path: it pools encode buffers and hand-rolls the
+// nine protocol messages, so prefer it whenever all peers speak it.
+func WithGobWire() Option {
+	return func(c *config) { c.env.GobWire = true }
+}
+
 // WithPeer records the host:port of a logical thread address served by
 // another process (tcp transport).
 func WithPeer(thread, hostport string) Option {

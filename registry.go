@@ -126,6 +126,9 @@ type TransportEnv struct {
 	// Peers maps logical thread addresses served by other processes to
 	// their host:port, from WithPeer.
 	Peers map[string]string
+	// GobWire selects the legacy gob wire format instead of the binary
+	// codec (networked transports), from WithGobWire.
+	GobWire bool
 }
 
 // TransportFactory builds a Network for one System.
@@ -161,9 +164,15 @@ func Transports() []string { return transportRegistry.names() }
 // simTransport is the built-in "sim" transport: an in-process network with a
 // configurable latency model, driven by the system clock.
 func simTransport(env TransportEnv) (Network, error) {
-	latency := transport.FixedLatency(env.Latency)
-	if env.Jitter > 0 {
+	// A nil latency model means zero latency AND tells the sim that the
+	// FIFO clamp can never bite, unlocking its lock-free send fast path on
+	// real-time fault-free systems (the load-harness configuration).
+	var latency transport.LatencyFunc
+	switch {
+	case env.Jitter > 0:
 		latency = transport.JitterLatency(env.Latency, env.Jitter, env.Seed)
+	case env.Latency > 0:
+		latency = transport.FixedLatency(env.Latency)
 	}
 	return transport.NewSim(transport.SimConfig{
 		Clock:   env.Clock,
@@ -173,10 +182,14 @@ func simTransport(env TransportEnv) (Network, error) {
 	}), nil
 }
 
-// tcpTransport is the built-in "tcp" transport: gob-over-TCP for genuinely
-// distributed deployments.
+// tcpTransport is the built-in "tcp" transport: length-prefixed
+// binary-codec messages over TCP for genuinely distributed deployments
+// (gob behind WithGobWire for wire compatibility).
 func tcpTransport(env TransportEnv) (Network, error) {
 	t := transport.NewTCP(env.Clock)
+	if env.GobWire {
+		t.SetGobWire(true)
+	}
 	if env.ListenAddr != "" {
 		t.SetListenAddr(env.ListenAddr)
 	}
