@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -23,12 +24,28 @@ type ActionHandle struct {
 	roles []string
 
 	done      chan struct{} // closed when every role has finished
-	doneQ     *vclock.Queue // clock-integrated completion signal for Wait
 	cancelled atomic.Bool
+	clock     Clock
 
 	mu      sync.Mutex
 	pending int
-	results map[string]error
+	// outcomes is indexed like roles: one slot per role, filled as roles
+	// finish. A slice (instead of the map the handle once carried) keeps
+	// per-action bookkeeping to a single small allocation on the
+	// StartAction hot path; Results still materialises the map view on
+	// demand.
+	outcomes []roleOutcome
+	// doneQ is the clock-integrated completion signal for Wait under
+	// virtual time; real-time systems wait on the done channel instead, so
+	// the queue (and its condition variable) is only allocated when a
+	// virtual-time system starts the action. Created under mu; finish reads
+	// it under mu before closing it.
+	doneQ *vclock.Queue
+}
+
+type roleOutcome struct {
+	err      error
+	finished bool
 }
 
 // ID returns the instance tag assigned to this action — the prefix of every
@@ -47,7 +64,8 @@ func (h *ActionHandle) Done() bool {
 
 // Wait blocks until every role of the action has finished and returns the
 // per-role outcomes (nil for success, a *SignalledError for an exceptional
-// exit, or another error).
+// exit, or another error). Callers that do not need the map view should
+// prefer WaitDone plus Each, which allocate nothing.
 //
 // Wait is clock-integrated: under virtual time it must be called from a
 // goroutine the clock tracks (one started with System.Go) — for example a
@@ -55,17 +73,40 @@ func (h *ActionHandle) Done() bool {
 // (a test's main goroutine) should instead call System.Wait and then read
 // Results.
 func (h *ActionHandle) Wait() map[string]error {
+	h.WaitDone()
+	return h.Results()
+}
+
+// WaitDone blocks until every role of the action has finished, with the
+// same clock-integration contract as Wait, allocating nothing on real-time
+// systems. Inspect outcomes afterwards with Each, Err or Results.
+func (h *ActionHandle) WaitDone() {
+	if h.clock == nil {
+		// Real-time system: a plain channel wait needs no clock
+		// integration, and skipping the queue saves its allocation on
+		// every action of a high-churn workload.
+		<-h.done
+		return
+	}
 	for {
 		h.mu.Lock()
 		finished := h.pending == 0
+		q := h.doneQ
+		if !finished && q == nil {
+			// Lazily created on the first Wait: actions nobody waits on
+			// never pay for the queue. finish reads it under mu, so the
+			// close cannot be missed.
+			q = h.clock.NewQueue()
+			h.doneQ = q
+		}
 		h.mu.Unlock()
 		if finished {
-			return h.Results()
+			return
 		}
 		// The queue closes when the last role finishes, so this wakes
 		// exactly then; intermediate completions put nothing.
-		if _, ok := h.doneQ.Get(); !ok {
-			return h.Results()
+		if _, ok := q.Get(); !ok {
+			return
 		}
 	}
 }
@@ -75,11 +116,26 @@ func (h *ActionHandle) Wait() map[string]error {
 func (h *ActionHandle) Results() map[string]error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	out := make(map[string]error, len(h.results))
-	for role, err := range h.results {
-		out[role] = err
+	out := make(map[string]error, len(h.roles))
+	for i, o := range h.outcomes {
+		if o.finished {
+			out[h.roles[i]] = o.err
+		}
 	}
 	return out
+}
+
+// Each calls fn with every finished role's outcome, in spec role order,
+// without allocating. fn runs under the handle's lock and must not call
+// back into the handle.
+func (h *ActionHandle) Each(fn func(role string, err error)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, o := range h.outcomes {
+		if o.finished {
+			fn(h.roles[i], o.err)
+		}
+	}
 }
 
 // Err joins the non-nil role outcomes in role order (nil when every role
@@ -88,23 +144,26 @@ func (h *ActionHandle) Err() error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	var errs []error
-	for _, role := range h.roles {
-		if err := h.results[role]; err != nil {
-			errs = append(errs, fmt.Errorf("role %s: %w", role, err))
+	for i, o := range h.outcomes {
+		if o.finished && o.err != nil {
+			errs = append(errs, fmt.Errorf("role %s: %w", h.roles[i], o.err))
 		}
 	}
 	return errors.Join(errs...)
 }
 
-func (h *ActionHandle) finish(role string, err error) {
+func (h *ActionHandle) finish(idx int, err error) {
 	h.mu.Lock()
-	h.results[role] = err
+	h.outcomes[idx] = roleOutcome{err: err, finished: true}
 	h.pending--
 	last := h.pending == 0
+	q := h.doneQ
 	h.mu.Unlock()
 	if last {
 		close(h.done)
-		h.doneQ.Close()
+		if q != nil {
+			q.Close()
+		}
 	}
 }
 
@@ -153,7 +212,7 @@ func (s *System) StartAction(ctx context.Context, spec *Spec, progs map[string]R
 		return nil, fmt.Errorf("caaction: %s not started: %w", spec.Name, context.Cause(ctx))
 	}
 
-	tag := fmt.Sprintf("a%d", s.actionSeq.Add(1))
+	tag := "a" + strconv.FormatInt(s.actionSeq.Add(1), 10)
 	mux := s.muxNet()
 	type roleThread struct {
 		role string
@@ -173,28 +232,54 @@ func (s *System) StartAction(ctx context.Context, spec *Spec, progs map[string]R
 	}
 
 	h := &ActionHandle{
-		id:      tag,
-		done:    make(chan struct{}),
-		doneQ:   s.clock.NewQueue(),
-		pending: len(rts),
-		results: make(map[string]error, len(rts)),
+		id:       tag,
+		done:     make(chan struct{}),
+		clock:    s.waitClock(),
+		pending:  len(rts),
+		outcomes: make([]roleOutcome, len(rts)),
+		roles:    make([]string, 0, len(rts)),
 	}
 	for _, x := range rts {
 		h.roles = append(h.roles, x.role)
 	}
-	for _, x := range rts {
-		x := x
-		prog := progs[x.role]
-		s.Go(func() {
-			err := x.th.Perform(spec, x.role, prog)
-			_ = x.th.Close() // GC: deregister the instance from the mux
-			if h.cancelled.Load() && errors.Is(err, ErrThreadStopped) {
-				err = &cancelledError{spec: spec.Name, role: x.role, cause: context.Cause(ctx)}
+	// A cancellation watcher retains endpoint references past the roles'
+	// lifetimes, so virtual endpoints are recycled only for unwatched
+	// actions (a recycled endpoint must have no other referent).
+	watch := ctx.Done() != nil
+	pooled := false
+	if pool := s.rolePool(); pool != nil && len(rts) <= pool.size {
+		var wsArr [8]*roleWorker
+		// Non-blocking all-or-nothing grab; a saturated (or closing) pool
+		// simply means this action runs on the goroutine-per-role path
+		// below — StartAction never waits for workers, so role bodies that
+		// start and wait on further actions cannot deadlock the pool.
+		if ws, ok := pool.acquire(len(rts), wsArr[:0]); ok {
+			pooled = true
+			for i, x := range rts {
+				t := roleTaskPool.Get().(*roleTask)
+				*t = roleTask{h: h, ctx: ctx, spec: spec, role: x.role, roleIdx: i,
+					prog: progs[x.role], th: x.th, ep: x.ep, recycleEP: !watch}
+				if !ws[i].tasks.PutOpen(t) {
+					// Lost the race with Close: run on a plain tracked
+					// goroutine so the handle still completes (the role
+					// unwinds promptly as the closing system tears the
+					// endpoints down).
+					s.Go(t.run)
+				}
 			}
-			h.finish(x.role, err)
-		})
+		}
 	}
-	if ctx.Done() != nil {
+	if !pooled {
+		// Same lifecycle as the pooled path (roleTask.run), on a tracked
+		// goroutine per role.
+		for i, x := range rts {
+			t := roleTaskPool.Get().(*roleTask)
+			*t = roleTask{h: h, ctx: ctx, spec: spec, role: x.role, roleIdx: i,
+				prog: progs[x.role], th: x.th, ep: x.ep, recycleEP: !watch}
+			s.Go(t.run)
+		}
+	}
+	if watch {
 		// The watcher is untracked: it blocks on real channels, never on the
 		// clock, and exits as soon as the action finishes.
 		go func() {

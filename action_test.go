@@ -436,3 +436,193 @@ func mustNetwork(t *testing.T) caaction.Network {
 	}
 	return sys.Network()
 }
+
+// TestStartActionWorkerPoolVirtualTime runs many instances through the
+// WithWorkers role-worker pool on the deterministic virtual clock:
+// dispatch, daemon-goroutine time advancement, handle completion and
+// System.Wait (which must not wait for the resident workers) all have to
+// cooperate.
+func TestStartActionWorkerPoolVirtualTime(t *testing.T) {
+	sys, err := caaction.New(caaction.WithWorkers(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sys.Close() }()
+	spec, progs := pingPongSpec(t)
+
+	const n = 40
+	results := make(chan error, n)
+	sys.Go(func() {
+		for i := 0; i < n; i++ {
+			h, err := sys.StartAction(context.Background(), spec, progs)
+			if err != nil {
+				results <- err
+				continue
+			}
+			h.WaitDone()
+			results <- h.Err()
+		}
+	})
+	sys.Wait() // must return despite the resident daemon workers
+	for i := 0; i < n; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+	}
+}
+
+// TestStartActionWorkerPoolSaturation floods a deliberately tiny pool with
+// far more concurrent actions than it has workers. Acquisition is
+// non-blocking all-or-nothing, so overflow actions must fall back to the
+// goroutine-per-role path and everything still completes — including role
+// bodies that start and wait on a further action while holding workers,
+// the shape that would deadlock a pool that queued for capacity.
+func TestStartActionWorkerPoolSaturation(t *testing.T) {
+	sys, err := caaction.New(caaction.WithRealTime(), caaction.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sys.Close() }()
+	spec, progs := pingPongSpec(t)
+
+	childSpec, childProgs := func() (*caaction.Spec, map[string]caaction.RoleProgram) {
+		s, err := caaction.NewSpec("nestedload").
+			Role("x", "N1").
+			Role("y", "N2").
+			Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, map[string]caaction.RoleProgram{
+			"x": {Body: func(ctx *caaction.Context) error { return nil }},
+			"y": {Body: func(ctx *caaction.Context) error { return nil }},
+		}
+	}()
+	// Parent roles occupy workers and start-and-wait a child action from
+	// inside the role body.
+	parentSpec, err := caaction.NewSpec("parentload").
+		Role("p", "P1").
+		Role("q", "P2").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parentProgs := map[string]caaction.RoleProgram{
+		"p": {Body: func(ctx *caaction.Context) error {
+			ch, err := sys.StartAction(context.Background(), childSpec, childProgs)
+			if err != nil {
+				return err
+			}
+			ch.WaitDone()
+			return ch.Err()
+		}},
+		"q": {Body: func(ctx *caaction.Context) error { return nil }},
+	}
+
+	const n = 30
+	errs := make(chan error, 2*n)
+	for i := 0; i < n; i++ {
+		sys.Go(func() {
+			h, err := sys.StartAction(context.Background(), spec, progs)
+			if err != nil {
+				errs <- err
+				return
+			}
+			h.WaitDone()
+			errs <- h.Err()
+		})
+		sys.Go(func() {
+			h, err := sys.StartAction(context.Background(), parentSpec, parentProgs)
+			if err != nil {
+				errs <- err
+				return
+			}
+			h.WaitDone()
+			errs <- h.Err()
+		})
+	}
+	for i := 0; i < 2*n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+	}
+	sys.Wait()
+}
+
+// TestStartActionWorkerPoolOverflowFallsBack: an action with more roles
+// than the pool has workers must bypass the pool (goroutine per role)
+// rather than deadlock in admission.
+func TestStartActionWorkerPoolOverflowFallsBack(t *testing.T) {
+	sys, err := caaction.New(caaction.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sys.Close() }()
+	spec, err := caaction.NewSpec("wide").
+		Role("r1", "W1").Role("r2", "W2").Role("r3", "W3").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := map[string]caaction.RoleProgram{
+		"r1": {Body: func(ctx *caaction.Context) error { return nil }},
+		"r2": {Body: func(ctx *caaction.Context) error { return nil }},
+		"r3": {Body: func(ctx *caaction.Context) error { return nil }},
+	}
+	var herr error
+	sys.Go(func() {
+		h, err := sys.StartAction(context.Background(), spec, progs)
+		if err != nil {
+			herr = err
+			return
+		}
+		h.WaitDone()
+		herr = h.Err()
+	})
+	sys.Wait()
+	if herr != nil {
+		t.Fatalf("3-role action on a 2-worker pool: %v", herr)
+	}
+}
+
+// TestStartActionWorkerPoolCancellation: context cancellation must keep
+// working when roles run on pooled workers (and the workers must survive
+// the cancelled action and serve the next one).
+func TestStartActionWorkerPoolCancellation(t *testing.T) {
+	sys, err := caaction.New(caaction.WithRealTime(), caaction.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sys.Close() }()
+	spec, err := caaction.NewSpec("stuck").
+		Role("r1", "C1").Role("r2", "C2").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := map[string]caaction.RoleProgram{
+		"r1": {Body: func(ctx *caaction.Context) error { return ctx.Compute(time.Hour) }},
+		"r2": {Body: func(ctx *caaction.Context) error { return ctx.Compute(time.Hour) }},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	h, err := sys.StartAction(ctx, spec, progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	for role, rerr := range h.Wait() {
+		if !errors.Is(rerr, caaction.ErrThreadStopped) || !errors.Is(rerr, context.Canceled) {
+			t.Errorf("role %s: %v, want ErrThreadStopped and context.Canceled", role, rerr)
+		}
+	}
+	// The pool must still serve fresh work after the cancellation.
+	spec2, progs2 := pingPongSpec(t)
+	h2, err := sys.StartAction(context.Background(), spec2, progs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2.WaitDone()
+	if err := h2.Err(); err != nil {
+		t.Fatalf("action after cancellation: %v", err)
+	}
+}

@@ -2,7 +2,8 @@
 // action instances — clean commits, exceptional exits, abort cascades,
 // resolution storms — multiplexed over a shared transport on one System,
 // once per requested resolution protocol. It prints a summary and records
-// the full report (throughput, p50/p99 latency, per-kind message counts) as
+// the full report (throughput, p50/p99 latency, per-kind message counts,
+// goroutine/heap high-water marks and the concurrency-scaling sweep) as
 // JSON, the BENCH_load.json baseline committed alongside the chaos baseline.
 //
 // Usage:
@@ -10,6 +11,9 @@
 //	caload                                   # default workload, all resolvers
 //	caload -actions 5000 -concurrency 256    # heavier run
 //	caload -transport tcp -actions 500       # over real TCP sockets
+//	caload -mix commit:8,signal:1,abort:1    # custom workload composition
+//	caload -sweep 64,256,1024                # concurrency-scaling sweep
+//	caload -workers -1                       # disable the role-worker pool
 //	caload -out BENCH_load.json              # where the JSON lands
 package main
 
@@ -18,16 +22,39 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"caaction/load"
 )
 
+// resolverReport is one resolver's baseline: the standard run plus the
+// optional concurrency-scaling sweep.
+type resolverReport struct {
+	*load.Report
+	Sweep []load.SweepPoint `json:"sweep,omitempty"`
+}
+
 type fileReport struct {
-	Description string                  `json:"description"`
-	Date        string                  `json:"date"`
-	Resolvers   map[string]*load.Report `json:"resolvers"`
+	Description string                     `json:"description"`
+	Date        string                     `json:"date"`
+	Resolvers   map[string]*resolverReport `json:"resolvers"`
+}
+
+func parseSweep(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad sweep concurrency %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func main() {
@@ -38,15 +65,30 @@ func main() {
 		transport   = flag.String("transport", "sim", "transport registry name (sim, tcp)")
 		latency     = flag.Duration("latency", 0, "sim transport one-way latency")
 		seed        = flag.Int64("seed", 1, "workload composition seed")
+		mixFlag     = flag.String("mix", "", "workload composition, e.g. commit:6,signal:2,abort:1,storm:1 ('' = default mix)")
+		workers     = flag.Int("workers", 0, "role-worker pool size (0 auto-sizes at concurrency*roles, negative disables the pool)")
+		sweepFlag   = flag.String("sweep", "", "comma-separated concurrency levels for a scaling sweep, e.g. 64,256,1024 ('' disables)")
+		sweepAct    = flag.Int("sweep-actions", 0, "action instances per sweep point (0 = -actions)")
 		resolvers   = flag.String("resolvers", "coordinated,cr86,r96", "comma-separated resolution protocols")
 		out         = flag.String("out", "BENCH_load.json", "JSON report path ('' disables)")
 	)
 	flag.Parse()
 
+	mix, err := load.ParseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "caload:", err)
+		os.Exit(2)
+	}
+	sweep, err := parseSweep(*sweepFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "caload:", err)
+		os.Exit(2)
+	}
+
 	file := fileReport{
-		Description: "Load-harness baseline: concurrent CA actions over a shared transport. Regenerate with `go run ./cmd/caload`.",
+		Description: "Load-harness baseline: concurrent CA actions over a shared transport. Regenerate with `go run ./cmd/caload -actions 6000 -sweep 64,256,1024`.",
 		Date:        time.Now().UTC().Format("2006-01-02"),
-		Resolvers:   make(map[string]*load.Report),
+		Resolvers:   make(map[string]*resolverReport),
 	}
 	failed := false
 	for _, resolver := range strings.Split(*resolvers, ",") {
@@ -62,15 +104,18 @@ func main() {
 			Transport:   *transport,
 			Latency:     *latency,
 			Seed:        *seed,
+			Mix:         mix,
+			Workers:     *workers,
 		}
 		rep, err := load.Run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "caload: %s: %v\n", resolver, err)
 			os.Exit(2)
 		}
-		file.Resolvers[resolver] = rep
-		fmt.Printf("%-12s %6d actions  %9.0f actions/s  p50 %.2fms  p99 %.2fms  %7.0f allocs/action  outcomes %v\n",
-			resolver, cfg.Actions, rep.Throughput, rep.Latency.P50, rep.Latency.P99, rep.AllocsPerAction, rep.Outcomes)
+		rr := &resolverReport{Report: rep}
+		fmt.Printf("%-12s %6d actions  %9.0f actions/s  p50 %.2fms  p99 %.2fms  %7.0f allocs/action  %5d goroutines  outcomes %v\n",
+			resolver, cfg.Actions, rep.Throughput, rep.Latency.P50, rep.Latency.P99,
+			rep.AllocsPerAction, rep.GoroutineHighWater, rep.Outcomes)
 		if len(rep.Unexpected) > 0 {
 			// Keep going and still write the report: the JSON (with its
 			// Unexpected list) is exactly the diagnostic a failed run needs.
@@ -78,6 +123,24 @@ func main() {
 				resolver, len(rep.Unexpected), rep.Unexpected[0])
 			failed = true
 		}
+		if len(sweep) > 0 {
+			sweepCfg := cfg
+			if *sweepAct > 0 {
+				sweepCfg.Actions = *sweepAct
+			}
+			points, err := load.RunSweep(sweepCfg, sweep)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "caload: %s: %v\n", resolver, err)
+				failed = true
+			}
+			rr.Sweep = points
+			for _, p := range points {
+				fmt.Printf("  sweep c=%-5d %6d actions  %9.0f actions/s  p99 %.2fms  %7.0f allocs/action  %5d goroutines  heap %0.1fMiB\n",
+					p.Concurrency, p.Actions, p.Throughput, p.P99Ms, p.AllocsPerAction,
+					p.GoroutineHighWater, float64(p.PeakHeapBytes)/(1<<20))
+			}
+		}
+		file.Resolvers[resolver] = rr
 	}
 	if *out != "" {
 		blob, err := json.MarshalIndent(file, "", "  ")

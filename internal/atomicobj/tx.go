@@ -22,9 +22,12 @@ type Tx struct {
 	done bool
 }
 
-// Begin starts tracking object use for an action instance.
+// Begin starts tracking object use for an action instance. The use-set map
+// is allocated lazily on first object access: most action instances in a
+// high-churn workload never touch an external object, and Begin runs on the
+// per-instance hot path.
 func (r *Registry) Begin(action string) *Tx {
-	return &Tx{reg: r, action: action, used: make(map[string]*Object)}
+	return &Tx{reg: r, action: action}
 }
 
 // Action returns the owning action instance identifier.
@@ -38,6 +41,9 @@ func (tx *Tx) Object(name string) (*Object, error) {
 		return nil, err
 	}
 	tx.mu.Lock()
+	if tx.used == nil {
+		tx.used = make(map[string]*Object)
+	}
 	tx.used[name] = o
 	tx.mu.Unlock()
 	return o, nil
@@ -154,5 +160,5 @@ func (tx *Tx) finish() {
 	tx.mu.Lock()
 	defer tx.mu.Unlock()
 	tx.done = true
-	tx.used = make(map[string]*Object)
+	tx.used = nil
 }

@@ -42,6 +42,36 @@ func goldenContent(t *testing.T, seed int64) string {
 		seed, s.Class, s.Resolver, s.Threads, s.Parallel, s.Depth, res.Fingerprint())
 }
 
+// TestGoldenTracesWarmPools replays golden seeds twice in one process, so
+// the second replay runs entirely on warm lifecycle pools — recycled
+// threads, frames, signalling instances, delivery boxes and mux endpoints
+// from the first replay. Byte-identical traces on the warm pass are the
+// pool-hygiene proof the runtime's recycling is held to: reuse that leaked
+// ANY state (a counter, a pending buffer, a parsed identifier) would
+// perturb the deterministic schedule and fail the diff. The muxed seeds (5
+// and 14, Parallel=4) are included deliberately — they exercise endpoint
+// recycling through the shared-transport demultiplexer.
+func TestGoldenTracesWarmPools(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden files being regenerated")
+	}
+	for _, seed := range []int64{5, 14, 23} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed_%d", seed), func(t *testing.T) {
+			want, err := os.ReadFile(goldenPath(seed))
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			for pass := 1; pass <= 2; pass++ {
+				if got := goldenContent(t, seed); got != string(want) {
+					t.Errorf("seed %d pass %d (pools %s) diverged from golden trace",
+						seed, pass, map[int]string{1: "cold", 2: "warm"}[pass])
+				}
+			}
+		})
+	}
+}
+
 // TestGoldenTraces replays every pinned seed and diffs its fingerprint —
 // engine trace, per-participant decisions and outcomes — byte-for-byte
 // against the committed file. Regenerate deliberately with

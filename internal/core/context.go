@@ -25,6 +25,14 @@ var ErrTimeout = errors.New("core: receive timed out")
 type Context struct {
 	th *Thread
 	f  *frame
+	// id and gen snapshot the frame's instance identifier and pool
+	// generation at creation, so a Context retained past its action's end
+	// is detected (and panics in pre) even after the frame object has been
+	// recycled into a new instance — and the diagnostic names THIS
+	// context's action, not whatever instance currently owns the recycled
+	// frame.
+	id  string
+	gen uint64
 }
 
 // Self returns the thread identifier.
@@ -65,8 +73,10 @@ func (c *Context) Logf(format string, args ...any) {
 // pre checks that the frame is current and that no pending exception
 // obliges the caller to unwind.
 func (c *Context) pre() error {
-	if c.th.top() != c.f {
-		panic(fmt.Sprintf("core: Context for %s used outside its frame", c.f.id))
+	if c.th.top() != c.f || c.f.gen != c.gen {
+		// Report the snapshotted id: a recycled frame's fields belong to a
+		// different (possibly concurrently running) instance.
+		panic(fmt.Sprintf("core: Context for %s used outside its frame", c.id))
 	}
 	if c.f.aborting {
 		return nil // abortion handlers run to completion, uninterrupted

@@ -23,6 +23,7 @@ package core
 import (
 	"fmt"
 	"strconv"
+	"sync"
 	"time"
 
 	"caaction/internal/atomicobj"
@@ -75,6 +76,15 @@ type Runtime struct {
 		undos, completions, undone, failed   *trace.Counter
 		signalled, aborted, resolveCalls     *trace.Counter
 	}
+
+	// Lifecycle pools for the concurrent multi-action runtime's high-churn
+	// unit of work: recycled Threads (see Thread.Recycle) and action frames
+	// (pushFrame/releaseFrame). Reuse is hygienic by construction — every
+	// recycled object is scrubbed back to its zero state before it re-enters
+	// a pool, so a pooled Get is indistinguishable from a fresh allocation
+	// and deterministic executions (the golden chaos traces) are unaffected.
+	threadPool sync.Pool
+	framePool  sync.Pool
 }
 
 // New validates cfg and returns a Runtime.
@@ -152,6 +162,10 @@ type Thread struct {
 	retained map[string][]transport.Delivery
 	dead     map[string]bool
 	seq      map[seqKey]int
+	// idBuf is scratch for building instance-identifier leaf segments; it
+	// carries no per-instance state (the built bytes are copied into the
+	// identifier string before reuse).
+	idBuf []byte
 }
 
 // seqKey identifies one (parent instance, spec name) nesting sequence; a
@@ -182,18 +196,21 @@ func (rt *Runtime) NewThreadOn(id string, ep transport.Endpoint, instance string
 	if instance != "" {
 		prefix = protocol.TagInstance(instance, "")
 	}
-	th := &Thread{
-		rt:       rt,
-		id:       id,
-		ep:       ep,
-		prefix:   prefix,
-		tag:      instance,
-		logOn:    rt.log.Enabled(),
-		retained: make(map[string][]transport.Delivery),
-		dead:     make(map[string]bool),
-		seq:      make(map[seqKey]int),
+	th, _ := rt.threadPool.Get().(*Thread)
+	if th == nil {
+		th = &Thread{
+			rt:       rt,
+			retained: make(map[string][]transport.Delivery),
+			dead:     make(map[string]bool),
+			seq:      make(map[seqKey]int),
+		}
+		th.sendFn = th.send
 	}
-	th.sendFn = th.send
+	th.id = id
+	th.ep = ep
+	th.prefix = prefix
+	th.tag = instance
+	th.logOn = rt.log.Enabled()
 	return th
 }
 
@@ -202,6 +219,28 @@ func (th *Thread) ID() string { return th.id }
 
 // Close releases the thread's endpoint.
 func (th *Thread) Close() error { return th.ep.Close() }
+
+// Recycle scrubs an idle, closed thread and returns it to the runtime's
+// pool, so the next NewThread/NewThreadOn reuses its allocations (the
+// struct, its bookkeeping maps, the bound send function) instead of paying
+// full lifecycle freight per action instance. Only a thread's exclusive
+// owner may call it, after Close, and must drop every reference: a recycled
+// thread carries zero state from its previous incarnation — the stack is
+// empty and the retained/dead/seq maps are cleared, so instance sequence
+// numbers restart at #1. A thread still holding action frames is never
+// pooled (the call is a no-op), since its state is mid-protocol.
+func (th *Thread) Recycle() {
+	if len(th.stack) != 0 {
+		return
+	}
+	th.id, th.prefix, th.tag = "", "", ""
+	th.ep = nil
+	th.logOn = false
+	clear(th.retained)
+	clear(th.dead)
+	clear(th.seq)
+	th.rt.threadPool.Put(th)
+}
 
 // logf records a runtime event. Hot paths guard calls with th.logOn so a
 // disabled log never pays for argument boxing or formatting; the internal
@@ -228,12 +267,21 @@ func (th *Thread) instancePID(parent *frame, spec *Spec) protocol.ParsedID {
 	}
 	th.seq[key]++
 	n := th.seq[key]
-	// Hand-build the "<name>#<n>" leaf segment.
-	b := make([]byte, 0, len(spec.Name)+8)
-	b = append(b, spec.Name...)
-	b = append(b, '#')
-	b = strconv.AppendInt(b, int64(n), 10)
-	base := string(b)
+	var base string
+	if n == 1 {
+		// First instance of this nesting sequence: the "<name>#1" leaf is
+		// cached on the immutable Spec. With thread recycling this is the
+		// common case — a pooled thread's seq map restarts per incarnation.
+		base = spec.leaf1()
+	} else {
+		// Hand-build the "<name>#<n>" leaf segment in the thread's scratch
+		// buffer; only the final string conversion allocates.
+		b := append(th.idBuf[:0], spec.Name...)
+		b = append(b, '#')
+		b = strconv.AppendInt(b, int64(n), 10)
+		th.idBuf = b
+		base = string(b)
+	}
 	if parent != nil {
 		return parent.pid.Child(base)
 	}
@@ -311,23 +359,39 @@ type frame struct {
 	aborting     bool
 
 	tx *atomicobj.Tx
+
+	// gen counts this frame object's incarnations through the runtime's
+	// frame pool. A Context captures the generation it was created for, so
+	// a stale Context held past its action's end is detected even when the
+	// frame object has been recycled into a new instance (the pre() check
+	// against the stack top alone would no longer catch that).
+	gen uint64
 }
 
 func (th *Thread) pushFrame(parent *frame, spec *Spec, role string, prog RoleProgram) *frame {
 	peers := spec.sortedThreads()
 	pid := th.instancePID(parent, spec)
 	id := pid.Raw
-	f := &frame{
-		th:      th,
-		spec:    spec,
-		id:      id,
-		pid:     pid,
-		role:    role,
-		prog:    prog,
-		peers:   peers,
-		entered: make([]bool, len(peers)),
-		tx:      th.rt.objects.Begin(id),
+	f, _ := th.rt.framePool.Get().(*frame)
+	if f == nil {
+		f = &frame{}
 	}
+	f.th = th
+	f.spec = spec
+	f.id = id
+	f.pid = pid
+	f.role = role
+	f.prog = prog
+	f.peers = peers
+	if cap(f.entered) >= len(peers) {
+		f.entered = f.entered[:len(peers)]
+		for i := range f.entered {
+			f.entered[i] = false
+		}
+	} else {
+		f.entered = make([]bool, len(peers))
+	}
+	f.tx = th.rt.objects.Begin(id)
 	f.markEntered(th.id)
 	th.stack = append(th.stack, f)
 	// Consume messages that arrived before this thread entered the action.
@@ -349,6 +413,25 @@ func (th *Thread) popFrame(f *frame) {
 			break
 		}
 	}
+	th.releaseFrame(f)
+}
+
+// releaseFrame scrubs a popped frame back to the zero state and returns it
+// to the runtime's pool. Hygiene contract: apart from the entered slice's
+// retained capacity (its length is re-established per instance) and the
+// bumped generation counter, a recycled frame is indistinguishable from a
+// freshly allocated one — no counters, buffers, parsed identifiers, protocol
+// engines or closures survive into the next incarnation. Callers must not
+// touch the frame after release; perform's control flow guarantees that (the
+// only post-pop reads are of values copied out beforehand), and stale user
+// Contexts are caught by the generation check in Context.pre.
+func (th *Thread) releaseFrame(f *frame) {
+	if f.sig != nil {
+		f.sig.Release()
+	}
+	ent := f.entered[:0]
+	*f = frame{entered: ent, gen: f.gen + 1}
+	th.rt.framePool.Put(f)
 }
 
 // markEntered records one arrival at the frame's entry barrier. Arrivals
@@ -416,11 +499,14 @@ func (th *Thread) route(d transport.Delivery) routeVerdict {
 		th.logf("route.drop", "unroutable %T", d.Msg)
 		return routeVerdict{}
 	}
-	if th.dead[act] {
-		return routeVerdict{}
-	}
+	// Look in the (tiny) frame stack before the dead map: live instances
+	// are never in the dead set, and this ordering spares the per-message
+	// map lookup on the hot delivery path.
 	f, idx := th.frameFor(act)
 	if f == nil {
+		if th.dead[act] {
+			return routeVerdict{}
+		}
 		// "retain the Exception or Suspended message till Ti enters A*":
 		// the thread has not entered this action instance yet.
 		th.retained[act] = append(th.retained[act], d)
@@ -482,6 +568,7 @@ func (th *Thread) routeInnermost(f *frame, d transport.Delivery) routeVerdict {
 		// is abandoned and a resolution round begins (stale votes are
 		// discarded by their round tags).
 		if f.sig != nil {
+			f.sig.Release()
 			f.sig = nil
 			f.sigDec, f.hasSigDec = signal.Decision{}, false
 			th.logf("exit.abandoned", "%s: exception round %d during exit", f.id, r)

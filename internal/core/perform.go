@@ -50,7 +50,7 @@ func (th *Thread) perform(parent *frame, spec *Spec, role string, prog RoleProgr
 
 	f := th.pushFrame(parent, spec, role, prog)
 	id := f.id
-	ctx := &Context{th: th, f: f}
+	ctx := &Context{th: th, f: f, id: f.id, gen: f.gen}
 	th.rt.counters.entries.Add(1)
 	if th.logOn {
 		th.logf("enter", "%s as %s", id, role)
@@ -104,9 +104,11 @@ func (th *Thread) conclude(ctx *Context, err error) error {
 	for {
 		if pe, ok := err.(*pendingError); ok && pe.kind == kindAbort {
 			eab := th.runAbortion(ctx)
-			th.popFrame(f)
 			th.rt.counters.aborted.Add(1)
+			// Log before popFrame: the pop recycles the frame, so f.id must
+			// not be read afterwards.
 			th.logf("aborted", "%s (target %s, Eab=%q)", f.id, pe.target, eab)
+			th.popFrame(f)
 			return &abortError{target: pe.target, eab: eab}
 		}
 		if err != nil {
@@ -259,6 +261,7 @@ func (th *Thread) exitAction(f *frame) (dec signal.Decision, decided bool, err e
 		return signal.Decision{}, false, nil // abandoned: resolution round begins
 	}
 	res, ok := f.sigDec, f.hasSigDec
+	f.sig.Release()
 	f.sig = nil
 	f.sigDec, f.hasSigDec = signal.Decision{}, false
 	return res, ok, nil

@@ -1,0 +1,204 @@
+package core
+
+// Pool-hygiene tests: the lifecycle pools (Thread.Recycle, releaseFrame,
+// signal's instance pool) must hand back objects indistinguishable from
+// fresh ones — no counters, pending buffers, parsed identifiers or stack
+// state may survive a recycle. These are deterministic virtual-clock tests;
+// they live in the core package (not core_test) so they can assert on the
+// scrubbed fields directly rather than only on behaviour.
+
+import (
+	"testing"
+	"time"
+
+	"caaction/internal/except"
+	"caaction/internal/trace"
+	"caaction/internal/transport"
+	"caaction/internal/vclock"
+)
+
+func poolEnv(t *testing.T) (*vclock.Virtual, *Runtime) {
+	t.Helper()
+	clk := vclock.NewVirtual()
+	net := transport.NewSim(transport.SimConfig{Clock: clk})
+	rt, err := New(Config{Clock: clk, Network: net, Metrics: &trace.Metrics{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clk, rt
+}
+
+func poolSpec(t *testing.T, name string) *Spec {
+	t.Helper()
+	return &Spec{
+		Name:  name,
+		Roles: []Role{{Name: "a", Thread: "T1"}, {Name: "b", Thread: "T2"}},
+		Graph: poolGraph(t),
+	}
+}
+
+func poolGraph(t *testing.T) *except.Graph {
+	t.Helper()
+	g, err := except.GenerateFull("g", []except.ID{"e1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestThreadRecycleScrubsState performs an action that populates every piece
+// of per-incarnation thread state (instance sequence numbers, the dead set,
+// an identifier build), recycles the threads, and asserts the recycle
+// contract field by field: empty stack, cleared maps, detached endpoint.
+func TestThreadRecycleScrubsState(t *testing.T) {
+	clk, rt := poolEnv(t)
+	spec := poolSpec(t, "hyg")
+	t1, err := rt.NewThread("T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := rt.NewThread("T2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range []struct {
+		th   *Thread
+		role string
+	}{{t1, "a"}, {t2, "b"}} {
+		pair := pair
+		clk.Go(func() {
+			if err := pair.th.Perform(spec, pair.role, RoleProgram{Body: func(ctx *Context) error {
+				return ctx.Compute(time.Millisecond)
+			}}); err != nil {
+				t.Errorf("%s: %v", pair.role, err)
+			}
+		})
+	}
+	clk.Wait()
+
+	if got := len(t1.seq); got == 0 {
+		t.Fatalf("expected a populated seq map before recycle")
+	}
+	if got := len(t1.dead); got == 0 {
+		t.Fatalf("expected a populated dead set before recycle")
+	}
+	_ = t1.Close()
+	_ = t2.Close()
+	t1.Recycle()
+	if t1.id != "" || t1.prefix != "" || t1.tag != "" || t1.ep != nil {
+		t.Errorf("recycled thread keeps identity: id=%q prefix=%q tag=%q ep=%v", t1.id, t1.prefix, t1.tag, t1.ep)
+	}
+	if len(t1.stack) != 0 || len(t1.retained) != 0 || len(t1.dead) != 0 || len(t1.seq) != 0 {
+		t.Errorf("recycled thread keeps state: stack=%d retained=%d dead=%d seq=%d",
+			len(t1.stack), len(t1.retained), len(t1.dead), len(t1.seq))
+	}
+}
+
+// TestRecycledThreadRestartsInstanceSequence pins the observable half of the
+// contract: a recycled thread's first action is instance "#1" again — the
+// property StartAction's wire identifiers rely on (the mux tag, not the
+// sequence number, is what keeps concurrent instances apart).
+func TestRecycledThreadRestartsInstanceSequence(t *testing.T) {
+	clk, rt := poolEnv(t)
+	spec := poolSpec(t, "seq")
+
+	run := func() (id1, id2 string) {
+		t1, err := rt.NewThread("T1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t2, err := rt.NewThread("T2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := make(chan string, 2)
+		body := func(ctx *Context) error {
+			ids <- ctx.ActionID()
+			return nil
+		}
+		clk.Go(func() {
+			if err := t1.Perform(spec, "a", RoleProgram{Body: body}); err != nil {
+				t.Errorf("a: %v", err)
+			}
+		})
+		clk.Go(func() {
+			if err := t2.Perform(spec, "b", RoleProgram{Body: body}); err != nil {
+				t.Errorf("b: %v", err)
+			}
+		})
+		clk.Wait()
+		_ = t1.Close()
+		_ = t2.Close()
+		t1.Recycle()
+		t2.Recycle()
+		return <-ids, <-ids
+	}
+	id1, id2 := run()
+	if id1 != "seq#1" || id2 != "seq#1" {
+		t.Fatalf("first incarnation ids = %q/%q, want seq#1", id1, id2)
+	}
+	// The recycled threads must restart at #1, not resume at #2.
+	id1, id2 = run()
+	if id1 != "seq#1" || id2 != "seq#1" {
+		t.Fatalf("recycled incarnation ids = %q/%q, want seq#1 (sequence state leaked)", id1, id2)
+	}
+}
+
+// TestRecycleMidActionIsNoop: a thread still holding frames is mid-protocol
+// and must never enter the pool.
+func TestRecycleMidActionIsNoop(t *testing.T) {
+	_, rt := poolEnv(t)
+	th, err := rt.NewThread("T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &Spec{Name: "mid", Roles: []Role{{Name: "a", Thread: "T1"}}, Graph: poolGraph(t)}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	th.pushFrame(nil, spec, "a", RoleProgram{Body: func(*Context) error { return nil }})
+	th.Recycle()
+	if th.id != "T1" || len(th.stack) != 1 {
+		t.Fatalf("mid-action Recycle mutated the thread: id=%q stack=%d", th.id, len(th.stack))
+	}
+}
+
+// TestFrameReleaseScrubsEverything pops a frame through releaseFrame and
+// checks the pooled object is zero apart from the entered slice's capacity
+// and the bumped generation.
+func TestFrameReleaseScrubsEverything(t *testing.T) {
+	_, rt := poolEnv(t)
+	th, err := rt.NewThread("T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &Spec{Name: "fr", Roles: []Role{{Name: "a", Thread: "T1"}}, Graph: poolGraph(t)}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f := th.pushFrame(nil, spec, "a", RoleProgram{Body: func(*Context) error { return nil }})
+	f.round = 3
+	f.informed = true
+	f.epsilon = "e1"
+	f.votes = append(f.votes, transport.Delivery{From: "T9"})
+	f.future = append(f.future, transport.Delivery{From: "T9"})
+	f.pendingAbort = append(f.pendingAbort, transport.Delivery{From: "T9"})
+	f.addApp("T9", "payload")
+	gen := f.gen
+	th.popFrame(f)
+
+	if f.gen != gen+1 {
+		t.Errorf("generation not bumped: %d -> %d", gen, f.gen)
+	}
+	zero := frame{entered: f.entered, gen: f.gen}
+	if f.th != nil || f.spec != nil || f.id != "" || f.pid.Raw != "" || f.role != "" ||
+		f.prog.Body != nil || f.peers != nil || f.round != 0 || f.inst != nil ||
+		f.hasDecided || f.informed || f.sig != nil || f.hasSigDec ||
+		f.votes != nil || f.epsilon != zero.epsilon || f.future != nil ||
+		f.enteredN != 0 || f.apps != nil || f.pendingAbort != nil || f.aborting || f.tx != nil {
+		t.Errorf("released frame keeps state: %+v", f)
+	}
+	if len(f.entered) != 0 {
+		t.Errorf("released frame's entered slice has length %d, want 0", len(f.entered))
+	}
+}

@@ -26,6 +26,7 @@ package signal
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"caaction/internal/except"
 	"caaction/internal/protocol"
@@ -81,12 +82,39 @@ type Instance struct {
 	out     Decision
 }
 
-// New returns an instance ready for Start.
-func New(cfg Config) *Instance {
-	inst := &Instance{cfg: cfg, phase: 1}
+// pool recycles Instances across exit attempts: the signalling exchange
+// runs once (often more) per action instance, so at high action churn the
+// struct and its two vote maps are worth reusing. Release scrubs every
+// field, so a pooled instance is indistinguishable from a fresh one.
+var pool = sync.Pool{New: func() any {
+	inst := &Instance{}
 	inst.votes[1] = make(map[string]except.ID)
 	inst.votes[2] = make(map[string]except.ID)
 	return inst
+}}
+
+// New returns an instance ready for Start, possibly recycled via Release.
+func New(cfg Config) *Instance {
+	inst := pool.Get().(*Instance)
+	inst.cfg = cfg
+	inst.phase = 1
+	return inst
+}
+
+// Release scrubs the instance and returns it to the package pool. Only the
+// owning thread may call it, once the exchange has concluded or been
+// abandoned, and it must drop every reference: the instance may be handed
+// to any other exit attempt immediately.
+func (s *Instance) Release() {
+	s.cfg = Config{}
+	s.own = except.None
+	s.started = false
+	s.phase = 0
+	clear(s.votes[1])
+	clear(s.votes[2])
+	s.undone = false
+	s.out = Decision{}
+	pool.Put(s)
 }
 
 // Start casts this thread's vote: the exception it would signal on its own

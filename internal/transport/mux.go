@@ -2,7 +2,10 @@ package transport
 
 import (
 	"fmt"
+	"hash/maphash"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"caaction/internal/protocol"
@@ -24,6 +27,12 @@ const (
 	muxRetainCap = 1024
 )
 
+// muxShardCount stripes the address table: Open/Close/forget of unrelated
+// thread addresses take unrelated locks, so thousands of concurrent
+// instance lifecycles stop serialising on one mutex. Power of two so the
+// hash folds with a mask.
+const muxShardCount = 32
+
 // Mux multiplexes many concurrent action instances over one shared transport
 // endpoint per thread address — the demultiplexing layer of the concurrent
 // multi-action runtime.
@@ -37,6 +46,11 @@ const (
 // Messages for instances that have not opened yet are retained (bounded)
 // until they open; messages for completed instances are dropped.
 //
+// The address table is lock-striped into muxShardCount shards keyed by
+// thread address, and the retained/dead garbage collection is per shared
+// endpoint (hence per shard): concurrent Open/route/Close traffic across
+// addresses never contends on a global lock.
+//
 // Garbage collection: closing a virtual endpoint marks its instance
 // complete, and closing the last instance of a thread address tears the
 // shared endpoint and its pump down, releasing the address for re-binding.
@@ -47,9 +61,26 @@ type Mux struct {
 	clock vclock.Clock
 	net   Network
 
+	closed atomic.Bool
+	shards [muxShardCount]muxShard
+
+	// epPool recycles virtual endpoints together with their receive queues
+	// (see RecycleEndpoint). Per-Mux, never global: a pooled queue belongs
+	// to this Mux's clock.
+	epPool sync.Pool
+}
+
+type muxShard struct {
 	mu     sync.Mutex
 	shared map[string]*muxShared
-	closed bool
+}
+
+// muxSeed keys the shard hash; process-wide is fine (all Muxes may share the
+// same stripe layout).
+var muxSeed = maphash.MakeSeed()
+
+func (m *Mux) shardFor(thread string) *muxShard {
+	return &m.shards[maphash.String(muxSeed, thread)&(muxShardCount-1)]
 }
 
 // NewMux returns a demultiplexer over the given network. The clock must be
@@ -58,7 +89,11 @@ func NewMux(clock vclock.Clock, net Network) *Mux {
 	if clock == nil || net == nil {
 		panic("transport: NewMux requires a clock and a network")
 	}
-	return &Mux{clock: clock, net: net, shared: make(map[string]*muxShared)}
+	m := &Mux{clock: clock, net: net}
+	for i := range m.shards {
+		m.shards[i].shared = make(map[string]*muxShared)
+	}
+	return m
 }
 
 // Open attaches the named action instance to a thread address, lazily
@@ -71,17 +106,21 @@ func (m *Mux) Open(instance, thread string) (Endpoint, error) {
 		return nil, fmt.Errorf("transport: mux: empty instance tag")
 	}
 	_ = protocol.TagInstance(instance, "") // panics on reserved characters
+	shard := m.shardFor(thread)
 	for {
-		m.mu.Lock()
-		if m.closed {
-			m.mu.Unlock()
+		shard.mu.Lock()
+		if m.closed.Load() {
+			// Checked under the shard lock, so an Open and a Close racing on
+			// this shard serialise: either the bind below lands before the
+			// closing sweep (which then tears it down) or the Open fails.
+			shard.mu.Unlock()
 			return nil, ErrClosed
 		}
-		sh, ok := m.shared[thread]
+		sh, ok := shard.shared[thread]
 		if !ok {
 			real, err := m.net.Endpoint(thread)
 			if err != nil {
-				m.mu.Unlock()
+				shard.mu.Unlock()
 				return nil, fmt.Errorf("transport: mux: bind %q: %w", thread, err)
 			}
 			sh = &muxShared{
@@ -97,24 +136,34 @@ func (m *Mux) Open(instance, thread string) (Endpoint, error) {
 			if dm, ok := real.(interface{ MarkDaemon() }); ok {
 				dm.MarkDaemon()
 			}
-			m.shared[thread] = sh
+			shard.shared[thread] = sh
 			m.clock.Go(sh.pump)
 		}
-		m.mu.Unlock()
+		shard.mu.Unlock()
 
 		sh.mu.Lock()
 		if sh.closed {
 			// The shared endpoint was torn down between our lookup and this
 			// lock (its last instance closed, or its address crashed); retry
-			// so a fresh one is bound.
+			// so a fresh one is bound. Yield first: the closer still has to
+			// release the underlying endpoint and forget the table entry, and
+			// on a busy (or single-core) scheduler a tight retry loop would
+			// starve it — this was a measurable busy-spin against racing
+			// shared-endpoint teardown at high instance churn.
 			sh.mu.Unlock()
+			runtime.Gosched()
 			continue
 		}
 		if _, dup := sh.open[instance]; dup {
 			sh.mu.Unlock()
 			return nil, fmt.Errorf("%w: instance %q on %q", ErrDuplicateAddr, instance, thread)
 		}
-		ep := &muxEndpoint{shared: sh, instance: instance, queue: m.clock.NewQueue()}
+		ep, _ := m.epPool.Get().(*muxEndpoint)
+		if ep == nil {
+			ep = &muxEndpoint{mux: m, queue: m.clock.NewQueue()}
+		}
+		ep.shared = sh
+		ep.instance = instance
 		sh.open[instance] = ep
 		// A reused tag may still sit in the dead set from its previous
 		// incarnation; routing prefers the open table, so delivery is
@@ -135,32 +184,70 @@ func (m *Mux) Open(instance, thread string) (Endpoint, error) {
 // Close tears every shared endpoint down. The underlying network is NOT
 // closed — the Mux does not own it.
 func (m *Mux) Close() error {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	if m.closed.Swap(true) {
 		return nil
 	}
-	m.closed = true
-	all := make([]*muxShared, 0, len(m.shared))
-	for _, sh := range m.shared {
-		all = append(all, sh)
+	var all []*muxShared
+	for i := range m.shards {
+		shard := &m.shards[i]
+		shard.mu.Lock()
+		for _, sh := range shard.shared {
+			all = append(all, sh)
+		}
+		shard.shared = make(map[string]*muxShared)
+		shard.mu.Unlock()
 	}
-	m.shared = make(map[string]*muxShared)
-	m.mu.Unlock()
 	for _, sh := range all {
 		sh.teardown()
 	}
 	return nil
 }
 
-// forget removes a torn-down shared endpoint from the address map so a later
-// Open re-binds the address.
+// forget removes a torn-down shared endpoint from its shard so a later Open
+// re-binds the address.
 func (m *Mux) forget(sh *muxShared) {
-	m.mu.Lock()
-	if m.shared[sh.addr] == sh {
-		delete(m.shared, sh.addr)
+	shard := m.shardFor(sh.addr)
+	shard.mu.Lock()
+	if shard.shared[sh.addr] == sh {
+		delete(shard.shared, sh.addr)
 	}
-	m.mu.Unlock()
+	shard.mu.Unlock()
+}
+
+// RecycleEndpoint scrubs a virtual endpoint handed out by Mux.Open and
+// returns it — together with its receive queue — to its Mux's pool, so the
+// next Open reuses both allocations. Only the endpoint's exclusive owner
+// may call it, after Close has completed on it, and must drop every
+// reference: pool hygiene requires that a recycled endpoint has no
+// remaining referent (no pump — Close deregistered it — and no other
+// goroutine holding it, e.g. a StartAction cancellation watcher). Any
+// deliveries still buffered for the completed instance are drained and
+// their boxes released. A no-op for non-mux endpoints and for endpoints
+// still routed (never closed).
+func RecycleEndpoint(ep Endpoint) {
+	me, ok := ep.(*muxEndpoint)
+	if !ok {
+		return
+	}
+	sh := me.shared
+	sh.mu.Lock()
+	stillOpen := sh.open[me.instance] == me
+	sh.mu.Unlock()
+	if stillOpen {
+		return
+	}
+	for {
+		x, ok := me.queue.TryGet()
+		if !ok {
+			break
+		}
+		releaseDelivery(x.(*Delivery))
+	}
+	mux := me.mux
+	me.shared = nil
+	me.instance = ""
+	me.queue.Reset()
+	mux.epPool.Put(me)
 }
 
 // muxShared is one thread address's attachment: the real endpoint, its pump,
@@ -213,6 +300,12 @@ func (sh *muxShared) dispatch(d Delivery) {
 // abandoned propagates a dead real endpoint (crash-stop, network close) to
 // every open instance: their queues close, so blocked receivers observe the
 // stop exactly as they would on an unmuxed endpoint.
+//
+// The queues are closed while sh.mu is held (queue operations never take
+// sh.mu, so the nesting is safe): a snapshot closed after dropping the lock
+// could race a concurrent instance Close + RecycleEndpoint and land the
+// stray Close on a queue already scrubbed into the endpoint pool — killing
+// an unrelated later instance's mailbox.
 func (sh *muxShared) abandoned() {
 	sh.mu.Lock()
 	if sh.closed {
@@ -220,19 +313,16 @@ func (sh *muxShared) abandoned() {
 		return
 	}
 	sh.closed = true
-	open := make([]*muxEndpoint, 0, len(sh.open))
 	for _, ep := range sh.open {
-		open = append(open, ep)
+		ep.queue.Close()
 	}
 	sh.mu.Unlock()
 	sh.mux.forget(sh)
-	for _, ep := range open {
-		ep.queue.Close()
-	}
 }
 
 // teardown closes the real endpoint (stopping the pump) and every open
-// instance queue; used by Mux.Close.
+// instance queue; used by Mux.Close. Instance queues close under sh.mu for
+// the same recycle-race reason as abandoned.
 func (sh *muxShared) teardown() {
 	sh.mu.Lock()
 	if sh.closed {
@@ -240,15 +330,11 @@ func (sh *muxShared) teardown() {
 		return
 	}
 	sh.closed = true
-	open := make([]*muxEndpoint, 0, len(sh.open))
 	for _, ep := range sh.open {
-		open = append(open, ep)
+		ep.queue.Close()
 	}
 	sh.mu.Unlock()
 	_ = sh.real.Close()
-	for _, ep := range open {
-		ep.queue.Close()
-	}
 }
 
 // markDeadLocked records a completed instance, bounded by muxDeadCap. The
@@ -272,6 +358,7 @@ func (sh *muxShared) markDeadLocked(instance string) {
 
 // muxEndpoint is one (action instance, thread) virtual endpoint.
 type muxEndpoint struct {
+	mux      *Mux
 	shared   *muxShared
 	instance string
 	queue    *vclock.Queue

@@ -280,3 +280,135 @@ func TestMuxOpenValidation(t *testing.T) {
 		t.Errorf("Open after Close = %v, want ErrClosed", err)
 	}
 }
+
+// TestMuxShardedChurnRace exercises the lock-striped address table the way
+// a saturated multi-action runtime does: many goroutines cycling
+// open/route/close across a spread of thread addresses (hence shards), with
+// endpoint recycling in the loop, plus a dedicated clique hammering ONE
+// address so the Open-vs-last-Close teardown retry path runs constantly.
+// Run under -race (CI does) it is the regression test for both the shard
+// bookkeeping and the audited Open busy-spin.
+func TestMuxShardedChurnRace(t *testing.T) {
+	clk := vclock.NewReal() // real concurrency is the point here
+	sim := NewSim(SimConfig{Clock: clk})
+	mux := NewMux(clk, sim)
+
+	const goroutines = 12
+	const addrSpread = 2 * muxShardCount // several addresses per shard
+	cycles := 20000
+	if testing.Short() {
+		cycles = 2000
+	}
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		go func() {
+			for i := 0; i < cycles; i++ {
+				inst := fmt.Sprintf("g%d-c%d", g, i)
+				// Goroutines 0-3 fight over one shared address (teardown
+				// retry); the rest spread across the shards.
+				var tx, rx string
+				if g < 4 {
+					tx, rx = "H0", "H1"
+				} else {
+					tx = fmt.Sprintf("S%d", (g*31+i)%addrSpread)
+					rx = fmt.Sprintf("S%d", (g*31+i+1)%addrSpread)
+				}
+				if tx == rx {
+					rx = rx + "x"
+				}
+				a, err := mux.Open(inst, tx)
+				if err != nil {
+					errs <- fmt.Errorf("g%d c%d open tx: %w", g, i, err)
+					return
+				}
+				b, err := mux.Open(inst, rx)
+				if err != nil {
+					_ = a.Close()
+					errs <- fmt.Errorf("g%d c%d open rx: %w", g, i, err)
+					return
+				}
+				act := protocol.TagInstance(inst, "act#1")
+				if err := a.Send(rx, protocol.Enter{Action: act, From: tx}); err != nil {
+					errs <- fmt.Errorf("g%d c%d send: %w", g, i, err)
+					return
+				}
+				if d, ok := b.RecvTimeout(5 * time.Second); !ok {
+					errs <- fmt.Errorf("g%d c%d: delivery lost", g, i)
+					return
+				} else if got := protocol.InstanceOf(protocol.ActionOf(d.Msg)); got != inst {
+					errs <- fmt.Errorf("g%d c%d: cross-instance delivery %q", g, i, got)
+					return
+				}
+				_ = a.Close()
+				_ = b.Close()
+				RecycleEndpoint(a)
+				RecycleEndpoint(b)
+			}
+			errs <- nil
+		}()
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRecycleEndpointHygiene pins the endpoint-recycle contract: after
+// RecycleEndpoint, the object we still hold has been scrubbed (no shared
+// attachment, no instance, an empty reopened queue) and any deliveries that
+// were still buffered for the completed instance are gone.
+func TestRecycleEndpointHygiene(t *testing.T) {
+	clk, _, mux := muxPair(t)
+
+	a, err := mux.Open("i1", "T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mux.Open("i1", "T2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Park two deliveries in b's queue and close without consuming them.
+	// (No clk.Wait here: the shared endpoints' pumps stay alive while the
+	// instances are open, so we poll for the async routing instead.)
+	clk.Go(func() {
+		_ = a.Send("T2", enter("i1", "T1"))
+		_ = a.Send("T2", enter("i1", "T1"))
+	})
+	for deadline := time.Now().Add(5 * time.Second); b.Pending() < 2; {
+		if time.Now().After(deadline) {
+			t.Fatalf("setup: %d pending deliveries, want 2", b.Pending())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_ = b.Close()
+	RecycleEndpoint(b)
+
+	me := b.(*muxEndpoint)
+	if me.shared != nil || me.instance != "" {
+		t.Errorf("recycled endpoint keeps attachment: shared=%v instance=%q", me.shared, me.instance)
+	}
+	if n := me.queue.Len(); n != 0 {
+		t.Errorf("recycled endpoint queue holds %d stale deliveries", n)
+	}
+	// The reopened queue must accept and yield fresh elements (closed
+	// state scrubbed).
+	me.queue.Put("fresh")
+	if x, ok := me.queue.TryGet(); !ok || x != "fresh" {
+		t.Errorf("recycled queue did not reopen: got %v, %v", x, ok)
+	}
+
+	// An endpoint still routed must never recycle.
+	c, err := mux.Open("i2", "T3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	RecycleEndpoint(c)
+	if mc := c.(*muxEndpoint); mc.shared == nil || mc.instance != "i2" {
+		t.Error("RecycleEndpoint recycled a still-open endpoint")
+	}
+	_ = c.Close()
+	_ = a.Close()
+}

@@ -26,6 +26,18 @@ import (
 // legacy gob wire remains available behind SetGobWire for compatibility
 // with peers that have not upgraded; both ends of a deployment must agree.
 //
+// On a real clock, outbound binary frames are write-coalesced per peer
+// connection: a frame is appended to the connection's pending batch and the
+// batch is flushed either once it reaches coalesceBytes or when the
+// coalesceDelay flush deadline (a wall-clock timer armed when the batch
+// opens) fires — so a burst of protocol messages to one peer costs one
+// syscall instead of one per frame, at a bounded worst-case added latency
+// of coalesceDelay. Frame order per connection is preserved (FIFO batches),
+// write errors are sticky and surface on the next Send to that peer (which
+// then re-dials), and Close flushes. The gob wire and virtual-clock
+// deployments keep the write-through path: a wall-clock flush timer under a
+// virtual clock could fire outside the deterministic schedule.
+//
 // Endpoints created in this process listen on loopback by default; peers in
 // other processes are introduced with SetPeer. Construct with NewTCP.
 type TCP struct {
@@ -34,6 +46,9 @@ type TCP struct {
 	// gobWire selects the legacy gob encoding instead of the binary codec.
 	// It must be configured before endpoints are created.
 	gobWire bool
+	// coalesce enables per-connection write batching; set when the clock is
+	// wall-clock-backed (vclock.Real's RealTime marker).
+	coalesce bool
 
 	// mu is read-mostly on the send hot path (every dial consults the book
 	// to detect address re-binds), so readers take the shared lock.
@@ -51,6 +66,18 @@ var _ Network = (*TCP)(nil)
 // attempting the allocation.
 const maxFrame = 1 << 20
 
+// Write-coalescing bounds: a batch flushes as soon as it holds
+// coalesceBytes, and a partial batch flushes when the coalesceDelay
+// deadline fires. The delay bounds the latency a coalesced frame can gain;
+// the byte bound caps batch memory and keeps a sustained stream flowing.
+const (
+	coalesceBytes = 64 << 10
+	coalesceDelay = 100 * time.Microsecond
+	// coalesceMaxRetain bounds the batch capacity a quiet connection keeps
+	// pinned after a burst.
+	coalesceMaxRetain = 256 << 10
+)
+
 // frameBufPool recycles binary-codec encode/decode buffers.
 var frameBufPool = sync.Pool{
 	New: func() any {
@@ -64,10 +91,12 @@ var frameBufPool = sync.Pool{
 // production.
 func NewTCP(clock vclock.Clock) *TCP {
 	protocol.RegisterGob() // App payload fallbacks still ride gob
+	_, real := clock.(interface{ RealTime() })
 	return &TCP{
-		clock: clock,
-		book:  make(map[string]string),
-		eps:   make(map[string]*tcpEndpoint),
+		clock:    clock,
+		coalesce: real,
+		book:     make(map[string]string),
+		eps:      make(map[string]*tcpEndpoint),
 	}
 }
 
@@ -167,6 +196,33 @@ type tcpConn struct {
 	// address down and a later instance reopening it on a fresh port —
 	// would otherwise leave peers sending into the dead incarnation).
 	hostport string
+
+	// Write-coalescing state (binary codec on a real clock only; see the
+	// TCP type docs). wbuf accumulates encoded frames; timer is the reused
+	// flush-deadline timer, armed whenever a batch opens; werr is the
+	// sticky error of a failed (possibly timer-driven) flush, surfaced on
+	// the next Send so the caller drops and re-dials the connection.
+	wbuf  []byte
+	timer *time.Timer
+	werr  error
+}
+
+// flushLocked writes the pending batch in one syscall. c.mu must be held.
+func (c *tcpConn) flushLocked() error {
+	if c.werr != nil {
+		return c.werr
+	}
+	if len(c.wbuf) == 0 {
+		return nil
+	}
+	_, err := c.conn.Write(c.wbuf)
+	if cap(c.wbuf) > coalesceMaxRetain {
+		c.wbuf = nil
+	} else {
+		c.wbuf = c.wbuf[:0]
+	}
+	c.werr = err
+	return err
 }
 
 type tcpEndpoint struct {
@@ -266,13 +322,19 @@ func (e *tcpEndpoint) Send(to string, msg protocol.Message) error {
 
 // write encodes and transmits one message on an established connection.
 // broken reports whether the error (if any) poisoned the connection's byte
-// stream, requiring a re-dial.
+// stream, requiring a re-dial. On the coalescing path a nil return means
+// the frame was accepted into the batch; a transmission failure (including
+// one from a deadline-driven flush) surfaces as the sticky connection error
+// on a later write.
 func (e *tcpEndpoint) write(c *tcpConn, msg protocol.Message) (err error, broken bool) {
 	if c.enc != nil { // gob wire: the encoder writes directly to the stream
 		c.mu.Lock()
 		defer c.mu.Unlock()
 		err := c.enc.Encode(wire{From: e.addr, Msg: msg})
 		return err, err != nil
+	}
+	if e.net.coalesce {
+		return e.writeCoalesced(c, msg)
 	}
 	bp := frameBufPool.Get().(*[]byte)
 	defer frameBufPool.Put(bp)
@@ -290,6 +352,51 @@ func (e *tcpEndpoint) write(c *tcpConn, msg protocol.Message) (err error, broken
 	defer c.mu.Unlock()
 	_, err = c.conn.Write(buf)
 	return err, err != nil
+}
+
+// writeCoalesced appends one encoded frame to the connection's batch,
+// flushing on the byte bound and otherwise arming the flush-deadline timer
+// when the batch opens. Codec errors leave the batch (and the stream)
+// intact: nothing of the failed frame remains buffered.
+func (e *tcpEndpoint) writeCoalesced(c *tcpConn, msg protocol.Message) (err error, broken bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.werr != nil {
+		return c.werr, true // a previous (possibly timer-driven) flush failed
+	}
+	n0 := len(c.wbuf)
+	buf := append(c.wbuf, 0, 0, 0, 0) // length prefix placeholder
+	buf, err = protocol.AppendFrame(buf, e.addr, msg)
+	if err != nil {
+		c.wbuf = buf[:n0] // keep any growth; drop the partial frame
+		return err, false
+	}
+	if len(buf)-n0-4 > maxFrame {
+		c.wbuf = buf[:n0]
+		return fmt.Errorf("%w: frame of %d bytes exceeds the %d-byte bound", protocol.ErrCodec, len(buf)-n0-4, maxFrame), false
+	}
+	binary.BigEndian.PutUint32(buf[n0:n0+4], uint32(len(buf)-n0-4))
+	c.wbuf = buf
+	if len(c.wbuf) >= coalesceBytes {
+		err := c.flushLocked()
+		return err, err != nil
+	}
+	if n0 == 0 {
+		// The batch just opened: arm the flush deadline. The timer is
+		// created once per connection and re-armed per batch; a size-driven
+		// flush may let it fire on an empty (or younger) batch, which is a
+		// harmless early flush.
+		if c.timer == nil {
+			c.timer = time.AfterFunc(coalesceDelay, func() {
+				c.mu.Lock()
+				_ = c.flushLocked() // failure is sticky; the next Send re-dials
+				c.mu.Unlock()
+			})
+		} else {
+			c.timer.Reset(coalesceDelay)
+		}
+	}
+	return nil, false
 }
 
 func (e *tcpEndpoint) dial(to string) (*tcpConn, error) {
@@ -364,6 +471,14 @@ func (e *tcpEndpoint) Close() error {
 
 	err := e.ln.Close()
 	for _, c := range conns {
+		// Flush any coalesced tail so frames sent just before Close still
+		// reach the peer, then stop the flush timer and the connection.
+		c.mu.Lock()
+		_ = c.flushLocked()
+		if c.timer != nil {
+			c.timer.Stop()
+		}
+		c.mu.Unlock()
 		_ = c.conn.Close()
 	}
 	e.queue.Close()

@@ -324,3 +324,65 @@ func TestTCPSetPeerAcrossNetworks(t *testing.T) {
 		t.Fatalf("cross-process delivery failed: %+v %v", d, ok)
 	}
 }
+
+// TestTCPCoalescedBurst drives a burst through the write coalescer: far
+// more frames than one coalesceBytes batch, sent back-to-back, must all
+// arrive in order — batches flush on the byte bound mid-burst and on the
+// wall-clock deadline for the tail.
+func TestTCPCoalescedBurst(t *testing.T) {
+	clk := vclock.NewReal()
+	net := NewTCP(clk)
+	defer func() { _ = net.Close() }()
+	if !net.coalesce {
+		t.Fatal("real-clock TCP should enable write coalescing")
+	}
+	a, _ := net.Endpoint("A")
+	b, _ := net.Endpoint("B")
+
+	const n = 5000 // ~50 bytes per frame: several 64KiB batches plus a tail
+	for i := 0; i < n; i++ {
+		if err := a.Send("B", protocol.Commit{Action: "burst#1", From: "A", Round: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		d, ok := b.RecvTimeout(5 * time.Second)
+		if !ok {
+			t.Fatalf("missing delivery %d of %d", i, n)
+		}
+		if got := d.Msg.(protocol.Commit).Round; got != i {
+			t.Fatalf("out of order: got round %d at position %d", got, i)
+		}
+	}
+}
+
+// TestTCPCloseFlushesCoalescedTail pins the Close contract: frames sent
+// immediately before Close — too few and too fresh for a size- or
+// deadline-driven flush to be guaranteed — still reach the peer, because
+// Close flushes every connection's pending batch.
+func TestTCPCloseFlushesCoalescedTail(t *testing.T) {
+	clk := vclock.NewReal()
+	net := NewTCP(clk)
+	defer func() { _ = net.Close() }()
+	a, _ := net.Endpoint("A")
+	b, _ := net.Endpoint("B")
+
+	const n = 7
+	for i := 0; i < n; i++ {
+		if err := a.Send("B", protocol.Commit{Action: "tail#1", From: "A", Round: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		d, ok := b.RecvTimeout(5 * time.Second)
+		if !ok {
+			t.Fatalf("delivery %d of %d lost across Close", i, n)
+		}
+		if got := d.Msg.(protocol.Commit).Round; got != i {
+			t.Fatalf("out of order: got round %d at position %d", got, i)
+		}
+	}
+}

@@ -46,7 +46,7 @@ type Queue struct {
 }
 
 type queueImpl interface {
-	put(x any)
+	put(x any) bool
 	putAfter(d time.Duration, x any)
 	get() (any, bool)
 	getTimeout(d time.Duration) (any, bool)
@@ -54,10 +54,19 @@ type queueImpl interface {
 	closeQ()
 	length() int
 	setDaemon()
+	reset()
 }
 
-// Put appends x to the queue, waking one blocked receiver.
+// Put appends x to the queue, waking one blocked receiver. A closed queue
+// drops new arrivals silently; callers that must know use PutOpen.
 func (q *Queue) Put(x any) { q.impl.put(x) }
+
+// PutOpen is Put reporting acceptance: false means the queue was already
+// closed and x was dropped (receivers can never observe it). Senders that
+// hand off responsibility with the element — e.g. a work item whose
+// completion someone awaits — must check it and dispose of x themselves on
+// false.
+func (q *Queue) PutOpen(x any) bool { return q.impl.put(x) }
 
 // PutAfter appends x to the queue once d has elapsed on the owning clock.
 // It returns immediately.
@@ -84,6 +93,14 @@ func (q *Queue) Close() { q.impl.closeQ() }
 // system whose only parked goroutines are daemons is considered idle, not
 // deadlocked. No-op on a real clock's queue.
 func (q *Queue) SetDaemon() { q.impl.setDaemon() }
+
+// Reset reopens a closed, drained queue for reuse, clearing the daemon
+// mark and keeping the backing array. Pooling support (recycled mailboxes
+// must come back indistinguishable from fresh ones): it may only be called
+// by the queue's exclusive owner once no other goroutine can touch the
+// queue — a receiver racing a Reset could otherwise consume the next
+// incarnation's elements.
+func (q *Queue) Reset() { q.impl.reset() }
 
 // Len reports the number of buffered elements.
 func (q *Queue) Len() int { return q.impl.length() }

@@ -49,6 +49,12 @@ func (r *Real) Go(fn func()) {
 // Wait blocks until every goroutine started with Go has returned.
 func (r *Real) Wait() { r.wg.Wait() }
 
+// GoDaemon runs fn on a goroutine excluded from Wait — resident
+// infrastructure such as pooled role workers, which park between work items
+// and never "finish". On the real clock that is simply an untracked
+// goroutine.
+func (r *Real) GoDaemon(fn func()) { go fn() }
+
 // NewQueue returns a queue backed by a mutex/condition pair and real timers.
 func (r *Real) NewQueue() *Queue {
 	q := &realQueue{}
@@ -68,7 +74,7 @@ type realQueue struct {
 
 var _ queueImpl = (*realQueue)(nil)
 
-func (q *realQueue) put(x any) {
+func (q *realQueue) put(x any) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
@@ -76,10 +82,11 @@ func (q *realQueue) put(x any) {
 		// them (they see ok=false once the pre-close backlog drains), so
 		// keeping them would only leak — e.g. a lingering TCP read loop
 		// feeding a torn-down endpoint's queue forever.
-		return
+		return false
 	}
 	q.items = append(q.items, x)
 	q.cond.Broadcast()
+	return true
 }
 
 func (q *realQueue) putAfter(d time.Duration, x any) {
@@ -135,6 +142,17 @@ func (q *realQueue) popLocked() (any, bool) {
 	q.head++
 	q.items, q.head = compactQueue(q.items, q.head)
 	return x, true
+}
+
+func (q *realQueue) reset() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i := range q.items {
+		q.items[i] = nil
+	}
+	q.items = q.items[:0]
+	q.head = 0
+	q.closed = false
 }
 
 func (q *realQueue) closeQ() {

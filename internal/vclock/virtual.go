@@ -26,6 +26,7 @@ type Virtual struct {
 	now     time.Duration
 	running int // tracked goroutines not blocked in a clock wait
 	tracked int // tracked goroutines not yet finished
+	daemons int // tracked goroutines started with GoDaemon, excluded from Wait
 	seq     uint64
 
 	timers eventHeap
@@ -94,10 +95,25 @@ func (v *Virtual) Now() time.Duration {
 // Go starts fn on a new tracked goroutine. Under sequential scheduling the
 // goroutine's start order (the Go call order) is its wake priority for the
 // rest of its life.
-func (v *Virtual) Go(fn func()) {
+func (v *Virtual) Go(fn func()) { v.spawn(fn, false) }
+
+// GoDaemon starts fn on a tracked DAEMON goroutine: it participates in
+// virtual-time advancement exactly like a Go goroutine while it runs (so
+// work it performs on behalf of the simulation — e.g. a pooled role worker
+// executing an action role — keeps the clock honest), but Wait does not
+// wait for it to finish. Daemon goroutines are long-lived infrastructure
+// that parks between work items in daemon-marked queue waits (see
+// Queue.SetDaemon); without the exclusion every Wait would block forever on
+// the resident pool.
+func (v *Virtual) GoDaemon(fn func()) { v.spawn(fn, true) }
+
+func (v *Virtual) spawn(fn func(), daemon bool) {
 	v.mu.Lock()
 	v.tracked++
 	v.running++
+	if daemon {
+		v.daemons++
+	}
 	gid := v.nextGID
 	v.nextGID++
 	seq := v.sequential
@@ -108,7 +124,7 @@ func (v *Virtual) Go(fn func()) {
 			v.takeTurnLocked(gid)
 			v.mu.Unlock()
 		}
-		defer v.release()
+		defer v.releaseTracked(daemon)
 		fn()
 	}()
 }
@@ -143,11 +159,16 @@ func (v *Virtual) Adopt() {
 // Release unregisters the calling goroutine; see Adopt.
 func (v *Virtual) Release() { v.release() }
 
-func (v *Virtual) release() {
+func (v *Virtual) release() { v.releaseTracked(false) }
+
+func (v *Virtual) releaseTracked(daemon bool) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	v.tracked--
 	v.running--
+	if daemon {
+		v.daemons--
+	}
 	if v.running == 0 && len(v.blocked) > 0 {
 		if v.sequential {
 			v.scheduleNextLocked()
@@ -158,12 +179,13 @@ func (v *Virtual) release() {
 	v.cond.Broadcast()
 }
 
-// Wait blocks the calling (untracked) goroutine until all tracked goroutines
-// have finished.
+// Wait blocks the calling (untracked) goroutine until all tracked
+// non-daemon goroutines have finished. Resident daemons (GoDaemon) are
+// excluded — they park between work items and never "finish".
 func (v *Virtual) Wait() {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	for v.tracked > 0 {
+	for v.tracked > v.daemons {
 		v.cond.Wait()
 	}
 }
@@ -526,15 +548,16 @@ type virtualQueue struct {
 
 var _ queueImpl = (*virtualQueue)(nil)
 
-func (q *virtualQueue) put(x any) {
+func (q *virtualQueue) put(x any) bool {
 	q.v.mu.Lock()
 	defer q.v.mu.Unlock()
 	if q.closed {
-		return // a closed mailbox drops new arrivals; see realQueue.put
+		return false // a closed mailbox drops new arrivals; see realQueue.put
 	}
 	q.items = append(q.items, x)
 	q.v.cond.Broadcast()
 	q.v.kickLocked()
+	return true
 }
 
 func (q *virtualQueue) putAfter(d time.Duration, x any) {
@@ -607,6 +630,18 @@ func compactQueue(items []any, head int) ([]any, int) {
 		return items[:n], 0
 	}
 	return items, head
+}
+
+func (q *virtualQueue) reset() {
+	q.v.mu.Lock()
+	defer q.v.mu.Unlock()
+	for i := range q.items {
+		q.items[i] = nil
+	}
+	q.items = q.items[:0]
+	q.head = 0
+	q.closed = false
+	q.daemon = false
 }
 
 func (q *virtualQueue) closeQ() {

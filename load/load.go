@@ -19,7 +19,11 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
+	"runtime/metrics"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -57,6 +61,42 @@ var DefaultMix = Mix{Commit: 6, Signal: 2, Abort: 1, Storm: 1}
 
 func (m Mix) total() int { return m.Commit + m.Signal + m.Abort + m.Storm }
 
+// ParseMix parses the command-line mix syntax "commit:6,signal:2,abort:1,
+// storm:1". Kinds may appear in any order; omitted kinds weigh zero. An
+// empty string parses to the zero Mix (meaning DefaultMix).
+func ParseMix(s string) (Mix, error) {
+	var m Mix
+	if strings.TrimSpace(s) == "" {
+		return m, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kind, val, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return Mix{}, fmt.Errorf("load: mix entry %q: want kind:weight", part)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || w < 0 {
+			return Mix{}, fmt.Errorf("load: mix entry %q: bad weight", part)
+		}
+		switch strings.TrimSpace(kind) {
+		case KindCommit:
+			m.Commit = w
+		case KindSignal:
+			m.Signal = w
+		case KindAbort:
+			m.Abort = w
+		case KindStorm:
+			m.Storm = w
+		default:
+			return Mix{}, fmt.Errorf("load: mix entry %q: unknown kind (want commit, signal, abort or storm)", part)
+		}
+	}
+	if m.total() <= 0 {
+		return Mix{}, fmt.Errorf("load: mix %q has zero total weight", s)
+	}
+	return m, nil
+}
+
 // pick draws a kind from the mix with one rng roll.
 func (m Mix) pick(rng *rand.Rand) string {
 	n := rng.Intn(m.total())
@@ -92,7 +132,28 @@ type Config struct {
 	Seed int64 `json:"seed"`
 	// Mix weights the action kinds; the zero Mix means DefaultMix.
 	Mix Mix `json:"mix"`
+	// Workers sizes the System's role-worker pool (caaction.WithWorkers).
+	// Zero sizes it automatically at Concurrency x Roles (every in-flight
+	// role gets a resident worker, bounded by maxAutoWorkers); negative
+	// disables the pool, restoring the goroutine-per-role lifecycle.
+	Workers int `json:"workers,omitempty"`
+	// GCPercent pins the garbage collector's pacing (runtime/debug.
+	// SetGCPercent) for the duration of the run, restoring the previous
+	// value afterwards. Measurement methodology, recorded in the report:
+	// at thousands of in-flight actions the default GOGC=100 collects so
+	// often that every sync.Pool in the runtime is flushed mid-flight, and
+	// the harness measures GC thrash instead of the runtime's capacity —
+	// exactly the knob a production deployment of this load would tune.
+	// Zero means defaultGCPercent; negative inherits the process setting.
+	GCPercent int `json:"gc_percent,omitempty"`
 }
+
+// defaultGCPercent is the harness's pinned GC pacing (Config.GCPercent 0).
+const defaultGCPercent = 400
+
+// maxAutoWorkers caps the automatic pool sizing; explicit Workers values
+// are taken as given.
+const maxAutoWorkers = 8192
 
 func (c Config) withDefaults() Config {
 	if c.Actions <= 0 {
@@ -112,6 +173,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Mix.total() <= 0 {
 		c.Mix = DefaultMix
+	}
+	if c.Workers == 0 {
+		c.Workers = c.Concurrency * c.Roles
+		if c.Workers > maxAutoWorkers {
+			c.Workers = maxAutoWorkers
+		}
+	}
+	if c.GCPercent == 0 {
+		c.GCPercent = defaultGCPercent
 	}
 	return c
 }
@@ -156,9 +226,15 @@ type Report struct {
 	// AllocsPerAction and BytesPerAction are process-wide heap allocation
 	// counts divided by the number of actions — the load harness's
 	// equivalent of the benchmarks' allocs/op, watched by the perf gate.
-	AllocsPerAction float64     `json:"allocs_per_action"`
-	BytesPerAction  float64     `json:"bytes_per_action"`
-	Latency         Percentiles `json:"latency"`
+	AllocsPerAction float64 `json:"allocs_per_action"`
+	BytesPerAction  float64 `json:"bytes_per_action"`
+	// GoroutineHighWater and PeakHeapBytes are sampled maxima over the run
+	// (process-wide). They make scalability regressions — leaked workers,
+	// unbounded pools, runaway buffering — visible in BENCH_load.json even
+	// when throughput still looks healthy.
+	GoroutineHighWater int         `json:"goroutine_high_water"`
+	PeakHeapBytes      uint64      `json:"peak_heap_bytes"`
+	Latency            Percentiles `json:"latency"`
 	// Outcomes counts per-action classifications: "ok", "undone", "failed",
 	// "signalled:<exc>" or "error:<msg>".
 	Outcomes map[string]int        `json:"outcomes"`
@@ -169,6 +245,51 @@ type Report struct {
 	// Unexpected lists actions whose outcome did not match their kind's
 	// expectation; a healthy run has none.
 	Unexpected []string `json:"unexpected,omitempty"`
+}
+
+// peakSampler tracks process-wide goroutine-count and live-heap maxima over
+// a run with cheap runtime/metrics reads (no stop-the-world), sampled every
+// couple of milliseconds on an untracked goroutine.
+type peakSampler struct {
+	stop, done chan struct{}
+	goroutines int
+	heap       uint64
+}
+
+func startPeakSampler() *peakSampler {
+	s := &peakSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		samples := []metrics.Sample{
+			{Name: "/sched/goroutines:goroutines"},
+			{Name: "/memory/classes/heap/objects:bytes"},
+		}
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			metrics.Read(samples)
+			if n := int(samples[0].Value.Uint64()); n > s.goroutines {
+				s.goroutines = n
+			}
+			if b := samples[1].Value.Uint64(); b > s.heap {
+				s.heap = b
+			}
+			select {
+			case <-s.stop:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	return s
+}
+
+// finish stops the sampler and returns (goroutine high-water, peak heap
+// bytes).
+func (s *peakSampler) finish() (int, uint64) {
+	close(s.stop)
+	<-s.done
+	return s.goroutines, s.heap
 }
 
 // Run executes one load run and aggregates its report. It is synchronous:
@@ -188,6 +309,12 @@ func Run(cfg Config) (*Report, error) {
 	}
 	if cfg.Resolver != "" {
 		opts = append(opts, caaction.WithResolver(cfg.Resolver))
+	}
+	if cfg.Workers > 0 {
+		opts = append(opts, caaction.WithWorkers(cfg.Workers))
+	}
+	if cfg.GCPercent > 0 {
+		defer debug.SetGCPercent(debug.SetGCPercent(cfg.GCPercent))
 	}
 	sys, err := caaction.New(opts...)
 	if err != nil {
@@ -210,6 +337,7 @@ func Run(cfg Config) (*Report, error) {
 	var wg sync.WaitGroup
 	var memBefore runtime.MemStats
 	runtime.ReadMemStats(&memBefore)
+	peaks := startPeakSampler()
 	start := time.Now()
 	for i := 0; i < cfg.Concurrency; i++ {
 		wg.Add(1)
@@ -228,7 +356,8 @@ func Run(cfg Config) (*Report, error) {
 				if err != nil {
 					outcome = "error: " + err.Error()
 				} else {
-					outcome = classify(h.Wait())
+					h.WaitDone()
+					outcome = classify(h)
 				}
 				s := sample{kind: kind, outcome: outcome, latency: time.Since(t0)}
 				if want := w.expect(kind); outcome != want {
@@ -240,18 +369,21 @@ func Run(cfg Config) (*Report, error) {
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	ghw, peakHeap := peaks.finish()
 	var memAfter runtime.MemStats
 	runtime.ReadMemStats(&memAfter)
 
 	rep := &Report{
-		Config:          cfg,
-		WallSecs:        wall.Seconds(),
-		Throughput:      float64(cfg.Actions) / wall.Seconds(),
-		AllocsPerAction: float64(memAfter.Mallocs-memBefore.Mallocs) / float64(cfg.Actions),
-		BytesPerAction:  float64(memAfter.TotalAlloc-memBefore.TotalAlloc) / float64(cfg.Actions),
-		Outcomes:        make(map[string]int),
-		Kinds:           make(map[string]*KindStats),
-		Messages:        make(map[string]int64),
+		Config:             cfg,
+		WallSecs:           wall.Seconds(),
+		Throughput:         float64(cfg.Actions) / wall.Seconds(),
+		AllocsPerAction:    float64(memAfter.Mallocs-memBefore.Mallocs) / float64(cfg.Actions),
+		BytesPerAction:     float64(memAfter.TotalAlloc-memBefore.TotalAlloc) / float64(cfg.Actions),
+		GoroutineHighWater: ghw,
+		PeakHeapBytes:      peakHeap,
+		Outcomes:           make(map[string]int),
+		Kinds:              make(map[string]*KindStats),
+		Messages:           make(map[string]int64),
 	}
 	all := make([]time.Duration, 0, len(samples))
 	perKind := make(map[string][]time.Duration)
@@ -275,20 +407,61 @@ func Run(cfg Config) (*Report, error) {
 	return rep, nil
 }
 
+// SweepPoint condenses one concurrency level of a scaling sweep: the
+// metrics the perf gate compares (throughput, tail latency, allocation
+// rate) plus the scalability watermarks.
+type SweepPoint struct {
+	Concurrency        int     `json:"concurrency"`
+	Actions            int     `json:"actions"`
+	Throughput         float64 `json:"actions_per_second"`
+	AllocsPerAction    float64 `json:"allocs_per_action"`
+	P99Ms              float64 `json:"p99_ms"`
+	GoroutineHighWater int     `json:"goroutine_high_water"`
+	PeakHeapBytes      uint64  `json:"peak_heap_bytes"`
+}
+
+// RunSweep executes one full Run per concurrency level (each on a fresh
+// System) and condenses the results, proving — or disproving — that
+// throughput scales with in-flight instances. cfg.Concurrency is overridden
+// per point; everything else (actions, mix, seed, resolver) is held fixed
+// so the points are comparable.
+func RunSweep(cfg Config, concurrencies []int) ([]SweepPoint, error) {
+	points := make([]SweepPoint, 0, len(concurrencies))
+	for _, c := range concurrencies {
+		runCfg := cfg
+		runCfg.Concurrency = c
+		// Workers carries over from cfg: zero re-derives the auto pool size
+		// per level inside Run (withDefaults), an explicit value is pinned.
+		rep, err := Run(runCfg)
+		if err != nil {
+			return nil, fmt.Errorf("load: sweep at concurrency %d: %w", c, err)
+		}
+		if len(rep.Unexpected) > 0 {
+			return nil, fmt.Errorf("load: sweep at concurrency %d: %d unexpected outcomes, e.g. %s",
+				c, len(rep.Unexpected), rep.Unexpected[0])
+		}
+		points = append(points, SweepPoint{
+			Concurrency:        c,
+			Actions:            rep.Config.Actions,
+			Throughput:         rep.Throughput,
+			AllocsPerAction:    rep.AllocsPerAction,
+			P99Ms:              rep.Latency.P99,
+			GoroutineHighWater: rep.GoroutineHighWater,
+			PeakHeapBytes:      rep.PeakHeapBytes,
+		})
+	}
+	return points, nil
+}
+
 // classify reduces an instance's per-role outcomes to one action outcome
 // with a fixed severity order — failed > undone > error > signalled > ok —
-// and roles visited in sorted order, so identical runs always classify
-// identically (map iteration order must not leak into the report).
-func classify(results map[string]error) string {
-	roles := make([]string, 0, len(results))
-	for role := range results {
-		roles = append(roles, role)
-	}
-	sort.Strings(roles)
+// and roles visited in spec order (ActionHandle.Each), so identical runs
+// always classify identically, without the per-action map snapshot and
+// sort the old map-based classification paid.
+func classify(h *caaction.ActionHandle) string {
 	var failed, undone bool
 	var firstErr, signalled string
-	for _, role := range roles {
-		err := results[role]
+	h.Each(func(role string, err error) {
 		switch {
 		case err == nil:
 		case caaction.IsFailed(err):
@@ -304,7 +477,7 @@ func classify(results map[string]error) string {
 				firstErr = "error: " + err.Error()
 			}
 		}
-	}
+	})
 	switch {
 	case failed:
 		return "failed"
@@ -321,9 +494,10 @@ func classify(results map[string]error) string {
 
 // workload owns the per-kind specs and programs, all safe for concurrent
 // reuse across instances (specs are immutable and programs only touch their
-// per-instance Context).
+// per-instance Context), plus the precomputed per-action kind sequence.
 type workload struct {
 	cfg   Config
+	kinds []string
 	specs map[string]*caaction.Spec
 	progs map[string]map[string]caaction.RoleProgram
 }
@@ -349,14 +523,21 @@ func newWorkload(cfg Config) (*workload, error) {
 		w.specs[kind] = spec
 		w.progs[kind] = progs
 	}
+	// Draw the whole kind sequence up front from one seeded stream. Still
+	// fully deterministic in (Seed, Mix, Actions), but the drivers' hot
+	// loop no longer pays an rng construction per action — seeding a
+	// math/rand source initialises a 607-word feedback register, which
+	// profiled at ~20% of a sim-transport run's CPU.
+	w.kinds = make([]string, cfg.Actions)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := range w.kinds {
+		w.kinds[i] = cfg.Mix.pick(rng)
+	}
 	return w, nil
 }
 
-// kindOf draws action idx's kind, deterministically in (Seed, idx).
-func (w *workload) kindOf(idx int) string {
-	rng := rand.New(rand.NewSource(w.cfg.Seed + int64(idx)))
-	return w.cfg.Mix.pick(rng)
-}
+// kindOf is action idx's precomputed kind.
+func (w *workload) kindOf(idx int) string { return w.kinds[idx] }
 
 func (w *workload) action(kind string) (*caaction.Spec, map[string]caaction.RoleProgram) {
 	return w.specs[kind], w.progs[kind]

@@ -170,3 +170,85 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+func TestParseMix(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    load.Mix
+		wantErr bool
+	}{
+		{"", load.Mix{}, false},
+		{"commit:6,signal:2,abort:1,storm:1", load.Mix{6, 2, 1, 1}, false},
+		{" storm:3 , commit:1 ", load.Mix{Commit: 1, Storm: 3}, false},
+		{"commit:8", load.Mix{Commit: 8}, false},
+		{"commit", load.Mix{}, true},            // no weight
+		{"commit:x", load.Mix{}, true},          // bad weight
+		{"commit:-1", load.Mix{}, true},         // negative weight
+		{"retry:5", load.Mix{}, true},           // unknown kind
+		{"commit:0,signal:0", load.Mix{}, true}, // zero total
+	}
+	for _, tc := range cases {
+		got, err := load.ParseMix(tc.in)
+		if tc.wantErr != (err != nil) {
+			t.Errorf("load.ParseMix(%q) error = %v, wantErr %v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if !tc.wantErr && got != tc.want {
+			t.Errorf("load.ParseMix(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestLoadSweepAndWatermarks runs a tiny two-point sweep and checks the
+// scaling report is coherent: per-point configs respected, watermarks
+// recorded (the goroutine high-water must at least reflect the worker
+// pool), outcomes all expected.
+func TestLoadSweepAndWatermarks(t *testing.T) {
+	actions := 300
+	if testing.Short() {
+		actions = 80
+	}
+	cfg := load.Config{Actions: actions, Roles: 2, Seed: 7}
+	points, err := load.RunSweep(cfg, []int{8, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d sweep points, want 2", len(points))
+	}
+	for i, c := range []int{8, 32} {
+		p := points[i]
+		if p.Concurrency != c || p.Actions != actions {
+			t.Errorf("point %d: concurrency/actions = %d/%d, want %d/%d", i, p.Concurrency, p.Actions, c, actions)
+		}
+		if p.Throughput <= 0 {
+			t.Errorf("point %d: non-positive throughput %f", i, p.Throughput)
+		}
+		if p.AllocsPerAction <= 0 {
+			t.Errorf("point %d: non-positive allocs_per_action %f", i, p.AllocsPerAction)
+		}
+		// The auto-sized worker pool alone is concurrency*roles resident
+		// goroutines; the high-water mark must at least see them.
+		if p.GoroutineHighWater < c*2 {
+			t.Errorf("point %d: goroutine high-water %d below the %d-worker pool", i, p.GoroutineHighWater, c*2)
+		}
+		if p.PeakHeapBytes == 0 {
+			t.Errorf("point %d: zero peak heap", i)
+		}
+	}
+}
+
+// TestLoadWorkerPoolDisabled pins the Workers<0 escape hatch: the
+// goroutine-per-role lifecycle must still produce a clean report.
+func TestLoadWorkerPoolDisabled(t *testing.T) {
+	rep, err := load.Run(load.Config{Actions: 60, Concurrency: 8, Roles: 2, Seed: 3, Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Unexpected) > 0 {
+		t.Fatalf("unexpected outcomes: %v", rep.Unexpected)
+	}
+	if rep.Config.Workers != -1 {
+		t.Errorf("config workers = %d, want -1 preserved", rep.Config.Workers)
+	}
+}

@@ -66,6 +66,12 @@ type System struct {
 	mux       *transport.Mux
 	actionSeq atomic.Int64
 	closed    atomic.Bool
+
+	// Role-worker pool (WithWorkers): built lazily on first use so systems
+	// that never call StartAction pay nothing for it.
+	workers  int
+	poolOnce sync.Once
+	pool     *rolePool
 }
 
 // New assembles a System from functional options. See Option and the With*
@@ -139,7 +145,28 @@ func New(opts ...Option) (*System, error) {
 		net:     net,
 		metrics: cfg.metrics,
 		log:     cfg.log,
+		workers: cfg.workers,
 	}, nil
+}
+
+// rolePool lazily builds the WithWorkers role-worker pool; nil when the pool
+// is disabled or the clock cannot host resident daemon goroutines.
+func (s *System) rolePool() *rolePool {
+	if s.workers <= 0 {
+		return nil
+	}
+	s.poolOnce.Do(func() { s.pool = newRolePool(s.clock, s.workers) })
+	return s.pool
+}
+
+// waitClock returns the clock ActionHandle.Wait must integrate with, or nil
+// when the system runs on the real clock (a channel wait then suffices and
+// the per-action completion queue is never allocated).
+func (s *System) waitClock() Clock {
+	if _, ok := s.clock.(*vclock.Real); ok {
+		return nil
+	}
+	return s.clock
 }
 
 // Go runs fn on a goroutine tracked by the system clock. Under virtual time
@@ -189,6 +216,14 @@ func (s *System) Runtime() *core.Runtime { return s.rt }
 // Thread and StartAction calls fail with ErrSystemClosed.
 func (s *System) Close() error {
 	s.closed.Store(true)
+	// Claim poolOnce without building anything: if a racing StartAction won
+	// the once, Do blocks until its pool is fully constructed and we close
+	// that pool; if Close wins, no pool is ever built (later StartActions
+	// see nil and fall back, then die on the closed endpoints below).
+	s.poolOnce.Do(func() {})
+	if s.pool != nil {
+		s.pool.close()
+	}
 	_ = s.muxNet().Close() // via muxOnce, so a racing StartAction is safe
 	return s.net.Close()
 }

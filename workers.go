@@ -1,0 +1,152 @@
+package caaction
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"caaction/internal/core"
+	"caaction/internal/transport"
+	"caaction/internal/vclock"
+)
+
+// daemonSpawner is the optional Clock extension the role-worker pool needs:
+// resident goroutines that participate in time advancement but are excluded
+// from Wait. Both built-in clocks implement it; a custom Clock that does not
+// silently disables the pool (StartAction falls back to a goroutine per
+// role).
+type daemonSpawner interface {
+	GoDaemon(fn func())
+}
+
+// rolePool is the bounded worker pool behind WithWorkers: a fixed set of
+// resident role workers replaces the goroutine-per-role lifecycle of
+// StartAction, so sustained action churn reuses warm stacks instead of
+// paying goroutine creation, stack growth and teardown per role.
+//
+// Dispatch is a NON-BLOCKING all-or-nothing acquisition of one worker per
+// role: either every role of the action gets an idle worker immediately,
+// or the grab rolls back and the whole action falls back to the
+// goroutine-per-role path. StartAction therefore never blocks on the pool,
+// which rules out the classic pool deadlocks outright — no action can hold
+// a partial worker set while waiting for more (the entry barrier needs all
+// roles running), and a role body that itself starts and waits on another
+// action cannot wedge workers waiting for workers. Under saturation the
+// pool degrades to exactly the pre-pool lifecycle instead of queueing.
+type rolePool struct {
+	size    int
+	freeQ   *vclock.Queue // idle *roleWorker, fed back by the workers
+	workers []*roleWorker
+}
+
+type roleWorker struct {
+	tasks *vclock.Queue // capacity-1 mailbox; daemon-marked clock wait
+}
+
+// newRolePool starts size resident workers on daemon goroutines. It returns
+// nil when the clock cannot host daemons (custom Clock implementations).
+func newRolePool(clock Clock, size int) *rolePool {
+	ds, ok := clock.(daemonSpawner)
+	if !ok {
+		return nil
+	}
+	p := &rolePool{
+		size:    size,
+		freeQ:   clock.NewQueue(),
+		workers: make([]*roleWorker, 0, size),
+	}
+	for i := 0; i < size; i++ {
+		w := &roleWorker{tasks: clock.NewQueue()}
+		// An idle worker parked in its mailbox is infrastructure: under the
+		// virtual clock it must count as idle, not deadlocked.
+		w.tasks.SetDaemon()
+		p.workers = append(p.workers, w)
+		p.freeQ.Put(w)
+		ds.GoDaemon(func() { w.loop(p) })
+	}
+	return p
+}
+
+func (w *roleWorker) loop(p *rolePool) {
+	for {
+		x, ok := w.tasks.Get()
+		if !ok {
+			return // pool shut down
+		}
+		x.(*roleTask).run()
+		// Re-offer ourselves only after the role fully finished, so an
+		// acquired worker is always genuinely free. On shutdown the put is
+		// dropped and the next Get observes the closed mailbox.
+		p.freeQ.Put(w)
+	}
+}
+
+// acquire obtains n idle workers all-or-nothing without blocking, appending
+// them to ws (a caller-provided scratch slice, typically backed by a stack
+// array). ok is false when the pool lacks n idle workers right now or has
+// shut down; any partial grab is rolled back and the caller owns no
+// workers — it must run the action's roles on plain goroutines instead.
+func (p *rolePool) acquire(n int, ws []*roleWorker) (_ []*roleWorker, ok bool) {
+	for i := 0; i < n; i++ {
+		x, ok := p.freeQ.TryGet()
+		if !ok {
+			for _, w := range ws {
+				p.freeQ.Put(w)
+			}
+			return ws[:0], false
+		}
+		ws = append(ws, x.(*roleWorker))
+	}
+	return ws, true
+}
+
+// close shuts the pool down: idle workers exit, and busy workers exit after
+// finishing their current role. In-flight dispatches racing the close are
+// caught by the mailbox PutOpen check in StartAction.
+func (p *rolePool) close() {
+	p.freeQ.Close()
+	for _, w := range p.workers {
+		w.tasks.Close()
+	}
+}
+
+// roleTask carries one role execution to a pooled worker; recycled through
+// roleTaskPool so sustained churn allocates no task boxes.
+type roleTask struct {
+	h         *ActionHandle
+	ctx       context.Context
+	spec      *Spec
+	role      string
+	roleIdx   int
+	prog      RoleProgram
+	th        *core.Thread
+	ep        transport.Endpoint
+	recycleEP bool
+}
+
+var roleTaskPool = sync.Pool{New: func() any { return new(roleTask) }}
+
+// run executes one role to completion: the same lifecycle the per-role
+// goroutine path runs, plus recycling of the thread, the virtual endpoint
+// and the task box itself.
+//
+// The outcome is recorded (h.finish) BEFORE the thread closes its mux
+// endpoint. Workers are daemon goroutines excluded from System.Wait, so for
+// untracked callers Wait is bounded by the mux pumps instead — and a pump
+// only exits after the instance endpoints close. Finishing first makes
+// "System.Wait, then read Results" sound: by the time the last pump exits,
+// every role's outcome is already recorded.
+func (t *roleTask) run() {
+	err := t.th.Perform(t.spec, t.role, t.prog)
+	if t.h.cancelled.Load() && errors.Is(err, ErrThreadStopped) {
+		err = &cancelledError{spec: t.spec.Name, role: t.role, cause: context.Cause(t.ctx)}
+	}
+	t.h.finish(t.roleIdx, err)
+	_ = t.th.Close() // GC: deregister the instance from the mux
+	t.th.Recycle()
+	if t.recycleEP {
+		transport.RecycleEndpoint(t.ep)
+	}
+	*t = roleTask{}
+	roleTaskPool.Put(t)
+}
