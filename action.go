@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -15,6 +16,13 @@ import (
 
 // ErrSystemClosed reports an operation on a System after Close.
 var ErrSystemClosed = errors.New("caaction: system closed")
+
+// ErrDraining reports an operation refused because the System has begun a
+// graceful shutdown: Drain (or Close) was called, new actions and threads
+// are no longer admitted, and in-flight actions are running to completion.
+// Callers distinguishing "retry elsewhere" from "gone for good" should
+// check ErrDraining before ErrSystemClosed.
+var ErrDraining = errors.New("caaction: system draining")
 
 // ActionHandle tracks one concurrent CA-action instance started with
 // System.StartAction: which roles are still running, and each role's
@@ -41,6 +49,9 @@ type ActionHandle struct {
 	// virtual-time system starts the action. Created under mu; finish reads
 	// it under mu before closing it.
 	doneQ *vclock.Queue
+	// onIdle, when non-nil, runs once after the last role finishes — the
+	// System's in-flight accounting hook behind Drain.
+	onIdle func()
 }
 
 type roleOutcome struct {
@@ -164,6 +175,9 @@ func (h *ActionHandle) finish(idx int, err error) {
 		if q != nil {
 			q.Close()
 		}
+		if h.onIdle != nil {
+			h.onIdle()
+		}
 	}
 }
 
@@ -186,6 +200,30 @@ func (h *ActionHandle) finish(idx int, err error) {
 // through the cooperative interrupt path and reports an error matching both
 // ErrThreadStopped and the context cause.
 func (s *System) StartAction(ctx context.Context, spec *Spec, progs map[string]RoleProgram) (*ActionHandle, error) {
+	tag := "a" + strconv.FormatInt(s.actionSeq.Add(1), 10)
+	return s.startAction(ctx, tag, spec, progs)
+}
+
+// StartTagged is StartAction with a caller-assigned instance tag. Tags
+// exist for multi-process deployments (WithCluster): every node hosting
+// roles of one logical action instance must put the SAME tag on the wire,
+// so a coordinator — the cluster workload driver — picks the tag and hands
+// it to each node, which starts just its locally-placed roles. The tag
+// must be unique among instances whose lifetimes overlap and must not
+// contain the id metacharacters '!', '/' or '#'. On a cluster node, progs
+// need only cover the locally-placed roles (remote entries are ignored);
+// on a non-cluster system StartTagged behaves exactly like StartAction.
+func (s *System) StartTagged(ctx context.Context, tag string, spec *Spec, progs map[string]RoleProgram) (*ActionHandle, error) {
+	if tag == "" {
+		return nil, fmt.Errorf("caaction: StartTagged: empty instance tag")
+	}
+	if strings.ContainsAny(tag, "!/#") {
+		return nil, fmt.Errorf("caaction: StartTagged: tag %q contains an id metacharacter ('!', '/' or '#')", tag)
+	}
+	return s.startAction(ctx, tag, spec, progs)
+}
+
+func (s *System) startAction(ctx context.Context, tag string, spec *Spec, progs map[string]RoleProgram) (*ActionHandle, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -203,7 +241,20 @@ func (s *System) StartAction(ctx context.Context, spec *Spec, progs map[string]R
 			return nil, fmt.Errorf("%w: %q in %s", ErrUnknownRole, role, spec.Name)
 		}
 	}
+	// On a cluster node only the locally-placed roles run here; the other
+	// nodes of the cluster start the rest under the same tag. Everywhere
+	// else every role is local.
+	local := make([]Role, 0, len(spec.Roles))
 	for _, r := range spec.Roles {
+		if s.clusterLocal != nil && !s.clusterLocal(r.Thread) {
+			continue
+		}
+		local = append(local, r)
+	}
+	if len(local) == 0 {
+		return nil, fmt.Errorf("caaction: StartAction %s: no roles are placed on this node", spec.Name)
+	}
+	for _, r := range local {
 		if p, ok := progs[r.Name]; !ok || p.Body == nil {
 			return nil, fmt.Errorf("%w: %s/%s", ErrBodyRequired, spec.Name, r.Name)
 		}
@@ -211,20 +262,29 @@ func (s *System) StartAction(ctx context.Context, spec *Spec, progs map[string]R
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("caaction: %s not started: %w", spec.Name, context.Cause(ctx))
 	}
+	if err := s.beginAction(); err != nil {
+		return nil, err
+	}
 
-	tag := "a" + strconv.FormatInt(s.actionSeq.Add(1), 10)
 	mux := s.muxNet()
 	type roleThread struct {
 		role string
 		th   *core.Thread
 		ep   transport.Endpoint
 	}
-	rts := make([]roleThread, 0, len(spec.Roles))
-	for _, r := range spec.Roles {
+	rts := make([]roleThread, 0, len(local))
+	for _, r := range local {
 		ep, err := mux.Open(tag, r.Thread)
 		if err != nil {
 			for _, x := range rts {
 				_ = x.ep.Close()
+			}
+			s.endAction()
+			if s.draining.Load() {
+				// The mux (or transport) closed under us because shutdown
+				// began after admission; report the typed refusal rather
+				// than a bare transport error.
+				return nil, fmt.Errorf("caaction: StartAction %s: %w", spec.Name, ErrDraining)
 			}
 			return nil, fmt.Errorf("caaction: StartAction %s: %w", spec.Name, err)
 		}
@@ -238,6 +298,7 @@ func (s *System) StartAction(ctx context.Context, spec *Spec, progs map[string]R
 		pending:  len(rts),
 		outcomes: make([]roleOutcome, len(rts)),
 		roles:    make([]string, 0, len(rts)),
+		onIdle:   s.endAction,
 	}
 	for _, x := range rts {
 		h.roles = append(h.roles, x.role)

@@ -1,0 +1,199 @@
+package cluster_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"caaction/cluster"
+	"caaction/load"
+)
+
+// testPlacement pins thread L<i+1> to node n<i+1>, one thread per node.
+func testPlacement(nodes int) map[string]string {
+	p := make(map[string]string, nodes)
+	for i := 0; i < nodes; i++ {
+		p[load.ThreadName(i)] = fmt.Sprintf("n%d", i+1)
+	}
+	return p
+}
+
+func startNode(t *testing.T, name string, seeds []string, placement map[string]string) *cluster.Node {
+	t.Helper()
+	n, err := cluster.New(cluster.Config{
+		Name:          name,
+		Seeds:         seeds,
+		Placement:     placement,
+		ExchangeEvery: 50 * time.Millisecond,
+		SignalTimeout: 2 * time.Second,
+		ActionTimeout: 15 * time.Second,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		if err := n.Serve(); err != nil {
+			t.Errorf("node %s: Serve: %v", name, err)
+		}
+	}()
+	return n
+}
+
+// waitStatus polls a node's status until cond holds.
+func waitStatus(t *testing.T, addr string, what string, cond func(cluster.StatusInfo) bool) cluster.StatusInfo {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		st, err := cluster.Status(addr)
+		if err == nil && cond(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("waiting for %s on %s: last status %+v err %v", what, addr, st, err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// runInstance drives one tagged workload instance across every node,
+// polls all of them to completion and returns the merged outcome plus all
+// observed storm decisions.
+func runInstance(t *testing.T, nodes []*cluster.Node, tag, kind string, roles int) (string, []load.Decision) {
+	t.Helper()
+	started := make(map[string]bool)
+	for _, n := range nodes {
+		rep, err := cluster.Start(n.ControlAddr(), cluster.StartRequest{Tag: tag, Kind: kind, Roles: roles})
+		if err != nil {
+			t.Fatalf("start %s on %s: %v", tag, n.ControlAddr(), err)
+		}
+		for _, r := range rep.Roles {
+			if started[r] {
+				t.Fatalf("role %s started twice for %s", r, tag)
+			}
+			started[r] = true
+		}
+	}
+	if len(started) != roles {
+		t.Fatalf("instance %s started %d roles across the cluster, want %d", tag, len(started), roles)
+	}
+
+	var outcomes []string
+	var decisions []load.Decision
+	deadline := time.Now().Add(20 * time.Second)
+	for _, n := range nodes {
+		for {
+			res, err := cluster.Result(n.ControlAddr(), tag)
+			if err != nil {
+				t.Fatalf("result %s on %s: %v", tag, n.ControlAddr(), err)
+			}
+			if res.Done {
+				for _, o := range res.Outcomes {
+					outcomes = append(outcomes, o)
+				}
+				decisions = append(decisions, res.Decisions...)
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("instance %s never finished on %s", tag, n.ControlAddr())
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	return load.MergeOutcomes(outcomes...), decisions
+}
+
+// TestClusterThreeNodes boots a three-node cluster in-process, runs every
+// workload kind as one logical action spanning all nodes, kills a node
+// (liveness marks it down and its threads turn unreachable), restarts it
+// as a fresh incarnation on new ports, and runs the full mix again.
+func TestClusterThreeNodes(t *testing.T) {
+	const roles = 3
+	placement := testPlacement(roles)
+
+	n1 := startNode(t, "n1", nil, placement)
+	defer func() { _ = n1.Stop() }()
+	n2 := startNode(t, "n2", []string{n1.ControlAddr()}, placement)
+	defer func() { _ = n2.Stop() }()
+	n3 := startNode(t, "n3", []string{n1.ControlAddr()}, placement)
+	defer func() { _ = n3.Stop() }()
+	nodes := []*cluster.Node{n1, n2, n3}
+
+	// Discovery: transitive — n2 and n3 only seed n1, yet everyone must
+	// learn everyone within a few exchange rounds.
+	for _, n := range nodes {
+		waitStatus(t, n.ControlAddr(), "full peer table", func(st cluster.StatusInfo) bool {
+			return len(st.Peers) == 3 && len(st.PeersDown) == 0
+		})
+	}
+
+	// Round 1: every kind, one instance each, spanning all three nodes.
+	for i, kind := range []string{load.KindCommit, load.KindSignal, load.KindAbort, load.KindStorm} {
+		tag := fmt.Sprintf("r1-%d", i)
+		outcome, decisions := runInstance(t, nodes, tag, kind, roles)
+		if outcome != load.Expect(kind) {
+			t.Fatalf("round1 %s outcome = %q, want %q", kind, outcome, load.Expect(kind))
+		}
+		if kind == load.KindStorm {
+			if len(decisions) != roles {
+				t.Fatalf("storm decisions = %d, want %d", len(decisions), roles)
+			}
+			for _, d := range decisions[1:] {
+				if d.Resolved != decisions[0].Resolved {
+					t.Fatalf("storm disagreement across nodes: %v vs %v", d, decisions[0])
+				}
+			}
+		}
+	}
+
+	// Kill n3: after downAfter missed exchanges the survivors mark it
+	// down, and resolving L3 fails as unreachable rather than hanging.
+	if err := n3.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, n1.ControlAddr(), "n3 marked down", func(st cluster.StatusInfo) bool {
+		return len(st.PeersDown) == 1 && st.PeersDown[0] == "n3"
+	})
+
+	// Restart: same name, fresh incarnation, new ephemeral ports, seeded
+	// only with n1. The higher epoch displaces the dead record everywhere.
+	n3b := startNode(t, "n3", []string{n1.ControlAddr()}, placement)
+	defer func() { _ = n3b.Stop() }()
+	for _, n := range []*cluster.Node{n1, n2} {
+		waitStatus(t, n.ControlAddr(), "n3 rediscovered", func(st cluster.StatusInfo) bool {
+			if len(st.PeersDown) != 0 {
+				return false
+			}
+			for _, p := range st.Peers {
+				if p.Name == "n3" && p.Data == n3b.DataAddr() {
+					return true
+				}
+			}
+			return false
+		})
+	}
+
+	// Round 2 over the healed cluster, routing through the new
+	// incarnation's listeners.
+	nodes = []*cluster.Node{n1, n2, n3b}
+	for i, kind := range []string{load.KindCommit, load.KindStorm} {
+		tag := fmt.Sprintf("r2-%d", i)
+		outcome, _ := runInstance(t, nodes, tag, kind, roles)
+		if outcome != load.Expect(kind) {
+			t.Fatalf("round2 %s outcome = %q, want %q", kind, outcome, load.Expect(kind))
+		}
+	}
+
+	// Graceful shutdown path: drain refuses new instances but the control
+	// plane stays up.
+	if err := cluster.DrainNode(n2.ControlAddr(), 5*time.Second); err != nil {
+		t.Fatalf("drain n2: %v", err)
+	}
+	if _, err := cluster.Start(n2.ControlAddr(), cluster.StartRequest{Tag: "late", Kind: load.KindCommit, Roles: roles}); err == nil {
+		t.Fatal("drained node accepted a new instance")
+	}
+	st, err := cluster.Status(n2.ControlAddr())
+	if err != nil || !st.Draining {
+		t.Fatalf("drained node status = %+v, %v", st, err)
+	}
+}

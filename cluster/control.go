@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"caaction/load"
+)
+
+// The control protocol is deliberately primitive: one line-delimited
+// request per connection — `<verb> <json>\n` — answered by exactly one
+// `ok <json>\n` or `err <message>\n` line. Every call dials fresh, so a
+// restarted node needs no connection recovery, and the harness can drive
+// nodes with nothing fancier than a TCP dial and two buffered lines.
+//
+// Verbs: hello (peer exchange), status, start, result, metrics, drain,
+// stop.
+
+// controlTimeout bounds one whole control call: dial, write, reply. Drain
+// calls pass their own, longer budget.
+const controlTimeout = 5 * time.Second
+
+// maxControlLine bounds a control request/response line; a testnet-sized
+// directory or decision dump fits in a fraction of this.
+const maxControlLine = 1 << 20
+
+// StatusInfo is the `status` reply: the node's identity and its current
+// view of the cluster.
+type StatusInfo struct {
+	Name     string       `json:"name"`
+	Epoch    int64        `json:"epoch"`
+	Control  string       `json:"control"`
+	Data     string       `json:"data"`
+	Draining bool         `json:"draining"`
+	Inflight int          `json:"inflight"`
+	Peers    []PeerRecord `json:"peers"`
+	// PeersDown names peers currently considered down (downAfter
+	// consecutive missed exchanges); their threads are unreachable from
+	// this node until a fresh incarnation answers a hello.
+	PeersDown []string `json:"peers_down,omitempty"`
+}
+
+// StartRequest asks a node to start the locally-placed roles of one load
+// workload instance under a cluster-wide tag (see System.StartTagged: the
+// driver assigns the tag so every node's half joins the same instance).
+type StartRequest struct {
+	Tag   string `json:"tag"`
+	Kind  string `json:"kind"`
+	Roles int    `json:"roles"`
+}
+
+// StartReply reports which roles this node started.
+type StartReply struct {
+	Roles []string `json:"roles"`
+}
+
+// ResultInfo is the `result` reply for one tag: whether every local role
+// finished, each role's classified outcome (load.ClassifyRole), and the
+// storm resolution decisions observed locally.
+type ResultInfo struct {
+	Done      bool              `json:"done"`
+	Outcomes  map[string]string `json:"outcomes"`
+	Decisions []load.Decision   `json:"decisions"`
+}
+
+// MetricsInfo is the `metrics` reply: the node's counter snapshot,
+// including the transport's per-kind message counters the §3.3.3 bound
+// checks aggregate across nodes.
+type MetricsInfo struct {
+	Counters map[string]int64 `json:"counters"`
+}
+
+type helloRequest struct {
+	Records []PeerRecord `json:"records"`
+}
+
+type helloReply struct {
+	Records []PeerRecord `json:"records"`
+}
+
+type tagRequest struct {
+	Tag string `json:"tag"`
+}
+
+type emptyBody struct{}
+
+// Call performs one control-protocol request against a node's control
+// address, decoding the ok-reply into resp (which may be nil to discard
+// it). The deadline covers the whole call.
+func Call(addr, verb string, req, resp any, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = controlTimeout
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return fmt.Errorf("cluster: control %s %s: %w", addr, verb, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("cluster: control %s: encoding request: %w", verb, err)
+	}
+	if _, err := fmt.Fprintf(conn, "%s %s\n", verb, body); err != nil {
+		return fmt.Errorf("cluster: control %s %s: %w", addr, verb, err)
+	}
+	r := bufio.NewReaderSize(conn, 64<<10)
+	line, err := readLine(r)
+	if err != nil {
+		return fmt.Errorf("cluster: control %s %s: reading reply: %w", addr, verb, err)
+	}
+	switch {
+	case strings.HasPrefix(line, "ok"):
+		rest := strings.TrimSpace(strings.TrimPrefix(line, "ok"))
+		if resp == nil || rest == "" {
+			return nil
+		}
+		if err := json.Unmarshal([]byte(rest), resp); err != nil {
+			return fmt.Errorf("cluster: control %s: decoding reply: %w", verb, err)
+		}
+		return nil
+	case strings.HasPrefix(line, "err"):
+		return fmt.Errorf("cluster: %s: %s", verb, strings.TrimSpace(strings.TrimPrefix(line, "err")))
+	default:
+		return fmt.Errorf("cluster: control %s: malformed reply %q", verb, line)
+	}
+}
+
+// readLine reads one bounded protocol line without the trailing newline.
+func readLine(r *bufio.Reader) (string, error) {
+	var sb strings.Builder
+	for {
+		chunk, isPrefix, err := r.ReadLine()
+		if err != nil {
+			return "", err
+		}
+		sb.Write(chunk)
+		if sb.Len() > maxControlLine {
+			return "", fmt.Errorf("control line exceeds %d bytes", maxControlLine)
+		}
+		if !isPrefix {
+			return sb.String(), nil
+		}
+	}
+}
+
+// Status fetches a node's status.
+func Status(addr string) (StatusInfo, error) {
+	var st StatusInfo
+	err := Call(addr, "status", emptyBody{}, &st, 0)
+	return st, err
+}
+
+// Start asks a node to start its roles of one tagged workload instance.
+func Start(addr string, req StartRequest) (StartReply, error) {
+	var rep StartReply
+	err := Call(addr, "start", req, &rep, 0)
+	return rep, err
+}
+
+// Result fetches a node's view of one instance's outcomes.
+func Result(addr, tag string) (ResultInfo, error) {
+	var res ResultInfo
+	err := Call(addr, "result", tagRequest{Tag: tag}, &res, 0)
+	return res, err
+}
+
+// MetricsOf fetches a node's counter snapshot.
+func MetricsOf(addr string) (MetricsInfo, error) {
+	var mi MetricsInfo
+	err := Call(addr, "metrics", emptyBody{}, &mi, 0)
+	return mi, err
+}
+
+// DrainNode asks a node to drain, blocking until its in-flight actions
+// finish or budget expires.
+func DrainNode(addr string, budget time.Duration) error {
+	return Call(addr, "drain", emptyBody{}, nil, budget)
+}
+
+// StopNode asks a node to shut down; the reply is sent before teardown
+// begins.
+func StopNode(addr string) error {
+	return Call(addr, "stop", emptyBody{}, nil, 0)
+}
+
+// serveControl handles one control connection: a single request line, a
+// single reply line.
+func (n *Node) serveControl(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(n.cfg.DrainBudget + controlTimeout))
+	r := bufio.NewReaderSize(conn, 64<<10)
+	line, err := readLine(r)
+	if err != nil {
+		return
+	}
+	verb, rest, _ := strings.Cut(line, " ")
+	reply, err := n.handle(verb, []byte(strings.TrimSpace(rest)))
+	if err != nil {
+		fmt.Fprintf(conn, "err %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
+		return
+	}
+	body, err := json.Marshal(reply)
+	if err != nil {
+		fmt.Fprintf(conn, "err encoding reply: %s\n", err)
+		return
+	}
+	fmt.Fprintf(conn, "ok %s\n", body)
+}

@@ -1,0 +1,214 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// PeerRecord is one node's entry in the cluster directory: where to reach
+// it (control and data listeners) and the epoch of its current
+// incarnation. Records travel in hello exchanges; for one name the record
+// with the larger Epoch wins, so a node that restarts — on new ports —
+// displaces its own stale entry everywhere within a few exchange rounds.
+type PeerRecord struct {
+	// Name is the node's cluster-unique logical name ("n1", "n2", ...).
+	Name string `json:"name"`
+	// Control is the host:port of the node's line-delimited control
+	// listener (status/drain/stop and hello exchanges).
+	Control string `json:"control"`
+	// Data is the host:port of the node's shared data listener
+	// (System.ClusterAddr) — where protocol frames for its threads go.
+	Data string `json:"data"`
+	// Epoch identifies the incarnation (the node's start time in
+	// nanoseconds); larger epochs displace smaller ones.
+	Epoch int64 `json:"epoch"`
+}
+
+// downAfter is the number of consecutive failed hello exchanges after
+// which a peer is considered down: its threads become unreachable (typed
+// refusal at the transport) instead of hanging senders on a dead TCP
+// address. Three misses tolerate one dropped exchange and one in-progress
+// restart without flapping.
+const downAfter = 3
+
+type peerState struct {
+	rec   PeerRecord
+	fails int
+	down  bool
+}
+
+// directory is a node's view of the cluster: the static thread placement
+// plus the live peer table fed by hello exchanges. It implements both
+// callbacks of caaction.ClusterConfig (isLocal, resolveThread) and the
+// liveness bookkeeping of the exchange loop.
+type directory struct {
+	self      string
+	placement map[string]string // thread address → node name
+
+	mu    sync.RWMutex
+	peers map[string]*peerState // node name → newest known record
+}
+
+func newDirectory(self string, placement map[string]string) *directory {
+	p := make(map[string]string, len(placement))
+	for th, node := range placement {
+		p[th] = node
+	}
+	return &directory{
+		self:      self,
+		placement: p,
+		peers:     make(map[string]*peerState),
+	}
+}
+
+// isLocal reports whether the placement pins a thread to this node.
+func (d *directory) isLocal(thread string) bool {
+	return d.placement[thread] == d.self
+}
+
+// resolveThread maps a thread address to the data host:port of the live
+// node hosting it; ok=false when the placement does not know the thread or
+// its node is down or not yet discovered.
+func (d *directory) resolveThread(thread string) (string, bool) {
+	node, ok := d.placement[thread]
+	if !ok {
+		return "", false
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	ps := d.peers[node]
+	if ps == nil || ps.down || ps.rec.Data == "" {
+		return "", false
+	}
+	return ps.rec.Data, true
+}
+
+// merge folds peer records into the table, newest epoch winning. A record
+// with a fresh epoch also clears the peer's failure tally: a restarted
+// node announcing itself is alive by definition. The node's own record is
+// ignored (the local one is authoritative).
+func (d *directory) merge(recs []PeerRecord) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, rec := range recs {
+		if rec.Name == "" || rec.Name == d.self {
+			continue
+		}
+		ps := d.peers[rec.Name]
+		if ps == nil {
+			d.peers[rec.Name] = &peerState{rec: rec}
+			continue
+		}
+		if rec.Epoch > ps.rec.Epoch {
+			ps.rec = rec
+			ps.fails = 0
+			ps.down = false
+		}
+	}
+}
+
+// setSelf records (or refreshes) this node's own entry so records() always
+// carries it into exchanges.
+func (d *directory) setSelf(rec PeerRecord) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.peers[rec.Name] = &peerState{rec: rec}
+}
+
+// records snapshots every known record (self included), sorted by name for
+// deterministic wire payloads.
+func (d *directory) records() []PeerRecord {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]PeerRecord, 0, len(d.peers))
+	for _, ps := range d.peers {
+		out = append(out, ps.rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// exchangeTargets lists the control addresses the exchange loop should
+// hello: every known peer but self, including ones currently marked down
+// (a down peer that answers is how restarts are discovered).
+func (d *directory) exchangeTargets() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.peers))
+	for name, ps := range d.peers {
+		if name != d.self && ps.rec.Control != "" {
+			out = append(out, ps.rec.Control)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// exchangeOK/exchangeFailed maintain the per-peer liveness tally keyed by
+// the control address the exchange dialled.
+func (d *directory) exchangeOK(control string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if ps := d.byControl(control); ps != nil {
+		ps.fails = 0
+		ps.down = false
+	}
+}
+
+func (d *directory) exchangeFailed(control string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if ps := d.byControl(control); ps != nil {
+		ps.fails++
+		if ps.fails >= downAfter {
+			ps.down = true
+		}
+	}
+}
+
+// byControl finds the peer owning a control address; callers hold d.mu.
+func (d *directory) byControl(control string) *peerState {
+	for name, ps := range d.peers {
+		if name != d.self && ps.rec.Control == control {
+			return ps
+		}
+	}
+	return nil
+}
+
+// peerDown reports whether a named peer is currently considered down.
+func (d *directory) peerDown(name string) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	ps := d.peers[name]
+	return ps == nil || ps.down
+}
+
+// downPeers names every peer currently marked down, sorted.
+func (d *directory) downPeers() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var out []string
+	for name, ps := range d.peers {
+		if name != d.self && ps.down {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// validatePlacement checks every thread maps to a non-empty node name and
+// that this node appears at least somewhere it can matter.
+func validatePlacement(self string, placement map[string]string) error {
+	if len(placement) == 0 {
+		return fmt.Errorf("cluster: empty thread placement")
+	}
+	for th, node := range placement {
+		if th == "" || node == "" {
+			return fmt.Errorf("cluster: placement entry %q→%q is malformed", th, node)
+		}
+	}
+	return nil
+}

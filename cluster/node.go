@@ -1,0 +1,419 @@
+// Package cluster is the multi-process deployment runtime for CA-action
+// systems: it hosts a System's thread roles across real OS processes
+// ("nodes"), discovers peers from a static seed list with gossip-free
+// periodic hello exchanges, tracks liveness so sends to dead nodes fail
+// with a typed unreachable error instead of hanging, and exposes a
+// line-delimited control protocol (status, start, result, metrics, drain,
+// stop) that the cmd/canode daemon and the cluster/testnet harness drive.
+//
+// The address model is two-level. The static placement map pins every
+// logical thread address to a node name; the peer directory maps node
+// names to the data listener of that node's current incarnation. A send
+// to a thread therefore resolves thread → node → host:port per message,
+// so a node that restarts on new ports heals cluster-wide as soon as one
+// hello exchange reaches each peer — senders never cache a dead route.
+// Action instances span nodes by sharing a driver-assigned instance tag
+// (System.StartTagged): each node starts only its locally-placed roles,
+// and the entry barrier, exception resolution and exit protocol run over
+// node-qualified TCP frames exactly as they would in one process.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"caaction"
+	"caaction/load"
+)
+
+// Config parameterises one cluster node.
+type Config struct {
+	// Name is the node's cluster-unique logical name.
+	Name string
+	// DataAddr is the host:port for the shared data listener; empty means
+	// loopback with an ephemeral port.
+	DataAddr string
+	// ControlAddr is the host:port for the control listener; empty means
+	// loopback with an ephemeral port.
+	ControlAddr string
+	// Seeds are control addresses of already-running peers; the node
+	// introduces itself to them on its first exchange rounds. Empty for
+	// the first node of a cluster.
+	Seeds []string
+	// Placement pins every logical thread address to a node name. All
+	// nodes of a cluster must agree on it.
+	Placement map[string]string
+	// Resolver names the resolution protocol ("coordinated", "cr86",
+	// "r96"); empty means coordinated. Nodes of one cluster may mix
+	// resolvers only when no action spans differently-configured nodes;
+	// the testnet runs one resolver per instance by partitioning tags.
+	Resolver string
+	// SignalTimeout bounds each action's wait for peers' exit votes, the
+	// §3.4 lost-message extension — essential across processes, where a
+	// killed peer otherwise stalls the exit barrier forever. Zero means
+	// 5s.
+	SignalTimeout time.Duration
+	// ActionTimeout bounds one instance end to end; a killed peer then
+	// unwinds the survivors' roles through cancellation instead of
+	// wedging them. Zero means 30s.
+	ActionTimeout time.Duration
+	// ExchangeEvery is the hello-exchange period. Zero means 250ms.
+	ExchangeEvery time.Duration
+	// DrainBudget bounds the control protocol's drain verb. Zero means
+	// 10s.
+	DrainBudget time.Duration
+	// Logf, when non-nil, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.DataAddr == "" {
+		c.DataAddr = "127.0.0.1:0"
+	}
+	if c.ControlAddr == "" {
+		c.ControlAddr = "127.0.0.1:0"
+	}
+	if c.Resolver == "" {
+		c.Resolver = "coordinated"
+	}
+	if c.SignalTimeout <= 0 {
+		c.SignalTimeout = 5 * time.Second
+	}
+	if c.ActionTimeout <= 0 {
+		c.ActionTimeout = 30 * time.Second
+	}
+	if c.ExchangeEvery <= 0 {
+		c.ExchangeEvery = 250 * time.Millisecond
+	}
+	if c.DrainBudget <= 0 {
+		c.DrainBudget = 10 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// instance tracks one tagged workload this node participates in.
+type instance struct {
+	kind   string
+	h      *caaction.ActionHandle
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	decisions []load.Decision
+}
+
+// Node is one cluster member: a System in cluster mode plus the control
+// listener and the peer-exchange loop. Construct with New, run with
+// Serve, shut down with Drain then Stop (or Stop alone for a hard exit).
+type Node struct {
+	cfg   Config
+	epoch int64
+	dir   *directory
+	sys   *caaction.System
+	ctl   net.Listener
+
+	mu        sync.Mutex
+	instances map[string]*instance
+
+	done chan struct{}
+	stop sync.Once
+	wg   sync.WaitGroup
+}
+
+// New builds a node: both listeners bind (so ControlAddr/DataAddr are
+// final), the System comes up in cluster mode, and the node's own record
+// enters its directory. Nothing is served until Serve runs.
+func New(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("cluster: node needs a name")
+	}
+	if err := validatePlacement(cfg.Name, cfg.Placement); err != nil {
+		return nil, err
+	}
+	dir := newDirectory(cfg.Name, cfg.Placement)
+	sys, err := caaction.New(
+		caaction.WithCluster(caaction.ClusterConfig{
+			ListenAddr: cfg.DataAddr,
+			Local:      dir.isLocal,
+			Resolve:    dir.resolveThread,
+		}),
+		caaction.WithResolver(cfg.Resolver),
+		caaction.WithSignalTimeout(cfg.SignalTimeout),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: node %s: %w", cfg.Name, err)
+	}
+	ctl, err := net.Listen("tcp", cfg.ControlAddr)
+	if err != nil {
+		_ = sys.Close()
+		return nil, fmt.Errorf("cluster: node %s: control listener: %w", cfg.Name, err)
+	}
+	n := &Node{
+		cfg:       cfg,
+		epoch:     time.Now().UnixNano(),
+		dir:       dir,
+		sys:       sys,
+		ctl:       ctl,
+		instances: make(map[string]*instance),
+		done:      make(chan struct{}),
+	}
+	dir.setSelf(n.selfRecord())
+	return n, nil
+}
+
+func (n *Node) selfRecord() PeerRecord {
+	return PeerRecord{
+		Name:    n.cfg.Name,
+		Control: n.ctl.Addr().String(),
+		Data:    n.sys.ClusterAddr(),
+		Epoch:   n.epoch,
+	}
+}
+
+// ControlAddr returns the bound control listener address.
+func (n *Node) ControlAddr() string { return n.ctl.Addr().String() }
+
+// DataAddr returns the bound data listener address.
+func (n *Node) DataAddr() string { return n.sys.ClusterAddr() }
+
+// System exposes the node's underlying System, for embedders that start
+// their own tagged actions instead of the load workloads.
+func (n *Node) System() *caaction.System { return n.sys }
+
+// Serve runs the control accept loop and the peer-exchange loop until
+// Stop. It returns nil after a clean Stop.
+func (n *Node) Serve() error {
+	n.cfg.Logf("node %s: serving control=%s data=%s epoch=%d",
+		n.cfg.Name, n.ControlAddr(), n.DataAddr(), n.epoch)
+	n.wg.Add(1)
+	go n.exchangeLoop()
+	for {
+		conn, err := n.ctl.Accept()
+		if err != nil {
+			select {
+			case <-n.done:
+				n.wg.Wait()
+				return nil
+			default:
+				return fmt.Errorf("cluster: node %s: accept: %w", n.cfg.Name, err)
+			}
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.serveControl(conn)
+		}()
+	}
+}
+
+// exchangeLoop periodically hellos every seed and every known peer,
+// merging the records each returns and keeping the liveness tally. A
+// peer that misses downAfter consecutive exchanges is marked down; one
+// successful hello — including a restarted incarnation announcing a new
+// epoch — brings it back.
+func (n *Node) exchangeLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.ExchangeEvery)
+	defer ticker.Stop()
+	for {
+		n.exchangeOnce()
+		select {
+		case <-n.done:
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+func (n *Node) exchangeOnce() {
+	targets := make(map[string]bool)
+	for _, s := range n.cfg.Seeds {
+		targets[s] = true
+	}
+	for _, c := range n.dir.exchangeTargets() {
+		targets[c] = true
+	}
+	self := n.ControlAddr()
+	for addr := range targets {
+		if addr == self {
+			continue
+		}
+		var rep helloReply
+		err := Call(addr, "hello", helloRequest{Records: n.dir.records()}, &rep, n.cfg.ExchangeEvery*2)
+		if err != nil {
+			n.dir.exchangeFailed(addr)
+			continue
+		}
+		n.dir.exchangeOK(addr)
+		n.dir.merge(rep.Records)
+	}
+}
+
+// handle dispatches one control request.
+func (n *Node) handle(verb string, body []byte) (any, error) {
+	switch verb {
+	case "hello":
+		var req helloRequest
+		if err := unmarshalBody(body, &req); err != nil {
+			return nil, err
+		}
+		n.dir.merge(req.Records)
+		return helloReply{Records: n.dir.records()}, nil
+	case "status":
+		return n.status(), nil
+	case "start":
+		var req StartRequest
+		if err := unmarshalBody(body, &req); err != nil {
+			return nil, err
+		}
+		return n.startInstance(req)
+	case "result":
+		var req tagRequest
+		if err := unmarshalBody(body, &req); err != nil {
+			return nil, err
+		}
+		return n.result(req.Tag)
+	case "metrics":
+		return MetricsInfo{Counters: n.sys.Metrics().Snapshot()}, nil
+	case "drain":
+		ctx, cancel := context.WithTimeout(context.Background(), n.cfg.DrainBudget)
+		defer cancel()
+		n.cfg.Logf("node %s: draining", n.cfg.Name)
+		if err := n.sys.Drain(ctx); err != nil {
+			return nil, err
+		}
+		return emptyBody{}, nil
+	case "stop":
+		n.cfg.Logf("node %s: stop requested", n.cfg.Name)
+		// Reply first, then tear down: the caller's ok must beat the
+		// connection reset.
+		go func() {
+			time.Sleep(50 * time.Millisecond)
+			_ = n.Stop()
+		}()
+		return emptyBody{}, nil
+	default:
+		return nil, fmt.Errorf("unknown verb %q", verb)
+	}
+}
+
+func unmarshalBody(body []byte, into any) error {
+	if len(body) == 0 {
+		return nil
+	}
+	return json.Unmarshal(body, into)
+}
+
+func (n *Node) status() StatusInfo {
+	n.mu.Lock()
+	inflight := 0
+	for _, inst := range n.instances {
+		if !inst.h.Done() {
+			inflight++
+		}
+	}
+	n.mu.Unlock()
+	return StatusInfo{
+		Name:      n.cfg.Name,
+		Epoch:     n.epoch,
+		Control:   n.ControlAddr(),
+		Data:      n.DataAddr(),
+		Draining:  n.sys.Draining(),
+		Inflight:  inflight,
+		Peers:     n.dir.records(),
+		PeersDown: n.dir.downPeers(),
+	}
+}
+
+// startInstance starts this node's locally-placed roles of one tagged
+// workload instance. The tag is the cluster-wide instance identity: the
+// driver issues the same tag to every node hosting roles of the action.
+func (n *Node) startInstance(req StartRequest) (StartReply, error) {
+	if req.Tag == "" {
+		return StartReply{}, fmt.Errorf("start: empty tag")
+	}
+	n.mu.Lock()
+	if _, dup := n.instances[req.Tag]; dup {
+		n.mu.Unlock()
+		return StartReply{}, fmt.Errorf("start: duplicate tag %q", req.Tag)
+	}
+	n.mu.Unlock()
+
+	inst := &instance{kind: req.Kind}
+	obs := func(d load.Decision) {
+		inst.mu.Lock()
+		inst.decisions = append(inst.decisions, d)
+		inst.mu.Unlock()
+	}
+	spec, progs, err := load.Workload(req.Kind, req.Roles, obs)
+	if err != nil {
+		return StartReply{}, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ActionTimeout)
+	h, err := n.sys.StartTagged(ctx, req.Tag, spec, progs)
+	if err != nil {
+		cancel()
+		return StartReply{}, err
+	}
+	inst.h = h
+	inst.cancel = cancel
+	n.mu.Lock()
+	n.instances[req.Tag] = inst
+	n.mu.Unlock()
+	// Release the timeout's resources as soon as the instance finishes.
+	go func() {
+		h.WaitDone()
+		cancel()
+	}()
+	n.cfg.Logf("node %s: started %s roles %v tag=%s", n.cfg.Name, req.Kind, h.Roles(), req.Tag)
+	return StartReply{Roles: h.Roles()}, nil
+}
+
+func (n *Node) result(tag string) (ResultInfo, error) {
+	n.mu.Lock()
+	inst := n.instances[tag]
+	n.mu.Unlock()
+	if inst == nil {
+		return ResultInfo{}, fmt.Errorf("result: unknown tag %q", tag)
+	}
+	res := ResultInfo{Done: inst.h.Done(), Outcomes: make(map[string]string)}
+	inst.h.Each(func(role string, err error) {
+		res.Outcomes[role] = load.ClassifyRole(err)
+	})
+	inst.mu.Lock()
+	res.Decisions = append(res.Decisions, inst.decisions...)
+	inst.mu.Unlock()
+	return res, nil
+}
+
+// Drain gracefully quiesces the node's System; see System.Drain.
+func (n *Node) Drain(ctx context.Context) error { return n.sys.Drain(ctx) }
+
+// Stop tears the node down: control listener, in-flight instance
+// cancellation, then the System (closing both the demultiplexer and the
+// data listener). Safe to call more than once; Serve returns nil after
+// the listener closes.
+func (n *Node) Stop() error {
+	var err error
+	n.stop.Do(func() {
+		n.cfg.Logf("node %s: stopping", n.cfg.Name)
+		close(n.done)
+		cerr := n.ctl.Close()
+		n.mu.Lock()
+		for _, inst := range n.instances {
+			inst.cancel()
+		}
+		n.mu.Unlock()
+		serr := n.sys.Close()
+		err = errors.Join(cerr, serr)
+	})
+	return err
+}

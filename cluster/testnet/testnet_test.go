@@ -1,0 +1,79 @@
+package testnet_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"caaction/cluster/testnet"
+	"caaction/load"
+)
+
+// buildCanode compiles cmd/canode into a temp dir and returns the binary
+// path. The harness spawns real child processes, so the test exercises the
+// exact multi-process path that `canode -testnet` and CI's testnet-smoke
+// job run.
+func buildCanode(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "canode")
+	out, err := exec.Command("go", "build", "-o", bin, "caaction/cmd/canode").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building canode: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestTestnetKillRestart runs the full scripted scenario — boot, mixed
+// rounds with a SIGKILL+restart mid-round, quiet storm rounds with the
+// §3.3.3 message bounds, graceful drain — against three real canode
+// processes and requires a clean pass.
+func TestTestnetKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes; skipped in -short mode")
+	}
+	bin := buildCanode(t)
+	sum, err := testnet.Run(testnet.Config{
+		Binary:      bin,
+		Nodes:       3,
+		MixedRounds: 2,
+		StormRounds: 2,
+		KillRestart: true,
+		LogDir:      t.TempDir(),
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("testnet: %v (summary %+v)", err, sum)
+	}
+	if len(sum.Violations) != 0 {
+		t.Fatalf("testnet violations: %v", sum.Violations)
+	}
+	if sum.KilledNode == "" {
+		t.Fatal("kill/restart scenario reported no killed node")
+	}
+	// The unwounded rounds must have real outcomes; the wounded one only
+	// has to have terminated (it carries the " (wounded)" marker).
+	if got := sum.Outcomes["mix-0"]; got != load.Expect(load.KindCommit) {
+		t.Fatalf("mix-0 outcome %q, want %q", got, load.Expect(load.KindCommit))
+	}
+	for r := 0; r < 2; r++ {
+		tag := "storm-" + string(rune('0'+r))
+		if got := sum.Outcomes[tag]; got != "ok" {
+			t.Fatalf("%s outcome %q, want ok", tag, got)
+		}
+	}
+}
+
+// TestTestnetConfigValidation covers the harness's own parameter checks.
+func TestTestnetConfigValidation(t *testing.T) {
+	cases := []testnet.Config{
+		{},                                // missing binary
+		{Binary: "x", Nodes: 1},           // too few nodes
+		{Binary: "x", Nodes: 3, Roles: 5}, // roles > nodes
+		{Binary: "x", Nodes: 3, Roles: 1}, // roles < 2
+	}
+	for i, cfg := range cases {
+		if _, err := testnet.Run(cfg); err == nil {
+			t.Fatalf("case %d: config %+v accepted, want error", i, cfg)
+		}
+	}
+}

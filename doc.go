@@ -64,6 +64,23 @@
 // (-sweep 64,256,1024); cmd/caload records the numbers as BENCH_load.json,
 // which cmd/perfgate holds future changes to.
 //
+// A System can also span OS processes. WithCluster puts the TCP transport
+// in node mode: one shared data listener per process, a placement callback
+// deciding which thread addresses are local, and a resolver callback
+// mapping every remote thread to the host:port of the node currently
+// hosting it — consulted per send, so restarted peers heal without
+// connection bookkeeping. Action instances span nodes by sharing a
+// driver-assigned tag (System.StartTagged); each node starts only its
+// locally-placed roles and the entry barrier, resolution and exit protocol
+// run over node-qualified frames exactly as in one process. Sends to
+// threads whose node is unknown or down fail with ErrUnreachable, and
+// graceful shutdown is Drain (refuse new instances with ErrDraining, wait
+// for in-flight ones) then Close. The caaction/cluster subpackage builds
+// full nodes on this — peer discovery from seeds, liveness, a
+// line-delimited control protocol — cmd/canode is the daemon, and
+// caaction/cluster/testnet scripts a multi-process local cluster with a
+// kill+restart chaos scenario (canode -testnet).
+//
 // The implementation lives under internal/ (see DESIGN.md for the map);
 // the production-cell case study is re-exported as caaction/prodcell, the
 // paper's evaluation harness as caaction/experiments, and the deterministic
@@ -71,5 +88,6 @@
 // paper's invariants, with a same-seed ⇒ identical-trace replay contract —
 // as caaction/chaos. Runnable entry points are in cmd/ and examples/: the
 // paper's entire evaluation is regenerated by cmd/caexperiments and the
-// benchmarks in bench_test.go, and cmd/cachaos drives long chaos sweeps.
+// benchmarks in bench_test.go, cmd/cachaos drives long chaos sweeps, and
+// cmd/canode deploys a multi-process cluster.
 package caaction

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"caaction/internal/core"
+	"caaction/internal/transport"
 )
 
 // SignalledError is the per-thread outcome of an action that terminated
@@ -33,6 +34,12 @@ var (
 	// ErrRecvTimeout is returned by Context.RecvTimeout when no matching
 	// cooperation message arrives in time.
 	ErrRecvTimeout = core.ErrTimeout
+	// ErrUnreachable matches a send to a thread address the transport
+	// cannot route — on a cluster node (WithCluster), a thread no live
+	// node currently hosts. Role bodies observe it from Context.Send when
+	// the hosting node is down; it clears once the peer directory learns a
+	// live address again.
+	ErrUnreachable = transport.ErrUnknownAddr
 )
 
 // AsSignalled extracts the SignalledError from err, if any.

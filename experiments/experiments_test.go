@@ -1,0 +1,60 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"caaction/experiments"
+)
+
+// TestFig9PointSmoke runs a shortened §5.2 sensitivity point through the
+// public re-exports. Virtual time makes the result deterministic, so two
+// runs must agree exactly.
+func TestFig9PointSmoke(t *testing.T) {
+	cfg := experiments.DefaultFig9()
+	cfg.Loops = 2
+	d1, err := experiments.RunFig9Point(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 <= 0 {
+		t.Fatalf("completion time %v, want > 0", d1)
+	}
+	d2, err := experiments.RunFig9Point(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("virtual-time run not reproducible: %v vs %v", d1, d2)
+	}
+}
+
+// TestMessageComplexitySmoke measures one thread count against the §3.3.3
+// closed forms and renders the table.
+func TestMessageComplexitySmoke(t *testing.T) {
+	rows, err := experiments.RunMessageComplexity([]int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no message-complexity rows")
+	}
+	if out := experiments.RenderMsgs(rows); !strings.Contains(out, "|") {
+		t.Fatalf("RenderMsgs produced no table:\n%s", out)
+	}
+}
+
+// TestSignallingSmoke measures the §3.4 signalling exchange for one thread
+// count.
+func TestSignallingSmoke(t *testing.T) {
+	rows, err := experiments.RunSignalling([]int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no signalling rows")
+	}
+	if out := experiments.RenderSignalling(rows); !strings.Contains(out, "|") {
+		t.Fatalf("RenderSignalling produced no table:\n%s", out)
+	}
+}

@@ -115,6 +115,35 @@ func AppendFrame(buf []byte, from string, msg Message) ([]byte, error) {
 	return buf, nil
 }
 
+// AppendNodeFrame appends the node-qualified binary encoding of one message:
+// the destination thread address followed by the plain frame. Cluster
+// deployments multiplex every thread address a node hosts over one shared
+// listener, so — unlike the per-endpoint listeners of the plain TCP wire,
+// where the destination is implied by the socket — the destination must
+// travel on the wire for the receiving node to route the message to the
+// right thread endpoint.
+//
+//	nodeFrame := to(string) frame
+func AppendNodeFrame(buf []byte, to, from string, msg Message) ([]byte, error) {
+	buf = appendString(buf, to)
+	return AppendFrame(buf, from, msg)
+}
+
+// DecodeNodeFrame decodes one node-qualified frame produced by
+// AppendNodeFrame.
+func DecodeNodeFrame(data []byte) (to, from string, msg Message, err error) {
+	d := decoder{data: data}
+	to = d.string()
+	if d.err != nil {
+		return "", "", nil, d.err
+	}
+	from, msg, err = DecodeFrame(d.data)
+	if err != nil {
+		return "", "", nil, err
+	}
+	return to, from, msg, nil
+}
+
 // DecodeFrame decodes one binary frame produced by AppendFrame.
 func DecodeFrame(data []byte) (from string, msg Message, err error) {
 	d := decoder{data: data}

@@ -8,9 +8,11 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"caaction/internal/protocol"
+	"caaction/internal/trace"
 	"caaction/internal/vclock"
 )
 
@@ -40,6 +42,22 @@ import (
 //
 // Endpoints created in this process listen on loopback by default; peers in
 // other processes are introduced with SetPeer. Construct with NewTCP.
+//
+// # Node mode
+//
+// ConfigureNode switches the network into cluster node mode: instead of one
+// listener per logical endpoint, the whole process listens once and every
+// frame carries its destination thread address on the wire (the protocol
+// package's node-qualified frames). A thread address then resolves
+// node-first: outbound sends ask the configured resolver which node
+// (host:port) currently hosts the destination thread and share one
+// connection per destination node across all local endpoints, and the
+// node listener routes inbound frames to the local endpoint bound to the
+// frame's destination address. Frames for locally-placed threads whose
+// endpoint has not bound yet (a fast peer racing the local action start)
+// are retained — bounded — and flushed when the endpoint binds; frames for
+// unknown addresses are dropped. Sends between two locally-hosted threads
+// bypass the wire and go straight to the destination receive queue.
 type TCP struct {
 	clock vclock.Clock
 
@@ -50,6 +68,13 @@ type TCP struct {
 	// wall-clock-backed (vclock.Real's RealTime marker).
 	coalesce bool
 
+	// metrics, when non-nil, counts sends as "msg.<Kind>" plus "msg.total"
+	// through interned counters (see SetMetrics); counters are resolved
+	// lazily so a steady-state send costs two atomic adds.
+	metrics  *trace.Metrics
+	counters [protocol.NumKinds]atomic.Pointer[trace.Counter]
+	total    atomic.Pointer[trace.Counter]
+
 	// mu is read-mostly on the send hot path (every dial consults the book
 	// to detect address re-binds), so readers take the shared lock.
 	mu     sync.RWMutex
@@ -57,6 +82,15 @@ type TCP struct {
 	book   map[string]string // logical address -> host:port
 	eps    map[string]*tcpEndpoint
 	closed bool
+
+	// Node-mode state (ConfigureNode).
+	node        bool
+	nodeLn      net.Listener
+	local       func(addr string) bool           // thread placed on this node?
+	resolver    func(addr string) (string, bool) // thread -> hosting node's host:port
+	nodeConns   map[string]*tcpConn              // outbound, keyed by node host:port
+	retained    map[string][]Delivery            // local threads not yet bound
+	retainedLen int
 }
 
 var _ Network = (*TCP)(nil)
@@ -103,10 +137,105 @@ func NewTCP(clock vclock.Clock) *TCP {
 // SetGobWire selects the legacy gob wire format instead of the binary
 // codec, for wire compatibility with older peers. It must be called before
 // any Endpoint is created, and every process of a deployment must agree.
+// Incompatible with node mode, whose frames are binary-only.
 func (t *TCP) SetGobWire(on bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.gobWire = on
+}
+
+// SetMetrics attaches a counter set recording per-kind send counts
+// ("msg.<Kind>" and "msg.total"), matching the sim transport's counters so
+// cluster deployments can check the paper's §3.3.3 message bounds across
+// real processes. Call before traffic flows.
+func (t *TCP) SetMetrics(m *trace.Metrics) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.metrics = m
+}
+
+// count records one sent message of the given dense kind index through the
+// interned counters; a nil metrics set costs one predictable branch.
+func (t *TCP) count(kind int) {
+	m := t.metrics
+	if m == nil {
+		return
+	}
+	if kind >= 0 && kind < protocol.NumKinds {
+		c := t.counters[kind].Load()
+		if c == nil {
+			c = m.Counter(protocol.MetricNames[kind])
+			t.counters[kind].Store(c)
+		}
+		c.Add(1)
+	}
+	tc := t.total.Load()
+	if tc == nil {
+		tc = m.Counter("msg.total")
+		t.total.Store(tc)
+	}
+	tc.Add(1)
+}
+
+// nodeRetainCap bounds the deliveries a node retains for locally-placed
+// threads whose endpoints have not bound yet (a fast peer's frame racing the
+// local action start). Once full, further early frames are dropped — the
+// same bounded-buffer stance as the Mux's retained set.
+const nodeRetainCap = 4096
+
+// ConfigureNode switches the network into cluster node mode (see the type
+// docs): one shared listener for the whole process, node-qualified frames,
+// resolver-based thread→node routing, and bounded retention for early
+// frames to locally-placed threads. local reports whether a thread address
+// is placed on this node; resolve maps a thread address to the host:port of
+// the node currently hosting it (consulted per send, so a peer that
+// restarts on a new port is re-dialled as soon as the resolver learns the
+// new address). Must be called before any Endpoint is created; returns the
+// bound listen address for exchange with peers.
+func (t *TCP) ConfigureNode(listen string, local func(string) bool, resolve func(string) (string, bool)) (string, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return "", ErrClosed
+	}
+	if t.node {
+		return "", fmt.Errorf("transport: node mode already configured")
+	}
+	if t.gobWire {
+		return "", fmt.Errorf("transport: node mode requires the binary wire codec")
+	}
+	if len(t.eps) > 0 {
+		return "", fmt.Errorf("transport: node mode must be configured before endpoints are created")
+	}
+	if local == nil || resolve == nil {
+		return "", fmt.Errorf("transport: node mode requires local and resolve functions")
+	}
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return "", fmt.Errorf("transport: node listen: %w", err)
+	}
+	t.node = true
+	t.nodeLn = ln
+	t.local = local
+	t.resolver = resolve
+	t.nodeConns = make(map[string]*tcpConn)
+	t.retained = make(map[string][]Delivery)
+	go t.nodeAcceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+// NodeAddr reports the node listener's bound host:port ("" outside node
+// mode), for announcement to peers.
+func (t *TCP) NodeAddr() string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.nodeLn == nil {
+		return ""
+	}
+	return t.nodeLn.Addr().String()
 }
 
 // SetListenAddr changes the host:port future endpoints listen on (e.g.
@@ -134,7 +263,9 @@ func (t *TCP) ListenAddr(addr string) (string, bool) {
 	return hp, ok
 }
 
-// Endpoint implements Network.
+// Endpoint implements Network. In node mode the endpoint shares the node
+// listener (no per-endpoint socket) and any frames retained for its address
+// are flushed into its receive queue before the bind is visible.
 func (t *TCP) Endpoint(addr string) (Endpoint, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -143,6 +274,22 @@ func (t *TCP) Endpoint(addr string) (Endpoint, error) {
 	}
 	if _, ok := t.eps[addr]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicateAddr, addr)
+	}
+	if t.node {
+		ep := &tcpEndpoint{
+			net:   t,
+			addr:  addr,
+			queue: t.clock.NewQueue(),
+		}
+		t.eps[addr] = ep
+		if pend := t.retained[addr]; len(pend) > 0 {
+			delete(t.retained, addr)
+			t.retainedLen -= len(pend)
+			for _, d := range pend {
+				ep.queue.Put(borrowDelivery(d.From, d.Msg, d.Corrupt))
+			}
+		}
+		return ep, nil
 	}
 	listen := t.listen
 	if listen == "" {
@@ -172,12 +319,36 @@ func (t *TCP) Close() error {
 	for _, ep := range t.eps {
 		eps = append(eps, ep)
 	}
+	nodeLn := t.nodeLn
+	conns := make([]*tcpConn, 0, len(t.nodeConns))
+	for _, c := range t.nodeConns {
+		conns = append(conns, c)
+	}
+	t.nodeConns = nil
 	t.closed = true
 	t.mu.Unlock()
+	if nodeLn != nil {
+		_ = nodeLn.Close()
+	}
+	for _, c := range conns {
+		closeConn(c)
+	}
 	for _, ep := range eps {
 		_ = ep.Close()
 	}
 	return nil
+}
+
+// closeConn flushes any coalesced tail, stops the flush timer and closes the
+// socket.
+func closeConn(c *tcpConn) {
+	c.mu.Lock()
+	_ = c.flushLocked()
+	if c.timer != nil {
+		c.timer.Stop()
+	}
+	c.mu.Unlock()
+	_ = c.conn.Close()
 }
 
 // wire is the gob wire's on-the-wire frame (legacy format).
@@ -225,10 +396,162 @@ func (c *tcpConn) flushLocked() error {
 	return err
 }
 
+// nodeAcceptLoop accepts peer-node connections on the shared node listener.
+func (t *TCP) nodeAcceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go t.nodeReadLoop(conn)
+	}
+}
+
+// nodeReadLoop decodes node-qualified frames off one inbound connection and
+// routes each to the local endpoint bound to its destination address.
+func (t *TCP) nodeReadLoop(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	br := bufio.NewReader(conn)
+	var hdr [4]byte
+	bp := frameBufPool.Get().(*[]byte)
+	defer frameBufPool.Put(bp)
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n > maxFrame {
+			return // corrupt or hostile stream
+		}
+		if cap(*bp) < int(n) {
+			*bp = make([]byte, 0, n)
+		}
+		buf := (*bp)[:n]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return
+		}
+		to, from, msg, err := protocol.DecodeNodeFrame(buf)
+		if err != nil {
+			return // a framing error poisons the stream; drop the connection
+		}
+		t.deliverNode(to, from, msg)
+	}
+}
+
+// deliverNode hands one frame to the local endpoint bound to the destination
+// address, retaining it (bounded) when the destination is a locally-placed
+// thread that has not bound yet. Frames for addresses this node does not
+// host are dropped — a stale peer routing to the wrong node must not crash
+// the right one. Reports whether the frame was delivered or retained.
+func (t *TCP) deliverNode(to, from string, msg protocol.Message) bool {
+	t.mu.RLock()
+	ep := t.eps[to]
+	t.mu.RUnlock()
+	if ep != nil {
+		ep.queue.Put(borrowDelivery(from, msg, false))
+		return true
+	}
+	t.mu.Lock()
+	if ep = t.eps[to]; ep != nil {
+		// The endpoint bound between the fast-path check and this lock; its
+		// retained frames (if any) were flushed under the same lock, so
+		// delivering now preserves arrival order.
+		t.mu.Unlock()
+		ep.queue.Put(borrowDelivery(from, msg, false))
+		return true
+	}
+	defer t.mu.Unlock()
+	if t.closed || t.local == nil || !t.local(to) || t.retainedLen >= nodeRetainCap {
+		return false
+	}
+	t.retained[to] = append(t.retained[to], Delivery{From: from, Msg: msg})
+	t.retainedLen++
+	return true
+}
+
+// nodeSend routes one outbound message in node mode: straight into the
+// destination queue for locally-hosted threads, otherwise over the shared
+// per-node connection of whichever node the resolver says currently hosts
+// the destination thread.
+func (t *TCP) nodeSend(from, to string, msg protocol.Message) error {
+	t.mu.RLock()
+	closed := t.closed
+	local := t.local(to)
+	t.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	kind := protocol.KindIndexOf(msg)
+	if local {
+		if !t.deliverNode(to, from, msg) {
+			return fmt.Errorf("transport: send to %q: local retention full", to)
+		}
+		t.count(kind)
+		return nil
+	}
+	hostport, ok := t.resolver(to)
+	if !ok {
+		return fmt.Errorf("%w: %q (no live node hosts it)", ErrUnknownAddr, to)
+	}
+	c, err := t.dialNode(hostport)
+	if err != nil {
+		return fmt.Errorf("transport: send to %q: %w", to, err)
+	}
+	err, broken := t.write(c, to, from, msg)
+	if err != nil {
+		if broken {
+			t.mu.Lock()
+			if t.nodeConns[hostport] == c {
+				delete(t.nodeConns, hostport)
+			}
+			t.mu.Unlock()
+			_ = c.conn.Close()
+		}
+		return fmt.Errorf("transport: send to %q via %s: %w", to, hostport, err)
+	}
+	t.count(kind)
+	return nil
+}
+
+// dialNode returns the shared connection to a peer node, dialling on first
+// use. Connections are keyed by the node's host:port, so a peer that
+// restarts on a new port naturally gets a fresh connection as soon as the
+// resolver reports the new address (the stale one is dropped by the next
+// failed write).
+func (t *TCP) dialNode(hostport string) (*tcpConn, error) {
+	t.mu.RLock()
+	if t.closed {
+		t.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	c := t.nodeConns[hostport]
+	t.mu.RUnlock()
+	if c != nil {
+		return c, nil
+	}
+	conn, err := net.DialTimeout("tcp", hostport, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial node %s: %w", hostport, err)
+	}
+	c = &tcpConn{conn: conn, hostport: hostport}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		_ = conn.Close()
+		return nil, ErrClosed
+	}
+	if prev, ok := t.nodeConns[hostport]; ok {
+		_ = conn.Close() // lost the race; reuse the established one
+		return prev, nil
+	}
+	t.nodeConns[hostport] = c
+	return c, nil
+}
+
 type tcpEndpoint struct {
 	net   *TCP
 	addr  string
-	ln    net.Listener
+	ln    net.Listener // nil in node mode (the node listener is shared)
 	queue *vclock.Queue
 
 	mu     sync.Mutex
@@ -297,11 +620,14 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 }
 
 func (e *tcpEndpoint) Send(to string, msg protocol.Message) error {
+	if e.net.node {
+		return e.net.nodeSend(e.addr, to, msg)
+	}
 	c, err := e.dial(to)
 	if err != nil {
 		return err
 	}
-	err, broken := e.write(c, msg)
+	err, broken := e.net.write(c, "", e.addr, msg)
 	if err != nil {
 		if broken {
 			// Connection broke mid-stream: forget it so a later send
@@ -317,7 +643,18 @@ func (e *tcpEndpoint) Send(to string, msg protocol.Message) error {
 		}
 		return fmt.Errorf("transport: send to %q: %w", to, err)
 	}
+	e.net.count(protocol.KindIndexOf(msg))
 	return nil
+}
+
+// appendWireFrame encodes one frame: plain when nodeTo is empty (the
+// destination is implied by the per-endpoint socket), node-qualified
+// otherwise.
+func appendWireFrame(buf []byte, nodeTo, from string, msg protocol.Message) ([]byte, error) {
+	if nodeTo == "" {
+		return protocol.AppendFrame(buf, from, msg)
+	}
+	return protocol.AppendNodeFrame(buf, nodeTo, from, msg)
 }
 
 // write encodes and transmits one message on an established connection.
@@ -326,20 +663,20 @@ func (e *tcpEndpoint) Send(to string, msg protocol.Message) error {
 // the frame was accepted into the batch; a transmission failure (including
 // one from a deadline-driven flush) surfaces as the sticky connection error
 // on a later write.
-func (e *tcpEndpoint) write(c *tcpConn, msg protocol.Message) (err error, broken bool) {
+func (t *TCP) write(c *tcpConn, nodeTo, from string, msg protocol.Message) (err error, broken bool) {
 	if c.enc != nil { // gob wire: the encoder writes directly to the stream
 		c.mu.Lock()
 		defer c.mu.Unlock()
-		err := c.enc.Encode(wire{From: e.addr, Msg: msg})
+		err := c.enc.Encode(wire{From: from, Msg: msg})
 		return err, err != nil
 	}
-	if e.net.coalesce {
-		return e.writeCoalesced(c, msg)
+	if t.coalesce {
+		return t.writeCoalesced(c, nodeTo, from, msg)
 	}
 	bp := frameBufPool.Get().(*[]byte)
 	defer frameBufPool.Put(bp)
 	buf := append((*bp)[:0], 0, 0, 0, 0) // length prefix placeholder
-	buf, err = protocol.AppendFrame(buf, e.addr, msg)
+	buf, err = appendWireFrame(buf, nodeTo, from, msg)
 	if err != nil {
 		return err, false
 	}
@@ -358,7 +695,7 @@ func (e *tcpEndpoint) write(c *tcpConn, msg protocol.Message) (err error, broken
 // flushing on the byte bound and otherwise arming the flush-deadline timer
 // when the batch opens. Codec errors leave the batch (and the stream)
 // intact: nothing of the failed frame remains buffered.
-func (e *tcpEndpoint) writeCoalesced(c *tcpConn, msg protocol.Message) (err error, broken bool) {
+func (t *TCP) writeCoalesced(c *tcpConn, nodeTo, from string, msg protocol.Message) (err error, broken bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.werr != nil {
@@ -366,7 +703,7 @@ func (e *tcpEndpoint) writeCoalesced(c *tcpConn, msg protocol.Message) (err erro
 	}
 	n0 := len(c.wbuf)
 	buf := append(c.wbuf, 0, 0, 0, 0) // length prefix placeholder
-	buf, err = protocol.AppendFrame(buf, e.addr, msg)
+	buf, err = appendWireFrame(buf, nodeTo, from, msg)
 	if err != nil {
 		c.wbuf = buf[:n0] // keep any growth; drop the partial frame
 		return err, false
@@ -469,17 +806,14 @@ func (e *tcpEndpoint) Close() error {
 	}
 	e.mu.Unlock()
 
-	err := e.ln.Close()
+	var err error
+	if e.ln != nil { // node-mode endpoints share the node listener
+		err = e.ln.Close()
+	}
 	for _, c := range conns {
 		// Flush any coalesced tail so frames sent just before Close still
 		// reach the peer, then stop the flush timer and the connection.
-		c.mu.Lock()
-		_ = c.flushLocked()
-		if c.timer != nil {
-			c.timer.Stop()
-		}
-		c.mu.Unlock()
-		_ = c.conn.Close()
+		closeConn(c)
 	}
 	e.queue.Close()
 

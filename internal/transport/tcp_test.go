@@ -1,11 +1,14 @@
 package transport
 
 import (
+	"errors"
+	"sync"
 	"testing"
 	"time"
 
 	"caaction/internal/except"
 	"caaction/internal/protocol"
+	"caaction/internal/trace"
 	"caaction/internal/vclock"
 )
 
@@ -384,5 +387,198 @@ func TestTCPCloseFlushesCoalescedTail(t *testing.T) {
 		if got := d.Msg.(protocol.Commit).Round; got != i {
 			t.Fatalf("out of order: got round %d at position %d", got, i)
 		}
+	}
+}
+
+// nodeNet builds a node-mode TCP network whose resolver consults a shared
+// mutable routing table (thread address → node host:port), modelling the
+// directory layer a cluster node wires in.
+func nodeNet(t *testing.T, hosted map[string]bool, table *sync.Map) *TCP {
+	t.Helper()
+	clk := vclock.NewReal()
+	n := NewTCP(clk)
+	local := func(addr string) bool { return hosted[addr] }
+	resolve := func(addr string) (string, bool) {
+		v, ok := table.Load(addr)
+		if !ok {
+			return "", false
+		}
+		return v.(string), true
+	}
+	if _, err := n.ConfigureNode("127.0.0.1:0", local, resolve); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestTCPNodeModeRoundTrip models two OS processes in node mode: each hosts
+// one thread behind a single shared listener, and cross-node sends route via
+// the resolver while same-node sends bypass the wire entirely.
+func TestTCPNodeModeRoundTrip(t *testing.T) {
+	var table sync.Map
+	n1 := nodeNet(t, map[string]bool{"A": true, "A2": true}, &table)
+	n2 := nodeNet(t, map[string]bool{"B": true}, &table)
+	defer func() { _ = n1.Close() }()
+	defer func() { _ = n2.Close() }()
+	table.Store("A", n1.NodeAddr())
+	table.Store("A2", n1.NodeAddr())
+	table.Store("B", n2.NodeAddr())
+
+	a, _ := n1.Endpoint("A")
+	a2, _ := n1.Endpoint("A2")
+	b, _ := n2.Endpoint("B")
+
+	// Cross-node: A → B over n2's node listener.
+	if err := a.Send("B", protocol.Ack{Action: "x#1", From: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := b.RecvTimeout(5 * time.Second); !ok || d.From != "A" || d.Msg.(protocol.Ack).Action != "x#1" {
+		t.Fatalf("cross-node delivery failed: %+v %v", d, ok)
+	}
+	// Reply path B → A reuses the resolver in the other direction.
+	if err := b.Send("A", protocol.Ack{Action: "y#1", From: "B"}); err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := a.RecvTimeout(5 * time.Second); !ok || d.From != "B" {
+		t.Fatalf("reply delivery failed: %+v %v", d, ok)
+	}
+	// Same-node: A → A2 must work without any resolver entry consultation
+	// (local bypass), even if the table lied about A2's placement.
+	if err := a.Send("A2", protocol.Ack{Action: "loc#1", From: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := a2.RecvTimeout(5 * time.Second); !ok || d.Msg.(protocol.Ack).Action != "loc#1" {
+		t.Fatalf("local bypass delivery failed: %+v %v", d, ok)
+	}
+	// Unknown destination: typed error, not a hang.
+	if err := a.Send("nowhere", protocol.Ack{Action: "z#1", From: "A"}); !errors.Is(err, ErrUnknownAddr) {
+		t.Fatalf("send to unhosted thread: err = %v, want ErrUnknownAddr", err)
+	}
+}
+
+// TestTCPNodeRetainsForUnboundLocal pins the entry-barrier race across
+// process boundaries: a frame arriving for a locally-placed thread that has
+// not bound its endpoint yet is retained and flushed, in order, when the
+// endpoint appears.
+func TestTCPNodeRetainsForUnboundLocal(t *testing.T) {
+	var table sync.Map
+	n1 := nodeNet(t, map[string]bool{"A": true}, &table)
+	n2 := nodeNet(t, map[string]bool{"B": true}, &table)
+	defer func() { _ = n1.Close() }()
+	defer func() { _ = n2.Close() }()
+	table.Store("B", n2.NodeAddr())
+
+	a, _ := n1.Endpoint("A")
+	// B has NOT bound yet. Sends must succeed (the frame crosses the wire
+	// and is retained by n2 on behalf of its locally-placed thread).
+	for i := 0; i < 3; i++ {
+		if err := a.Send("B", protocol.Commit{Action: "early#1", From: "A", Round: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give the frames time to arrive and be retained before binding; the
+	// flush-on-bind path must hand them over regardless.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n2.mu.Lock()
+		retained := len(n2.retained["B"])
+		n2.mu.Unlock()
+		if retained == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("retained %d frames for unbound B, want 3", retained)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b, err := n2.Endpoint("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		d, ok := b.RecvTimeout(5 * time.Second)
+		if !ok {
+			t.Fatalf("retained frame %d lost across bind", i)
+		}
+		if got := d.Msg.(protocol.Commit).Round; got != i {
+			t.Fatalf("retained frames out of order: got round %d at %d", got, i)
+		}
+	}
+}
+
+// TestTCPNodeRedialAfterRestart extends the PR 3 stale-connection fix across
+// a real process kill/restart: node B dies (listener and all conns torn
+// down), comes back as a NEW network on a NEW port, and once the routing
+// table reflects the new address, A's sends flow again over a fresh
+// connection — no reuse of the dead one, no manual invalidation.
+func TestTCPNodeRedialAfterRestart(t *testing.T) {
+	var table sync.Map
+	n1 := nodeNet(t, map[string]bool{"A": true}, &table)
+	defer func() { _ = n1.Close() }()
+	n2 := nodeNet(t, map[string]bool{"B": true}, &table)
+	table.Store("B", n2.NodeAddr())
+	oldAddr := n2.NodeAddr()
+
+	a, _ := n1.Endpoint("A")
+	b1, _ := n2.Endpoint("B")
+	if err := a.Send("B", protocol.Ack{Action: "pre#1", From: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := b1.RecvTimeout(5 * time.Second); !ok || d.Msg.(protocol.Ack).Action != "pre#1" {
+		t.Fatalf("pre-restart delivery failed: %+v %v", d, ok)
+	}
+
+	// Kill the B process: its listener closes and every established conn dies.
+	if err := n2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Restart: a brand-new network (fresh ephemeral port), same logical role.
+	n3 := nodeNet(t, map[string]bool{"B": true}, &table)
+	defer func() { _ = n3.Close() }()
+	if n3.NodeAddr() == oldAddr {
+		t.Skipf("restart reused port %s; cannot exercise new-port re-dial", oldAddr)
+	}
+	table.Store("B", n3.NodeAddr())
+
+	b2, _ := n3.Endpoint("B")
+	// The very next send must reach the new incarnation: the resolver now
+	// reports the new host:port, and connections are keyed by host:port, so
+	// the cached conn to the dead listener is simply not consulted.
+	if err := a.Send("B", protocol.Ack{Action: "post#1", From: "A"}); err != nil {
+		t.Fatalf("send after restart: %v", err)
+	}
+	if d, ok := b2.RecvTimeout(5 * time.Second); !ok || d.Msg.(protocol.Ack).Action != "post#1" {
+		t.Fatalf("post-restart delivery failed: %+v %v", d, ok)
+	}
+}
+
+// TestTCPNodeMetricsCount checks node-mode sends feed the interned per-kind
+// message counters (the §3.3.3 bound checks in the testnet aggregate these
+// across nodes).
+func TestTCPNodeMetricsCount(t *testing.T) {
+	var table sync.Map
+	n1 := nodeNet(t, map[string]bool{"A": true}, &table)
+	n2 := nodeNet(t, map[string]bool{"B": true}, &table)
+	defer func() { _ = n1.Close() }()
+	defer func() { _ = n2.Close() }()
+	table.Store("B", n2.NodeAddr())
+	m := new(trace.Metrics)
+	n1.SetMetrics(m)
+
+	a, _ := n1.Endpoint("A")
+	b, _ := n2.Endpoint("B")
+	for i := 0; i < 4; i++ {
+		if err := a.Send("B", protocol.Ack{Action: "m#1", From: "A"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := b.RecvTimeout(5 * time.Second); !ok {
+			t.Fatal("delivery lost")
+		}
+	}
+	snap := m.Snapshot()
+	if snap["msg.Ack"] != 4 || snap["msg.total"] != 4 {
+		t.Fatalf("metrics = %v, want msg.Ack=4 msg.total=4", snap)
 	}
 }

@@ -453,43 +453,71 @@ func RunSweep(cfg Config, concurrencies []int) ([]SweepPoint, error) {
 	return points, nil
 }
 
-// classify reduces an instance's per-role outcomes to one action outcome
-// with a fixed severity order — failed > undone > error > signalled > ok —
-// and roles visited in spec order (ActionHandle.Each), so identical runs
-// always classify identically, without the per-action map snapshot and
-// sort the old map-based classification paid.
+// ClassifyRole names one role's outcome: "ok", "failed" (ƒ), "undone" (µ),
+// "signalled:<ε>" for an exceptional exit, or "error: <msg>" for anything
+// else. It is the per-role half of the harness's classification, exported
+// so multi-process drivers (the cluster testnet) can classify each node's
+// roles locally and merge with MergeOutcomes.
+func ClassifyRole(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case caaction.IsFailed(err):
+		return "failed"
+	case caaction.IsUndone(err):
+		return "undone"
+	default:
+		if se, ok := caaction.AsSignalled(err); ok {
+			return "signalled:" + string(se.Exc)
+		}
+		return "error: " + err.Error()
+	}
+}
+
+// severity orders classified outcomes: failed > undone > error > signalled
+// > ok. MergeOutcomes keeps the most severe (first wins among equals).
+func severity(outcome string) int {
+	switch {
+	case outcome == "failed":
+		return 4
+	case outcome == "undone":
+		return 3
+	case strings.HasPrefix(outcome, "error"):
+		return 2
+	case strings.HasPrefix(outcome, "signalled:"):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// MergeOutcomes reduces per-role classifications (ClassifyRole) to one
+// action outcome under the harness's fixed severity order — failed >
+// undone > error > signalled > ok — keeping the first seen among equals,
+// so a deterministic role order yields a deterministic action outcome.
+// With no arguments it returns "ok".
+func MergeOutcomes(outcomes ...string) string {
+	merged := "ok"
+	for _, o := range outcomes {
+		if severity(o) > severity(merged) {
+			merged = o
+		}
+	}
+	return merged
+}
+
+// classify reduces an instance's per-role outcomes to one action outcome,
+// roles visited in spec order (ActionHandle.Each), so identical runs always
+// classify identically, without the per-action map snapshot and sort the
+// old map-based classification paid.
 func classify(h *caaction.ActionHandle) string {
-	var failed, undone bool
-	var firstErr, signalled string
+	merged := "ok"
 	h.Each(func(role string, err error) {
-		switch {
-		case err == nil:
-		case caaction.IsFailed(err):
-			failed = true
-		case caaction.IsUndone(err):
-			undone = true
-		default:
-			if se, ok := caaction.AsSignalled(err); ok {
-				if signalled == "" {
-					signalled = "signalled:" + string(se.Exc)
-				}
-			} else if firstErr == "" {
-				firstErr = "error: " + err.Error()
-			}
+		if o := ClassifyRole(err); severity(o) > severity(merged) {
+			merged = o
 		}
 	})
-	switch {
-	case failed:
-		return "failed"
-	case undone:
-		return "undone"
-	case firstErr != "":
-		return firstErr
-	case signalled != "":
-		return signalled
-	default:
-		return "ok"
-	}
+	return merged
 }
 
 // workload owns the per-kind specs and programs, all safe for concurrent
@@ -507,16 +535,85 @@ func roleName(i int) string { return fmt.Sprintf("r%d", i+1) }
 // threadName returns the shared thread addresses every instance muxes over.
 func threadName(i int) string { return fmt.Sprintf("L%d", i+1) }
 
+// RoleName returns the harness's i-th role name ("r1", "r2", ...), and
+// ThreadName the logical thread address that role is bound to ("L1", "L2",
+// ...). Exported so external drivers — the cluster testnet partitioning
+// threads across nodes — agree with the Workload specs on naming.
+func RoleName(i int) string { return roleName(i) }
+
+// ThreadName returns the harness's i-th logical thread address; see
+// RoleName.
+func ThreadName(i int) string { return threadName(i) }
+
+// Decision records one role's view of a storm resolution: the exception
+// the resolver settled on and the concurrently raised set (sorted ids) it
+// covered. The chaos invariants a cluster testnet asserts — per-round
+// agreement and cover-set resolution — are statements over these.
+type Decision struct {
+	Role     string   `json:"role"`
+	Resolved string   `json:"resolved"`
+	Raised   []string `json:"raised"`
+}
+
+// Observer receives one Decision per storm role as its handler runs; it
+// must be safe for concurrent use (roles decide in parallel).
+type Observer func(Decision)
+
+// Workload returns one load-action kind — the same specs and programs Run
+// drives — for external drivers that start the actions through their own
+// Systems (the cluster testnet starting locally-placed roles on each
+// node). roles must be at least 2. For KindStorm a non-nil obs receives
+// every role's resolution Decision; other kinds ignore obs.
+func Workload(kind string, roles int, obs Observer) (*caaction.Spec, map[string]caaction.RoleProgram, error) {
+	if roles < 2 {
+		return nil, nil, fmt.Errorf("load: Workload needs at least 2 roles, got %d", roles)
+	}
+	var (
+		spec  *caaction.Spec
+		progs map[string]caaction.RoleProgram
+		err   error
+	)
+	switch kind {
+	case KindCommit:
+		_, spec, progs, err = buildCommit(roles)
+	case KindSignal:
+		_, spec, progs, err = buildSignal(roles)
+	case KindAbort:
+		_, spec, progs, err = buildAbort(roles)
+	case KindStorm:
+		_, spec, progs, err = buildStorm(roles, obs)
+	default:
+		return nil, nil, fmt.Errorf("load: unknown workload kind %q", kind)
+	}
+	return spec, progs, err
+}
+
+// Expect is each kind's deterministic merged outcome: what classify
+// reports for a fault-free run of the kind's action.
+func Expect(kind string) string {
+	switch kind {
+	case KindSignal:
+		return "signalled:overload"
+	case KindAbort:
+		return "undone"
+	default:
+		return "ok"
+	}
+}
+
 func newWorkload(cfg Config) (*workload, error) {
 	w := &workload{
 		cfg:   cfg,
 		specs: make(map[string]*caaction.Spec),
 		progs: make(map[string]map[string]caaction.RoleProgram),
 	}
-	for _, build := range []func(Config) (string, *caaction.Spec, map[string]caaction.RoleProgram, error){
-		buildCommit, buildSignal, buildAbort, buildStorm,
+	for _, build := range []func(int) (string, *caaction.Spec, map[string]caaction.RoleProgram, error){
+		buildCommit, buildSignal, buildAbort,
+		func(roles int) (string, *caaction.Spec, map[string]caaction.RoleProgram, error) {
+			return buildStorm(roles, nil)
+		},
 	} {
-		kind, spec, progs, err := build(cfg)
+		kind, spec, progs, err := build(cfg.Roles)
 		if err != nil {
 			return nil, fmt.Errorf("load: building %s workload: %w", kind, err)
 		}
@@ -544,16 +641,7 @@ func (w *workload) action(kind string) (*caaction.Spec, map[string]caaction.Role
 }
 
 // expect is each kind's deterministic outcome.
-func (w *workload) expect(kind string) string {
-	switch kind {
-	case KindSignal:
-		return "signalled:overload"
-	case KindAbort:
-		return "undone"
-	default:
-		return "ok"
-	}
-}
+func (w *workload) expect(kind string) string { return Expect(kind) }
 
 func rolesOn(b *caaction.SpecBuilder, n int) *caaction.SpecBuilder {
 	for i := 0; i < n; i++ {
@@ -562,13 +650,13 @@ func rolesOn(b *caaction.SpecBuilder, n int) *caaction.SpecBuilder {
 	return b
 }
 
-func buildCommit(cfg Config) (string, *caaction.Spec, map[string]caaction.RoleProgram, error) {
-	spec, err := rolesOn(caaction.NewSpec("load-commit"), cfg.Roles).Build()
+func buildCommit(roles int) (string, *caaction.Spec, map[string]caaction.RoleProgram, error) {
+	spec, err := rolesOn(caaction.NewSpec("load-commit"), roles).Build()
 	if err != nil {
 		return KindCommit, nil, nil, err
 	}
-	progs := make(map[string]caaction.RoleProgram, cfg.Roles)
-	for i := 0; i < cfg.Roles; i++ {
+	progs := make(map[string]caaction.RoleProgram, roles)
+	for i := 0; i < roles; i++ {
 		progs[roleName(i)] = caaction.RoleProgram{
 			Body: func(ctx *caaction.Context) error { return ctx.Checkpoint() },
 		}
@@ -576,19 +664,19 @@ func buildCommit(cfg Config) (string, *caaction.Spec, map[string]caaction.RolePr
 	return KindCommit, spec, progs, nil
 }
 
-func buildSignal(cfg Config) (string, *caaction.Spec, map[string]caaction.RoleProgram, error) {
-	spec, err := rolesOn(caaction.NewSpec("load-signal"), cfg.Roles).
+func buildSignal(roles int) (string, *caaction.Spec, map[string]caaction.RoleProgram, error) {
+	spec, err := rolesOn(caaction.NewSpec("load-signal"), roles).
 		Exception("overload").
 		Signals("overload").
 		Build()
 	if err != nil {
 		return KindSignal, nil, nil, err
 	}
-	progs := make(map[string]caaction.RoleProgram, cfg.Roles)
+	progs := make(map[string]caaction.RoleProgram, roles)
 	progs[roleName(0)] = caaction.RoleProgram{
 		Body: func(ctx *caaction.Context) error { return ctx.Raise("overload", "load raiser") },
 	}
-	for i := 1; i < cfg.Roles; i++ {
+	for i := 1; i < roles; i++ {
 		progs[roleName(i)] = caaction.RoleProgram{
 			// Wait for the raiser's Exception; the control error unwinds the
 			// body and — with no handler but "overload" declared in Signals —
@@ -599,16 +687,16 @@ func buildSignal(cfg Config) (string, *caaction.Spec, map[string]caaction.RolePr
 	return KindSignal, spec, progs, nil
 }
 
-func buildAbort(cfg Config) (string, *caaction.Spec, map[string]caaction.RoleProgram, error) {
-	raiser := roleName(cfg.Roles - 1)
-	outer, err := rolesOn(caaction.NewSpec("load-abort"), cfg.Roles).
+func buildAbort(roles int) (string, *caaction.Spec, map[string]caaction.RoleProgram, error) {
+	raiser := roleName(roles - 1)
+	outer, err := rolesOn(caaction.NewSpec("load-abort"), roles).
 		Exception("halt").
 		Build()
 	if err != nil {
 		return KindAbort, nil, nil, err
 	}
 	nestedB := caaction.NewSpec("load-abort-nest")
-	for i := 0; i < cfg.Roles-1; i++ {
+	for i := 0; i < roles-1; i++ {
 		nestedB = nestedB.Role(roleName(i), threadName(i))
 	}
 	nested, err := nestedB.Build()
@@ -616,8 +704,8 @@ func buildAbort(cfg Config) (string, *caaction.Spec, map[string]caaction.RolePro
 		return KindAbort, nil, nil, err
 	}
 
-	progs := make(map[string]caaction.RoleProgram, cfg.Roles)
-	for i := 0; i < cfg.Roles-1; i++ {
+	progs := make(map[string]caaction.RoleProgram, roles)
+	for i := 0; i < roles-1; i++ {
 		role := roleName(i)
 		progs[role] = caaction.RoleProgram{
 			Body: func(ctx *caaction.Context) error {
@@ -634,7 +722,7 @@ func buildAbort(cfg Config) (string, *caaction.Spec, map[string]caaction.RolePro
 	}
 	progs[raiser] = caaction.RoleProgram{
 		Body: func(ctx *caaction.Context) error {
-			for i := 0; i < cfg.Roles-1; i++ {
+			for i := 0; i < roles-1; i++ {
 				if _, err := ctx.Recv(roleName(i)); err != nil {
 					return err
 				}
@@ -645,9 +733,9 @@ func buildAbort(cfg Config) (string, *caaction.Spec, map[string]caaction.RolePro
 	return KindAbort, outer, progs, nil
 }
 
-func buildStorm(cfg Config) (string, *caaction.Spec, map[string]caaction.RoleProgram, error) {
-	b := rolesOn(caaction.NewSpec("load-storm"), cfg.Roles)
-	excs := make([]caaction.Exception, cfg.Roles)
+func buildStorm(roles int, obs Observer) (string, *caaction.Spec, map[string]caaction.RoleProgram, error) {
+	b := rolesOn(caaction.NewSpec("load-storm"), roles)
+	excs := make([]caaction.Exception, roles)
 	for i := range excs {
 		excs[i] = caaction.Exception(fmt.Sprintf("e%d", i+1))
 	}
@@ -657,16 +745,25 @@ func buildStorm(cfg Config) (string, *caaction.Spec, map[string]caaction.RolePro
 	}
 	// Whatever subset of the storm lands in round 0 — one raise or all of
 	// them — some cover resolves it; handling every node keeps the outcome
-	// a clean commit.
+	// a clean commit. A non-nil observer sees each role's decision — the
+	// raw material for the agreement and cover-set invariants.
 	handled := func(ctx *caaction.Context, resolved caaction.Exception, raised []caaction.Raised) error {
+		if obs != nil {
+			ids := make([]string, 0, len(raised))
+			for _, r := range raised {
+				ids = append(ids, string(r.ID))
+			}
+			sort.Strings(ids)
+			obs(Decision{Role: ctx.Role(), Resolved: string(resolved), Raised: ids})
+		}
 		return nil
 	}
 	handlers := make(map[caaction.Exception]caaction.Handler)
 	for _, node := range spec.Graph.Nodes() {
 		handlers[node] = handled
 	}
-	progs := make(map[string]caaction.RoleProgram, cfg.Roles)
-	for i := 0; i < cfg.Roles; i++ {
+	progs := make(map[string]caaction.RoleProgram, roles)
+	for i := 0; i < roles; i++ {
 		exc := excs[i]
 		progs[roleName(i)] = caaction.RoleProgram{
 			Body: func(ctx *caaction.Context) error {

@@ -2,6 +2,7 @@ package load_test
 
 import (
 	"context"
+	"sync"
 	"testing"
 	"time"
 
@@ -250,5 +251,71 @@ func TestLoadWorkerPoolDisabled(t *testing.T) {
 	}
 	if rep.Config.Workers != -1 {
 		t.Errorf("config workers = %d, want -1 preserved", rep.Config.Workers)
+	}
+}
+
+// TestWorkloadExports drives the exported per-kind workloads — the surface
+// the cluster testnet starts through its own Systems — and checks each
+// kind's classified outcome matches Expect, with storm decisions streamed
+// to the observer and agreeing on one resolved cover.
+func TestWorkloadExports(t *testing.T) {
+	const roles = 3
+	var (
+		mu        sync.Mutex
+		decisions []load.Decision
+	)
+	obs := func(d load.Decision) {
+		mu.Lock()
+		defer mu.Unlock()
+		decisions = append(decisions, d)
+	}
+	for _, kind := range []string{load.KindCommit, load.KindSignal, load.KindAbort, load.KindStorm} {
+		spec, progs, err := load.Workload(kind, roles, obs)
+		if err != nil {
+			t.Fatalf("Workload(%s): %v", kind, err)
+		}
+		sys, err := caaction.New()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := sys.StartAction(context.Background(), spec, progs)
+		if err != nil {
+			t.Fatalf("start %s: %v", kind, err)
+		}
+		sys.Wait()
+		outcomes := make([]string, 0, roles)
+		h.Each(func(role string, err error) {
+			outcomes = append(outcomes, load.ClassifyRole(err))
+		})
+		if got := load.MergeOutcomes(outcomes...); got != load.Expect(kind) {
+			t.Errorf("%s outcome = %q, want %q (roles: %v)", kind, got, load.Expect(kind), outcomes)
+		}
+		_ = sys.Close()
+	}
+	if len(decisions) != roles {
+		t.Fatalf("observer saw %d storm decisions, want %d", len(decisions), roles)
+	}
+	for _, d := range decisions[1:] {
+		if d.Resolved != decisions[0].Resolved {
+			t.Errorf("storm decisions disagree: %v vs %v", d, decisions[0])
+		}
+	}
+	for _, d := range decisions {
+		if len(d.Raised) == 0 || d.Resolved == "" {
+			t.Errorf("incomplete decision: %+v", d)
+		}
+	}
+
+	if _, _, err := load.Workload("nope", roles, nil); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, _, err := load.Workload(load.KindCommit, 1, nil); err == nil {
+		t.Error("single-role workload accepted")
+	}
+	if load.MergeOutcomes("ok", "signalled:x", "undone", "failed") != "failed" {
+		t.Error("severity order broken")
+	}
+	if load.ThreadName(0) != "L1" || load.RoleName(2) != "r3" {
+		t.Error("naming exports out of sync with the harness")
 	}
 }

@@ -20,6 +20,7 @@ const (
 
 type config struct {
 	clockKind clockKind
+	clockSet  bool  // an explicit clock option was given
 	clock     Clock // clockCustom only
 
 	transportName string
@@ -35,6 +36,8 @@ type config struct {
 	metrics       *Metrics
 	log           *Log
 	workers       int
+
+	cluster *ClusterConfig
 
 	err error
 }
@@ -54,6 +57,26 @@ func (c *config) validate() error {
 	if c.protocol != nil && c.resolverName != "" {
 		return fmt.Errorf("caaction: WithResolutionProtocol conflicts with WithResolver(%q); pass one or the other", c.resolverName)
 	}
+	if c.cluster != nil {
+		if c.network != nil {
+			return fmt.Errorf("caaction: WithCluster conflicts with WithNetwork; the cluster runtime owns the transport")
+		}
+		if c.transportSet && c.transportName != "tcp" {
+			return fmt.Errorf("caaction: WithCluster requires the tcp transport, not %q", c.transportName)
+		}
+		if c.env.GobWire {
+			return fmt.Errorf("caaction: WithCluster conflicts with WithGobWire; node frames require the binary codec")
+		}
+		if c.env.Peers != nil {
+			return fmt.Errorf("caaction: WithCluster conflicts with WithPeer; peers come from the cluster resolver")
+		}
+		if c.clockKind == clockCustom {
+			return fmt.Errorf("caaction: WithCluster conflicts with WithClock; cluster nodes run on the real clock")
+		}
+		if c.clockKind == clockVirtual && c.clockSet {
+			return fmt.Errorf("caaction: WithCluster conflicts with WithVirtualTime; cluster nodes run on the real clock")
+		}
+	}
 	return nil
 }
 
@@ -68,13 +91,13 @@ func (c *config) fail(format string, args ...any) {
 // executions are reproducible and simulated minutes pass in microseconds.
 // This is the default.
 func WithVirtualTime() Option {
-	return func(c *config) { c.clockKind = clockVirtual }
+	return func(c *config) { c.clockKind, c.clockSet = clockVirtual, true }
 }
 
 // WithRealTime runs the system on the wall clock, for production deployments
 // and for workloads cancelled from real-time contexts.
 func WithRealTime() Option {
-	return func(c *config) { c.clockKind = clockReal }
+	return func(c *config) { c.clockKind, c.clockSet = clockReal, true }
 }
 
 // WithClock supplies a custom Clock implementation.
@@ -85,6 +108,7 @@ func WithClock(clk Clock) Option {
 			return
 		}
 		c.clockKind = clockCustom
+		c.clockSet = true
 		c.clock = clk
 	}
 }
@@ -245,5 +269,48 @@ func WithLog(l *Log) Option {
 			return
 		}
 		c.log = l
+	}
+}
+
+// ClusterConfig wires a System into a multi-process cluster: the node hosts
+// a subset of the logical thread address space behind one shared TCP
+// listener, and routes messages for every other thread to whichever node
+// currently hosts it. The caaction/cluster package builds these from its
+// peer directory; embedders running their own placement layer can supply
+// the callbacks directly.
+type ClusterConfig struct {
+	// ListenAddr is the host:port the node's shared data listener binds;
+	// empty means loopback with an ephemeral port (see System.ClusterAddr
+	// for the bound address).
+	ListenAddr string
+	// Local reports whether a logical thread address is placed on this
+	// node. It must be consistent across the node's lifetime, pure, and
+	// safe for concurrent use. Messages arriving for a local thread that
+	// has not yet joined an action instance are retained (bounded) until
+	// it does; messages for non-local threads route via Resolve.
+	Local func(thread string) bool
+	// Resolve maps a non-local thread address to the data host:port of the
+	// node currently hosting it; ok=false means no live node hosts the
+	// thread, surfacing to senders as a typed unreachable error. It is
+	// consulted per send, so a peer that restarts on a new port heals as
+	// soon as the directory learns the new address.
+	Resolve func(thread string) (hostport string, ok bool)
+}
+
+// WithCluster runs the System as one node of a multi-process cluster: the
+// tcp transport switches to node mode (one listener per process,
+// node-qualified frames), thread addresses resolve node → endpoint through
+// cfg, and StartTagged may start just the locally-placed roles of a shared
+// action. Cluster nodes run on the real clock; WithCluster conflicts with
+// WithVirtualTime, WithClock, WithNetwork, WithGobWire and WithPeer.
+func WithCluster(cfg ClusterConfig) Option {
+	return func(c *config) {
+		if cfg.Local == nil || cfg.Resolve == nil {
+			c.fail("WithCluster: Local and Resolve callbacks are required")
+			return
+		}
+		c.cluster = &cfg
+		c.transportName = "tcp"
+		c.env.ListenAddr = "" // the node listener replaces per-endpoint listeners
 	}
 }

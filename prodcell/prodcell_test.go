@@ -1,0 +1,94 @@
+package prodcell_test
+
+import (
+	"testing"
+	"time"
+
+	"caaction"
+	"caaction/prodcell"
+)
+
+// newCell builds the §4 case study on the public API only: a virtual-time
+// System, the simulated plant, and the eight-thread control program.
+func newCell(t *testing.T) (*caaction.System, *prodcell.Plant, *prodcell.Controller) {
+	t.Helper()
+	sys, err := caaction.New(
+		caaction.WithVirtualTime(),
+		caaction.WithSimTransport(time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = sys.Close() })
+	plant := prodcell.NewPlant(sys, prodcell.DefaultPlantConfig())
+	ctl, err := prodcell.NewController(sys, plant, prodcell.DefaultControlConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, plant, ctl
+}
+
+// TestProdcellFaultFreeCycle runs one clean production cycle through the
+// public package surface and checks the safety invariants held.
+func TestProdcellFaultFreeCycle(t *testing.T) {
+	_, plant, ctl := newCell(t)
+	rep := ctl.RunCycle()
+	for th, err := range rep.Outcomes {
+		if err != nil {
+			t.Fatalf("thread %s: %v", th, err)
+		}
+	}
+	if v := plant.Violations(); len(v) != 0 {
+		t.Fatalf("safety violations: %v", v)
+	}
+}
+
+// TestProdcellDualMotorRecovery injects the case study's concurrent table
+// motor faults and checks the Figure 7 graph recovers the cycle: both
+// raises resolve to dual_motor_failures, handlers repair the motors, and
+// the cycle still completes with the invariants intact.
+func TestProdcellDualMotorRecovery(t *testing.T) {
+	_, plant, ctl := newCell(t)
+	if err := plant.Inject(prodcell.FaultMotorStop, prodcell.AxisTableVert); err != nil {
+		t.Fatal(err)
+	}
+	if err := plant.Inject(prodcell.FaultMotorStop, prodcell.AxisTableRot); err != nil {
+		t.Fatal(err)
+	}
+	rep := ctl.RunCycle()
+	for th, err := range rep.Outcomes {
+		if err != nil {
+			t.Fatalf("thread %s: %v", th, err)
+		}
+	}
+	handled := 0
+	for _, ids := range rep.Handled {
+		for _, id := range ids {
+			if id == "dual_motor_failures" {
+				handled++
+			}
+		}
+	}
+	if handled == 0 {
+		t.Fatal("no thread handled dual_motor_failures")
+	}
+	if v := plant.Violations(); len(v) != 0 {
+		t.Fatalf("safety violations: %v", v)
+	}
+}
+
+// TestProdcellSurface covers the remaining public accessors: the thread
+// roster and the Figure 7 graph's cover-set resolution.
+func TestProdcellSurface(t *testing.T) {
+	if got := len(prodcell.Threads()); got != 8 {
+		t.Fatalf("Threads() = %d ids, want 8", got)
+	}
+	g := prodcell.MoveLoadedTableGraph()
+	resolved, err := g.Resolve("vm_stop", "rm_stop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resolved != "dual_motor_failures" {
+		t.Fatalf("Resolve(vm_stop, rm_stop) = %q, want dual_motor_failures", resolved)
+	}
+}

@@ -187,6 +187,7 @@ func simTransport(env TransportEnv) (Network, error) {
 // (gob behind WithGobWire for wire compatibility).
 func tcpTransport(env TransportEnv) (Network, error) {
 	t := transport.NewTCP(env.Clock)
+	t.SetMetrics(env.Metrics)
 	if env.GobWire {
 		t.SetGobWire(true)
 	}

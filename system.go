@@ -1,6 +1,8 @@
 package caaction
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -67,6 +69,20 @@ type System struct {
 	actionSeq atomic.Int64
 	closed    atomic.Bool
 
+	// Drain state: once draining is set, StartAction and Thread refuse new
+	// work with ErrDraining while in-flight actions run to completion.
+	// inflight counts actions admitted and not yet finished; idlers are
+	// Drain calls waiting for it to reach zero.
+	draining atomic.Bool
+	drainMu  sync.Mutex
+	inflight int
+	idlers   []chan struct{}
+
+	// Cluster mode (WithCluster): the placement predicate StartTagged uses
+	// to pick this node's roles, and the node's bound data listener address.
+	clusterLocal func(string) bool
+	clusterAddr  string
+
 	// Role-worker pool (WithWorkers): built lazily on first use so systems
 	// that never call StartAction pay nothing for it.
 	workers  int
@@ -83,6 +99,12 @@ func New(opts ...Option) (*System, error) {
 	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+
+	if cfg.cluster != nil {
+		// Cluster nodes live on the wall clock: their peers are other OS
+		// processes, which no virtual-time scheduler can coordinate.
+		cfg.clockKind = clockReal
 	}
 
 	var clk Clock
@@ -118,6 +140,21 @@ func New(opts ...Option) (*System, error) {
 		}
 	}
 
+	var clusterAddr string
+	if cfg.cluster != nil {
+		tcpNet, ok := net.(*transport.TCP)
+		if !ok {
+			_ = net.Close()
+			return nil, fmt.Errorf("caaction: WithCluster requires the built-in tcp transport")
+		}
+		addr, err := tcpNet.ConfigureNode(cfg.cluster.ListenAddr, cfg.cluster.Local, cfg.cluster.Resolve)
+		if err != nil {
+			_ = net.Close()
+			return nil, fmt.Errorf("caaction: WithCluster: %w", err)
+		}
+		clusterAddr = addr
+	}
+
 	protocol := cfg.protocol
 	if protocol == nil && cfg.resolverName != "" {
 		p, err := Resolver(cfg.resolverName)
@@ -138,7 +175,7 @@ func New(opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{
+	s := &System{
 		rt:      rt,
 		clock:   clk,
 		virtual: virtual,
@@ -146,7 +183,12 @@ func New(opts ...Option) (*System, error) {
 		metrics: cfg.metrics,
 		log:     cfg.log,
 		workers: cfg.workers,
-	}, nil
+	}
+	if cfg.cluster != nil {
+		s.clusterLocal = cfg.cluster.Local
+		s.clusterAddr = clusterAddr
+	}
+	return s, nil
 }
 
 // rolePool lazily builds the WithWorkers role-worker pool; nil when the pool
@@ -211,10 +253,85 @@ func (s *System) Object(name string) (*Object, error) {
 // it.
 func (s *System) Runtime() *core.Runtime { return s.rt }
 
+// ClusterAddr returns the bound host:port of the node's shared data
+// listener (WithCluster), or "" when the system is not a cluster node.
+// Peers send frames for this node's threads to this address.
+func (s *System) ClusterAddr() string { return s.clusterAddr }
+
+// beginAction admits one action into the in-flight set, or refuses with
+// ErrDraining/ErrSystemClosed once shutdown has begun. Every successful
+// beginAction is balanced by exactly one endAction when the action's last
+// role finishes (or immediately, on a failed start).
+func (s *System) beginAction() error {
+	if s.closed.Load() {
+		return ErrSystemClosed
+	}
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.draining.Load() {
+		// Typed refusal: the system is shutting down gracefully (Drain) or
+		// tearing down (Close); either way new actions are not admitted.
+		return ErrDraining
+	}
+	s.inflight++
+	return nil
+}
+
+func (s *System) endAction() {
+	s.drainMu.Lock()
+	s.inflight--
+	var idlers []chan struct{}
+	if s.inflight == 0 {
+		idlers, s.idlers = s.idlers, nil
+	}
+	s.drainMu.Unlock()
+	for _, ch := range idlers {
+		close(ch)
+	}
+}
+
+// Drain gracefully quiesces the system: it stops admitting StartAction (and
+// Thread) — both return ErrDraining — and blocks until every in-flight
+// action has finished, or until ctx is cancelled (returning ctx's cause
+// with the in-flight work still running). Drain does not close the system:
+// transports keep carrying messages so in-flight resolutions complete, and
+// this node keeps routing frames for actions hosted elsewhere. Call Close
+// after Drain returns to release the network. Drain is idempotent and safe
+// to call from multiple goroutines; all callers block until idle.
+func (s *System) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.drainMu.Lock()
+	if s.inflight == 0 {
+		s.drainMu.Unlock()
+		return nil
+	}
+	ch := make(chan struct{})
+	s.idlers = append(s.idlers, ch)
+	s.drainMu.Unlock()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("caaction: drain interrupted: %w", context.Cause(ctx))
+	}
+}
+
+// Draining reports whether Drain or Close has begun refusing new actions.
+func (s *System) Draining() bool { return s.draining.Load() }
+
 // Close shuts the system down: the demultiplexer (if any concurrent actions
 // ran) and the network close, detaching every thread endpoint. Subsequent
-// Thread and StartAction calls fail with ErrSystemClosed.
+// Thread and StartAction calls fail with ErrSystemClosed; calls racing
+// Close observe ErrDraining (the typed "shutdown has begun" refusal) once
+// the drain marker is set, never a half-closed system. Close does NOT wait
+// for in-flight actions — they unwind through the cooperative interrupt
+// path as their endpoints close. For a graceful shutdown, Drain first, then
+// Close.
 func (s *System) Close() error {
+	s.draining.Store(true)
 	s.closed.Store(true)
 	// Claim poolOnce without building anything: if a racing StartAction won
 	// the once, Do blocks until its pool is fully constructed and we close

@@ -19,9 +19,14 @@ type Thread struct {
 }
 
 // Thread creates a thread with its own transport endpoint bound to id.
+// After Drain (or Close) has begun, Thread refuses with ErrDraining (then
+// ErrSystemClosed once Close completes).
 func (s *System) Thread(id string) (*Thread, error) {
 	if s.closed.Load() {
 		return nil, ErrSystemClosed
+	}
+	if s.draining.Load() {
+		return nil, ErrDraining
 	}
 	inner, err := s.rt.NewThread(id)
 	if err != nil {
