@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"caaction/internal/core"
 	"caaction/internal/transport"
@@ -49,9 +50,11 @@ type ActionHandle struct {
 	// virtual-time system starts the action. Created under mu; finish reads
 	// it under mu before closing it.
 	doneQ *vclock.Queue
-	// onIdle, when non-nil, runs once after the last role finishes — the
-	// System's in-flight accounting hook behind Drain.
-	onIdle func()
+	// sys and tenant route the handle back into the System's in-flight
+	// accounting (Drain and the admission budgets): the last role to finish
+	// releases exactly the budget beginAction charged.
+	sys    *System
+	tenant string
 }
 
 type roleOutcome struct {
@@ -175,10 +178,26 @@ func (h *ActionHandle) finish(idx int, err error) {
 		if q != nil {
 			q.Close()
 		}
-		if h.onIdle != nil {
-			h.onIdle()
+		if h.sys != nil {
+			h.sys.endAction(h.tenant)
 		}
 	}
+}
+
+// StartOption tunes one StartAction/StartTagged call; see WithTenant.
+type StartOption func(*startConfig)
+
+type startConfig struct {
+	tenant string
+}
+
+// WithTenant attributes the started action to the named tenant for
+// per-tenant admission budgeting (WithTenantBudget). Actions started
+// without WithTenant share the "" tenant. The tenant has no effect on the
+// wire or on resolution — it exists purely so admission control can refuse
+// a noisy workload without starving the others.
+func WithTenant(name string) StartOption {
+	return func(c *startConfig) { c.tenant = name }
 }
 
 // StartAction runs one CA-action instance concurrently with any number of
@@ -198,10 +217,17 @@ func (h *ActionHandle) finish(idx int, err error) {
 //
 // Cancelling ctx closes the instance's endpoints: every role unwinds
 // through the cooperative interrupt path and reports an error matching both
-// ErrThreadStopped and the context cause.
-func (s *System) StartAction(ctx context.Context, spec *Spec, progs map[string]RoleProgram) (*ActionHandle, error) {
+// ErrThreadStopped and the context cause. A ctx deadline additionally
+// propagates into the runtime's signal and resolution timing: protocol
+// waits are clamped to the deadline, so a doomed action aborts (releasing
+// its admission budget) with an outcome matching ErrDeadline and
+// context.DeadlineExceeded instead of blocking past it.
+//
+// Under admission control (WithMaxInFlight, WithTenantBudget) a start over
+// budget fast-rejects with a typed *OverloadedError matching ErrOverloaded.
+func (s *System) StartAction(ctx context.Context, spec *Spec, progs map[string]RoleProgram, opts ...StartOption) (*ActionHandle, error) {
 	tag := "a" + strconv.FormatInt(s.actionSeq.Add(1), 10)
-	return s.startAction(ctx, tag, spec, progs)
+	return s.startAction(ctx, tag, spec, progs, opts)
 }
 
 // StartTagged is StartAction with a caller-assigned instance tag. Tags
@@ -213,17 +239,17 @@ func (s *System) StartAction(ctx context.Context, spec *Spec, progs map[string]R
 // contain the id metacharacters '!', '/' or '#'. On a cluster node, progs
 // need only cover the locally-placed roles (remote entries are ignored);
 // on a non-cluster system StartTagged behaves exactly like StartAction.
-func (s *System) StartTagged(ctx context.Context, tag string, spec *Spec, progs map[string]RoleProgram) (*ActionHandle, error) {
+func (s *System) StartTagged(ctx context.Context, tag string, spec *Spec, progs map[string]RoleProgram, opts ...StartOption) (*ActionHandle, error) {
 	if tag == "" {
 		return nil, fmt.Errorf("caaction: StartTagged: empty instance tag")
 	}
 	if strings.ContainsAny(tag, "!/#") {
 		return nil, fmt.Errorf("caaction: StartTagged: tag %q contains an id metacharacter ('!', '/' or '#')", tag)
 	}
-	return s.startAction(ctx, tag, spec, progs)
+	return s.startAction(ctx, tag, spec, progs, opts)
 }
 
-func (s *System) startAction(ctx context.Context, tag string, spec *Spec, progs map[string]RoleProgram) (*ActionHandle, error) {
+func (s *System) startAction(ctx context.Context, tag string, spec *Spec, progs map[string]RoleProgram, opts []StartOption) (*ActionHandle, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -262,7 +288,24 @@ func (s *System) startAction(ctx context.Context, tag string, spec *Spec, progs 
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("caaction: %s not started: %w", spec.Name, context.Cause(ctx))
 	}
-	if err := s.beginAction(); err != nil {
+	var sc startConfig
+	for _, opt := range opts {
+		opt(&sc)
+	}
+	// A ctx deadline propagates into the runtime as an absolute clock time:
+	// each role thread clamps its protocol and Context waits to it, so a
+	// doomed action unwinds (releasing its budget) instead of blocking past
+	// the point its caller stopped caring. Computed once, before admission,
+	// so every role shares one deadline.
+	var coreDeadline time.Duration
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := time.Until(dl)
+		if remaining <= 0 {
+			return nil, fmt.Errorf("caaction: %s not started: %w", spec.Name, context.DeadlineExceeded)
+		}
+		coreDeadline = s.clock.Now() + remaining
+	}
+	if err := s.beginAction(sc.tenant); err != nil {
 		return nil, err
 	}
 
@@ -279,7 +322,7 @@ func (s *System) startAction(ctx context.Context, tag string, spec *Spec, progs 
 			for _, x := range rts {
 				_ = x.ep.Close()
 			}
-			s.endAction()
+			s.endAction(sc.tenant)
 			if s.draining.Load() {
 				// The mux (or transport) closed under us because shutdown
 				// began after admission; report the typed refusal rather
@@ -288,7 +331,11 @@ func (s *System) startAction(ctx context.Context, tag string, spec *Spec, progs 
 			}
 			return nil, fmt.Errorf("caaction: StartAction %s: %w", spec.Name, err)
 		}
-		rts = append(rts, roleThread{r.Name, s.rt.NewThreadOn(r.Thread, ep, tag), ep})
+		th := s.rt.NewThreadOn(r.Thread, ep, tag)
+		if coreDeadline > 0 {
+			th.SetDeadline(coreDeadline)
+		}
+		rts = append(rts, roleThread{r.Name, th, ep})
 	}
 
 	h := &ActionHandle{
@@ -298,7 +345,8 @@ func (s *System) startAction(ctx context.Context, tag string, spec *Spec, progs 
 		pending:  len(rts),
 		outcomes: make([]roleOutcome, len(rts)),
 		roles:    make([]string, 0, len(rts)),
-		onIdle:   s.endAction,
+		sys:      s,
+		tenant:   sc.tenant,
 	}
 	for _, x := range rts {
 		h.roles = append(h.roles, x.role)

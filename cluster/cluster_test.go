@@ -1,10 +1,17 @@
 package cluster_test
 
 import (
+	"errors"
 	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"caaction"
 	"caaction/cluster"
 	"caaction/load"
 )
@@ -195,5 +202,156 @@ func TestClusterThreeNodes(t *testing.T) {
 	st, err := cluster.Status(n2.ControlAddr())
 	if err != nil || !st.Draining {
 		t.Fatalf("drained node status = %+v, %v", st, err)
+	}
+}
+
+// TestClusterRegossipDoesNotMaskDownPeer is the node-level companion of
+// the directory same-epoch rule: kill n2 while n1 and n3 keep exchanging
+// hellos — each survivor re-gossips n2's last record to the other every
+// round, and that hearsay must not prevent either from accumulating
+// strikes and marking n2 down.
+func TestClusterRegossipDoesNotMaskDownPeer(t *testing.T) {
+	const roles = 3
+	placement := testPlacement(roles)
+
+	n1 := startNode(t, "n1", nil, placement)
+	defer func() { _ = n1.Stop() }()
+	n2 := startNode(t, "n2", []string{n1.ControlAddr()}, placement)
+	defer func() { _ = n2.Stop() }()
+	n3 := startNode(t, "n3", []string{n1.ControlAddr()}, placement)
+	defer func() { _ = n3.Stop() }()
+
+	for _, n := range []*cluster.Node{n1, n2, n3} {
+		waitStatus(t, n.ControlAddr(), "full peer table", func(st cluster.StatusInfo) bool {
+			return len(st.Peers) == 3 && len(st.PeersDown) == 0
+		})
+	}
+
+	if err := n2.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	// BOTH survivors must converge on n2 down, despite each feeding the
+	// other n2's (same-epoch) record in every exchange round.
+	for _, n := range []*cluster.Node{n1, n3} {
+		waitStatus(t, n.ControlAddr(), "n2 marked down despite re-gossip", func(st cluster.StatusInfo) bool {
+			return len(st.PeersDown) == 1 && st.PeersDown[0] == "n2"
+		})
+	}
+}
+
+// TestClusterDrainRefusalIsTyped pins the drain/start race contract: a
+// start arriving at a draining node is refused before dispatch, and the
+// refusal survives the wire as an error matching caaction.ErrDraining —
+// including under concurrent drain+start traffic.
+func TestClusterDrainRefusalIsTyped(t *testing.T) {
+	placement := map[string]string{load.ThreadName(0): "n1", load.ThreadName(1): "n1"}
+	n1 := startNode(t, "n1", nil, placement)
+	defer func() { _ = n1.Stop() }()
+	addr := n1.ControlAddr()
+	waitStatus(t, addr, "self in table", func(st cluster.StatusInfo) bool {
+		return len(st.Peers) == 1
+	})
+
+	// Concurrent starts racing the drain: every outcome must be either a
+	// clean start or a typed drain refusal — never an untyped error.
+	var wg sync.WaitGroup
+	var drained atomic.Bool
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; !drained.Load() || i == 0; i++ {
+				tag := fmt.Sprintf("race-%d-%d", g, i)
+				_, err := cluster.Start(addr, cluster.StartRequest{Tag: tag, Kind: load.KindCommit, Roles: 2})
+				if err != nil && !errors.Is(err, caaction.ErrDraining) {
+					t.Errorf("start %s: untyped refusal: %v", tag, err)
+					return
+				}
+				if err != nil {
+					return
+				}
+			}
+		}(g)
+	}
+	if err := cluster.DrainNode(addr, 5*time.Second); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	drained.Store(true)
+	wg.Wait()
+
+	// After the drain completes, a fresh start must still be refused with
+	// the typed error.
+	_, err := cluster.Start(addr, cluster.StartRequest{Tag: "late", Kind: load.KindCommit, Roles: 2})
+	if !errors.Is(err, caaction.ErrDraining) {
+		t.Fatalf("start on drained node = %v, want errors.Is(_, caaction.ErrDraining)", err)
+	}
+}
+
+// TestClusterScrape exercises the observability plumbing end to end: the
+// control-protocol scrape verb and the optional HTTP metrics listener
+// must both serve the Prometheus rendering of the node's counters.
+func TestClusterScrape(t *testing.T) {
+	placement := map[string]string{load.ThreadName(0): "n1", load.ThreadName(1): "n1"}
+	n1, err := cluster.New(cluster.Config{
+		Name:          "n1",
+		Placement:     placement,
+		MetricsAddr:   "127.0.0.1:0",
+		ExchangeEvery: 50 * time.Millisecond,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = n1.Stop() }()
+	go func() { _ = n1.Serve() }()
+	addr := n1.ControlAddr()
+	waitStatus(t, addr, "self in table", func(st cluster.StatusInfo) bool {
+		return len(st.Peers) == 1
+	})
+
+	if _, err := cluster.Start(addr, cluster.StartRequest{Tag: "m1", Kind: load.KindCommit, Roles: 2}); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		res, err := cluster.Result(addr, "m1")
+		if err != nil {
+			t.Fatalf("result: %v", err)
+		}
+		if res.Done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("instance m1 never finished")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	text, err := cluster.Scrape(addr)
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	if !strings.Contains(text, "caaction_action_entries") {
+		t.Fatalf("scrape text missing caaction_action_entries:\n%s", text)
+	}
+
+	maddr := n1.MetricsAddr()
+	if maddr == "" {
+		t.Fatal("node with MetricsAddr config reports no bound metrics address")
+	}
+	resp, err := http.Get("http://" + maddr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading /metrics body: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "caaction_action_entries") {
+		t.Fatalf("HTTP scrape missing caaction_action_entries:\n%s", body)
 	}
 }

@@ -3,11 +3,13 @@ package cluster
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"strings"
 	"time"
 
+	"caaction"
 	"caaction/load"
 )
 
@@ -17,8 +19,14 @@ import (
 // restarted node needs no connection recovery, and the harness can drive
 // nodes with nothing fancier than a TCP dial and two buffered lines.
 //
-// Verbs: hello (peer exchange), status, start, result, metrics, drain,
-// stop.
+// Verbs: hello (peer exchange), status, start, result, metrics, scrape,
+// drain, stop.
+//
+// Error replies are plain text with one structured exception: a node that
+// refuses work because it is draining prefixes the message with
+// drainRefusedPrefix, and Call rehydrates that into an error matching
+// caaction.ErrDraining — so a remote driver distinguishes "backing off
+// for shutdown" from a genuine failure without parsing prose.
 
 // controlTimeout bounds one whole control call: dial, write, reply. Drain
 // calls pass their own, longer budget.
@@ -74,6 +82,14 @@ type MetricsInfo struct {
 	Counters map[string]int64 `json:"counters"`
 }
 
+// ScrapeInfo is the `scrape` reply: the node's counters rendered in the
+// Prometheus text exposition format — the same bytes the node's HTTP
+// /metrics listener serves when Config.MetricsAddr is set, available here
+// even without one.
+type ScrapeInfo struct {
+	Text string `json:"text"`
+}
+
 type helloRequest struct {
 	Records []PeerRecord `json:"records"`
 }
@@ -124,7 +140,11 @@ func Call(addr, verb string, req, resp any, timeout time.Duration) error {
 		}
 		return nil
 	case strings.HasPrefix(line, "err"):
-		return fmt.Errorf("cluster: %s: %s", verb, strings.TrimSpace(strings.TrimPrefix(line, "err")))
+		msg := strings.TrimSpace(strings.TrimPrefix(line, "err"))
+		if rest, ok := strings.CutPrefix(msg, drainRefusedPrefix); ok {
+			return &drainRefusedError{verb: verb, msg: strings.TrimSpace(rest)}
+		}
+		return fmt.Errorf("cluster: %s: %s", verb, msg)
 	default:
 		return fmt.Errorf("cluster: control %s: malformed reply %q", verb, line)
 	}
@@ -176,6 +196,29 @@ func MetricsOf(addr string) (MetricsInfo, error) {
 	return mi, err
 }
 
+// Scrape fetches a node's counters in the Prometheus text format over the
+// control protocol.
+func Scrape(addr string) (string, error) {
+	var si ScrapeInfo
+	err := Call(addr, "scrape", emptyBody{}, &si, 0)
+	return si.Text, err
+}
+
+// drainRefusedPrefix marks an error reply caused by the node draining;
+// Call turns it back into an error matching caaction.ErrDraining.
+const drainRefusedPrefix = "draining:"
+
+// drainRefusedError is the client-side rehydration of a drain refusal.
+type drainRefusedError struct {
+	verb, msg string
+}
+
+func (e *drainRefusedError) Error() string {
+	return fmt.Sprintf("cluster: %s: node draining: %s", e.verb, e.msg)
+}
+
+func (e *drainRefusedError) Unwrap() error { return caaction.ErrDraining }
+
 // DrainNode asks a node to drain, blocking until its in-flight actions
 // finish or budget expires.
 func DrainNode(addr string, budget time.Duration) error {
@@ -201,7 +244,11 @@ func (n *Node) serveControl(conn net.Conn) {
 	verb, rest, _ := strings.Cut(line, " ")
 	reply, err := n.handle(verb, []byte(strings.TrimSpace(rest)))
 	if err != nil {
-		fmt.Fprintf(conn, "err %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
+		msg := strings.ReplaceAll(err.Error(), "\n", " ")
+		if errors.Is(err, caaction.ErrDraining) {
+			msg = drainRefusedPrefix + " " + msg
+		}
+		fmt.Fprintf(conn, "err %s\n", msg)
 		return
 	}
 	body, err := json.Marshal(reply)

@@ -85,9 +85,14 @@ func (d *directory) resolveThread(thread string) (string, bool) {
 }
 
 // merge folds peer records into the table, newest epoch winning. A record
-// with a fresh epoch also clears the peer's failure tally: a restarted
-// node announcing itself is alive by definition. The node's own record is
-// ignored (the local one is authoritative).
+// with a strictly fresh epoch also clears the peer's failure tally: a
+// restarted node announcing itself is alive by definition. The comparison
+// MUST stay strict (>): surviving peers re-gossip a dead node's last
+// record every exchange round, and if a same-epoch record reset the tally
+// the dead peer would never accumulate downAfter strikes anywhere —
+// third-party gossip is hearsay about an incarnation already tallied, not
+// evidence of life. The node's own record is ignored (the local one is
+// authoritative).
 func (d *directory) merge(recs []PeerRecord) {
 	d.mu.Lock()
 	defer d.mu.Unlock()

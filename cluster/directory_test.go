@@ -1,0 +1,74 @@
+package cluster
+
+import "testing"
+
+// rec builds a peer record for the white-box directory tests.
+func rec(name string, epoch int64) PeerRecord {
+	return PeerRecord{
+		Name:    name,
+		Control: name + ":ctl",
+		Data:    name + ":data",
+		Epoch:   epoch,
+	}
+}
+
+// TestDirectorySameEpochRegossipKeepsTally pins the liveness-tally rule
+// that merge must NOT reset strikes for a record whose epoch is not
+// strictly newer. Surviving peers re-gossip a dead node's last record on
+// every hello exchange; if that hearsay cleared the tally, the dead peer
+// could never reach downAfter strikes and would stay "up" forever.
+func TestDirectorySameEpochRegossipKeepsTally(t *testing.T) {
+	d := newDirectory("a", map[string]string{"L1": "a", "L2": "b"})
+	d.setSelf(rec("a", 1))
+	b := rec("b", 7)
+	d.merge([]PeerRecord{b})
+
+	for i := 1; i <= downAfter; i++ {
+		// A failed exchange with b, then the same-epoch record arriving
+		// again via third-party gossip. The strike must survive the merge.
+		d.exchangeFailed(b.Control)
+		d.merge([]PeerRecord{b})
+		wantDown := i >= downAfter
+		if got := d.peerDown("b"); got != wantDown {
+			t.Fatalf("after %d strikes + same-epoch re-gossip: peerDown(b) = %v, want %v", i, got, wantDown)
+		}
+	}
+	if _, ok := d.resolveThread("L2"); ok {
+		t.Fatal("resolveThread routed to a down peer")
+	}
+
+	// A strictly newer epoch is a fresh incarnation announcing itself:
+	// that — and only that — clears the tally from the merge side.
+	d.merge([]PeerRecord{rec("b", 8)})
+	if d.peerDown("b") {
+		t.Fatal("fresh-epoch record did not revive the peer")
+	}
+	if addr, ok := d.resolveThread("L2"); !ok || addr != "b:data" {
+		t.Fatalf("resolveThread after revival = %q, %v", addr, ok)
+	}
+}
+
+// TestDirectoryExchangeOKResetsTally is the companion rule: strikes only
+// clear when this node itself reaches the peer (exchangeOK), not when
+// someone else claims to have.
+func TestDirectoryExchangeOKResetsTally(t *testing.T) {
+	d := newDirectory("a", map[string]string{"L1": "a", "L2": "b"})
+	d.setSelf(rec("a", 1))
+	b := rec("b", 7)
+	d.merge([]PeerRecord{b})
+
+	for i := 0; i < downAfter-1; i++ {
+		d.exchangeFailed(b.Control)
+	}
+	d.exchangeOK(b.Control)
+	d.exchangeFailed(b.Control)
+	if d.peerDown("b") {
+		t.Fatal("one strike after a successful exchange marked the peer down")
+	}
+	for i := 0; i < downAfter-1; i++ {
+		d.exchangeFailed(b.Control)
+	}
+	if !d.peerDown("b") {
+		t.Fatalf("%d consecutive strikes did not mark the peer down", downAfter)
+	}
+}

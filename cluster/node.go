@@ -3,8 +3,9 @@
 // ("nodes"), discovers peers from a static seed list with gossip-free
 // periodic hello exchanges, tracks liveness so sends to dead nodes fail
 // with a typed unreachable error instead of hanging, and exposes a
-// line-delimited control protocol (status, start, result, metrics, drain,
-// stop) that the cmd/canode daemon and the cluster/testnet harness drive.
+// line-delimited control protocol (status, start, result, metrics,
+// scrape, drain, stop) that the cmd/canode daemon and the cluster/testnet
+// harness drive.
 //
 // The address model is two-level. The static placement map pins every
 // logical thread address to a node name; the peer directory maps node
@@ -19,6 +20,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -67,6 +69,15 @@ type Config struct {
 	// DrainBudget bounds the control protocol's drain verb. Zero means
 	// 10s.
 	DrainBudget time.Duration
+	// MetricsAddr, when non-empty, additionally serves the node's counters
+	// as a Prometheus text scrape over HTTP at GET /metrics (see
+	// caaction.WithMetricsAddr). The same text is always available over
+	// the control protocol's scrape verb, metrics listener or not.
+	MetricsAddr string
+	// MaxInFlight, when positive, caps concurrently admitted actions on
+	// the node's System; excess starts fail fast with a refusal matching
+	// caaction.ErrOverloaded (see caaction.WithMaxInFlight).
+	MaxInFlight int
 	// Logf, when non-nil, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -139,7 +150,7 @@ func New(cfg Config) (*Node, error) {
 		return nil, err
 	}
 	dir := newDirectory(cfg.Name, cfg.Placement)
-	sys, err := caaction.New(
+	opts := []caaction.Option{
 		caaction.WithCluster(caaction.ClusterConfig{
 			ListenAddr: cfg.DataAddr,
 			Local:      dir.isLocal,
@@ -147,7 +158,14 @@ func New(cfg Config) (*Node, error) {
 		}),
 		caaction.WithResolver(cfg.Resolver),
 		caaction.WithSignalTimeout(cfg.SignalTimeout),
-	)
+	}
+	if cfg.MetricsAddr != "" {
+		opts = append(opts, caaction.WithMetricsAddr(cfg.MetricsAddr))
+	}
+	if cfg.MaxInFlight > 0 {
+		opts = append(opts, caaction.WithMaxInFlight(cfg.MaxInFlight))
+	}
+	sys, err := caaction.New(opts...)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: node %s: %w", cfg.Name, err)
 	}
@@ -183,6 +201,10 @@ func (n *Node) ControlAddr() string { return n.ctl.Addr().String() }
 
 // DataAddr returns the bound data listener address.
 func (n *Node) DataAddr() string { return n.sys.ClusterAddr() }
+
+// MetricsAddr returns the bound HTTP metrics listener address, or "" when
+// Config.MetricsAddr was unset.
+func (n *Node) MetricsAddr() string { return n.sys.MetricsAddr() }
 
 // System exposes the node's underlying System, for embedders that start
 // their own tagged actions instead of the load workloads.
@@ -283,6 +305,12 @@ func (n *Node) handle(verb string, body []byte) (any, error) {
 		return n.result(req.Tag)
 	case "metrics":
 		return MetricsInfo{Counters: n.sys.Metrics().Snapshot()}, nil
+	case "scrape":
+		var buf bytes.Buffer
+		if err := n.sys.Metrics().WritePrometheus(&buf); err != nil {
+			return nil, err
+		}
+		return ScrapeInfo{Text: buf.String()}, nil
 	case "drain":
 		ctx, cancel := context.WithTimeout(context.Background(), n.cfg.DrainBudget)
 		defer cancel()
@@ -339,6 +367,15 @@ func (n *Node) status() StatusInfo {
 func (n *Node) startInstance(req StartRequest) (StartReply, error) {
 	if req.Tag == "" {
 		return StartReply{}, fmt.Errorf("start: empty tag")
+	}
+	// Re-check drain state before any dispatch work. A start racing a
+	// drain verb could otherwise build the workload and register the
+	// instance only for StartTagged to refuse — or, worse, slip in between
+	// Drain's quiesce and the caller's shutdown. The typed refusal also
+	// travels the wire: serveControl encodes it and Call re-wraps it, so a
+	// remote driver can errors.Is(err, caaction.ErrDraining).
+	if n.sys.Draining() {
+		return StartReply{}, fmt.Errorf("start %q refused: %w", req.Tag, caaction.ErrDraining)
 	}
 	n.mu.Lock()
 	if _, dup := n.instances[req.Tag]; dup {

@@ -13,6 +13,7 @@
 //	caload -transport tcp -actions 500       # over real TCP sockets
 //	caload -mix commit:8,signal:1,abort:1    # custom workload composition
 //	caload -sweep 64,256,1024                # concurrency-scaling sweep
+//	caload -arrival 300,600,1200             # open-loop offered-load curve
 //	caload -workers -1                       # disable the role-worker pool
 //	caload -out BENCH_load.json              # where the JSON lands
 package main
@@ -30,16 +31,35 @@ import (
 )
 
 // resolverReport is one resolver's baseline: the standard run plus the
-// optional concurrency-scaling sweep.
+// optional concurrency-scaling sweep and open-loop overload curve.
 type resolverReport struct {
 	*load.Report
 	Sweep []load.SweepPoint `json:"sweep,omitempty"`
+	// OpenLoop is the offered-vs-goodput curve from -arrival: past the
+	// sustainable rate, goodput must hold (bounded by the admission
+	// budget) while the excess surfaces as typed rejections.
+	OpenLoop []load.OpenLoopPoint `json:"open_loop,omitempty"`
 }
 
 type fileReport struct {
 	Description string                     `json:"description"`
 	Date        string                     `json:"date"`
 	Resolvers   map[string]*resolverReport `json:"resolvers"`
+}
+
+func parseRates(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("bad arrival rate %q", part)
+		}
+		out = append(out, r)
+	}
+	return out, nil
 }
 
 func parseSweep(s string) ([]int, error) {
@@ -69,6 +89,9 @@ func main() {
 		workers     = flag.Int("workers", 0, "role-worker pool size (0 auto-sizes at concurrency*roles, negative disables the pool)")
 		sweepFlag   = flag.String("sweep", "", "comma-separated concurrency levels for a scaling sweep, e.g. 64,256,1024 ('' disables)")
 		sweepAct    = flag.Int("sweep-actions", 0, "action instances per sweep point (0 = -actions)")
+		arrival     = flag.String("arrival", "", "comma-separated open-loop arrival rates in actions/s, e.g. 300,600,1200 ('' disables); arrivals are clock-driven, independent of completions")
+		arrivalDur  = flag.Duration("arrival-duration", 5*time.Second, "offering window per open-loop rate")
+		maxInFlight = flag.Int("max-inflight", 0, "admission budget for open-loop points (0 = the harness default, negative disables the budget)")
 		resolvers   = flag.String("resolvers", "coordinated,cr86,r96", "comma-separated resolution protocols")
 		out         = flag.String("out", "BENCH_load.json", "JSON report path ('' disables)")
 	)
@@ -80,6 +103,11 @@ func main() {
 		os.Exit(2)
 	}
 	sweep, err := parseSweep(*sweepFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "caload:", err)
+		os.Exit(2)
+	}
+	rates, err := parseRates(*arrival)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "caload:", err)
 		os.Exit(2)
@@ -138,6 +166,27 @@ func main() {
 				fmt.Printf("  sweep c=%-5d %6d actions  %9.0f actions/s  p99 %.2fms  %7.0f allocs/action  %5d goroutines  heap %0.1fMiB\n",
 					p.Concurrency, p.Actions, p.Throughput, p.P99Ms, p.AllocsPerAction,
 					p.GoroutineHighWater, float64(p.PeakHeapBytes)/(1<<20))
+			}
+		}
+		if len(rates) > 0 {
+			points, err := load.RunOpenLoop(load.OpenLoopConfig{
+				Config:      cfg,
+				Rates:       rates,
+				Duration:    *arrivalDur,
+				MaxInFlight: *maxInFlight,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "caload: %s: %v\n", resolver, err)
+				failed = true
+			}
+			rr.OpenLoop = points
+			for _, p := range points {
+				fmt.Printf("  open  r=%-6.0f offered %6d  goodput %8.0f actions/s  rejected %6d  errors %3d  p50 %.2fms  p99 %.2fms  budget %d\n",
+					p.OfferedRate, p.Offered, p.Goodput, p.Rejected, p.Errors, p.P50Ms, p.P99Ms, p.MaxInFlight)
+				if p.Errors > 0 {
+					fmt.Fprintf(os.Stderr, "caload: %s: open-loop rate %v: %d errored arrivals\n", resolver, p.OfferedRate, p.Errors)
+					failed = true
+				}
 			}
 		}
 		file.Resolvers[resolver] = rr

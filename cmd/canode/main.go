@@ -37,6 +37,8 @@ func main() {
 		exchangeEvery = flag.Duration("exchange-every", 250*time.Millisecond, "peer hello-exchange period")
 		signalTimeout = flag.Duration("signal-timeout", 5*time.Second, "exit-vote timeout (§3.4 lost messages)")
 		actionTimeout = flag.Duration("action-timeout", 30*time.Second, "per-instance end-to-end timeout")
+		metricsAddr   = flag.String("metrics", "", "HTTP /metrics listener host:port ('' disables; counters stay scrapeable over the control port)")
+		maxInFlight   = flag.Int("max-inflight", 0, "admission budget for locally-started actions (0 = unlimited)")
 
 		// testnet mode
 		nodes       = flag.Int("nodes", 3, "testnet cluster size")
@@ -54,8 +56,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "canode: pass exactly one of -node or -testnet")
 		os.Exit(2)
 	case *nodeMode:
-		os.Exit(runNode(*name, *controlAddr, *dataAddr, *seeds, *placement, *resolver,
-			*exchangeEvery, *signalTimeout, *actionTimeout))
+		os.Exit(runNode(*name, *controlAddr, *dataAddr, *seeds, *placement, *resolver, *metricsAddr,
+			*exchangeEvery, *signalTimeout, *actionTimeout, *maxInFlight))
 	default:
 		os.Exit(runTestnet(*binary, *nodes, *roles, *rounds, *stormRounds, *resolver, *logDir, !*noKill))
 	}
@@ -81,8 +83,8 @@ func parsePlacement(s string) (map[string]string, error) {
 	return out, nil
 }
 
-func runNode(name, controlAddr, dataAddr, seeds, placement, resolver string,
-	exchangeEvery, signalTimeout, actionTimeout time.Duration) int {
+func runNode(name, controlAddr, dataAddr, seeds, placement, resolver, metricsAddr string,
+	exchangeEvery, signalTimeout, actionTimeout time.Duration, maxInFlight int) int {
 	place, err := parsePlacement(placement)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -107,6 +109,8 @@ func runNode(name, controlAddr, dataAddr, seeds, placement, resolver string,
 		ExchangeEvery: exchangeEvery,
 		SignalTimeout: signalTimeout,
 		ActionTimeout: actionTimeout,
+		MetricsAddr:   metricsAddr,
+		MaxInFlight:   maxInFlight,
 		Logf:          logf,
 	})
 	if err != nil {
@@ -114,7 +118,12 @@ func runNode(name, controlAddr, dataAddr, seeds, placement, resolver string,
 		return 1
 	}
 	// The harness parses this line to learn the bound ephemeral ports.
-	fmt.Printf("READY name=%s control=%s data=%s\n", name, n.ControlAddr(), n.DataAddr())
+	// metrics= appears only when -metrics bound an HTTP listener.
+	ready := fmt.Sprintf("READY name=%s control=%s data=%s", name, n.ControlAddr(), n.DataAddr())
+	if ma := n.MetricsAddr(); ma != "" {
+		ready += " metrics=" + ma
+	}
+	fmt.Println(ready)
 
 	// SIGINT/SIGTERM: graceful exit — stop admitting, finish in-flight
 	// resolutions (bounded), then tear down.

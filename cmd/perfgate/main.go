@@ -22,6 +22,12 @@
 //     sensitive, so CI runs them looser than the allocation gates) and its
 //     allocs_per_action at the standard -tolerance. A missing sweep point
 //     fails the gate.
+//   - the open-loop overload curve (load report, per resolver and offered
+//     rate, from caload -arrival): goodput may not drop and admitted-work
+//     p99 may not rise beyond -load-tolerance on any baselined rate the
+//     run re-measured; errored arrivals fail outright. CI may re-measure
+//     a subset of the curve, but at least one baselined rate must be
+//     present.
 //
 // ns/op and B/op are recorded in the comparison artifact but not gated
 // (they vary with hardware).
@@ -74,7 +80,8 @@ type loadBaseline struct {
 		Latency         struct {
 			P99 float64 `json:"p99_ms"`
 		} `json:"latency"`
-		Sweep []sweepPoint `json:"sweep"`
+		Sweep    []sweepPoint    `json:"sweep"`
+		OpenLoop []openLoopPoint `json:"open_loop"`
 	} `json:"resolvers"`
 }
 
@@ -85,6 +92,16 @@ type sweepPoint struct {
 	Throughput      float64 `json:"actions_per_second"`
 	AllocsPerAction float64 `json:"allocs_per_action"`
 	P99             float64 `json:"p99_ms"`
+}
+
+// openLoopPoint is one offered rate of the open-loop overload curve
+// recorded by caload -arrival.
+type openLoopPoint struct {
+	OfferedRate float64 `json:"offered_rate"`
+	Goodput     float64 `json:"goodput_actions_per_second"`
+	Rejected    int     `json:"rejected"`
+	Errors      int     `json:"errors"`
+	P99         float64 `json:"p99_ms"`
 }
 
 // benchResult is one parsed `go test -bench` output line.
@@ -325,6 +342,39 @@ func main() {
 				}
 				if bp.AllocsPerAction > 0 && cp.AllocsPerAction > 0 {
 					g.check(subj, "allocs_per_action", bp.AllocsPerAction, cp.AllocsPerAction, *tolerance, +1, 0)
+				}
+			}
+			// Open-loop overload curve: every baselined offered rate the run
+			// also measured must hold its goodput within the load tolerance
+			// and its (admitted-work) p99 bounded. Unlike the sweep, CI may
+			// deliberately re-measure only a subset of the curve — the gate
+			// compares the intersection — but a baselined curve with NO
+			// re-measured point means the overload contract went untested,
+			// which fails the gate.
+			if len(b.OpenLoop) > 0 {
+				curOL := make(map[float64]openLoopPoint, len(c.OpenLoop))
+				for _, p := range c.OpenLoop {
+					curOL[p.OfferedRate] = p
+				}
+				matched := 0
+				for _, bp := range b.OpenLoop {
+					cp, ok := curOL[bp.OfferedRate]
+					if !ok {
+						continue
+					}
+					matched++
+					subj := fmt.Sprintf("%s@r%g", subject, bp.OfferedRate)
+					g.check(subj, "goodput_actions_per_second", bp.Goodput, cp.Goodput, *loadTol, -1, 0)
+					if bp.P99 > 0 && cp.P99 > 0 {
+						g.check(subj, "p99_ms", bp.P99, cp.P99, *loadTol, +1, *p99Slack)
+					}
+					g.info(subj, "rejected", float64(bp.Rejected), float64(cp.Rejected))
+					if cp.Errors > 0 {
+						g.fail(subj, fmt.Sprintf("%d errored arrivals in open-loop run", cp.Errors))
+					}
+				}
+				if matched == 0 {
+					g.fail(subject, "no baselined open-loop point re-measured (run caload -arrival with a baselined rate)")
 				}
 			}
 		}

@@ -57,12 +57,34 @@
 // wall-clock deadline; order preserved, Close flushes — see DESIGN.md for
 // the exact flush-deadline semantics).
 //
+// Production overload control is built in. WithMaxInFlight(n) bounds the
+// actions admitted concurrently: past the budget, StartAction, StartTagged
+// and Thread fail fast with a typed *OverloadedError (errors.Is-matchable
+// via ErrOverloaded, carrying the refusing limit) instead of queueing work
+// the system cannot finish. WithTenantBudget(n) adds a per-tenant bound
+// under the global one — callers label instances with the WithTenant start
+// option, and a tenant at its cap is refused (with the tenant named in the
+// error) while others are still admitted. A deadline on StartAction's ctx
+// propagates into the runtime: every protocol wait is clamped by it, so a
+// doomed action undoes its local effects and unwinds at the deadline —
+// releasing its admission slot — rather than consuming budget to complete
+// work whose caller has already given up (outcomes match ErrDeadline and
+// context.DeadlineExceeded; an already-expired ctx is refused up front).
+// For observability, the interned trace counters are exportable in the
+// Prometheus text format: WithMetricsAddr("host:port") serves them at
+// /metrics over HTTP (Metrics().WritePrometheus writes the same text), and
+// cluster nodes additionally answer a control-port "scrape" verb.
+//
 // The caaction/load subpackage drives thousands of such instances with a
 // mixed commit/exceptional/abort/storm workload (CLI-configurable via
 // cmd/caload -mix) and reports throughput, latency percentiles, goroutine
 // and heap high-water marks, and a concurrency-scaling sweep
 // (-sweep 64,256,1024); cmd/caload records the numbers as BENCH_load.json,
-// which cmd/perfgate holds future changes to.
+// which cmd/perfgate holds future changes to. Its open-loop mode
+// (-arrival 4000,12000,24000) offers clock-driven load independent of
+// completions — the production traffic shape — and records the
+// offered-vs-goodput overload curve against the admission budget, which
+// the perf gate holds alongside the closed-loop numbers.
 //
 // A System can also span OS processes. WithCluster puts the TCP transport
 // in node mode: one shared data listener per process, a placement callback

@@ -2,6 +2,7 @@ package caaction
 
 import (
 	"errors"
+	"fmt"
 
 	"caaction/internal/core"
 	"caaction/internal/transport"
@@ -40,7 +41,45 @@ var (
 	// the hosting node is down; it clears once the peer directory learns a
 	// live address again.
 	ErrUnreachable = transport.ErrUnknownAddr
+	// ErrDeadline matches a role outcome abandoned because the deadline of
+	// the ctx passed to StartAction (or Thread.Perform) expired mid-action:
+	// protocol waits are clamped to the propagated deadline, local effects
+	// are undone best-effort and the doomed role unwinds instead of
+	// consuming budget. It also matches context.DeadlineExceeded under
+	// errors.Is. A deadline that expires during the exit exchange instead
+	// yields a coordinated ƒ outcome (the §3.4 lost-message treatment).
+	ErrDeadline = core.ErrDeadline
 )
+
+// ErrOverloaded is the typed fast-reject StartAction, StartTagged and
+// Thread return when admission control (WithMaxInFlight, WithTenantBudget)
+// refuses new work: the in-flight budget is exhausted. The refusal is
+// instantaneous — no endpoints are opened, no goroutines started — so
+// callers can shed or re-route load at line rate. Use errors.As with a
+// *OverloadedError to see which budget (global or per-tenant) was hit.
+var ErrOverloaded = errors.New("caaction: overloaded")
+
+// OverloadedError carries the admission-control refusal detail: the budget
+// that was exhausted and, for a per-tenant refusal, the tenant. It matches
+// ErrOverloaded under errors.Is.
+type OverloadedError struct {
+	// Limit is the budget that was full (WithMaxInFlight's limit for a
+	// global refusal, WithTenantBudget's for a tenant refusal).
+	Limit int
+	// Tenant is the refused tenant ("" for a global-budget refusal).
+	Tenant string
+}
+
+// Error implements error.
+func (e *OverloadedError) Error() string {
+	if e.Tenant != "" {
+		return fmt.Sprintf("caaction: overloaded: tenant %q at its budget of %d in-flight actions", e.Tenant, e.Limit)
+	}
+	return fmt.Sprintf("caaction: overloaded: %d actions in flight", e.Limit)
+}
+
+// Unwrap makes errors.Is(err, ErrOverloaded) hold.
+func (e *OverloadedError) Unwrap() error { return ErrOverloaded }
 
 // AsSignalled extracts the SignalledError from err, if any.
 func AsSignalled(err error) (*SignalledError, bool) {

@@ -134,17 +134,28 @@ func (c *Context) Compute(d time.Duration) error {
 	}
 	f, th := c.f, c.th
 	deadline := th.rt.clock.Now() + d
+	// The thread's propagated action deadline (SetDeadline) clamps the
+	// computation: a doomed action stops computing and unwinds.
+	if th.deadline > 0 && th.deadline < deadline {
+		deadline = th.deadline
+	}
 	for {
 		if t := th.enclosingAbortTarget(f); t != "" && !f.aborting {
 			return &pendingError{kind: kindAbort, frame: f, target: t}
 		}
 		now := th.rt.clock.Now()
 		if now >= deadline {
+			if th.deadline > 0 && now >= th.deadline {
+				return ErrDeadline
+			}
 			return nil
 		}
 		dd, ok := th.ep.RecvTimeout(deadline - now)
 		if !ok {
-			if th.rt.clock.Now() >= deadline {
+			if now = th.rt.clock.Now(); now >= deadline {
+				if th.deadline > 0 && now >= th.deadline {
+					return ErrDeadline
+				}
 				return nil
 			}
 			return ErrThreadStopped
@@ -220,6 +231,12 @@ func (c *Context) recv(role string, timeout time.Duration) (any, error) {
 	if timeout > 0 {
 		deadline = th.rt.clock.Now() + timeout
 	}
+	// The thread's propagated action deadline (SetDeadline) clamps the wait
+	// — including an unbounded Recv, which must not block a doomed action
+	// forever.
+	if th.deadline > 0 && (deadline == 0 || th.deadline < deadline) {
+		deadline = th.deadline
+	}
 	for {
 		if q := f.apps[from]; len(q) > 0 {
 			payload := q[0]
@@ -234,12 +251,12 @@ func (c *Context) recv(role string, timeout time.Duration) (any, error) {
 		if deadline > 0 {
 			now := th.rt.clock.Now()
 			if now >= deadline {
-				return nil, ErrTimeout
+				return nil, th.recvDeadlineErr(now)
 			}
 			d, got = th.ep.RecvTimeout(deadline - now)
 			if !got {
-				if th.rt.clock.Now() >= deadline {
-					return nil, ErrTimeout
+				if now = th.rt.clock.Now(); now >= deadline {
+					return nil, th.recvDeadlineErr(now)
 				}
 				return nil, ErrThreadStopped
 			}
@@ -254,6 +271,16 @@ func (c *Context) recv(role string, timeout time.Duration) (any, error) {
 			return nil, err
 		}
 	}
+}
+
+// recvDeadlineErr picks the error for an expired recv wait: ErrDeadline when
+// the thread's propagated action deadline expired, ErrTimeout when only the
+// caller's own RecvTimeout bound did.
+func (th *Thread) recvDeadlineErr(now time.Duration) error {
+	if th.deadline > 0 && now >= th.deadline {
+		return ErrDeadline
+	}
+	return ErrTimeout
 }
 
 // verdictErr converts a routing verdict into the control error the body must

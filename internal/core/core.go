@@ -75,6 +75,7 @@ type Runtime struct {
 		entries, rounds, handlerRuns, raises *trace.Counter
 		undos, completions, undone, failed   *trace.Counter
 		signalled, aborted, resolveCalls     *trace.Counter
+		deadlined                            *trace.Counter
 	}
 
 	// Lifecycle pools for the concurrent multi-action runtime's high-churn
@@ -124,6 +125,7 @@ func New(cfg Config) (*Runtime, error) {
 	rt.counters.signalled = cfg.Metrics.Counter("action.signalled")
 	rt.counters.aborted = cfg.Metrics.Counter("action.aborted")
 	rt.counters.resolveCalls = cfg.Metrics.Counter("resolve.calls")
+	rt.counters.deadlined = cfg.Metrics.Counter("action.deadline_aborts")
 	return rt, nil
 }
 
@@ -157,6 +159,11 @@ type Thread struct {
 	// sendFn is the bound send method, created once so per-round protocol
 	// engines don't allocate a fresh method value each time they are wired.
 	sendFn func(to string, msg protocol.Message)
+	// deadline, when non-zero, is the absolute clock time after which the
+	// thread's actions are doomed: every protocol wait is clamped to it and
+	// expires with ErrDeadline (see SetDeadline). Zero — the default — means
+	// no deadline, and costs the protocol waits one comparison.
+	deadline time.Duration
 
 	stack    []*frame
 	retained map[string][]transport.Delivery
@@ -217,6 +224,17 @@ func (rt *Runtime) NewThreadOn(id string, ep transport.Endpoint, instance string
 // ID returns the thread identifier.
 func (th *Thread) ID() string { return th.id }
 
+// SetDeadline dooms the thread's actions past the absolute clock time at:
+// every blocking protocol and Context wait is clamped to it, and once it
+// passes those waits return ErrDeadline (matching context.DeadlineExceeded),
+// local effects are undone best-effort and the action unwinds — instead of
+// consuming runtime budget on an outcome its caller has already abandoned.
+// A deadline expiring during the exit exchange marks the missing votes as ƒ
+// (the same §3.4 treatment as lost messages), so the exit still concludes
+// coordinately. Zero clears the deadline. Call before Perform, from the
+// thread's own goroutine.
+func (th *Thread) SetDeadline(at time.Duration) { th.deadline = at }
+
 // Close releases the thread's endpoint.
 func (th *Thread) Close() error { return th.ep.Close() }
 
@@ -236,6 +254,7 @@ func (th *Thread) Recycle() {
 	th.id, th.prefix, th.tag = "", "", ""
 	th.ep = nil
 	th.logOn = false
+	th.deadline = 0
 	clear(th.retained)
 	clear(th.dead)
 	clear(th.seq)

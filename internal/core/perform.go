@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -14,6 +15,13 @@ import (
 
 // errSignalTimeout marks an expired wait for toBeSignalled votes.
 var errSignalTimeout = errors.New("core: signalling vote timed out")
+
+// ErrDeadline reports that the thread's action deadline (SetDeadline,
+// propagated from the caller's context) expired mid-protocol: the doomed
+// action stops consuming runtime budget, undoes its local effects
+// best-effort and unwinds. It matches context.DeadlineExceeded under
+// errors.Is so callers can treat propagated deadlines uniformly.
+var ErrDeadline = fmt.Errorf("core: action deadline exceeded: %w", context.DeadlineExceeded)
 
 // Perform executes a top-level CA action: this thread plays the given role
 // of spec. It returns nil when the action exits successfully, or a
@@ -89,6 +97,12 @@ func (th *Thread) mapUserErr(ctx *Context, err error) error {
 		// external cancellation): surface the stop instead of raising.
 		return err
 	}
+	if errors.Is(err, ErrDeadline) {
+		// The propagated action deadline expired under the body: the action
+		// is doomed, so unwind instead of raising a fresh exception that
+		// would start a resolution round it has no budget left to run.
+		return err
+	}
 	if ctx.f.hasPendingWork() {
 		// The body swallowed a control error but state tells the truth.
 		return &pendingError{kind: kindInterrupt, frame: ctx.f}
@@ -113,6 +127,16 @@ func (th *Thread) conclude(ctx *Context, err error) error {
 		}
 		if err != nil {
 			if _, ok := err.(*pendingError); !ok {
+				if errors.Is(err, ErrDeadline) {
+					// Deadline-doomed action: undo local effects best-effort
+					// and unwind. Peers are not messaged — they unwind on the
+					// same propagated deadline (or their signal timeout), and
+					// sending into an already-missed exchange would only
+					// start protocol work the action has no budget for.
+					_ = f.tx.Undo()
+					th.rt.counters.deadlined.Add(1)
+					th.logf("deadline", "%s: abandoned at propagated deadline", f.id)
+				}
 				// Configuration errors surface immediately.
 				th.popFrame(f)
 				return err
@@ -245,14 +269,16 @@ func (th *Thread) exitAction(f *frame) (dec signal.Decision, decided bool, err e
 		deadline = th.rt.clock.Now() + timeout
 	}
 	err = th.pump(f, untilExitDecision, deadline)
-	if errors.Is(err, errSignalTimeout) && f.sig != nil {
-		// §3.4 extension: missing votes (lost messages) count as ƒ.
+	if (errors.Is(err, errSignalTimeout) || errors.Is(err, ErrDeadline)) && f.sig != nil {
+		// §3.4 extension: missing votes — lost messages, or votes a
+		// deadline-doomed action can no longer afford to wait for — count
+		// as ƒ, so the exit still concludes coordinately.
 		th.logf("exit.timeout", "%s: treating missing votes as ƒ", f.id)
 		dm := f.sig.MarkFailed(f.sig.Missing()...)
 		if dm.Done {
 			f.sigDec, f.hasSigDec = dm, true
-		} else {
-			err = th.pump(f, untilExitDecision, 0)
+		} else if err = th.pump(f, untilExitDecision, 0); err != nil {
+			return signal.Decision{}, false, err
 		}
 	} else if err != nil {
 		return signal.Decision{}, false, err
@@ -393,8 +419,13 @@ func (f *frame) condMet(cond pumpCond) bool {
 // pump processes incoming deliveries until cond holds. Information verdicts
 // (thread informed of concurrent exceptions) are left for cond to observe;
 // abort verdicts always unwind. A non-zero deadline bounds the wait with
-// errSignalTimeout.
+// errSignalTimeout. The thread's action deadline (SetDeadline) clamps every
+// pump — a doomed action must unwind with ErrDeadline instead of waiting on
+// peers past its budget.
 func (th *Thread) pump(f *frame, cond pumpCond, deadline time.Duration) error {
+	if th.deadline > 0 && (deadline == 0 || th.deadline < deadline) {
+		deadline = th.deadline
+	}
 	for {
 		if t := th.enclosingAbortTarget(f); t != "" && !f.aborting {
 			return &pendingError{kind: kindAbort, frame: f, target: t}
@@ -407,12 +438,12 @@ func (th *Thread) pump(f *frame, cond pumpCond, deadline time.Duration) error {
 		if deadline > 0 {
 			now := th.rt.clock.Now()
 			if now >= deadline {
-				return errSignalTimeout
+				return th.deadlineErr(now)
 			}
 			d, ok = th.ep.RecvTimeout(deadline - now)
 			if !ok {
-				if th.rt.clock.Now() >= deadline {
-					return errSignalTimeout
+				if now = th.rt.clock.Now(); now >= deadline {
+					return th.deadlineErr(now)
 				}
 				return ErrThreadStopped
 			}
@@ -427,4 +458,14 @@ func (th *Thread) pump(f *frame, cond pumpCond, deadline time.Duration) error {
 			return &pendingError{kind: kindAbort, frame: f, target: v.abortTarget}
 		}
 	}
+}
+
+// deadlineErr picks the error for an expired pump wait: ErrDeadline when the
+// thread's propagated action deadline is the (or a) constraint that expired,
+// errSignalTimeout when only the protocol wait's own deadline did.
+func (th *Thread) deadlineErr(now time.Duration) error {
+	if th.deadline > 0 && now >= th.deadline {
+		return ErrDeadline
+	}
+	return errSignalTimeout
 }

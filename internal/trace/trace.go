@@ -13,6 +13,7 @@ package trace
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -119,6 +120,48 @@ func (m *Metrics) String() string {
 	var b strings.Builder
 	for _, name := range names {
 		fmt.Fprintf(&b, "%s=%d\n", name, snap[name])
+	}
+	return b.String()
+}
+
+// WritePrometheus renders every counter in the Prometheus text exposition
+// format (one # TYPE line and one sample per counter, sorted by name).
+// Counter names are mapped onto the metric-name charset: every character
+// outside [a-zA-Z0-9_:] becomes '_' and the "caaction_" namespace prefix is
+// prepended, so "action.entries" is exposed as "caaction_action_entries".
+// All counters are monotonic, hence typed counter. The first write error
+// aborts the scrape and is returned.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	snap := m.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		metric := PrometheusName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", metric, metric, snap[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PrometheusName maps a counter name onto the exposed Prometheus metric
+// name: the "caaction_" namespace prefix plus the name with every character
+// outside the metric charset replaced by '_'.
+func PrometheusName(name string) string {
+	var b strings.Builder
+	b.Grow(len("caaction_") + len(name))
+	b.WriteString("caaction_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
 	}
 	return b.String()
 }

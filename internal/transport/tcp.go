@@ -351,6 +351,21 @@ func closeConn(c *tcpConn) {
 	_ = c.conn.Close()
 }
 
+// dropConn abandons a broken or stale connection: the flush timer is stopped
+// (nothing may fire on a dead socket after the owner forgot it) and the
+// socket closed, with no flush attempt — the stream is already poisoned or
+// belongs to a stale incarnation. Every teardown path must stop the timer:
+// closeConn for healthy closes, dropConn here for the re-dial paths, or a
+// batch-open timer on a forgotten connection outlives it.
+func dropConn(c *tcpConn) {
+	c.mu.Lock()
+	if c.timer != nil {
+		c.timer.Stop()
+	}
+	c.mu.Unlock()
+	_ = c.conn.Close()
+}
+
 // wire is the gob wire's on-the-wire frame (legacy format).
 type wire struct {
 	From string
@@ -505,7 +520,7 @@ func (t *TCP) nodeSend(from, to string, msg protocol.Message) error {
 				delete(t.nodeConns, hostport)
 			}
 			t.mu.Unlock()
-			_ = c.conn.Close()
+			dropConn(c)
 		}
 		return fmt.Errorf("transport: send to %q via %s: %w", to, hostport, err)
 	}
@@ -639,7 +654,7 @@ func (e *tcpEndpoint) Send(to string, msg protocol.Message) error {
 				delete(e.conns, to)
 			}
 			e.mu.Unlock()
-			_ = c.conn.Close()
+			dropConn(c)
 		}
 		return fmt.Errorf("transport: send to %q: %w", to, err)
 	}
@@ -758,7 +773,7 @@ func (e *tcpEndpoint) dial(to string) (*tcpConn, error) {
 		// The logical address re-bound to a new physical address since this
 		// connection was dialled: drop the stale connection and re-dial.
 		delete(e.conns, to)
-		_ = c.conn.Close()
+		dropConn(c)
 	}
 	e.mu.Unlock()
 
@@ -777,7 +792,7 @@ func (e *tcpEndpoint) dial(to string) (*tcpConn, error) {
 		_ = conn.Close() // lost the race; reuse the established one
 		return prev, nil
 	} else if ok {
-		_ = prev.conn.Close() // racing dial to a stale incarnation
+		dropConn(prev) // racing dial to a stale incarnation
 	}
 	e.conns[to] = c
 	return c, nil

@@ -37,6 +37,10 @@ type config struct {
 	log           *Log
 	workers       int
 
+	maxInFlight  int
+	tenantBudget int
+	metricsAddr  string
+
 	cluster *ClusterConfig
 
 	err error
@@ -244,6 +248,57 @@ func WithWorkers(n int) Option {
 			return
 		}
 		c.workers = n
+	}
+}
+
+// WithMaxInFlight bounds the number of simultaneously in-flight action
+// instances admitted by StartAction/StartTagged: once n actions have been
+// admitted and not yet finished, further starts fast-reject with a typed
+// *OverloadedError (matching ErrOverloaded) instead of queueing — the
+// admission-control half of keeping tail latency bounded under overload
+// (shed at the door; never collapse into an unbounded queue). Thread also
+// refuses with ErrOverloaded while the budget is exhausted. Zero — the
+// default — disables admission control. Size n near the concurrency at
+// which throughput saturates (the caload sweep's knee).
+func WithMaxInFlight(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			c.fail("WithMaxInFlight: negative budget %d", n)
+			return
+		}
+		c.maxInFlight = n
+	}
+}
+
+// WithTenantBudget bounds the in-flight actions of each single tenant
+// (WithTenant on StartAction) to n, so one noisy workload exhausts its own
+// budget — and fast-rejects with a *OverloadedError naming the tenant —
+// while other tenants keep being admitted. Actions started without a tenant
+// share the "" tenant. The global WithMaxInFlight budget (if any) still
+// applies on top. Zero disables per-tenant budgeting.
+func WithTenantBudget(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			c.fail("WithTenantBudget: negative budget %d", n)
+			return
+		}
+		c.tenantBudget = n
+	}
+}
+
+// WithMetricsAddr serves the system's counter registry as a Prometheus
+// text-format scrape: an HTTP listener binds addr (host:port; ":0" for an
+// ephemeral port, see System.MetricsAddr for the bound address) and answers
+// GET /metrics with every counter — protocol messages, action outcomes,
+// admission rejects — as "caaction_"-prefixed monotonic counters. The
+// listener is bound by New (a bind failure fails New) and closed by Close.
+func WithMetricsAddr(addr string) Option {
+	return func(c *config) {
+		if addr == "" {
+			c.fail("WithMetricsAddr: empty address")
+			return
+		}
+		c.metricsAddr = addr
 	}
 }
 

@@ -3,6 +3,8 @@ package caaction
 import (
 	"context"
 	"fmt"
+	"net"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -77,6 +79,20 @@ type System struct {
 	drainMu  sync.Mutex
 	inflight int
 	idlers   []chan struct{}
+
+	// Admission control (WithMaxInFlight / WithTenantBudget): budgets
+	// checked under drainMu alongside the in-flight count; tenants tracks
+	// per-tenant in-flight actions (allocated only when a tenant budget is
+	// set), and rejected counts typed ErrOverloaded fast-rejects.
+	maxInFlight  int
+	tenantBudget int
+	tenants      map[string]int
+	rejected     *trace.Counter
+
+	// Metrics endpoint (WithMetricsAddr): the bound /metrics HTTP listener
+	// and server, closed by Close.
+	metricsAddr string
+	metricsSrv  *http.Server
 
 	// Cluster mode (WithCluster): the placement predicate StartTagged uses
 	// to pick this node's roles, and the node's bound data listener address.
@@ -176,20 +192,56 @@ func New(opts ...Option) (*System, error) {
 		return nil, err
 	}
 	s := &System{
-		rt:      rt,
-		clock:   clk,
-		virtual: virtual,
-		net:     net,
-		metrics: cfg.metrics,
-		log:     cfg.log,
-		workers: cfg.workers,
+		rt:           rt,
+		clock:        clk,
+		virtual:      virtual,
+		net:          net,
+		metrics:      cfg.metrics,
+		log:          cfg.log,
+		workers:      cfg.workers,
+		maxInFlight:  cfg.maxInFlight,
+		tenantBudget: cfg.tenantBudget,
+		rejected:     cfg.metrics.Counter("admission.rejected"),
+	}
+	if cfg.tenantBudget > 0 {
+		s.tenants = make(map[string]int)
 	}
 	if cfg.cluster != nil {
 		s.clusterLocal = cfg.cluster.Local
 		s.clusterAddr = clusterAddr
 	}
+	if cfg.metricsAddr != "" {
+		if err := s.serveMetrics(cfg.metricsAddr); err != nil {
+			_ = s.Close()
+			return nil, err
+		}
+	}
 	return s, nil
 }
+
+// serveMetrics binds the WithMetricsAddr listener and serves the counter
+// registry as a Prometheus text-format scrape on GET /metrics.
+func (s *System) serveMetrics(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("caaction: WithMetricsAddr: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.metrics.WritePrometheus(w)
+	})
+	s.metricsAddr = ln.Addr().String()
+	s.metricsSrv = &http.Server{Handler: mux}
+	// An untracked OS goroutine: the scrape server answers wall-clock HTTP,
+	// never touching the system clock.
+	go func() { _ = s.metricsSrv.Serve(ln) }()
+	return nil
+}
+
+// MetricsAddr returns the bound host:port of the WithMetricsAddr scrape
+// listener, or "" when no metrics endpoint was configured.
+func (s *System) MetricsAddr() string { return s.metricsAddr }
 
 // rolePool lazily builds the WithWorkers role-worker pool; nil when the pool
 // is disabled or the clock cannot host resident daemon goroutines.
@@ -259,10 +311,12 @@ func (s *System) Runtime() *core.Runtime { return s.rt }
 func (s *System) ClusterAddr() string { return s.clusterAddr }
 
 // beginAction admits one action into the in-flight set, or refuses with
-// ErrDraining/ErrSystemClosed once shutdown has begun. Every successful
-// beginAction is balanced by exactly one endAction when the action's last
-// role finishes (or immediately, on a failed start).
-func (s *System) beginAction() error {
+// ErrDraining/ErrSystemClosed once shutdown has begun and with a typed
+// *OverloadedError once an admission budget (WithMaxInFlight,
+// WithTenantBudget) is exhausted. Every successful beginAction is balanced
+// by exactly one endAction with the same tenant when the action's last role
+// finishes (or immediately, on a failed start).
+func (s *System) beginAction(tenant string) error {
 	if s.closed.Load() {
 		return ErrSystemClosed
 	}
@@ -273,13 +327,33 @@ func (s *System) beginAction() error {
 		// tearing down (Close); either way new actions are not admitted.
 		return ErrDraining
 	}
+	if s.maxInFlight > 0 && s.inflight >= s.maxInFlight {
+		s.rejected.Add(1)
+		return &OverloadedError{Limit: s.maxInFlight}
+	}
+	if s.tenants != nil {
+		if s.tenants[tenant] >= s.tenantBudget {
+			s.rejected.Add(1)
+			return &OverloadedError{Limit: s.tenantBudget, Tenant: tenant}
+		}
+		s.tenants[tenant]++
+	}
 	s.inflight++
 	return nil
 }
 
-func (s *System) endAction() {
+func (s *System) endAction(tenant string) {
 	s.drainMu.Lock()
 	s.inflight--
+	if s.tenants != nil {
+		if s.tenants[tenant] <= 1 {
+			// Delete rather than store zero so an unbounded tenant-name
+			// space cannot grow the map without bound.
+			delete(s.tenants, tenant)
+		} else {
+			s.tenants[tenant]--
+		}
+	}
 	var idlers []chan struct{}
 	if s.inflight == 0 {
 		idlers, s.idlers = s.idlers, nil
@@ -288,6 +362,19 @@ func (s *System) endAction() {
 	for _, ch := range idlers {
 		close(ch)
 	}
+}
+
+// overloaded reports whether the global admission budget is currently
+// exhausted, for Thread's read-only fast-reject (creating a raw thread
+// consumes no action budget, but refusing new entry points while saturated
+// keeps overload behaviour uniform across both start paths).
+func (s *System) overloaded() bool {
+	if s.maxInFlight <= 0 {
+		return false
+	}
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	return s.inflight >= s.maxInFlight
 }
 
 // Drain gracefully quiesces the system: it stops admitting StartAction (and
@@ -340,6 +427,9 @@ func (s *System) Close() error {
 	s.poolOnce.Do(func() {})
 	if s.pool != nil {
 		s.pool.close()
+	}
+	if s.metricsSrv != nil {
+		_ = s.metricsSrv.Close()
 	}
 	_ = s.muxNet().Close() // via muxOnce, so a racing StartAction is safe
 	return s.net.Close()

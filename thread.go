@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"caaction/internal/core"
 )
@@ -20,13 +21,21 @@ type Thread struct {
 
 // Thread creates a thread with its own transport endpoint bound to id.
 // After Drain (or Close) has begun, Thread refuses with ErrDraining (then
-// ErrSystemClosed once Close completes).
+// ErrSystemClosed once Close completes). While the WithMaxInFlight
+// admission budget is exhausted, Thread fast-rejects with a typed
+// *OverloadedError (matching ErrOverloaded); raw threads consume no action
+// budget themselves, but new entry points are refused while the system is
+// saturated so both start paths shed load uniformly.
 func (s *System) Thread(id string) (*Thread, error) {
 	if s.closed.Load() {
 		return nil, ErrSystemClosed
 	}
 	if s.draining.Load() {
 		return nil, ErrDraining
+	}
+	if s.overloaded() {
+		s.rejected.Add(1)
+		return nil, &OverloadedError{Limit: s.maxInFlight}
 	}
 	inner, err := s.rt.NewThread(id)
 	if err != nil {
@@ -62,6 +71,14 @@ func (t *Thread) Perform(ctx context.Context, spec *Spec, role string, prog Role
 	}
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("caaction: %s/%s not started: %w", spec.Name, role, context.Cause(ctx))
+	}
+	// A ctx deadline propagates into the runtime's protocol waits (see
+	// StartAction); cleared when this ctx carries none, so a reused thread
+	// never inherits a stale deadline from an earlier Perform.
+	if dl, ok := ctx.Deadline(); ok {
+		t.inner.SetDeadline(t.sys.clock.Now() + time.Until(dl))
+	} else {
+		t.inner.SetDeadline(0)
 	}
 	if ctx.Done() == nil {
 		return t.inner.Perform(spec, role, prog)
