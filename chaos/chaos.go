@@ -66,12 +66,20 @@ type (
 	Summary   = chaos.Summary
 )
 
-// Scenario classes drawn by Generate.
+// RestartPlan is the kill-and-restart axis of a ClassRestart scenario:
+// one thread is killed mid-protocol and reborn from its write-ahead log,
+// re-joining the action when its crash falls inside the recovery window
+// and abandoning it deterministically otherwise (§3.4).
+type RestartPlan = chaos.RestartPlan
+
+// Scenario classes drawn by Generate (ClassRestart only by
+// GenerateRestart).
 const (
 	ClassConcurrent = chaos.ClassConcurrent
 	ClassStaggered  = chaos.ClassStaggered
 	ClassNested     = chaos.ClassNested
 	ClassFaulty     = chaos.ClassFaulty
+	ClassRestart    = chaos.ClassRestart
 )
 
 // Resolvers lists the resolution protocols every sweep exercises.
@@ -81,6 +89,13 @@ func Resolvers() []string { return append([]string(nil), chaos.Resolvers...) }
 // graph over 2–4 primitives, a random raise set, and per-class timing and
 // fault plans.
 func Generate(seed int64) Scenario { return chaos.Generate(seed) }
+
+// GenerateRestart derives a kill-and-restart recovery scenario from its
+// seed: a flat fault-free action in which one thread is killed
+// mid-protocol and later reborn from its write-ahead log. Run's Result
+// reports the recovery status in Reborn, and Check verifies the recovery
+// invariants on top of the usual safety checks.
+func GenerateRestart(seed int64) Scenario { return chaos.GenerateRestart(seed) }
 
 // Run executes the scenario under its own resolver, deterministically.
 func Run(s Scenario) (*Result, error) { return chaos.Run(s) }

@@ -9,7 +9,6 @@ import (
 	"strings"
 	"time"
 
-	"caaction"
 	"caaction/load"
 )
 
@@ -22,11 +21,13 @@ import (
 // Verbs: hello (peer exchange), status, start, result, metrics, scrape,
 // drain, stop.
 //
-// Error replies are plain text with one structured exception: a node that
-// refuses work because it is draining prefixes the message with
-// drainRefusedPrefix, and Call rehydrates that into an error matching
-// caaction.ErrDraining — so a remote driver distinguishes "backing off
-// for shutdown" from a genuine failure without parsing prose.
+// Error replies are plain text with a small typed-error table riding on
+// top (wireErrors): a drain refusal, an unknown result tag and an action
+// lost to a crash each prefix the message, and Call rehydrates the
+// prefix into an error matching caaction.ErrDraining, ErrUnknownTag or
+// ErrLostToCrash — so a remote driver distinguishes "backing off for
+// shutdown", "wrong tag" and "crashed outside its recovery window"
+// without parsing prose.
 
 // controlTimeout bounds one whole control call: dial, write, reply. Drain
 // calls pass their own, longer budget.
@@ -141,8 +142,10 @@ func Call(addr, verb string, req, resp any, timeout time.Duration) error {
 		return nil
 	case strings.HasPrefix(line, "err"):
 		msg := strings.TrimSpace(strings.TrimPrefix(line, "err"))
-		if rest, ok := strings.CutPrefix(msg, drainRefusedPrefix); ok {
-			return &drainRefusedError{verb: verb, msg: strings.TrimSpace(rest)}
+		for _, w := range wireErrors {
+			if rest, ok := strings.CutPrefix(msg, w.prefix); ok {
+				return &remoteError{verb: verb, msg: strings.TrimSpace(rest), cause: w.cause}
+			}
 		}
 		return fmt.Errorf("cluster: %s: %s", verb, msg)
 	default:
@@ -205,19 +208,9 @@ func Scrape(addr string) (string, error) {
 }
 
 // drainRefusedPrefix marks an error reply caused by the node draining;
-// Call turns it back into an error matching caaction.ErrDraining.
+// Call turns it back into an error matching caaction.ErrDraining (see
+// wireErrors for the full typed-error table).
 const drainRefusedPrefix = "draining:"
-
-// drainRefusedError is the client-side rehydration of a drain refusal.
-type drainRefusedError struct {
-	verb, msg string
-}
-
-func (e *drainRefusedError) Error() string {
-	return fmt.Sprintf("cluster: %s: node draining: %s", e.verb, e.msg)
-}
-
-func (e *drainRefusedError) Unwrap() error { return caaction.ErrDraining }
 
 // DrainNode asks a node to drain, blocking until its in-flight actions
 // finish or budget expires.
@@ -245,8 +238,11 @@ func (n *Node) serveControl(conn net.Conn) {
 	reply, err := n.handle(verb, []byte(strings.TrimSpace(rest)))
 	if err != nil {
 		msg := strings.ReplaceAll(err.Error(), "\n", " ")
-		if errors.Is(err, caaction.ErrDraining) {
-			msg = drainRefusedPrefix + " " + msg
+		for _, w := range wireErrors {
+			if errors.Is(err, w.cause) {
+				msg = w.prefix + " " + msg
+				break
+			}
 		}
 		fmt.Fprintf(conn, "err %s\n", msg)
 		return

@@ -32,10 +32,30 @@ type PeerRecord struct {
 // restart without flapping.
 const downAfter = 3
 
+// defaultTombstoneAfter is the number of exchange rounds a peer stays in
+// the table after being marked down before it is pruned to a tombstone.
+// Without pruning the table only ever grows: a permanently-dead peer is
+// re-gossiped by every survivor forever, dialled every exchange round,
+// and reported in every status — ten rounds past down is long enough for
+// any in-progress restart to announce its new epoch, short enough that a
+// node that is really gone stops costing dials.
+const defaultTombstoneAfter = 10
+
+// tombstoneExpiry is how many further exchange rounds a tombstone itself
+// survives, as a multiple of the prune threshold. The tombstone's job is
+// to absorb the dead incarnation's record still circulating in peers'
+// hello payloads (which would otherwise resurrect the entry and restart
+// the prune cycle); once the cluster has converged it is dead weight and
+// expires too.
+const tombstoneExpiry = 4
+
 type peerState struct {
 	rec   PeerRecord
 	fails int
 	down  bool
+	// downRounds counts exchange rounds spent down; at tombstoneAfter the
+	// peer is pruned from the table.
+	downRounds int
 }
 
 // directory is a node's view of the cluster: the static thread placement
@@ -43,22 +63,38 @@ type peerState struct {
 // callbacks of caaction.ClusterConfig (isLocal, resolveThread) and the
 // liveness bookkeeping of the exchange loop.
 type directory struct {
-	self      string
-	placement map[string]string // thread address → node name
+	self           string
+	placement      map[string]string // thread address → node name
+	tombstoneAfter int               // down rounds before pruning
 
 	mu    sync.RWMutex
 	peers map[string]*peerState // node name → newest known record
+	// tombstones remembers pruned peers' last epoch for a bounded number
+	// of rounds, so gossip of the dead incarnation cannot resurrect the
+	// entry; a genuinely restarted node announces a larger epoch and
+	// clears its tombstone.
+	tombstones map[string]*tombstone
 }
 
-func newDirectory(self string, placement map[string]string) *directory {
+type tombstone struct {
+	epoch  int64
+	rounds int
+}
+
+func newDirectory(self string, placement map[string]string, tombstoneAfter int) *directory {
+	if tombstoneAfter <= 0 {
+		tombstoneAfter = defaultTombstoneAfter
+	}
 	p := make(map[string]string, len(placement))
 	for th, node := range placement {
 		p[th] = node
 	}
 	return &directory{
-		self:      self,
-		placement: p,
-		peers:     make(map[string]*peerState),
+		self:           self,
+		placement:      p,
+		tombstoneAfter: tombstoneAfter,
+		peers:          make(map[string]*peerState),
+		tombstones:     make(map[string]*tombstone),
 	}
 }
 
@@ -100,6 +136,16 @@ func (d *directory) merge(recs []PeerRecord) {
 		if rec.Name == "" || rec.Name == d.self {
 			continue
 		}
+		if ts := d.tombstones[rec.Name]; ts != nil {
+			if rec.Epoch <= ts.epoch {
+				// Gossip of the pruned incarnation (or an older one):
+				// rejecting it is the whole point of the tombstone.
+				continue
+			}
+			// A strictly fresher epoch is a restarted node, alive by
+			// definition — the tombstone has done its job.
+			delete(d.tombstones, rec.Name)
+		}
 		ps := d.peers[rec.Name]
 		if ps == nil {
 			d.peers[rec.Name] = &peerState{rec: rec}
@@ -109,6 +155,7 @@ func (d *directory) merge(recs []PeerRecord) {
 			ps.rec = rec
 			ps.fails = 0
 			ps.down = false
+			ps.downRounds = 0
 		}
 	}
 }
@@ -158,6 +205,29 @@ func (d *directory) exchangeOK(control string) {
 	if ps := d.byControl(control); ps != nil {
 		ps.fails = 0
 		ps.down = false
+		ps.downRounds = 0
+	}
+}
+
+// tick advances the prune clock by one exchange round: peers down for
+// tombstoneAfter rounds are pruned to tombstones, and tombstones older
+// than tombstoneExpiry× that expire. Called once per exchange round.
+func (d *directory) tick() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for name, ps := range d.peers {
+		if name == d.self || !ps.down {
+			continue
+		}
+		if ps.downRounds++; ps.downRounds >= d.tombstoneAfter {
+			delete(d.peers, name)
+			d.tombstones[name] = &tombstone{epoch: ps.rec.Epoch}
+		}
+	}
+	for name, ts := range d.tombstones {
+		if ts.rounds++; ts.rounds >= d.tombstoneAfter*tombstoneExpiry {
+			delete(d.tombstones, name)
+		}
 	}
 }
 

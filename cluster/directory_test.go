@@ -18,7 +18,7 @@ func rec(name string, epoch int64) PeerRecord {
 // every hello exchange; if that hearsay cleared the tally, the dead peer
 // could never reach downAfter strikes and would stay "up" forever.
 func TestDirectorySameEpochRegossipKeepsTally(t *testing.T) {
-	d := newDirectory("a", map[string]string{"L1": "a", "L2": "b"})
+	d := newDirectory("a", map[string]string{"L1": "a", "L2": "b"}, 0)
 	d.setSelf(rec("a", 1))
 	b := rec("b", 7)
 	d.merge([]PeerRecord{b})
@@ -48,11 +48,78 @@ func TestDirectorySameEpochRegossipKeepsTally(t *testing.T) {
 	}
 }
 
+// TestDirectoryTombstoneExpiry pins the prune cycle for permanently-down
+// peers. Before tombstones the table never shrank: a dead peer was
+// re-gossiped by every survivor forever, re-dialled every exchange round
+// and reported in every status. The rule under test: a peer down for
+// tombstoneAfter rounds is pruned; gossip of the pruned (or any older)
+// incarnation does NOT resurrect it; a strictly fresher epoch does; and
+// the tombstone itself eventually expires.
+func TestDirectoryTombstoneExpiry(t *testing.T) {
+	const after = 4
+	d := newDirectory("a", map[string]string{"L1": "a", "L2": "b"}, after)
+	d.setSelf(rec("a", 1))
+	b := rec("b", 7)
+	d.merge([]PeerRecord{b})
+
+	for i := 0; i < downAfter; i++ {
+		d.exchangeFailed(b.Control)
+	}
+	if !d.peerDown("b") {
+		t.Fatal("peer not down after downAfter strikes")
+	}
+	for i := 1; i <= after; i++ {
+		d.tick()
+		pruned := i >= after
+		if got := len(d.exchangeTargets()) == 0; got != pruned {
+			t.Fatalf("after %d down rounds: pruned = %v, want %v", i, got, pruned)
+		}
+	}
+
+	// Survivors still gossip the dead incarnation (and an even older one);
+	// the tombstone must reject both.
+	d.merge([]PeerRecord{b, rec("b", 3)})
+	if len(d.exchangeTargets()) != 0 {
+		t.Fatal("gossip of the dead incarnation resurrected the pruned peer")
+	}
+	// A pruned peer is unknown, hence unreachable.
+	if _, ok := d.resolveThread("L2"); ok {
+		t.Fatal("resolveThread routed to a pruned peer")
+	}
+
+	// A restarted incarnation announces a strictly larger epoch: the
+	// tombstone yields immediately and the peer is live again.
+	d.merge([]PeerRecord{rec("b", 8)})
+	if d.peerDown("b") {
+		t.Fatal("fresh incarnation did not clear the tombstone")
+	}
+	if addr, ok := d.resolveThread("L2"); !ok || addr != "b:data" {
+		t.Fatalf("resolveThread after rebirth = %q, %v", addr, ok)
+	}
+
+	// Prune again, then let the tombstone itself expire: the old record
+	// can come back (and will be struck down again by the liveness tally)
+	// — the table must not reject names forever.
+	for i := 0; i < downAfter; i++ {
+		d.exchangeFailed(b.Control)
+	}
+	for i := 0; i < after*(1+tombstoneExpiry); i++ {
+		d.tick()
+	}
+	if len(d.tombstones) != 0 {
+		t.Fatalf("tombstones never expire: %d left", len(d.tombstones))
+	}
+	d.merge([]PeerRecord{rec("b", 8)})
+	if got := len(d.exchangeTargets()); got != 1 {
+		t.Fatalf("after tombstone expiry, re-merge left %d exchange targets, want 1", got)
+	}
+}
+
 // TestDirectoryExchangeOKResetsTally is the companion rule: strikes only
 // clear when this node itself reaches the peer (exchangeOK), not when
 // someone else claims to have.
 func TestDirectoryExchangeOKResetsTally(t *testing.T) {
-	d := newDirectory("a", map[string]string{"L1": "a", "L2": "b"})
+	d := newDirectory("a", map[string]string{"L1": "a", "L2": "b"}, 0)
 	d.setSelf(rec("a", 1))
 	b := rec("b", 7)
 	d.merge([]PeerRecord{b})

@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"caaction"
+)
+
+// Typed result errors. Both travel the control protocol: serveControl
+// prefixes the error reply and Call rehydrates it into an error matching
+// the sentinel, so a remote driver can errors.Is against them exactly as
+// a local embedder would.
+var (
+	// ErrUnknownTag reports a result query for a tag this node has never
+	// started (and has no write-ahead record of): the caller's tag is
+	// wrong, or it asked the wrong node.
+	ErrUnknownTag = errors.New("cluster: unknown action tag")
+	// ErrLostToCrash reports a result query for a tag this node's
+	// write-ahead log knows, but whose instance did not survive the crash
+	// — its recovery window had closed at replay, so it was abandoned
+	// deterministically rather than re-joined (§3.4).
+	ErrLostToCrash = errors.New("cluster: action lost to crash")
+)
+
+// wireErrors maps each sentinel that crosses the control protocol to the
+// reply prefix that carries it. serveControl consults this table when
+// encoding an error reply; Call consults it when decoding one.
+var wireErrors = []struct {
+	prefix string
+	cause  error
+}{
+	{drainRefusedPrefix, caaction.ErrDraining},
+	{unknownTagPrefix, ErrUnknownTag},
+	{lostToCrashPrefix, ErrLostToCrash},
+}
+
+const (
+	unknownTagPrefix  = "unknown-tag:"
+	lostToCrashPrefix = "lost-to-crash:"
+)
+
+// remoteError is the client-side rehydration of a typed error reply: the
+// remote node's message, matching the same sentinel locally.
+type remoteError struct {
+	verb, msg string
+	cause     error
+}
+
+func (e *remoteError) Error() string {
+	return fmt.Sprintf("cluster: %s: %s", e.verb, e.msg)
+}
+
+func (e *remoteError) Unwrap() error { return e.cause }

@@ -26,6 +26,8 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -78,6 +80,24 @@ type Config struct {
 	// the node's System; excess starts fail fast with a refusal matching
 	// caaction.ErrOverloaded (see caaction.WithMaxInFlight).
 	MaxInFlight int
+	// WALDir, when non-empty, makes the node durable: protocol state —
+	// entry-barrier joins, resolution raises, exit votes, outcomes, and
+	// tagged instance starts — is appended to <WALDir>/<Name>.wal before
+	// the corresponding message leaves the node. On boot the WAL is
+	// replayed: instances still inside their ActionTimeout window are
+	// re-started under the same tag (re-joining surviving peers through
+	// the entry barrier's re-announce path), the rest are abandoned
+	// deterministically and answer result queries with ErrLostToCrash.
+	// Empty disables durability: a crashed node forgets everything.
+	WALDir string
+	// SnapshotEvery is the WAL compaction cadence in records; <= 0 means
+	// the default (256).
+	SnapshotEvery int
+	// TombstoneAfter is how many exchange rounds a peer marked down stays
+	// in the directory before being pruned to a tombstone (which blocks
+	// gossip resurrection of the dead incarnation but yields to a fresh
+	// epoch). Zero means 10.
+	TombstoneAfter int
 	// Logf, when non-nil, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -129,9 +149,17 @@ type Node struct {
 	dir   *directory
 	sys   *caaction.System
 	ctl   net.Listener
+	wal   *caaction.WAL
+	prior caaction.WALState // replayed WAL state at boot
 
 	mu        sync.Mutex
 	instances map[string]*instance
+	// recovering and lost track tags the boot replay found open: a tag
+	// moves recovering → instances (re-started inside its window) or
+	// recovering → lost (abandoned, §3.4); result answers ErrLostToCrash
+	// for lost tags instead of ErrUnknownTag.
+	recovering map[string]bool
+	lost       map[string]bool
 
 	done chan struct{}
 	stop sync.Once
@@ -149,7 +177,20 @@ func New(cfg Config) (*Node, error) {
 	if err := validatePlacement(cfg.Name, cfg.Placement); err != nil {
 		return nil, err
 	}
-	dir := newDirectory(cfg.Name, cfg.Placement)
+	dir := newDirectory(cfg.Name, cfg.Placement, cfg.TombstoneAfter)
+	var w *caaction.WAL
+	var prior caaction.WALState
+	if cfg.WALDir != "" {
+		if err := os.MkdirAll(cfg.WALDir, 0o755); err != nil {
+			return nil, fmt.Errorf("cluster: node %s: wal dir: %w", cfg.Name, err)
+		}
+		var err error
+		w, err = caaction.OpenWAL(filepath.Join(cfg.WALDir, cfg.Name+".wal"), cfg.SnapshotEvery)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %s: wal: %w", cfg.Name, err)
+		}
+		prior = w.State()
+	}
 	opts := []caaction.Option{
 		caaction.WithCluster(caaction.ClusterConfig{
 			ListenAddr: cfg.DataAddr,
@@ -159,6 +200,9 @@ func New(cfg Config) (*Node, error) {
 		caaction.WithResolver(cfg.Resolver),
 		caaction.WithSignalTimeout(cfg.SignalTimeout),
 	}
+	if w != nil {
+		opts = append(opts, caaction.WithRecorder(w))
+	}
 	if cfg.MetricsAddr != "" {
 		opts = append(opts, caaction.WithMetricsAddr(cfg.MetricsAddr))
 	}
@@ -167,21 +211,34 @@ func New(cfg Config) (*Node, error) {
 	}
 	sys, err := caaction.New(opts...)
 	if err != nil {
+		if w != nil {
+			_ = w.Close()
+		}
 		return nil, fmt.Errorf("cluster: node %s: %w", cfg.Name, err)
 	}
 	ctl, err := net.Listen("tcp", cfg.ControlAddr)
 	if err != nil {
 		_ = sys.Close()
+		if w != nil {
+			_ = w.Close()
+		}
 		return nil, fmt.Errorf("cluster: node %s: control listener: %w", cfg.Name, err)
 	}
 	n := &Node{
-		cfg:       cfg,
-		epoch:     time.Now().UnixNano(),
-		dir:       dir,
-		sys:       sys,
-		ctl:       ctl,
-		instances: make(map[string]*instance),
-		done:      make(chan struct{}),
+		cfg:        cfg,
+		epoch:      time.Now().UnixNano(),
+		dir:        dir,
+		sys:        sys,
+		ctl:        ctl,
+		wal:        w,
+		prior:      prior,
+		instances:  make(map[string]*instance),
+		recovering: make(map[string]bool),
+		lost:       make(map[string]bool),
+		done:       make(chan struct{}),
+	}
+	for _, tag := range prior.OpenInstances() {
+		n.recovering[tag] = true
 	}
 	dir.setSelf(n.selfRecord())
 	return n, nil
@@ -217,6 +274,10 @@ func (n *Node) Serve() error {
 		n.cfg.Name, n.ControlAddr(), n.DataAddr(), n.epoch)
 	n.wg.Add(1)
 	go n.exchangeLoop()
+	if len(n.recovering) > 0 {
+		n.wg.Add(1)
+		go n.recoverInstances()
+	}
 	for {
 		conn, err := n.ctl.Accept()
 		if err != nil {
@@ -277,6 +338,9 @@ func (n *Node) exchangeOnce() {
 		n.dir.exchangeOK(addr)
 		n.dir.merge(rep.Records)
 	}
+	// One prune tick per round: peers down long enough become tombstones,
+	// stale tombstones expire.
+	n.dir.tick()
 }
 
 // handle dispatches one control request.
@@ -404,11 +468,21 @@ func (n *Node) startInstance(req StartRequest) (StartReply, error) {
 	inst.cancel = cancel
 	n.mu.Lock()
 	n.instances[req.Tag] = inst
+	delete(n.recovering, req.Tag)
 	n.mu.Unlock()
-	// Release the timeout's resources as soon as the instance finishes.
+	if n.wal != nil {
+		// Durable before the roles run: a crash from here on replays the
+		// tag as an open instance.
+		_ = n.wal.AppendInstanceStart(req.Tag, req.Kind, req.Roles)
+	}
+	// Release the timeout's resources as soon as the instance finishes,
+	// and mark the tag concluded in the WAL so a later replay skips it.
 	go func() {
 		h.WaitDone()
 		cancel()
+		if n.wal != nil {
+			_ = n.wal.AppendInstanceDone(req.Tag)
+		}
 	}()
 	n.cfg.Logf("node %s: started %s roles %v tag=%s", n.cfg.Name, req.Kind, h.Roles(), req.Tag)
 	return StartReply{Roles: h.Roles()}, nil
@@ -417,9 +491,19 @@ func (n *Node) startInstance(req StartRequest) (StartReply, error) {
 func (n *Node) result(tag string) (ResultInfo, error) {
 	n.mu.Lock()
 	inst := n.instances[tag]
+	recovering, lost := n.recovering[tag], n.lost[tag]
 	n.mu.Unlock()
 	if inst == nil {
-		return ResultInfo{}, fmt.Errorf("result: unknown tag %q", tag)
+		switch {
+		case lost:
+			return ResultInfo{}, fmt.Errorf("result: tag %q: %w", tag, ErrLostToCrash)
+		case recovering:
+			// The boot replay knows the tag but has not re-started or
+			// abandoned it yet; not typed — callers just poll again.
+			return ResultInfo{}, fmt.Errorf("result: tag %q still recovering", tag)
+		default:
+			return ResultInfo{}, fmt.Errorf("result: tag %q: %w", tag, ErrUnknownTag)
+		}
 	}
 	res := ResultInfo{Done: inst.h.Done(), Outcomes: make(map[string]string)}
 	inst.h.Each(func(role string, err error) {
@@ -429,6 +513,77 @@ func (n *Node) result(tag string) (ResultInfo, error) {
 	res.Decisions = append(res.Decisions, inst.decisions...)
 	inst.mu.Unlock()
 	return res, nil
+}
+
+// recoverInstances drives the boot replay's §3.4 decision for every tag
+// the write-ahead log left open: an instance still inside its
+// ActionTimeout window is re-started under the same tag once the
+// placement's peers answer hellos — its threads re-run the entry
+// barrier, which surviving peers answer with a re-announce, and the
+// resolution and exit protocols continue with the reborn roles — while
+// an instance whose window has closed is abandoned deterministically and
+// remembered as lost.
+func (n *Node) recoverInstances() {
+	defer n.wg.Done()
+	for _, tag := range n.prior.OpenInstances() {
+		inst := n.prior.Instances[tag]
+		deadline := time.Unix(0, inst.StartedWall).Add(n.cfg.ActionTimeout)
+		if !n.awaitPeers(deadline) {
+			n.markLost(tag, "recovery window closed before peers were reachable")
+			continue
+		}
+		if _, err := n.startInstance(StartRequest{Tag: tag, Kind: inst.Kind, Roles: inst.Roles}); err != nil {
+			n.markLost(tag, err.Error())
+			continue
+		}
+		n.cfg.Logf("node %s: re-joined instance tag=%s kind=%s", n.cfg.Name, tag, inst.Kind)
+	}
+}
+
+// awaitPeers polls the directory until every placement peer is live, the
+// deadline passes, or the node stops.
+func (n *Node) awaitPeers(deadline time.Time) bool {
+	names := make(map[string]bool)
+	for _, node := range n.cfg.Placement {
+		if node != n.cfg.Name {
+			names[node] = true
+		}
+	}
+	for {
+		if time.Now().After(deadline) {
+			return false
+		}
+		ready := true
+		for name := range names {
+			if n.dir.peerDown(name) {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			return true
+		}
+		select {
+		case <-n.done:
+			return false
+		case <-time.After(n.cfg.ExchangeEvery):
+		}
+	}
+}
+
+// markLost concludes a replayed tag as abandoned. The conclusion is
+// written back to the WAL, so a second crash does not replay the tag a
+// second time; the lost set itself is in-memory, so after a further
+// restart the tag answers ErrUnknownTag like any other forgotten tag.
+func (n *Node) markLost(tag, why string) {
+	n.mu.Lock()
+	delete(n.recovering, tag)
+	n.lost[tag] = true
+	n.mu.Unlock()
+	if n.wal != nil {
+		_ = n.wal.AppendInstanceDone(tag)
+	}
+	n.cfg.Logf("node %s: abandoned instance tag=%s after crash: %s", n.cfg.Name, tag, why)
 }
 
 // Drain gracefully quiesces the node's System; see System.Drain.
@@ -450,7 +605,11 @@ func (n *Node) Stop() error {
 		}
 		n.mu.Unlock()
 		serr := n.sys.Close()
-		err = errors.Join(cerr, serr)
+		var werr error
+		if n.wal != nil {
+			werr = n.wal.Close()
+		}
+		err = errors.Join(cerr, serr, werr)
 	})
 	return err
 }

@@ -1,0 +1,155 @@
+package cluster_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"caaction"
+	"caaction/cluster"
+	"caaction/load"
+)
+
+// TestClusterWALRecovery exercises the boot-replay decision rule end to
+// end through the public API: a tag the WAL shows concluded is not
+// replayed; a tag left open inside its window is re-started under the
+// same tag and runs to completion; and unknown tags answer with the
+// typed ErrUnknownTag across the control protocol.
+func TestClusterWALRecovery(t *testing.T) {
+	walDir := t.TempDir()
+	placement := map[string]string{load.ThreadName(0): "n1", load.ThreadName(1): "n1"}
+	cfg := cluster.Config{
+		Name:          "n1",
+		Placement:     placement,
+		ExchangeEvery: 50 * time.Millisecond,
+		WALDir:        walDir,
+		Logf:          t.Logf,
+	}
+
+	// First incarnation: run one instance to completion, then stop
+	// cleanly. Its conclusion must be durable.
+	n, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = n.Serve() }()
+	addr := n.ControlAddr()
+	if _, err := cluster.Start(addr, cluster.StartRequest{Tag: "done-tag", Kind: load.KindCommit, Roles: 2}); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	waitDone(t, addr, "done-tag")
+	if err := n.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-instance: append an open instance record the
+	// way a node does just before dispatch, without a conclusion.
+	w, err := caaction.OpenWAL(walDir+"/n1.wal", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendInstanceStart("open-tag", load.KindCommit, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second incarnation: replay must re-start open-tag (all its roles
+	// are local, so no peer wait) and leave done-tag concluded.
+	n2, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = n2.Stop() }()
+	go func() { _ = n2.Serve() }()
+	addr = n2.ControlAddr()
+
+	res := waitDone(t, addr, "open-tag")
+	if got := load.MergeOutcomes(outcomesOf(res)...); got != load.Expect(load.KindCommit) {
+		t.Fatalf("recovered instance outcome = %q, want %q", got, load.Expect(load.KindCommit))
+	}
+	// The concluded tag must NOT have been replayed into this incarnation.
+	if _, err := cluster.Result(addr, "done-tag"); !errors.Is(err, cluster.ErrUnknownTag) {
+		t.Fatalf("result for concluded tag = %v, want errors.Is(_, ErrUnknownTag)", err)
+	}
+	if _, err := cluster.Result(addr, "never-started"); !errors.Is(err, cluster.ErrUnknownTag) {
+		t.Fatalf("result for unknown tag = %v, want errors.Is(_, ErrUnknownTag)", err)
+	}
+}
+
+// TestClusterWALRecoveryLost pins the abandonment branch: an open
+// instance whose placement peers never come back inside the ActionTimeout
+// window is abandoned deterministically, and result answers the typed
+// ErrLostToCrash over the wire — distinguishable from a merely unknown
+// tag.
+func TestClusterWALRecoveryLost(t *testing.T) {
+	walDir := t.TempDir()
+	w, err := caaction.OpenWAL(walDir+"/n1.wal", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendInstanceStart("doomed", load.KindCommit, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The placement needs a peer ("n2") that never existed, so recovery
+	// waits out the window and gives up.
+	placement := map[string]string{load.ThreadName(0): "n1", load.ThreadName(1): "n2"}
+	n, err := cluster.New(cluster.Config{
+		Name:          "n1",
+		Placement:     placement,
+		ExchangeEvery: 25 * time.Millisecond,
+		ActionTimeout: 300 * time.Millisecond,
+		WALDir:        walDir,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = n.Stop() }()
+	go func() { _ = n.Serve() }()
+	addr := n.ControlAddr()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, err := cluster.Result(addr, "doomed")
+		if errors.Is(err, cluster.ErrLostToCrash) {
+			break
+		}
+		if errors.Is(err, cluster.ErrUnknownTag) {
+			t.Fatalf("replayed tag answered unknown-tag: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tag never became lost; last err: %v", err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// waitDone polls one node for a tag until every local role finished.
+func waitDone(t *testing.T, addr, tag string) cluster.ResultInfo {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		res, err := cluster.Result(addr, tag)
+		if err == nil && res.Done {
+			return res
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("instance %s never finished on %s (last err %v)", tag, addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func outcomesOf(res cluster.ResultInfo) []string {
+	var out []string
+	for _, o := range res.Outcomes {
+		out = append(out, o)
+	}
+	return out
+}

@@ -14,6 +14,7 @@ package testnet
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"os"
 	"os/exec"
@@ -57,6 +58,13 @@ type Config struct {
 	// LogDir receives one stderr log per node incarnation; default a
 	// fresh temp dir (reported in the summary).
 	LogDir string
+	// WALDir, when non-empty, gives every node a durable write-ahead log
+	// under <WALDir>/<name>; the restarted incarnation then replays its
+	// predecessor's WAL, and the harness asserts it re-joins (or
+	// deterministically abandons) the wounded round's instance instead of
+	// merely tolerating it. Empty runs the cluster memoryless, the
+	// pre-WAL behaviour.
+	WALDir string
 	// Logf receives driver progress lines; default os.Stderr.
 	Logf func(format string, args ...any)
 }
@@ -92,6 +100,10 @@ func (c Config) withDefaults() (Config, error) {
 			return c, fmt.Errorf("testnet: log dir: %w", err)
 		}
 		c.LogDir = dir
+	} else if err := os.MkdirAll(c.LogDir, 0o755); err != nil {
+		// An explicit log dir need not pre-exist: `canode -testnet -logdir X`
+		// on a fresh checkout must not fail before the first node boots.
+		return c, fmt.Errorf("testnet: log dir: %w", err)
 	}
 	if c.Logf == nil {
 		c.Logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
@@ -175,6 +187,11 @@ func (t *runner) spawn(name string, seeds []string, incarnation int) (*proc, err
 		"-exchange-every", "100ms",
 		"-signal-timeout", "3s",
 		"-action-timeout", "10s",
+	}
+	if t.cfg.WALDir != "" {
+		// Per-node WAL directory, shared across incarnations: the fresh
+		// incarnation must find its predecessor's log.
+		args = append(args, "-wal-dir", filepath.Join(t.cfg.WALDir, name))
 	}
 	if len(seeds) > 0 {
 		args = append(args, "-seeds", strings.Join(seeds, ","))
@@ -530,7 +547,42 @@ func (t *runner) killAndRestart(tag string) ([]*proc, error) {
 		}
 	}
 	t.cfg.Logf("testnet: %s restarted and rediscovered", victim.name)
+
+	// With a WAL, recovery owes more than tolerance: the reborn node
+	// replayed its predecessor's log, so the wounded tag must either
+	// re-join (result eventually Done) or be abandoned deterministically
+	// (typed ErrLostToCrash). A reborn node that has simply forgotten the
+	// tag lost write-ahead state — that is the regression this guards.
+	if t.cfg.WALDir != "" {
+		t.assertRejoin(fresh, tag)
+	}
 	return survivors, nil
+}
+
+// assertRejoin polls the reborn incarnation for the wounded round's tag
+// until the §3.4 recovery decision lands, violating on a forgotten tag.
+func (t *runner) assertRejoin(fresh *proc, tag string) {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		res, err := cluster.Result(fresh.control, tag)
+		switch {
+		case err == nil && res.Done:
+			t.cfg.Logf("testnet: %s re-joined wounded round %s after replay: outcomes %v",
+				fresh.name, tag, res.Outcomes)
+			return
+		case errors.Is(err, cluster.ErrLostToCrash):
+			t.cfg.Logf("testnet: %s abandoned wounded round %s (outside recovery window)", fresh.name, tag)
+			return
+		case errors.Is(err, cluster.ErrUnknownTag):
+			t.violate("reborn %s forgot wounded round %s: WAL replay lost the instance (%v)", fresh.name, tag, err)
+			return
+		}
+		if time.Now().After(deadline) {
+			t.violate("reborn %s never resolved wounded round %s (last: %+v, %v)", fresh.name, tag, res, err)
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
 }
 
 // teardown stops whatever is still running, hard-killing stragglers.

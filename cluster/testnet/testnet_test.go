@@ -26,7 +26,10 @@ func buildCanode(t *testing.T) string {
 // TestTestnetKillRestart runs the full scripted scenario — boot, mixed
 // rounds with a SIGKILL+restart mid-round, quiet storm rounds with the
 // §3.3.3 message bounds, graceful drain — against three real canode
-// processes and requires a clean pass.
+// processes and requires a clean pass. WALDir is set, so the harness
+// additionally asserts the reborn incarnation replays its predecessor's
+// write-ahead log and re-joins (or deterministically abandons) the
+// wounded round's instance rather than forgetting it.
 func TestTestnetKillRestart(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns child processes; skipped in -short mode")
@@ -39,6 +42,7 @@ func TestTestnetKillRestart(t *testing.T) {
 		StormRounds: 2,
 		KillRestart: true,
 		LogDir:      t.TempDir(),
+		WALDir:      t.TempDir(),
 		Logf:        t.Logf,
 	})
 	if err != nil {

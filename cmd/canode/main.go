@@ -39,6 +39,7 @@ func main() {
 		actionTimeout = flag.Duration("action-timeout", 30*time.Second, "per-instance end-to-end timeout")
 		metricsAddr   = flag.String("metrics", "", "HTTP /metrics listener host:port ('' disables; counters stay scrapeable over the control port)")
 		maxInFlight   = flag.Int("max-inflight", 0, "admission budget for locally-started actions (0 = unlimited)")
+		walDir        = flag.String("wal-dir", "", "directory for the node's protocol write-ahead log ('' runs memoryless; a restart replays <wal-dir>/<name>.wal)")
 
 		// testnet mode
 		nodes       = flag.Int("nodes", 3, "testnet cluster size")
@@ -46,6 +47,7 @@ func main() {
 		rounds      = flag.Int("rounds", 4, "mixed workload rounds")
 		stormRounds = flag.Int("storm-rounds", 3, "quiet storm rounds for the §3.3.3 message bounds")
 		logDir      = flag.String("logdir", "", "per-node log directory (default: temp dir)")
+		walRoot     = flag.String("waldir", "", "testnet: WAL root directory — each node logs under <waldir>/<name> and the restarted node must replay ('' runs memoryless)")
 		binary      = flag.String("bin", "", "canode binary to spawn (default: this executable)")
 		noKill      = flag.Bool("no-kill", false, "skip the mid-round kill/restart")
 	)
@@ -56,10 +58,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "canode: pass exactly one of -node or -testnet")
 		os.Exit(2)
 	case *nodeMode:
-		os.Exit(runNode(*name, *controlAddr, *dataAddr, *seeds, *placement, *resolver, *metricsAddr,
+		os.Exit(runNode(*name, *controlAddr, *dataAddr, *seeds, *placement, *resolver, *metricsAddr, *walDir,
 			*exchangeEvery, *signalTimeout, *actionTimeout, *maxInFlight))
 	default:
-		os.Exit(runTestnet(*binary, *nodes, *roles, *rounds, *stormRounds, *resolver, *logDir, !*noKill))
+		os.Exit(runTestnet(*binary, *nodes, *roles, *rounds, *stormRounds, *resolver, *logDir, *walRoot, !*noKill))
 	}
 }
 
@@ -83,7 +85,7 @@ func parsePlacement(s string) (map[string]string, error) {
 	return out, nil
 }
 
-func runNode(name, controlAddr, dataAddr, seeds, placement, resolver, metricsAddr string,
+func runNode(name, controlAddr, dataAddr, seeds, placement, resolver, metricsAddr, walDir string,
 	exchangeEvery, signalTimeout, actionTimeout time.Duration, maxInFlight int) int {
 	place, err := parsePlacement(placement)
 	if err != nil {
@@ -99,6 +101,13 @@ func runNode(name, controlAddr, dataAddr, seeds, placement, resolver, metricsAdd
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, time.Now().Format("15:04:05.000 ")+format+"\n", args...)
 	}
+
+	// Register for shutdown signals before anything binds: a supervisor
+	// may SIGTERM a node that is still booting, and losing that signal
+	// would leave listeners (and a half-replayed WAL) behind.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+
 	n, err := cluster.New(cluster.Config{
 		Name:          name,
 		ControlAddr:   controlAddr,
@@ -111,12 +120,34 @@ func runNode(name, controlAddr, dataAddr, seeds, placement, resolver, metricsAdd
 		ActionTimeout: actionTimeout,
 		MetricsAddr:   metricsAddr,
 		MaxInFlight:   maxInFlight,
+		WALDir:        walDir,
 		Logf:          logf,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+
+	// Test hook: widen the pre-READY window so the early-signal path can
+	// be exercised deterministically from the harness test.
+	if d := os.Getenv("CANODE_TEST_BOOT_DELAY"); d != "" {
+		if dur, perr := time.ParseDuration(d); perr == nil {
+			time.Sleep(dur)
+		}
+	}
+
+	// A signal delivered before READY means the supervisor changed its
+	// mind mid-boot: tear down what was built and exit cleanly without
+	// ever announcing readiness — the harness must never see a READY line
+	// from a node that is already dying.
+	select {
+	case sig := <-sigc:
+		logf("node %s: %v before ready: stopping", name, sig)
+		_ = n.Stop()
+		return 0
+	default:
+	}
+
 	// The harness parses this line to learn the bound ephemeral ports.
 	// metrics= appears only when -metrics bound an HTTP listener.
 	ready := fmt.Sprintf("READY name=%s control=%s data=%s", name, n.ControlAddr(), n.DataAddr())
@@ -127,8 +158,6 @@ func runNode(name, controlAddr, dataAddr, seeds, placement, resolver, metricsAdd
 
 	// SIGINT/SIGTERM: graceful exit — stop admitting, finish in-flight
 	// resolutions (bounded), then tear down.
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		sig := <-sigc
 		logf("node %s: %v: draining then stopping", name, sig)
@@ -145,7 +174,7 @@ func runNode(name, controlAddr, dataAddr, seeds, placement, resolver, metricsAdd
 	return 0
 }
 
-func runTestnet(binary string, nodes, roles, rounds, stormRounds int, resolver, logDir string, killRestart bool) int {
+func runTestnet(binary string, nodes, roles, rounds, stormRounds int, resolver, logDir, walRoot string, killRestart bool) int {
 	if binary == "" {
 		self, err := os.Executable()
 		if err != nil {
@@ -162,6 +191,7 @@ func runTestnet(binary string, nodes, roles, rounds, stormRounds int, resolver, 
 		StormRounds: stormRounds,
 		Resolver:    resolver,
 		LogDir:      logDir,
+		WALDir:      walRoot,
 		KillRestart: killRestart,
 	})
 	if sum != nil {

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildSelf compiles this command into a temp dir; the tests below need a
+// real process to signal, not an in-process call.
+func buildSelf(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "canode")
+	out, err := exec.Command("go", "build", "-o", bin, "caaction/cmd/canode").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building canode: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestEarlySIGTERMExitsCleanly pins the pre-READY signal window: a
+// supervisor that terminates a node while it is still booting must get a
+// clean exit (code 0), and the node must never print READY — a harness
+// that saw READY would start driving a process that is already dying. The
+// CANODE_TEST_BOOT_DELAY hook holds the node between listener bind and the
+// READY line so the window is wide enough to hit deterministically.
+func TestEarlySIGTERMExitsCleanly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a child process; skipped in -short mode")
+	}
+	bin := buildSelf(t)
+	cmd := exec.Command(bin,
+		"-node", "-name", "n1", "-placement", "L1=n1",
+		"-wal-dir", t.TempDir())
+	cmd.Env = append(os.Environ(), "CANODE_TEST_BOOT_DELAY=3s")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Give the process time to register its signal handler (done before
+	// any listener binds), then terminate it mid-boot-delay.
+	time.Sleep(500 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("early SIGTERM exit: %v (stderr:\n%s)", err, stderr.String())
+	}
+	if out := stdout.String(); strings.Contains(out, "READY") {
+		t.Fatalf("node printed READY despite dying pre-ready:\n%s", out)
+	}
+	if !strings.Contains(stderr.String(), "before ready") {
+		t.Fatalf("missing pre-ready shutdown log; stderr:\n%s", stderr.String())
+	}
+}
+
+// TestWALDirCreationFailure pins the boot error path: an unusable -wal-dir
+// (here, a path under a regular file) must fail fast with exit code 1 and
+// a diagnostic, not silently run memoryless.
+func TestWALDirCreationFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a child process; skipped in -short mode")
+	}
+	bin := buildSelf(t)
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, []byte("not a dir"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin,
+		"-node", "-name", "n1", "-placement", "L1=n1",
+		"-wal-dir", filepath.Join(blocker, "wal"))
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("exit = %v, want exit code 1; output:\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "wal dir") {
+		t.Fatalf("missing wal-dir diagnostic; output:\n%s", out)
+	}
+}

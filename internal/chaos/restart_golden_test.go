@@ -1,0 +1,124 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenRestartSeeds pins one deterministic replay per recovery shape of
+// the kill-and-restart axis. Together they cover all three resolvers and
+// every branch of the §3.4 recovery decision rule, so any change to the
+// write-ahead log contents, the replay decision or the re-join protocol
+// that perturbs recovery fails the byte-for-byte diff below.
+//
+//	seed  8: recovered — killed after conclusion, replay recovers the
+//	         recorded outcome (r96, 4 threads)
+//	seed 10: re-join — killed mid-protocol, reborn inside the window,
+//	         completes the action cleanly with the survivors (cr86, 5 threads)
+//	seed 40: deadline — reborn inside the window but the survivors moved
+//	         on; the re-join unwinds at the window deadline, survivors
+//	         degrade and complete (coordinated, 3 threads)
+//	seed 59: re-join — second clean re-join under coordinated, 5 threads
+//	seed 60: lost — reborn after the window closed, the action is
+//	         abandoned deterministically (cr86, 3 threads)
+var goldenRestartSeeds = []int64{8, 10, 40, 59, 60}
+
+func goldenRestartPath(seed int64) string {
+	return filepath.Join("testdata", "golden", fmt.Sprintf("restart_seed_%d.trace", seed))
+}
+
+func goldenRestartContent(t *testing.T, seed int64) string {
+	t.Helper()
+	s := GenerateRestart(seed)
+	res, err := Run(s)
+	if err != nil {
+		t.Fatalf("restart seed %d: %v", seed, err)
+	}
+	if v := res.Check(); len(v) != 0 {
+		t.Fatalf("restart seed %d violations: %v", seed, v)
+	}
+	p := s.Restart
+	return fmt.Sprintf("# golden trace: chaos restart seed %d\n# resolver=%s threads=%d victim=%s kill=%v rebirth=%v window=%v\n%s",
+		seed, s.Resolver, s.Threads, p.Thread, p.KillAt, p.RebirthAt, p.Window, res.Fingerprint())
+}
+
+// TestGoldenRestartTraces replays every pinned restart seed, checks the
+// recovery invariants, and diffs the fingerprint — engine trace including
+// kill/rebirth events, survivor and reborn-incarnation decisions, and the
+// recovery status line — byte-for-byte against the committed file.
+// Regenerate deliberately with
+//
+//	go test ./internal/chaos -run TestGoldenRestartTraces -update
+func TestGoldenRestartTraces(t *testing.T) {
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Join("testdata", "golden"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, seed := range goldenRestartSeeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed_%d", seed), func(t *testing.T) {
+			got := goldenRestartContent(t, seed)
+			path := goldenRestartPath(seed)
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("restart seed %d diverged from golden trace %s.\nThis means deterministic recovery changed; "+
+					"if intentional, regenerate with -update and review the diff.\n--- got ---\n%s\n--- want ---\n%s",
+					seed, path, got, want)
+			}
+		})
+	}
+}
+
+// TestRestartShapesCovered asserts the pinned seeds really exercise every
+// branch of the recovery decision rule — if a generator or protocol
+// change shifts a seed's shape, this fails before the golden diff
+// confuses the matter.
+func TestRestartShapesCovered(t *testing.T) {
+	shapes := make(map[string]int64)
+	for _, seed := range goldenRestartSeeds {
+		s := GenerateRestart(seed)
+		res, err := Run(s)
+		if err != nil {
+			t.Fatalf("restart seed %d: %v", seed, err)
+		}
+		status := res.Reborn[s.Restart.Thread]
+		shape, _, _ := strings.Cut(status, ":")
+		if _, dup := shapes[shape]; !dup {
+			shapes[shape] = seed
+		}
+	}
+	for _, want := range []string{"rejoin", "recovered", "lost"} {
+		if _, ok := shapes[want]; !ok {
+			t.Errorf("no pinned restart seed produces recovery shape %q (got %v)", want, shapes)
+		}
+	}
+}
+
+// TestRestartSweep runs a band of generated restart scenarios and checks
+// the recovery invariants on each — the broad companion to the pinned
+// golden seeds.
+func TestRestartSweep(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		s := GenerateRestart(seed)
+		res, err := Run(s)
+		if err != nil {
+			t.Fatalf("restart seed %d: %v", seed, err)
+		}
+		if v := res.Check(); len(v) != 0 {
+			t.Errorf("restart seed %d violations: %v", seed, v)
+		}
+	}
+}

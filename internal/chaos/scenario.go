@@ -16,6 +16,7 @@ import (
 	"caaction/internal/trace"
 	"caaction/internal/transport"
 	"caaction/internal/vclock"
+	"caaction/internal/wal"
 )
 
 // Scenario classes. Generate draws one per seed.
@@ -74,6 +75,10 @@ type Scenario struct {
 	RaiseAfter map[string]time.Duration // thread -> virtual raise instant
 	Work       map[string]time.Duration // non-raisers' modelled computation
 	Faults     Faults
+	// Restart is the kill-and-restart axis (ClassRestart): one thread is
+	// killed mid-protocol and reborn from its write-ahead log. nil for
+	// every other class.
+	Restart *RestartPlan
 }
 
 // ThreadIDs returns the scenario's participant identifiers T1..Tn, sorted in
@@ -237,6 +242,11 @@ type Result struct {
 	Aborted   int64 // metrics action.aborted (aborted frames)
 	Msg       map[string]int64
 	Trace     string
+	// Reborn reports the recovery status of each restarted thread
+	// (ClassRestart only, nil otherwise): "rejoin:<outcome>",
+	// "recovered:<outcome>", "lost" or "norecord". The reborn
+	// incarnation's decisions appear in Decisions under rebornKey.
+	Reborn map[string]string
 }
 
 // Participants lists the run's participant keys in deterministic order: the
@@ -274,17 +284,26 @@ func RunWith(s Scenario, resolverName string) (*Result, error) {
 	engine := NewEngine(clk, sim, s.Seed^0x5DEECE66D, s.Faults, threads)
 
 	var sigTO time.Duration
-	if s.Faults.Active() {
+	if s.Faults.Active() || s.Restart != nil {
 		// Lost exit votes degrade to ƒ instead of stalling the exit.
 		sigTO = 500 * time.Millisecond
 	}
-	rt, err := core.New(core.Config{
+	// Restart scenarios record protocol state into an in-memory
+	// write-ahead log, timestamped by the virtual clock; the reborn
+	// thread replays it to decide what to re-join.
+	var rec *wal.Memory
+	cfg := core.Config{
 		Clock:         clk,
 		Network:       sim,
 		Protocol:      proto,
 		Metrics:       metrics,
 		SignalTimeout: sigTO,
-	})
+	}
+	if s.Restart != nil {
+		rec = wal.NewMemory(clk)
+		cfg.Recorder = rec
+	}
+	rt, err := core.New(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -404,6 +423,10 @@ func RunWith(s Scenario, resolverName string) (*Result, error) {
 			mu.Unlock()
 		})
 	}
+	if s.Restart != nil {
+		res.Reborn = make(map[string]string, 1)
+		scheduleRestart(clk, engine, rt, s, outer, res, &mu, rec)
+	}
 	clk.Wait()
 
 	res.Stalled = engine.Stalled()
@@ -453,6 +476,11 @@ func classify(err error) string {
 	if errors.Is(err, core.ErrThreadStopped) {
 		return "stopped"
 	}
+	if errors.Is(err, core.ErrDeadline) {
+		// Only reborn threads run under a deadline (the recovery window):
+		// the survivors moved on, and the re-join unwound deterministically.
+		return "deadline"
+	}
 	return "error: " + err.Error()
 }
 
@@ -464,6 +492,19 @@ func (r *Result) Fingerprint() string {
 	b.WriteString("\n--\n")
 	for _, p := range r.Participants() {
 		fmt.Fprintf(&b, "%s %s %v\n", p, r.Outcomes[p], r.Decisions[p])
+	}
+	if len(r.Reborn) > 0 {
+		// Restart runs append the reborn incarnations; other classes leave
+		// Reborn nil, so their fingerprints are byte-identical to earlier
+		// revisions.
+		threads := make([]string, 0, len(r.Reborn))
+		for th := range r.Reborn {
+			threads = append(threads, th)
+		}
+		sort.Strings(threads)
+		for _, th := range threads {
+			fmt.Fprintf(&b, "reborn %s %s %v\n", th, r.Reborn[th], r.Decisions[rebornKey(th)])
+		}
 	}
 	fmt.Fprintf(&b, "stalled=%v rounds=%d aborted=%d\n", r.Stalled, r.Rounds, r.Aborted)
 	return b.String()
@@ -485,6 +526,8 @@ func (r *Result) Check() []string {
 	case ClassNested:
 		v = append(v, r.checkLive()...)
 		v = append(v, r.checkAbortCascade()...)
+	case ClassRestart:
+		v = append(v, r.checkRestart()...)
 	}
 	return v
 }

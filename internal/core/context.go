@@ -102,6 +102,11 @@ func (c *Context) Raise(id except.ID, info string) error {
 	th.ensureInstance(f)
 	exc := except.Raised{ID: id, Origin: th.id, Info: info, At: th.rt.clock.Now()}
 	th.rt.counters.raises.Add(1)
+	if th.rt.rec != nil {
+		// Write-ahead: the raise is durable before the Exception messages go
+		// out.
+		th.rt.rec.RecordRaise(th.id, f.id, f.round, string(id))
+	}
 	if th.logOn {
 		th.logf("raise", "%s: %s (%s)", f.id, id, info)
 	}

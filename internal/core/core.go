@@ -55,6 +55,34 @@ type Config struct {
 	// exception (the §3.4 extension for lost messages). Zero disables the
 	// timeout, which is correct for reliable transports.
 	SignalTimeout time.Duration
+	// Recorder, when non-nil, receives write-ahead protocol state: joins,
+	// raises, exit votes and outcomes are recorded before the corresponding
+	// message is sent, so a restarted node can replay them (internal/wal).
+	// With a recorder installed, threads also answer duplicate Enter
+	// messages — a restarted peer re-running its entry barrier — once per
+	// peer per frame, which is what lets a reborn thread re-join.
+	Recorder Recorder
+}
+
+// Recorder is the write-ahead sink for protocol state. Implementations
+// stamp their own timestamps (wall clock for the durable WAL, virtual
+// clock for deterministic chaos) and must be safe for concurrent use —
+// every thread of the runtime records through the same instance.
+type Recorder interface {
+	// RecordJoin is called before the thread announces itself at an
+	// action's entry barrier.
+	RecordJoin(thread, action, role string)
+	// RecordRaise is called before an exception is raised into the given
+	// resolution round.
+	RecordRaise(thread, action string, round int, exc string)
+	// RecordVote is called before the thread casts its exit vote (exc is
+	// "" for a clean commit).
+	RecordVote(thread, action string, round int, exc string)
+	// RecordOutcome is called when the action concludes locally: "ok",
+	// "undone", "failed", "signalled:<exc>", "aborted", "deadline" or
+	// "error". A crash-stopped thread records nothing — that absence is
+	// exactly what replay uses to find in-flight actions.
+	RecordOutcome(thread, action, outcome string)
 }
 
 // Runtime hosts threads and the distributed CA-action machinery of one node
@@ -67,6 +95,7 @@ type Runtime struct {
 	metrics *trace.Metrics
 	log     *trace.Log
 	sigTO   time.Duration
+	rec     Recorder
 
 	// counters are the runtime's metric counters, interned once at
 	// construction so the per-action paths bump atomics instead of paying a
@@ -113,6 +142,7 @@ func New(cfg Config) (*Runtime, error) {
 		metrics: cfg.Metrics,
 		log:     cfg.Log,
 		sigTO:   cfg.SignalTimeout,
+		rec:     cfg.Recorder,
 	}
 	rt.counters.entries = cfg.Metrics.Counter("action.entries")
 	rt.counters.rounds = cfg.Metrics.Counter("action.rounds")
@@ -237,6 +267,18 @@ func (th *Thread) SetDeadline(at time.Duration) { th.deadline = at }
 
 // Close releases the thread's endpoint.
 func (th *Thread) Close() error { return th.ep.Close() }
+
+// MarkDead declares an action instance finished from this thread's point
+// of view without performing it: stray deliveries for it are dropped
+// instead of retained. Recovery uses it to reinstall replayed state for
+// actions a restarted thread decides NOT to re-join (the deterministic
+// abort of §3.4) — peers may still address messages to the old
+// incarnation, and those must not pile up as retained state. Call from
+// the thread's own goroutine, before Perform.
+func (th *Thread) MarkDead(action string) {
+	th.dead[action] = true
+	delete(th.retained, action)
+}
 
 // Recycle scrubs an idle, closed thread and returns it to the runtime's
 // pool, so the next NewThread/NewThreadOn reuses its allocations (the
@@ -366,7 +408,11 @@ type frame struct {
 	// enteredN counts distinct arrivals (duplicate Enters are idempotent).
 	entered  []bool
 	enteredN int
-	apps     map[string][]any // lazily allocated on the first App payload
+	// reann marks peers whose post-barrier duplicate Enter has been
+	// answered (a restarted peer re-joining); lazily allocated — only
+	// recovery paths ever touch it.
+	reann []bool
+	apps  map[string][]any // lazily allocated on the first App payload
 
 	// Abort coordination: same-round resolution messages received for this
 	// frame while the thread was nested inside it. The first one triggers
@@ -453,19 +499,41 @@ func (th *Thread) releaseFrame(f *frame) {
 	th.rt.framePool.Put(f)
 }
 
-// markEntered records one arrival at the frame's entry barrier. Arrivals
-// from non-participants are ignored, and duplicates (a chaos fault
-// re-delivering an Enter) are idempotent.
-func (f *frame) markEntered(thread string) {
+// markEntered records one arrival at the frame's entry barrier, reporting
+// whether the arrival was new. Arrivals from non-participants are ignored,
+// and duplicates (a chaos fault re-delivering an Enter, or a restarted
+// peer re-running its barrier) are idempotent.
+func (f *frame) markEntered(thread string) bool {
 	for i, p := range f.peers {
 		if p == thread {
 			if !f.entered[i] {
 				f.entered[i] = true
 				f.enteredN++
+				return true
 			}
-			return
+			return false
 		}
 	}
+	return false
+}
+
+// reannounce records that this frame answered a restarted peer's duplicate
+// Enter, returning true the first time per peer — the reply is sent once,
+// so re-join stays bounded with no Enter ping-pong.
+func (f *frame) reannounce(thread string) bool {
+	if f.reann == nil {
+		f.reann = make([]bool, len(f.peers))
+	}
+	for i, p := range f.peers {
+		if p == thread {
+			if f.reann[i] {
+				return false
+			}
+			f.reann[i] = true
+			return true
+		}
+	}
+	return false
 }
 
 // addApp buffers one cooperation payload, allocating the per-sender map
@@ -544,7 +612,14 @@ func (th *Thread) routeInnermost(f *frame, d transport.Delivery) routeVerdict {
 	}
 	switch m := d.Msg.(type) {
 	case protocol.Enter:
-		f.markEntered(m.From)
+		if !f.markEntered(m.From) && th.rt.rec != nil && f.enteredN == len(f.peers) {
+			// A duplicate Enter after the barrier completed, on a runtime
+			// with a recorder: a restarted peer is re-running its entry
+			// barrier. Answer once so its barrier can complete.
+			if f.reannounce(m.From) {
+				th.send(m.From, protocol.Enter{Action: f.id, From: th.id, Role: f.role})
+			}
+		}
 		return routeVerdict{}
 
 	case protocol.App:

@@ -119,6 +119,7 @@ func (th *Thread) conclude(ctx *Context, err error) error {
 		if pe, ok := err.(*pendingError); ok && pe.kind == kindAbort {
 			eab := th.runAbortion(ctx)
 			th.rt.counters.aborted.Add(1)
+			th.recordOutcome(f, "aborted")
 			// Log before popFrame: the pop recycles the frame, so f.id must
 			// not be read afterwards.
 			th.logf("aborted", "%s (target %s, Eab=%q)", f.id, pe.target, eab)
@@ -135,7 +136,13 @@ func (th *Thread) conclude(ctx *Context, err error) error {
 					// start protocol work the action has no budget for.
 					_ = f.tx.Undo()
 					th.rt.counters.deadlined.Add(1)
+					th.recordOutcome(f, "deadline")
 					th.logf("deadline", "%s: abandoned at propagated deadline", f.id)
+				} else if !errors.Is(err, ErrThreadStopped) {
+					// A crash-stop (ErrThreadStopped) records nothing: its
+					// absence from the WAL is what marks the action in
+					// flight for replay. Other errors conclude the action.
+					th.recordOutcome(f, "error")
 				}
 				// Configuration errors surface immediately.
 				th.popFrame(f)
@@ -209,6 +216,10 @@ func (th *Thread) dispatchHandler(ctx *Context, out resolve.Outcome) error {
 // before the barrier completes leave the frame informed; the body is then
 // skipped entirely.
 func (th *Thread) entryBarrier(f *frame) error {
+	if th.rt.rec != nil {
+		// Write-ahead: the join is durable before any peer can learn of it.
+		th.rt.rec.RecordJoin(th.id, f.id, f.role)
+	}
 	for _, p := range f.peers {
 		if p != th.id {
 			th.send(p, protocol.Enter{Action: f.id, From: th.id, Role: f.role})
@@ -242,6 +253,10 @@ func (th *Thread) exitAction(f *frame) (dec signal.Decision, decided bool, err e
 	// Replay same-round votes that arrived before the local vote was cast.
 	pending := f.votes
 	f.votes = nil
+	if th.rt.rec != nil {
+		// Write-ahead: the exit vote is durable before it is cast.
+		th.rt.rec.RecordVote(th.id, f.id, f.round, string(f.epsilon))
+	}
 	if d0 := f.sig.Start(f.epsilon); d0.Done {
 		f.sigDec, f.hasSigDec = d0, true
 	}
@@ -303,12 +318,14 @@ func (th *Thread) finalize(f *frame, dec signal.Decision) error {
 			th.logf("commit.error", "%s: %v", f.id, err)
 		}
 		th.rt.counters.completions.Add(1)
+		th.recordOutcome(f, "ok")
 		if th.logOn {
 			th.logf("exit", "%s: success", f.id)
 		}
 		return nil
 	case except.Undo:
 		th.rt.counters.undone.Add(1)
+		th.recordOutcome(f, "undone")
 		th.logf("exit", "%s: undone (µ)", f.id)
 		return &SignalledError{Action: f.id, Spec: f.spec.Name, Exc: except.Undo}
 	case except.Failure:
@@ -316,6 +333,7 @@ func (th *Thread) finalize(f *frame, dec signal.Decision) error {
 			_ = f.tx.Undo() // best effort; failure already coordinated
 		}
 		th.rt.counters.failed.Add(1)
+		th.recordOutcome(f, "failed")
 		th.logf("exit", "%s: failed (ƒ)", f.id)
 		return &SignalledError{Action: f.id, Spec: f.spec.Name, Exc: except.Failure}
 	default:
@@ -323,8 +341,17 @@ func (th *Thread) finalize(f *frame, dec signal.Decision) error {
 			th.logf("commit.error", "%s: %v", f.id, err)
 		}
 		th.rt.counters.signalled.Add(1)
+		th.recordOutcome(f, "signalled:"+string(dec.Signal))
 		th.logf("exit", "%s: signalling %s", f.id, dec.Signal)
 		return &SignalledError{Action: f.id, Spec: f.spec.Name, Exc: dec.Signal}
+	}
+}
+
+// recordOutcome writes the action's final local outcome ahead of the pop;
+// a nil recorder costs one comparison.
+func (th *Thread) recordOutcome(f *frame, outcome string) {
+	if th.rt.rec != nil {
+		th.rt.rec.RecordOutcome(th.id, f.id, outcome)
 	}
 }
 
@@ -354,6 +381,9 @@ func (th *Thread) absorbAbort(f *frame, ae *abortError) error {
 	if ae.eab != except.None {
 		exc := except.Raised{ID: ae.eab, Origin: th.id, Info: "abortion handler", At: th.rt.clock.Now()}
 		th.rt.counters.raises.Add(1)
+		if th.rt.rec != nil {
+			th.rt.rec.RecordRaise(th.id, f.id, f.round, string(ae.eab))
+		}
 		out := f.inst.Raise(exc)
 		f.tx.Inform(exc)
 		if out.Decided && !f.hasDecided {

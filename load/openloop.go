@@ -157,7 +157,7 @@ func runOpenLoopPoint(cfg OpenLoopConfig, rate float64) (OpenLoopPoint, error) {
 	for i := 0; i < offered; i++ {
 		// Open-loop pacing: arrival i is due at start+i/rate; a dispatcher
 		// running late releases the backlog immediately.
-		due := start.Add(time.Duration(float64(i) / rate * float64(time.Second)))
+		due := arrivalDue(start, i, rate)
 		if d := time.Until(due); d > 0 {
 			time.Sleep(d)
 		}
@@ -207,4 +207,12 @@ func runOpenLoopPoint(cfg OpenLoopConfig, rate float64) (OpenLoopPoint, error) {
 		P99Ms:       pct.P99,
 		MaxInFlight: cfg.MaxInFlight,
 	}, nil
+}
+
+// arrivalDue gives the release time of arrival i in an open loop offering
+// rate actions/second: start + i/rate, always computed from the run origin
+// so late dispatches cannot push later arrivals back — the schedule is
+// absolute, not a chain of per-arrival sleeps, and therefore drift-free.
+func arrivalDue(start time.Time, i int, rate float64) time.Time {
+	return start.Add(time.Duration(float64(i) / rate * float64(time.Second)))
 }

@@ -1,0 +1,55 @@
+package load
+
+import (
+	"testing"
+	"time"
+)
+
+// TestArrivalDueIsAbsolute pins the open-loop pacing contract: arrival i's
+// release time is start + i/rate computed from the run origin, so the
+// schedule cannot drift. A per-arrival-sleep scheme would push every later
+// arrival back by however late each dispatch ran, silently lowering the
+// offered rate — exactly the bug class this helper makes untestable to
+// reintroduce.
+func TestArrivalDueIsAbsolute(t *testing.T) {
+	start := time.Unix(1_000_000, 0)
+
+	// Exact schedule points, independent of any dispatch history.
+	cases := []struct {
+		i    int
+		rate float64
+		want time.Duration // offset from start
+	}{
+		{0, 1000, 0},
+		{1, 1000, time.Millisecond},
+		{100, 1000, 100 * time.Millisecond},
+		{5000, 1000, 5 * time.Second},
+		{3, 2, 1500 * time.Millisecond},
+		{7, 0.5, 14 * time.Second},
+	}
+	for _, c := range cases {
+		if got := arrivalDue(start, c.i, c.rate).Sub(start); got != c.want {
+			t.Errorf("arrivalDue(start, %d, %v) = start+%v, want start+%v", c.i, c.rate, got, c.want)
+		}
+	}
+
+	// No accumulated drift: the due time of arrival N equals N single
+	// steps' worth of offset to within float rounding (<1µs over 10k
+	// arrivals at an awkward non-divisor rate).
+	var n, rate = 10_000, 333.0
+	got := arrivalDue(start, n, rate).Sub(start)
+	want := time.Duration(float64(n) / rate * float64(time.Second))
+	if diff := (got - want).Abs(); diff > time.Microsecond {
+		t.Fatalf("arrival %d at rate %v drifted %v from the absolute schedule", n, rate, diff)
+	}
+
+	// Monotonic: later arrivals are never due earlier.
+	prev := arrivalDue(start, 0, rate)
+	for i := 1; i < 1000; i++ {
+		due := arrivalDue(start, i, rate)
+		if due.Before(prev) {
+			t.Fatalf("arrival %d due %v before arrival %d (%v)", i, due, i-1, prev)
+		}
+		prev = due
+	}
+}

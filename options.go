@@ -35,6 +35,7 @@ type config struct {
 	signalTimeout time.Duration
 	metrics       *Metrics
 	log           *Log
+	recorder      Recorder
 	workers       int
 
 	maxInFlight  int
@@ -312,6 +313,22 @@ func WithMetrics(m *Metrics) Option {
 			return
 		}
 		c.metrics = m
+	}
+}
+
+// WithRecorder attaches a write-ahead recorder of protocol state: joins,
+// raises, exit votes and outcomes are recorded before the corresponding
+// message is sent, so a restarted node can replay them and re-join (or
+// deterministically abort) its in-flight actions. Pair with OpenWAL for
+// the durable on-disk log; see the Recorder type. By default nothing is
+// recorded.
+func WithRecorder(r Recorder) Option {
+	return func(c *config) {
+		if r == nil {
+			c.fail("WithRecorder: nil recorder")
+			return
+		}
+		c.recorder = r
 	}
 }
 

@@ -1,0 +1,52 @@
+package caaction
+
+import (
+	"caaction/internal/core"
+	"caaction/internal/wal"
+)
+
+// Crash recovery: the public face of internal/wal, re-exported so cluster
+// deployments (caaction/cluster, cmd/canode) can open durable write-ahead
+// logs and replay them without reaching into internal packages.
+//
+// A Recorder receives write-ahead protocol state — entry-barrier joins,
+// resolution-round raises, exit votes and final outcomes — before the
+// corresponding message leaves the node (attach one with WithRecorder).
+// The WAL is the durable Recorder: OpenWAL opens an fsync-batched
+// length-prefixed binary log with periodic snapshot compaction, and its
+// State surfaces the replayed in-flight actions and tagged instances a
+// restarted node uses to decide, per §3.4, what to re-join and what to
+// abort deterministically.
+
+// Recorder is the write-ahead sink for protocol state; implementations
+// must be safe for concurrent use. A *WAL is a Recorder.
+type Recorder = core.Recorder
+
+// WAL is the durable on-disk write-ahead log: every append is fsynced
+// before it returns (concurrent appenders share flushes, group-commit
+// style), and after SnapshotEvery appends the log is compacted to one
+// snapshot record, bounding replay length and file size.
+type WAL = wal.File
+
+// WALState is a WAL's materialised state after replay: in-flight actions
+// keyed by (thread, action) and tagged cluster instances keyed by tag.
+type WALState = wal.State
+
+// WALActionKey identifies one participant's view of one action instance
+// in a WALState.
+type WALActionKey = wal.ActionKey
+
+// WALActionState is the replayed protocol state of one (thread, action)
+// pair; WALInstanceState is the replayed state of one tagged cluster
+// instance.
+type (
+	WALActionState   = wal.ActionState
+	WALInstanceState = wal.InstanceState
+)
+
+// OpenWAL opens (or creates) the write-ahead log at path and replays it;
+// a torn final record from a crash mid-append is discarded. snapshotEvery
+// sets the compaction cadence in records (<= 0 means the default, 256).
+func OpenWAL(path string, snapshotEvery int) (*WAL, error) {
+	return wal.Open(path, snapshotEvery)
+}

@@ -187,6 +187,7 @@ func New(opts ...Option) (*System, error) {
 		Metrics:       cfg.metrics,
 		Log:           cfg.log,
 		SignalTimeout: cfg.signalTimeout,
+		Recorder:      cfg.recorder,
 	})
 	if err != nil {
 		return nil, err
