@@ -409,7 +409,10 @@ func (s *System) startAction(ctx context.Context, tag string, spec *Spec, progs 
 // share.
 func (s *System) muxNet() *transport.Mux {
 	s.muxOnce.Do(func() {
-		s.mux = transport.NewMux(s.clock, s.net)
+		s.mux = transport.NewMuxOpts(s.clock, s.net, transport.MuxOptions{
+			Shards:   s.muxShards,
+			NoInline: s.noInline,
+		})
 	})
 	return s.mux
 }

@@ -626,3 +626,38 @@ func TestStartActionWorkerPoolCancellation(t *testing.T) {
 		t.Fatalf("action after cancellation: %v", err)
 	}
 }
+
+// TestEventLoopKnobs runs the same real-clock action under every event-loop
+// configuration — the default inline lane, the queue-per-thread fallback
+// (WithoutInlineDelivery) and extreme mux shard counts — and expects
+// identical outcomes: the knobs tune execution, never semantics.
+func TestEventLoopKnobs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts []caaction.Option
+	}{
+		{"inline lane (default)", nil},
+		{"queue per thread", []caaction.Option{caaction.WithoutInlineDelivery()}},
+		{"one mux shard", []caaction.Option{caaction.WithMuxShards(1)}},
+		{"wide sharding, no inline", []caaction.Option{caaction.WithMuxShards(128), caaction.WithoutInlineDelivery()}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sys, err := caaction.New(append([]caaction.Option{caaction.WithRealTime()}, tc.opts...)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { _ = sys.Close() }()
+			for i := 0; i < 3; i++ {
+				spec, progs := pingPongSpec(t)
+				h, err := sys.StartAction(context.Background(), spec, progs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				h.WaitDone()
+				if err := h.Err(); err != nil {
+					t.Fatalf("%s, action %d: %v", tc.name, i, err)
+				}
+			}
+		})
+	}
+}

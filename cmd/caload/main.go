@@ -14,8 +14,18 @@
 //	caload -mix commit:8,signal:1,abort:1    # custom workload composition
 //	caload -sweep 64,256,1024                # concurrency-scaling sweep
 //	caload -arrival 300,600,1200             # open-loop offered-load curve
+//	caload -runs 3                           # record the median-of-3 run
+//	caload -soak 30s                         # duration-bounded leak soak
 //	caload -workers -1                       # disable the role-worker pool
 //	caload -out BENCH_load.json              # where the JSON lands
+//
+// -runs N repeats the fixed-action run and every sweep point N times and
+// records the run with the median throughput — wall-clock metrics flake
+// run-to-run, and the committed baseline should be a median, not a lucky
+// draw. -soak <duration> appends an endurance run per resolver: drivers
+// keep starting actions for the window while goroutine/heap samples accrue,
+// and caload exits non-zero when the steady-state growth trips the leak
+// gates (-soak-max-goroutines, -soak-max-heap-mb).
 package main
 
 import (
@@ -23,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -39,6 +50,8 @@ type resolverReport struct {
 	// sustainable rate, goodput must hold (bounded by the admission
 	// budget) while the excess surfaces as typed rejections.
 	OpenLoop []load.OpenLoopPoint `json:"open_loop,omitempty"`
+	// Soak is the -soak endurance run with its leak-gate growth baselines.
+	Soak *load.SoakReport `json:"soak,omitempty"`
 }
 
 type fileReport struct {
@@ -77,6 +90,56 @@ func parseSweep(s string) ([]int, error) {
 	return out, nil
 }
 
+// runMedian executes the fixed-action run n times and returns the run with
+// the median throughput, so every recorded wall-clock metric comes from one
+// self-consistent run rather than a per-metric patchwork. A run with
+// unexpected outcomes is returned immediately — correctness failures must
+// not be averaged away.
+func runMedian(cfg load.Config, n int) (*load.Report, error) {
+	if n <= 1 {
+		return load.Run(cfg)
+	}
+	reps := make([]*load.Report, 0, n)
+	for i := 0; i < n; i++ {
+		rep, err := load.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if len(rep.Unexpected) > 0 {
+			return rep, nil
+		}
+		reps = append(reps, rep)
+	}
+	sort.Slice(reps, func(i, j int) bool { return reps[i].Throughput < reps[j].Throughput })
+	return reps[(len(reps)-1)/2], nil
+}
+
+// sweepMedian executes the full sweep n times and keeps, per concurrency
+// level, the point with the median throughput.
+func sweepMedian(cfg load.Config, levels []int, n int) ([]load.SweepPoint, error) {
+	if n <= 1 {
+		return load.RunSweep(cfg, levels)
+	}
+	all := make([][]load.SweepPoint, 0, n)
+	for i := 0; i < n; i++ {
+		points, err := load.RunSweep(cfg, levels)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, points)
+	}
+	out := make([]load.SweepPoint, len(levels))
+	for li := range levels {
+		candidates := make([]load.SweepPoint, n)
+		for ri := range all {
+			candidates[ri] = all[ri][li]
+		}
+		sort.Slice(candidates, func(i, j int) bool { return candidates[i].Throughput < candidates[j].Throughput })
+		out[li] = candidates[(n-1)/2]
+	}
+	return out, nil
+}
+
 func main() {
 	var (
 		actions     = flag.Int("actions", 2000, "action instances per resolver")
@@ -93,6 +156,11 @@ func main() {
 		arrivalDur  = flag.Duration("arrival-duration", 5*time.Second, "offering window per open-loop rate")
 		maxInFlight = flag.Int("max-inflight", 0, "admission budget for open-loop points (0 = the harness default, negative disables the budget)")
 		resolvers   = flag.String("resolvers", "coordinated,cr86,r96", "comma-separated resolution protocols")
+		runs        = flag.Int("runs", 1, "repeat the fixed-action run and each sweep point this many times, recording the median-of-N by throughput")
+		soak        = flag.Duration("soak", 0, "duration-bounded endurance run per resolver with interval-sampled leak gates (0 disables)")
+		soakSample  = flag.Duration("soak-sample", 0, "soak leak-sample interval (0 derives duration/16, clamped to [250ms, 5s])")
+		soakGor     = flag.Int("soak-max-goroutines", 256, "soak leak gate: maximum steady-state goroutine growth (0 disables)")
+		soakHeapMB  = flag.Int("soak-max-heap-mb", 64, "soak leak gate: maximum steady-state heap growth in MiB (0 disables)")
 		out         = flag.String("out", "BENCH_load.json", "JSON report path ('' disables)")
 	)
 	flag.Parse()
@@ -114,7 +182,7 @@ func main() {
 	}
 
 	file := fileReport{
-		Description: "Load-harness baseline: concurrent CA actions over a shared transport. Regenerate with `go run ./cmd/caload -actions 6000 -sweep 64,256,1024`.",
+		Description: "Load-harness baseline: concurrent CA actions over a shared transport. Regenerate with `go run ./cmd/caload -actions 6000 -runs 3 -sweep 64,256,1024,4096 -arrival 4000,12000,24000 -arrival-duration 3s -soak 30s`.",
 		Date:        time.Now().UTC().Format("2006-01-02"),
 		Resolvers:   make(map[string]*resolverReport),
 	}
@@ -135,7 +203,7 @@ func main() {
 			Mix:         mix,
 			Workers:     *workers,
 		}
-		rep, err := load.Run(cfg)
+		rep, err := runMedian(cfg, *runs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "caload: %s: %v\n", resolver, err)
 			os.Exit(2)
@@ -156,7 +224,7 @@ func main() {
 			if *sweepAct > 0 {
 				sweepCfg.Actions = *sweepAct
 			}
-			points, err := load.RunSweep(sweepCfg, sweep)
+			points, err := sweepMedian(sweepCfg, sweep, *runs)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "caload: %s: %v\n", resolver, err)
 				failed = true
@@ -187,6 +255,30 @@ func main() {
 					fmt.Fprintf(os.Stderr, "caload: %s: open-loop rate %v: %d errored arrivals\n", resolver, p.OfferedRate, p.Errors)
 					failed = true
 				}
+			}
+		}
+		if *soak > 0 {
+			srep, err := load.RunSoak(load.SoakConfig{
+				Config:      cfg,
+				Duration:    *soak,
+				SampleEvery: *soakSample,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "caload: %s: soak: %v\n", resolver, err)
+				os.Exit(2)
+			}
+			rr.Soak = srep
+			fmt.Printf("  soak  %6.1fs %8d actions  %9.0f actions/s  goroutine growth %+4d  heap growth %+6.1fMiB  %d samples\n",
+				srep.WallSecs, srep.Actions, srep.Throughput, srep.GoroutineGrowth,
+				float64(srep.HeapGrowthBytes)/(1<<20), len(srep.Samples))
+			if srep.UnexpectedCount > 0 {
+				fmt.Fprintf(os.Stderr, "caload: %s: soak: %d unexpected outcomes, e.g. %s\n",
+					resolver, srep.UnexpectedCount, srep.Unexpected[0])
+				failed = true
+			}
+			if err := srep.LeakCheck(*soakGor, int64(*soakHeapMB)<<20); err != nil {
+				fmt.Fprintf(os.Stderr, "caload: %s: %v\n", resolver, err)
+				failed = true
 			}
 		}
 		file.Resolvers[resolver] = rr

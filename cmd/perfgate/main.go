@@ -28,23 +28,38 @@
 //     run re-measured; errored arrivals fail outright. CI may re-measure
 //     a subset of the curve, but at least one baselined rate must be
 //     present.
+//   - the scalability watermarks (goroutine_high_water, peak_heap_bytes;
+//     main run and every sweep point): sampled process-wide maxima that
+//     catch leaked workers and runaway buffering before they sink
+//     throughput. Gated with absolute slacks (-goroutine-slack,
+//     -heap-slack-mb) on top of the relative tolerance, since scheduler
+//     and GC timing move small watermarks run-to-run.
+//   - the soak leak gates (load report, per resolver, from caload -soak):
+//     steady-state goroutine/heap growth under sustained load may not
+//     exceed the baseline growth beyond the absolute slacks, and a
+//     baselined soak missing from the run fails the gate.
 //
 // ns/op and B/op are recorded in the comparison artifact but not gated
 // (they vary with hardware).
 //
+// -load accepts several comma-separated fresh reports; the gate then
+// compares the per-metric MEDIAN across them, so one noisy run cannot fail
+// (or pass) a wall-clock gate on its own. caload -runs 3 folds the same
+// median at generation time instead, inside one report.
+//
 // Usage (what .github/workflows/ci.yml runs):
 //
 //	go test -run xxx -bench . -benchmem ./... | tee bench.out
-//	go run ./cmd/caload -actions 6000 -sweep 64,256,1024 -out BENCH_load_new.json
+//	go run ./cmd/caload -actions 6000 -sweep 64,256,1024,4096 -soak 30s -out BENCH_load_new.json
 //	go run ./cmd/perfgate -bench bench.out -load BENCH_load_new.json \
 //	    -load-tolerance 0.5 -report perf_comparison.json
 //
 // Regenerating baselines after an intentional perf change (-actions 6000
-// matters: p99 is the sample's tail, and smaller runs flake the gate; the
-// committed BENCH_load.json records medians of three such runs):
+// matters: p99 is the sample's tail, and smaller runs flake the gate;
+// -runs 3 records the median-of-three run):
 //
 //	go test -run xxx -bench . -benchmem ./...              # update BENCH_chaos.json numbers
-//	go run ./cmd/caload -actions 6000 -sweep 64,256,1024   # rewrites BENCH_load.json
+//	go run ./cmd/caload -actions 6000 -runs 3 -sweep 64,256,1024,4096 -soak 30s   # rewrites BENCH_load.json
 package main
 
 import (
@@ -55,6 +70,7 @@ import (
 	"math"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -74,24 +90,43 @@ type benchBaseline struct {
 
 // loadBaseline mirrors BENCH_load.json (only the gated fields).
 type loadBaseline struct {
-	Resolvers map[string]struct {
-		Throughput      float64 `json:"actions_per_second"`
-		AllocsPerAction float64 `json:"allocs_per_action"`
-		Latency         struct {
-			P99 float64 `json:"p99_ms"`
-		} `json:"latency"`
-		Sweep    []sweepPoint    `json:"sweep"`
-		OpenLoop []openLoopPoint `json:"open_loop"`
-	} `json:"resolvers"`
+	Resolvers map[string]loadResolver `json:"resolvers"`
+}
+
+// loadResolver is one resolver's gated metrics.
+type loadResolver struct {
+	Throughput         float64 `json:"actions_per_second"`
+	AllocsPerAction    float64 `json:"allocs_per_action"`
+	GoroutineHighWater float64 `json:"goroutine_high_water"`
+	PeakHeapBytes      float64 `json:"peak_heap_bytes"`
+	Latency            struct {
+		P99 float64 `json:"p99_ms"`
+	} `json:"latency"`
+	Sweep    []sweepPoint    `json:"sweep"`
+	OpenLoop []openLoopPoint `json:"open_loop"`
+	Soak     *soakBaseline   `json:"soak"`
 }
 
 // sweepPoint is one concurrency level of the scaling sweep recorded by
 // caload -sweep.
 type sweepPoint struct {
-	Concurrency     int     `json:"concurrency"`
+	Concurrency        int     `json:"concurrency"`
+	Throughput         float64 `json:"actions_per_second"`
+	AllocsPerAction    float64 `json:"allocs_per_action"`
+	P99                float64 `json:"p99_ms"`
+	GoroutineHighWater float64 `json:"goroutine_high_water"`
+	PeakHeapBytes      float64 `json:"peak_heap_bytes"`
+}
+
+// soakBaseline is the duration-bounded endurance run recorded by caload
+// -soak: the leak gates compare steady-state growth, which a healthy run
+// holds near zero regardless of the window length, so the growth baselines
+// transfer across hardware better than any throughput number.
+type soakBaseline struct {
 	Throughput      float64 `json:"actions_per_second"`
-	AllocsPerAction float64 `json:"allocs_per_action"`
-	P99             float64 `json:"p99_ms"`
+	GoroutineGrowth float64 `json:"goroutine_growth"`
+	HeapGrowthBytes float64 `json:"heap_growth_bytes"`
+	UnexpectedCount float64 `json:"unexpected_count"`
 }
 
 // openLoopPoint is one offered rate of the open-loop overload curve
@@ -240,16 +275,162 @@ func readJSON(path string, into any) error {
 	return json.Unmarshal(blob, into)
 }
 
+// median returns the lower median of vs — the same element a caload
+// -runs fold picks — or zero for an empty slice.
+func median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sort.Float64s(vs)
+	return vs[(len(vs)-1)/2]
+}
+
+// medianLoad folds N fresh load reports (perfgate -load a.json,b.json,...)
+// into one per-metric median view: wall-clock metrics — throughput, p99,
+// goodput — flake run-to-run on shared CI runners, and gating their median
+// across independent runs keeps one noisy run from failing (or passing) the
+// build. Deterministic-ish metrics (allocations, watermarks) take the same
+// median, which for stable metrics is a no-op. A resolver, sweep point or
+// open-loop rate missing from some runs is medianed over the runs that
+// measured it; errored open-loop arrivals take the maximum, so no run's
+// failure is averaged away.
+func medianLoad(reports []loadBaseline) loadBaseline {
+	if len(reports) == 1 {
+		return reports[0]
+	}
+	out := loadBaseline{Resolvers: make(map[string]loadResolver)}
+	names := make(map[string]bool)
+	for _, r := range reports {
+		for n := range r.Resolvers {
+			names[n] = true
+		}
+	}
+	for name := range names {
+		var entries []loadResolver
+		for _, r := range reports {
+			if e, ok := r.Resolvers[name]; ok {
+				entries = append(entries, e)
+			}
+		}
+		fold := func(f func(loadResolver) float64) float64 {
+			vs := make([]float64, 0, len(entries))
+			for _, e := range entries {
+				vs = append(vs, f(e))
+			}
+			return median(vs)
+		}
+		var m loadResolver
+		m.Throughput = fold(func(e loadResolver) float64 { return e.Throughput })
+		m.AllocsPerAction = fold(func(e loadResolver) float64 { return e.AllocsPerAction })
+		m.GoroutineHighWater = fold(func(e loadResolver) float64 { return e.GoroutineHighWater })
+		m.PeakHeapBytes = fold(func(e loadResolver) float64 { return e.PeakHeapBytes })
+		m.Latency.P99 = fold(func(e loadResolver) float64 { return e.Latency.P99 })
+
+		byConc := make(map[int][]sweepPoint)
+		var concOrder []int
+		for _, e := range entries {
+			for _, p := range e.Sweep {
+				if _, seen := byConc[p.Concurrency]; !seen {
+					concOrder = append(concOrder, p.Concurrency)
+				}
+				byConc[p.Concurrency] = append(byConc[p.Concurrency], p)
+			}
+		}
+		for _, conc := range concOrder {
+			ps := byConc[conc]
+			foldP := func(f func(sweepPoint) float64) float64 {
+				vs := make([]float64, 0, len(ps))
+				for _, p := range ps {
+					vs = append(vs, f(p))
+				}
+				return median(vs)
+			}
+			m.Sweep = append(m.Sweep, sweepPoint{
+				Concurrency:        conc,
+				Throughput:         foldP(func(p sweepPoint) float64 { return p.Throughput }),
+				AllocsPerAction:    foldP(func(p sweepPoint) float64 { return p.AllocsPerAction }),
+				P99:                foldP(func(p sweepPoint) float64 { return p.P99 }),
+				GoroutineHighWater: foldP(func(p sweepPoint) float64 { return p.GoroutineHighWater }),
+				PeakHeapBytes:      foldP(func(p sweepPoint) float64 { return p.PeakHeapBytes }),
+			})
+		}
+
+		byRate := make(map[float64][]openLoopPoint)
+		var rateOrder []float64
+		for _, e := range entries {
+			for _, p := range e.OpenLoop {
+				if _, seen := byRate[p.OfferedRate]; !seen {
+					rateOrder = append(rateOrder, p.OfferedRate)
+				}
+				byRate[p.OfferedRate] = append(byRate[p.OfferedRate], p)
+			}
+		}
+		for _, rate := range rateOrder {
+			ps := byRate[rate]
+			foldP := func(f func(openLoopPoint) float64) float64 {
+				vs := make([]float64, 0, len(ps))
+				for _, p := range ps {
+					vs = append(vs, f(p))
+				}
+				return median(vs)
+			}
+			mp := openLoopPoint{
+				OfferedRate: rate,
+				Goodput:     foldP(func(p openLoopPoint) float64 { return p.Goodput }),
+				P99:         foldP(func(p openLoopPoint) float64 { return p.P99 }),
+				Rejected:    int(foldP(func(p openLoopPoint) float64 { return float64(p.Rejected) })),
+			}
+			for _, p := range ps {
+				if p.Errors > mp.Errors {
+					mp.Errors = p.Errors
+				}
+			}
+			m.OpenLoop = append(m.OpenLoop, mp)
+		}
+
+		var soaks []soakBaseline
+		for _, e := range entries {
+			if e.Soak != nil {
+				soaks = append(soaks, *e.Soak)
+			}
+		}
+		if len(soaks) > 0 {
+			foldS := func(f func(soakBaseline) float64) float64 {
+				vs := make([]float64, 0, len(soaks))
+				for _, s := range soaks {
+					vs = append(vs, f(s))
+				}
+				return median(vs)
+			}
+			s := soakBaseline{
+				Throughput:      foldS(func(x soakBaseline) float64 { return x.Throughput }),
+				GoroutineGrowth: foldS(func(x soakBaseline) float64 { return x.GoroutineGrowth }),
+				HeapGrowthBytes: foldS(func(x soakBaseline) float64 { return x.HeapGrowthBytes }),
+			}
+			for _, x := range soaks {
+				if x.UnexpectedCount > s.UnexpectedCount {
+					s.UnexpectedCount = x.UnexpectedCount
+				}
+			}
+			m.Soak = &s
+		}
+		out.Resolvers[name] = m
+	}
+	return out
+}
+
 func main() {
 	var (
 		benchFile     = flag.String("bench", "", "go test -bench output to gate ('' skips the bench gate)")
 		benchBase     = flag.String("bench-baseline", "BENCH_chaos.json", "committed benchmark baseline")
-		loadFile      = flag.String("load", "", "fresh caload JSON report to gate ('' skips the load gate)")
+		loadFile      = flag.String("load", "", "fresh caload JSON report(s) to gate, comma-separated; several reports gate their per-metric median ('' skips the load gate)")
 		loadBase      = flag.String("load-baseline", "BENCH_load.json", "committed load baseline")
 		tolerance     = flag.Float64("tolerance", 0.25, "fractional tolerance for perf metrics (allocs, throughput, p99)")
 		loadTol       = flag.Float64("load-tolerance", 0, "override tolerance for the wall-clock load metrics (actions_per_second, p99); 0 inherits -tolerance. Throughput and tail latency are hardware-sensitive, so a gate whose baseline was recorded on different hardware may need this looser than the allocation gates")
 		exactTol      = flag.Float64("exact-tolerance", 0.02, "tolerance for deterministic metrics (virtual seconds, message counts)")
 		p99Slack      = flag.Float64("p99-slack-ms", 10, "absolute slack for p99 gates: a p99 regression fails only when it exceeds the load tolerance AND baseline+slack (low-concurrency tails are a few ms, where one GC pause flakes a purely relative gate)")
+		gorSlack      = flag.Float64("goroutine-slack", 128, "absolute slack for the goroutine watermark and soak-growth gates: a regression fails only when it exceeds the tolerance AND baseline+slack (scheduler timing moves small counts by tens run-to-run)")
+		heapSlackMB   = flag.Float64("heap-slack-mb", 32, "absolute slack in MiB for the heap watermark and soak-growth gates (GC pacing moves the live-heap peak by tens of MiB run-to-run)")
 		reportPath    = flag.String("report", "", "write the comparison artifact JSON here ('' disables)")
 		requireAllocs = flag.Bool("require-allocs", true, "fail when a baselined benchmark reports no allocs/op (run with -benchmem)")
 	)
@@ -298,15 +479,30 @@ func main() {
 		*loadTol = *tolerance
 	}
 	if *loadFile != "" {
-		var cur, base loadBaseline
-		if err := readJSON(*loadFile, &cur); err != nil {
-			fmt.Fprintln(os.Stderr, "perfgate: read load report:", err)
+		var fresh []loadBaseline
+		for _, path := range strings.Split(*loadFile, ",") {
+			path = strings.TrimSpace(path)
+			if path == "" {
+				continue
+			}
+			var r loadBaseline
+			if err := readJSON(path, &r); err != nil {
+				fmt.Fprintln(os.Stderr, "perfgate: read load report:", err)
+				os.Exit(2)
+			}
+			fresh = append(fresh, r)
+		}
+		if len(fresh) == 0 {
+			fmt.Fprintln(os.Stderr, "perfgate: -load named no readable reports")
 			os.Exit(2)
 		}
+		cur := medianLoad(fresh)
+		var base loadBaseline
 		if err := readJSON(*loadBase, &base); err != nil {
 			fmt.Fprintln(os.Stderr, "perfgate: read load baseline:", err)
 			os.Exit(2)
 		}
+		heapSlack := *heapSlackMB * (1 << 20)
 		for name, b := range base.Resolvers {
 			subject := "load:" + name
 			c, ok := cur.Resolvers[name]
@@ -318,6 +514,14 @@ func main() {
 			g.check(subject, "p99_ms", b.Latency.P99, c.Latency.P99, *loadTol, +1, *p99Slack)
 			if b.AllocsPerAction > 0 && c.AllocsPerAction > 0 {
 				g.check(subject, "allocs_per_action", b.AllocsPerAction, c.AllocsPerAction, *tolerance, +1, 0)
+			}
+			// Scalability watermarks: a leaked worker set or runaway buffer
+			// shows up here long before it sinks throughput.
+			if b.GoroutineHighWater > 0 && c.GoroutineHighWater > 0 {
+				g.check(subject, "goroutine_high_water", b.GoroutineHighWater, c.GoroutineHighWater, *tolerance, +1, *gorSlack)
+			}
+			if b.PeakHeapBytes > 0 && c.PeakHeapBytes > 0 {
+				g.check(subject, "peak_heap_bytes", b.PeakHeapBytes, c.PeakHeapBytes, *loadTol, +1, heapSlack)
 			}
 			// Concurrency-scaling sweep: every baselined point must exist in
 			// the run and hold its throughput/p99 within the (hardware-
@@ -342,6 +546,12 @@ func main() {
 				}
 				if bp.AllocsPerAction > 0 && cp.AllocsPerAction > 0 {
 					g.check(subj, "allocs_per_action", bp.AllocsPerAction, cp.AllocsPerAction, *tolerance, +1, 0)
+				}
+				if bp.GoroutineHighWater > 0 && cp.GoroutineHighWater > 0 {
+					g.check(subj, "goroutine_high_water", bp.GoroutineHighWater, cp.GoroutineHighWater, *tolerance, +1, *gorSlack)
+				}
+				if bp.PeakHeapBytes > 0 && cp.PeakHeapBytes > 0 {
+					g.check(subj, "peak_heap_bytes", bp.PeakHeapBytes, cp.PeakHeapBytes, *loadTol, +1, heapSlack)
 				}
 			}
 			// Open-loop overload curve: every baselined offered rate the run
@@ -375,6 +585,25 @@ func main() {
 				}
 				if matched == 0 {
 					g.fail(subject, "no baselined open-loop point re-measured (run caload -arrival with a baselined rate)")
+				}
+			}
+			// Soak leak gates: steady-state goroutine/heap growth under
+			// sustained load may not exceed the baseline beyond the absolute
+			// slacks. Growth baselines sit near zero, so the relative
+			// tolerance is meaningless here — the slack IS the gate. Like a
+			// vanished sweep point, a baselined soak the run skipped fails:
+			// the leak contract must be re-tested, not waved through.
+			if b.Soak != nil {
+				subj := subject + "@soak"
+				if c.Soak == nil {
+					g.fail(subj, "soak missing from run (run caload -soak)")
+				} else {
+					g.check(subj, "goroutine_growth", b.Soak.GoroutineGrowth, c.Soak.GoroutineGrowth, 0, +1, *gorSlack)
+					g.check(subj, "heap_growth_bytes", b.Soak.HeapGrowthBytes, c.Soak.HeapGrowthBytes, 0, +1, heapSlack)
+					g.info(subj, "actions_per_second", b.Soak.Throughput, c.Soak.Throughput)
+					if c.Soak.UnexpectedCount > 0 {
+						g.fail(subj, fmt.Sprintf("%0.f unexpected outcomes in soak run", c.Soak.UnexpectedCount))
+					}
 				}
 			}
 		}

@@ -51,11 +51,17 @@
 // frames, signalling engines and the demultiplexer's virtual endpoints are
 // recycled through scrubbed pools — reuse carries zero state across
 // instances, pinned by field-level hygiene tests and byte-identical golden
-// chaos traces on warm pools. The demultiplexer's address table is
-// lock-striped, and the TCP transport coalesces outbound binary frames per
-// peer connection on the real clock (flushed at a byte bound or a 100µs
-// wall-clock deadline; order preserved, Close flushes — see DESIGN.md for
-// the exact flush-deadline semantics).
+// chaos traces on warm pools. Under the real clock the demultiplexer also
+// runs a run-to-completion delivery lane: protocol steps between co-located
+// threads execute on the sender's goroutine against the receiver's parked
+// continuation, so a causal chain of ready steps crosses zero scheduler
+// hand-offs and same-process delivery skips the codec entirely (see
+// DESIGN.md, "Event-loop core"). WithoutInlineDelivery restores the
+// queue-per-thread model, and WithMuxShards sizes the lock-striped address
+// table the lane runs over. The TCP transport coalesces outbound binary
+// frames per peer connection on the real clock (flushed at a byte bound or
+// a 100µs wall-clock deadline; order preserved, Close flushes — see
+// DESIGN.md for the exact flush-deadline semantics).
 //
 // Production overload control is built in. WithMaxInFlight(n) bounds the
 // actions admitted concurrently: past the budget, StartAction, StartTagged

@@ -144,6 +144,9 @@ func (c *Context) Compute(d time.Duration) error {
 	if th.deadline > 0 && th.deadline < deadline {
 		deadline = th.deadline
 	}
+	if th.inline {
+		return c.computeInline(deadline)
+	}
 	for {
 		if t := th.enclosingAbortTarget(f); t != "" && !f.aborting {
 			return &pendingError{kind: kindAbort, frame: f, target: t}
@@ -180,14 +183,20 @@ func (c *Context) Checkpoint() error {
 		return err
 	}
 	f, th := c.f, c.th
-	for th.ep.Pending() > 0 {
-		d, ok := th.ep.RecvTimeout(0)
-		if !ok {
-			break
-		}
-		v := th.route(d)
-		if err := c.verdictErr(v); err != nil {
+	if th.inline {
+		if err := c.checkpointInline(); err != nil {
 			return err
+		}
+	} else {
+		for th.ep.Pending() > 0 {
+			d, ok := th.ep.RecvTimeout(0)
+			if !ok {
+				break
+			}
+			v := th.route(d)
+			if err := c.verdictErr(v); err != nil {
+				return err
+			}
 		}
 	}
 	if t := th.enclosingAbortTarget(f); t != "" && !f.aborting {
@@ -241,6 +250,9 @@ func (c *Context) recv(role string, timeout time.Duration) (any, error) {
 	// forever.
 	if th.deadline > 0 && (deadline == 0 || th.deadline < deadline) {
 		deadline = th.deadline
+	}
+	if th.inline {
+		return c.recvInline(from, deadline)
 	}
 	for {
 		if q := f.apps[from]; len(q) > 0 {

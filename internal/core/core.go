@@ -195,6 +195,18 @@ type Thread struct {
 	// no deadline, and costs the protocol waits one comparison.
 	deadline time.Duration
 
+	// Run-to-completion lane state (see inline.go): inline marks an adopted
+	// endpoint and iep is its extended interface; router is the adapter
+	// handed to the endpoint; park publishes the owner's current wait to
+	// delivering goroutines. inRoute and deferred implement send deferral
+	// while a delivering goroutine routes protocol steps on this thread.
+	inline   bool
+	iep      transport.InlineEndpoint
+	router   threadRouter
+	inRoute  bool
+	deferred []transport.Outbound
+	park     parkState
+
 	stack    []*frame
 	retained map[string][]transport.Delivery
 	dead     map[string]bool
@@ -242,12 +254,22 @@ func (rt *Runtime) NewThreadOn(id string, ep transport.Endpoint, instance string
 			seq:      make(map[seqKey]int),
 		}
 		th.sendFn = th.send
+		th.router.th = th
 	}
 	th.id = id
 	th.ep = ep
 	th.prefix = prefix
 	th.tag = instance
 	th.logOn = rt.log.Enabled()
+	// Adopt the endpoint into the run-to-completion lane when it offers one
+	// (real-time mux endpoints do); deliveries then execute inline against
+	// this thread's parked waits instead of waking it per message. Refusal —
+	// virtual clocks, plain endpoints, a disabled lane — leaves the thread on
+	// the ordinary queue-mode loops.
+	if iep, ok := ep.(transport.InlineEndpoint); ok && iep.AdoptRouter(&th.router) {
+		th.inline = true
+		th.iep = iep
+	}
 	return th
 }
 
@@ -297,6 +319,11 @@ func (th *Thread) Recycle() {
 	th.ep = nil
 	th.logOn = false
 	th.deadline = 0
+	th.inline = false
+	th.iep = nil
+	th.inRoute = false
+	th.deferred = nil
+	th.park = parkState{}
 	clear(th.retained)
 	clear(th.dead)
 	clear(th.seq)
@@ -562,8 +589,16 @@ func (th *Thread) frameFor(action string) (*frame, int) {
 }
 
 // send transmits one protocol message, panicking only on programming errors
-// (unknown destination is a wiring bug in a closed simulation).
+// (unknown destination is a wiring bug in a closed simulation). While a
+// delivering goroutine routes protocol steps on this thread (inRoute), sends
+// are deferred instead: the deliverer flushes them once it has released the
+// endpoint locks, which both avoids lock cycles between deliverers sending
+// toward each other and preserves per-pair FIFO ahead of the owner's wakeup.
 func (th *Thread) send(to string, msg protocol.Message) {
+	if th.inRoute {
+		th.deferred = append(th.deferred, transport.Outbound{To: to, Msg: msg})
+		return
+	}
 	if err := th.ep.Send(to, msg); err != nil {
 		th.logf("send.error", "to %s: %v", to, err)
 	}

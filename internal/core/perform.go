@@ -456,6 +456,9 @@ func (th *Thread) pump(f *frame, cond pumpCond, deadline time.Duration) error {
 	if th.deadline > 0 && (deadline == 0 || th.deadline < deadline) {
 		deadline = th.deadline
 	}
+	if th.inline {
+		return th.pumpInline(f, cond, deadline)
+	}
 	for {
 		if t := th.enclosingAbortTarget(f); t != "" && !f.aborting {
 			return &pendingError{kind: kindAbort, frame: f, target: t}

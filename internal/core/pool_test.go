@@ -84,6 +84,12 @@ func TestThreadRecycleScrubsState(t *testing.T) {
 	}
 	_ = t1.Close()
 	_ = t2.Close()
+	// Plant inline-lane residue by hand (the virtual clock never runs the
+	// lane) so the recycle contract for the event-loop fields is pinned too.
+	t1.inline = true
+	t1.inRoute = true
+	t1.deferred = []transport.Outbound{{To: "T2"}}
+	t1.park = parkState{kind: parkCompute}
 	t1.Recycle()
 	if t1.id != "" || t1.prefix != "" || t1.tag != "" || t1.ep != nil {
 		t.Errorf("recycled thread keeps identity: id=%q prefix=%q tag=%q ep=%v", t1.id, t1.prefix, t1.tag, t1.ep)
@@ -91,6 +97,10 @@ func TestThreadRecycleScrubsState(t *testing.T) {
 	if len(t1.stack) != 0 || len(t1.retained) != 0 || len(t1.dead) != 0 || len(t1.seq) != 0 {
 		t.Errorf("recycled thread keeps state: stack=%d retained=%d dead=%d seq=%d",
 			len(t1.stack), len(t1.retained), len(t1.dead), len(t1.seq))
+	}
+	if t1.inline || t1.iep != nil || t1.inRoute || t1.deferred != nil || t1.park != (parkState{}) {
+		t.Errorf("recycled thread keeps inline-lane state: inline=%v iep=%v inRoute=%v deferred=%d park=%+v",
+			t1.inline, t1.iep, t1.inRoute, len(t1.deferred), t1.park)
 	}
 }
 

@@ -1,0 +1,298 @@
+package transport
+
+import (
+	"time"
+
+	"caaction/internal/protocol"
+)
+
+// This file implements the run-to-completion delivery lane of the event-loop
+// core: on real-time systems, a goroutine that already holds a delivery for a
+// parked thread executes that thread's protocol step inline — the routing a
+// dedicated receiver goroutine would otherwise be woken up for — and only
+// schedules a wakeup when the step completes the parked wait's condition.
+// Combined with the sim transport's sender-side sink (see Sim.fastSend), a
+// protocol message between co-located threads costs a function call instead
+// of two queue hand-offs and two scheduler wakeups.
+//
+// The lane is strictly an execution optimisation: message routing logic,
+// per-pair FIFO order and the WAL recorder hooks are untouched, and the lane
+// never activates under the virtual clock, so deterministic simulations (and
+// their golden traces) execute exactly as before.
+
+// InlineStatus reports how an AwaitInline wait ended.
+type InlineStatus int
+
+const (
+	// InlineDelivery: a buffered delivery is returned; the owner routes it
+	// on its own goroutine and re-evaluates its wait condition.
+	InlineDelivery InlineStatus = iota + 1
+	// InlineWoken: a delivering goroutine executed protocol steps against
+	// the parked thread and observed the wait condition become true. The
+	// owner re-checks its condition (wakeups are level-triggered: a
+	// condition that held at wake time is durable until the owner acts).
+	InlineWoken
+	// InlineTimeout: the wait's deadline expired with no delivery and no
+	// wakeup.
+	InlineTimeout
+	// InlineClosed: the endpoint closed and its buffer is drained — the
+	// inline-mode equivalent of a receive returning ok=false.
+	InlineClosed
+)
+
+// Outbound is one send deferred by an inline-routed protocol step. Steps
+// executed by a delivering goroutine must not send while endpoint locks are
+// held (two deliverers sending toward each other would deadlock), so their
+// sends are buffered and flushed by the deliverer after unlocking — before
+// the owner is woken, which preserves the per-pair FIFO order the owner's
+// subsequent sends rely on.
+type Outbound struct {
+	To  string
+	Msg protocol.Message
+}
+
+// InlineRouter is the thread-side half of the lane, implemented by
+// core.Thread. All four methods are invoked with the endpoint's delivery
+// lock held and the owner goroutine parked (or still blocked on the wakeup
+// the caller is about to deliver), so they may touch thread state that is
+// otherwise goroutine-confined: park/claim transitions under the lock, plus
+// the wakeup channel, establish the necessary happens-before edges.
+type InlineRouter interface {
+	// RouteInline executes one delivered protocol step against the parked
+	// thread's state, deferring any sends it produces.
+	RouteInline(d Delivery)
+	// ParkReady reports whether the parked wait's condition now holds. Only
+	// durable thread state may be consulted — the owner re-checks on wake.
+	ParkReady() bool
+	// TakeDeferred hands the sends deferred by preceding RouteInline calls
+	// to the deliverer (ownership transfers; the router's buffer resets).
+	TakeDeferred() []Outbound
+	// InlineSendError reports a failed deferred send; implementations may
+	// only touch state that is safe off the owner goroutine (e.g. a
+	// concurrency-safe log).
+	InlineSendError(to string, err error)
+}
+
+// InlineEndpoint is the endpoint extension the runtime's threads use to
+// enter inline mode. Only the endpoint's single owner goroutine may call
+// AwaitInline/PollInline, mirroring the Recv confinement of plain endpoints.
+type InlineEndpoint interface {
+	Endpoint
+	// AdoptRouter switches the endpoint into inline mode, migrating any
+	// already-buffered deliveries. It reports false when the endpoint
+	// cannot run the lane (virtual clock, lane disabled, or endpoint
+	// closed); the caller then keeps the ordinary Recv loop.
+	AdoptRouter(r InlineRouter) bool
+	// AwaitInline blocks until a delivery is buffered, the router observes
+	// the park condition (InlineWoken), the timeout expires, or the
+	// endpoint closes. A negative timeout means no deadline.
+	AwaitInline(timeout time.Duration) (Delivery, InlineStatus)
+	// PollInline pops one buffered delivery without blocking.
+	PollInline() (Delivery, bool)
+}
+
+// inlineState is the per-endpoint half of the lane, embedded in muxEndpoint.
+// mu guards every field; wake is a reusable capacity-1 channel carrying
+// exactly one signal per park claim.
+type inlineState struct {
+	router InlineRouter
+	inbox  []Delivery
+	head   int
+	parked bool
+	closed bool
+	wake   chan struct{}
+	// timer backs timed parks; owner-confined, reused across waits.
+	timer *time.Timer
+}
+
+// inlinePost carries the work a delivery defers until after the endpoint
+// (and routing-table) locks are released: flushing the routed step's sends,
+// then waking the owner.
+type inlinePost struct {
+	wake   bool
+	outs   []Outbound
+	router InlineRouter
+}
+
+// deliverLocked buffers or inline-executes one delivery. Called with the
+// owning muxShared's mu held (which pins the endpoint open — Close removes
+// it from the routing table under that same lock, so the endpoint cannot be
+// closed or recycled mid-delivery). It reports false when the endpoint
+// stopped accepting deliveries (crash teardown raced the send).
+func (e *muxEndpoint) deliverLocked(d Delivery, post *inlinePost) bool {
+	e.imu.Lock()
+	defer e.imu.Unlock()
+	if e.inl.closed {
+		return false
+	}
+	if e.inl.router == nil {
+		// Queue mode: virtual clocks, or no thread has adopted the endpoint
+		// yet. Enqueued under imu so AdoptRouter's drain cannot interleave
+		// with a put and strand a delivery behind the mode switch.
+		e.queue.Put(borrowDelivery(d.From, d.Msg, d.Corrupt))
+		return true
+	}
+	if !e.inl.parked {
+		// Owner is running: buffer the delivery by value (no box — the
+		// inbox is the zero-copy lane) for its next Await/Poll.
+		e.inl.inbox = append(e.inl.inbox, d)
+		return true
+	}
+	// Owner is parked: run the protocol step here, on the delivering
+	// goroutine. Sends the step produces are deferred (flushed by the
+	// caller after unlocking); the owner is woken only when the step
+	// completed its wait condition.
+	e.inl.router.RouteInline(d)
+	post.outs = e.inl.router.TakeDeferred()
+	post.router = e.inl.router
+	if e.inl.router.ParkReady() {
+		e.inl.parked = false
+		post.wake = true
+	}
+	return true
+}
+
+// finishInline performs a delivery's deferred work after all locks are
+// released: deferred sends first (so the woken owner's own sends cannot
+// overtake them on any pair), then the wakeup. The endpoint cannot be
+// recycled concurrently — a pending wake pins the owner inside AwaitInline.
+func (e *muxEndpoint) finishInline(sh *muxShared, post *inlinePost) {
+	for _, o := range post.outs {
+		if err := sh.real.Send(o.To, o.Msg); err != nil {
+			post.router.InlineSendError(o.To, err)
+		}
+	}
+	if post.wake {
+		e.inl.wake <- struct{}{}
+	}
+}
+
+// AdoptRouter implements InlineEndpoint.
+func (e *muxEndpoint) AdoptRouter(r InlineRouter) bool {
+	if !e.mux.inline || r == nil {
+		return false
+	}
+	e.imu.Lock()
+	defer e.imu.Unlock()
+	if e.inl.closed || e.inl.router != nil {
+		return false
+	}
+	if e.inl.wake == nil {
+		e.inl.wake = make(chan struct{}, 1)
+	}
+	e.inl.router = r
+	// Migrate deliveries buffered before adoption — retained-instance
+	// replays and sends that raced the thread's start — preserving order:
+	// everything in the queue predates everything the inbox will receive.
+	for {
+		x, ok := e.queue.TryGet()
+		if !ok {
+			break
+		}
+		dp := x.(*Delivery)
+		e.inl.inbox = append(e.inl.inbox, *dp)
+		releaseDelivery(dp)
+	}
+	return true
+}
+
+// popLocked removes the oldest buffered delivery. The inbox is a slice with
+// a head cursor so a burst drains without memmove; fully drained, it resets
+// for reuse.
+func (e *muxEndpoint) popLocked() (Delivery, bool) {
+	if e.inl.head >= len(e.inl.inbox) {
+		return Delivery{}, false
+	}
+	d := e.inl.inbox[e.inl.head]
+	e.inl.inbox[e.inl.head] = Delivery{}
+	e.inl.head++
+	if e.inl.head == len(e.inl.inbox) {
+		e.inl.inbox = e.inl.inbox[:0]
+		e.inl.head = 0
+	}
+	return d, true
+}
+
+// PollInline implements InlineEndpoint.
+func (e *muxEndpoint) PollInline() (Delivery, bool) {
+	e.imu.Lock()
+	d, ok := e.popLocked()
+	e.imu.Unlock()
+	return d, ok
+}
+
+// AwaitInline implements InlineEndpoint.
+func (e *muxEndpoint) AwaitInline(timeout time.Duration) (Delivery, InlineStatus) {
+	e.imu.Lock()
+	if d, ok := e.popLocked(); ok {
+		e.imu.Unlock()
+		return d, InlineDelivery
+	}
+	if e.inl.closed {
+		e.imu.Unlock()
+		return Delivery{}, InlineClosed
+	}
+	e.inl.parked = true
+	e.imu.Unlock()
+
+	if timeout < 0 {
+		<-e.inl.wake
+		return Delivery{}, InlineWoken
+	}
+	t := e.inl.timer
+	if t == nil {
+		t = time.NewTimer(timeout)
+		e.inl.timer = t
+	} else {
+		t.Reset(timeout)
+	}
+	select {
+	case <-e.inl.wake:
+		t.Stop()
+		return Delivery{}, InlineWoken
+	case <-t.C:
+		e.imu.Lock()
+		if e.inl.parked {
+			// Nobody claimed the park: self-unpark and report the timeout.
+			e.inl.parked = false
+			e.imu.Unlock()
+			return Delivery{}, InlineTimeout
+		}
+		e.imu.Unlock()
+		// A deliverer (or closer) claimed the park concurrently with the
+		// timer: its wakeup is in flight and must be consumed so the
+		// channel is empty for the next park.
+		<-e.inl.wake
+		return Delivery{}, InlineWoken
+	}
+}
+
+// closeInlineLocked marks the lane closed, claiming and reporting a pending
+// park so the caller wakes the owner once its locks are dropped. Callers
+// hold imu.
+func (e *muxEndpoint) closeInlineLocked() (wake bool) {
+	if e.inl.closed {
+		return false
+	}
+	e.inl.closed = true
+	if e.inl.parked {
+		e.inl.parked = false
+		return true
+	}
+	return false
+}
+
+// recycleInline scrubs the lane for endpoint reuse: buffered deliveries are
+// dropped (their instance completed), the router detaches, and the closed
+// marker resets so the next incarnation starts fresh. The wake channel and
+// timer persist across incarnations — both are guaranteed empty/stopped
+// whenever the owner is outside AwaitInline.
+func (e *muxEndpoint) recycleInline() {
+	e.imu.Lock()
+	e.inl.router = nil
+	e.inl.inbox = e.inl.inbox[:0]
+	e.inl.head = 0
+	e.inl.parked = false
+	e.inl.closed = false
+	e.imu.Unlock()
+}

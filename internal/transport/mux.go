@@ -27,10 +27,10 @@ const (
 	muxRetainCap = 1024
 )
 
-// muxShardCount stripes the address table: Open/Close/forget of unrelated
-// thread addresses take unrelated locks, so thousands of concurrent
-// instance lifecycles stop serialising on one mutex. Power of two so the
-// hash folds with a mask.
+// muxShardCount is the default stripe count for the address table:
+// Open/Close/forget of unrelated thread addresses take unrelated locks, so
+// thousands of concurrent instance lifecycles stop serialising on one mutex.
+// Power of two so the hash folds with a mask; override with MuxOptions.Shards.
 const muxShardCount = 32
 
 // Mux multiplexes many concurrent action instances over one shared transport
@@ -60,9 +60,14 @@ const muxShardCount = 32
 type Mux struct {
 	clock vclock.Clock
 	net   Network
+	// inline gates the run-to-completion delivery lane (see inline.go):
+	// true only on real-time clocks with the lane enabled, so virtual-clock
+	// simulations keep their deterministic queue-and-pump scheduling.
+	inline bool
 
 	closed atomic.Bool
-	shards [muxShardCount]muxShard
+	shards []muxShard
+	mask   uint64
 
 	// epPool recycles virtual endpoints together with their receive queues
 	// (see RecycleEndpoint). Per-Mux, never global: a pooled queue belongs
@@ -80,16 +85,46 @@ type muxShard struct {
 var muxSeed = maphash.MakeSeed()
 
 func (m *Mux) shardFor(thread string) *muxShard {
-	return &m.shards[maphash.String(muxSeed, thread)&(muxShardCount-1)]
+	return &m.shards[maphash.String(muxSeed, thread)&m.mask]
+}
+
+// MuxOptions tunes a demultiplexer; the zero value gives the defaults.
+type MuxOptions struct {
+	// Shards is the address-table stripe count, rounded up to a power of
+	// two; 0 means the default (32). More shards reduce Open/Close
+	// contention at very high concurrency; fewer save a little memory.
+	Shards int
+	// NoInline disables the run-to-completion delivery lane even on
+	// real-time clocks, keeping every endpoint on the queue-and-pump path.
+	NoInline bool
 }
 
 // NewMux returns a demultiplexer over the given network. The clock must be
 // the same one driving the rest of the simulation or deployment.
 func NewMux(clock vclock.Clock, net Network) *Mux {
+	return NewMuxOpts(clock, net, MuxOptions{})
+}
+
+// NewMuxOpts is NewMux with explicit tuning options.
+func NewMuxOpts(clock vclock.Clock, net Network, o MuxOptions) *Mux {
 	if clock == nil || net == nil {
 		panic("transport: NewMux requires a clock and a network")
 	}
-	m := &Mux{clock: clock, net: net}
+	n := o.Shards
+	if n <= 0 {
+		n = muxShardCount
+	}
+	shards := 1
+	for shards < n {
+		shards <<= 1
+	}
+	m := &Mux{
+		clock:  clock,
+		net:    net,
+		inline: !o.NoInline && vclock.IsReal(clock),
+		shards: make([]muxShard, shards),
+		mask:   uint64(shards - 1),
+	}
 	for i := range m.shards {
 		m.shards[i].shared = make(map[string]*muxShared)
 	}
@@ -135,6 +170,16 @@ func (m *Mux) Open(instance, thread string) (Endpoint, error) {
 			// toward the virtual clock's deadlock detection.
 			if dm, ok := real.(interface{ MarkDaemon() }); ok {
 				dm.MarkDaemon()
+			}
+			if m.inline {
+				// Sender-side delivery: a transport that supports sinks (the
+				// in-process sim) hands fast-path sends straight to dispatch
+				// on the sender's goroutine, skipping the shared queue and
+				// the pump wakeup. The pump keeps running for traffic that
+				// takes the transport's locked path.
+				if sk, ok := real.(interface{ SetSink(func(Delivery)) }); ok {
+					sk.SetSink(sh.dispatch)
+				}
 			}
 			shard.shared[thread] = sh
 			m.clock.Go(sh.pump)
@@ -243,6 +288,7 @@ func RecycleEndpoint(ep Endpoint) {
 		}
 		releaseDelivery(x.(*Delivery))
 	}
+	me.recycleInline()
 	mux := me.mux
 	me.shared = nil
 	me.instance = ""
@@ -279,14 +325,26 @@ func (sh *muxShared) pump() {
 	}
 }
 
+// dispatch routes one delivery to its instance's endpoint. Callers are the
+// shared endpoint's pump goroutine and — when the sender-side sink is
+// installed — any sending goroutine, so the whole body is serialised on
+// sh.mu. Holding sh.mu across an inline-executed step also pins the
+// endpoint open (Close removes it from sh.open under this lock), so the
+// step can never race endpoint recycling; the step's deferred sends and the
+// owner wakeup run after the lock is dropped.
 func (sh *muxShared) dispatch(d Delivery) {
 	inst := protocol.InstanceOf(protocol.ActionOf(d.Msg))
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if ep, ok := sh.open[inst]; ok {
-		ep.queue.Put(borrowDelivery(d.From, d.Msg, d.Corrupt))
+		var post inlinePost
+		delivered := ep.deliverLocked(d, &post)
+		sh.mu.Unlock()
+		if delivered && (post.wake || post.outs != nil) {
+			ep.finishInline(sh, &post)
+		}
 		return
 	}
+	defer sh.mu.Unlock()
 	if _, done := sh.dead[inst]; done || inst == "" {
 		return // late traffic for a completed instance, or an untagged stray
 	}
@@ -313,11 +371,27 @@ func (sh *muxShared) abandoned() {
 		return
 	}
 	sh.closed = true
+	var wake []*muxEndpoint
 	for _, ep := range sh.open {
 		ep.queue.Close()
+		if ep.stopInline() {
+			wake = append(wake, ep)
+		}
 	}
 	sh.mu.Unlock()
+	for _, ep := range wake {
+		ep.inl.wake <- struct{}{}
+	}
 	sh.mux.forget(sh)
+}
+
+// stopInline closes an endpoint's inline lane, reporting whether the caller
+// must wake a parked owner once sh.mu is released.
+func (e *muxEndpoint) stopInline() bool {
+	e.imu.Lock()
+	wake := e.closeInlineLocked()
+	e.imu.Unlock()
+	return wake
 }
 
 // teardown closes the real endpoint (stopping the pump) and every open
@@ -330,10 +404,17 @@ func (sh *muxShared) teardown() {
 		return
 	}
 	sh.closed = true
+	var wake []*muxEndpoint
 	for _, ep := range sh.open {
 		ep.queue.Close()
+		if ep.stopInline() {
+			wake = append(wake, ep)
+		}
 	}
 	sh.mu.Unlock()
+	for _, ep := range wake {
+		ep.inl.wake <- struct{}{}
+	}
 	_ = sh.real.Close()
 }
 
@@ -356,15 +437,25 @@ func (sh *muxShared) markDeadLocked(instance string) {
 	}
 }
 
-// muxEndpoint is one (action instance, thread) virtual endpoint.
+// muxEndpoint is one (action instance, thread) virtual endpoint. Besides the
+// receive queue (virtual clocks, and real-time endpoints before a thread
+// adopts them), it carries the inline-lane state: imu guards inl, and is
+// only ever taken after sh.mu (never the reverse — inline-routed steps
+// defer their sends precisely so no send happens under imu).
 type muxEndpoint struct {
 	mux      *Mux
 	shared   *muxShared
 	instance string
 	queue    *vclock.Queue
+
+	imu sync.Mutex
+	inl inlineState
 }
 
-var _ Endpoint = (*muxEndpoint)(nil)
+var (
+	_ Endpoint       = (*muxEndpoint)(nil)
+	_ InlineEndpoint = (*muxEndpoint)(nil)
+)
 
 // Addr returns the thread address, not the instance tag: runtime code
 // addresses peers by thread, and the instance travels in the message's
@@ -399,11 +490,18 @@ func (e *muxEndpoint) Close() error {
 	delete(sh.open, e.instance)
 	sh.markDeadLocked(e.instance)
 	e.queue.Close()
+	// Close the inline lane too. The owner closes its own endpoint only
+	// while unparked, but a cancellation watcher may close it out from
+	// under a parked thread — that thread must wake and observe the stop.
+	wake := e.stopInline()
 	last := len(sh.open) == 0 && !sh.closed
 	if last {
 		sh.closed = true
 	}
 	sh.mu.Unlock()
+	if wake {
+		e.inl.wake <- struct{}{}
+	}
 	if last {
 		// Close the real endpoint BEFORE forgetting the shared entry: a
 		// concurrent Open of this address then either still finds the entry

@@ -189,7 +189,7 @@ func NewSim(cfg SimConfig) *Sim {
 	if cfg.Latency == nil {
 		s.cfg.Latency = FixedLatency(0)
 	}
-	_, s.realtime = cfg.Clock.(interface{ RealTime() })
+	s.realtime = vclock.IsReal(cfg.Clock)
 	s.pristine.Store(true)
 	return s
 }
@@ -324,10 +324,19 @@ func (s *Sim) fastSend(src *simEndpoint, to string, msg protocol.Message, kind i
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownAddr, to)
 	}
+	dst := x.(*simEndpoint)
 	s.countSend(kind, msg)
 	s.stats.sent.Add(1)
 	s.stats.delivered.Add(1)
-	x.(*simEndpoint).queue.Put(borrowDelivery(src.addr, msg, false))
+	if sp := dst.sink.Load(); sp != nil && !dst.dead.Load() {
+		// Sink lane: hand the delivery to the destination's dispatcher on
+		// this goroutine instead of waking its pump. Only installed on the
+		// same pristine real-time configuration that enables fastSend, so
+		// the pump's queue is bypassed uniformly per endpoint.
+		(*sp)(Delivery{From: src.addr, Msg: msg})
+		return nil
+	}
+	dst.queue.Put(borrowDelivery(src.addr, msg, false))
 	return nil
 }
 
@@ -430,11 +439,26 @@ type simEndpoint struct {
 	// dead marks a crash-stop: buffered deliveries are discarded instead of
 	// drained, unlike a graceful Close.
 	dead atomic.Bool
+	// sink, when set, receives fast-path deliveries synchronously on the
+	// sender's goroutine instead of through queue. Installed by the mux for
+	// its shared endpoints so sends skip the pump entirely; the callee must
+	// be safe to invoke from arbitrary sender goroutines.
+	sink atomic.Pointer[func(Delivery)]
 }
 
 var _ Endpoint = (*simEndpoint)(nil)
 
 func (e *simEndpoint) Addr() string { return e.addr }
+
+// SetSink installs (or, with nil, removes) the synchronous delivery sink for
+// the fast path; see simEndpoint.sink.
+func (e *simEndpoint) SetSink(fn func(Delivery)) {
+	if fn == nil {
+		e.sink.Store(nil)
+		return
+	}
+	e.sink.Store(&fn)
+}
 
 // MarkDaemon marks receives on this endpoint as virtual-clock daemon waits;
 // see vclock.Queue.SetDaemon. The Mux marks the shared endpoints its pumps

@@ -38,6 +38,16 @@ type Clock interface {
 	Wait()
 }
 
+// IsReal reports whether c is wall-clock-backed (see Real.RealTime).
+// Components that keep timing invariants only the real clock provides —
+// the transports' lock-free fast paths, the mux's run-to-completion
+// delivery lane — gate on this, so deterministic virtual-time executions
+// never take a schedule-dependent shortcut.
+func IsReal(c Clock) bool {
+	_, ok := c.(interface{ RealTime() })
+	return ok
+}
+
 // Queue is an unbounded FIFO mailbox whose blocking receive cooperates with
 // the owning Clock. The zero value is not usable; create queues with
 // Clock.NewQueue.

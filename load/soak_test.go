@@ -1,0 +1,149 @@
+package load
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSoakSchedule pins the sample-interval accounting: explicit intervals
+// pass through untouched, derived intervals are one sixteenth of the window
+// clamped to [250ms, 5s].
+func TestSoakSchedule(t *testing.T) {
+	cases := []struct {
+		duration, every, want time.Duration
+	}{
+		{30 * time.Second, time.Second, time.Second},        // explicit wins
+		{time.Second, 3 * time.Second, 3 * time.Second},     // even past the window
+		{32 * time.Second, 0, 2 * time.Second},              // duration/16
+		{time.Second, 0, 250 * time.Millisecond},            // clamp low
+		{100 * time.Millisecond, 0, 250 * time.Millisecond}, // clamp low, tiny window
+		{10 * time.Minute, 0, 5 * time.Second},              // clamp high
+		{80 * time.Second, -time.Second, 5 * time.Second},   // negative = derive
+	}
+	for _, tc := range cases {
+		if got := soakSchedule(tc.duration, tc.every); got != tc.want {
+			t.Errorf("soakSchedule(%v, %v) = %v, want %v", tc.duration, tc.every, got, tc.want)
+		}
+	}
+}
+
+// TestLeakGrowth pins the growth accounting: baseline is the sample one
+// quarter into the series (past warmup), compared against the final sample;
+// degenerate series report zero.
+func TestLeakGrowth(t *testing.T) {
+	s := func(g int, h uint64) SoakSample { return SoakSample{Goroutines: g, HeapBytes: h} }
+
+	if g, h := leakGrowth(nil); g != 0 || h != 0 {
+		t.Errorf("empty series: growth = %d/%d, want 0/0", g, h)
+	}
+	if g, h := leakGrowth([]SoakSample{s(100, 1<<20)}); g != 0 || h != 0 {
+		t.Errorf("single sample: growth = %d/%d, want 0/0", g, h)
+	}
+	// 8 samples: baseline index 2, final index 7. The warmup spike at index
+	// 0-1 must not count as growth.
+	series := []SoakSample{
+		s(500, 64<<20), s(400, 48<<20), // warmup transient
+		s(300, 32<<20), // baseline (index 8/4 = 2)
+		s(300, 32<<20), s(305, 33<<20), s(302, 32<<20), s(310, 34<<20),
+		s(320, 40<<20), // final
+	}
+	g, h := leakGrowth(series)
+	if g != 20 {
+		t.Errorf("goroutine growth = %d, want 20", g)
+	}
+	if h != 8<<20 {
+		t.Errorf("heap growth = %d, want %d", h, 8<<20)
+	}
+	// Shrinkage is negative growth, never a gate trip.
+	g, h = leakGrowth([]SoakSample{s(10, 1000), s(10, 1000), s(8, 900), s(5, 500)})
+	if g != -5 || h != -500 {
+		t.Errorf("shrinking series: growth = %d/%d, want -5/-500", g, h)
+	}
+}
+
+// TestLeakCheck pins the gate semantics: growth within bounds passes, either
+// bound trips independently, non-positive bounds disable the gate.
+func TestLeakCheck(t *testing.T) {
+	r := &SoakReport{GoroutineGrowth: 50, HeapGrowthBytes: 10 << 20}
+	if err := r.LeakCheck(64, 16<<20); err != nil {
+		t.Errorf("within bounds: %v", err)
+	}
+	if err := r.LeakCheck(49, 16<<20); err == nil || !strings.Contains(err.Error(), "goroutines") {
+		t.Errorf("goroutine gate did not trip: %v", err)
+	}
+	if err := r.LeakCheck(64, 10<<20-1); err == nil || !strings.Contains(err.Error(), "heap") {
+		t.Errorf("heap gate did not trip: %v", err)
+	}
+	if err := r.LeakCheck(0, 0); err != nil {
+		t.Errorf("disabled gates tripped: %v", err)
+	}
+	if err := (&SoakReport{GoroutineGrowth: -3, HeapGrowthBytes: -1}).LeakCheck(1, 1); err != nil {
+		t.Errorf("negative growth tripped a gate: %v", err)
+	}
+}
+
+// TestRunSoakShort end-to-ends a sub-second soak and checks the duration
+// accounting: the configured window is honoured (wall time covers it, plus
+// the in-flight drain), samples bracket the window under load, and the
+// completed-action count reconciles with the outcome tally.
+func TestRunSoakShort(t *testing.T) {
+	cfg := SoakConfig{
+		Config:      Config{Concurrency: 16, Roles: 2, Seed: 5},
+		Duration:    400 * time.Millisecond,
+		SampleEvery: 50 * time.Millisecond,
+	}
+	if testing.Short() {
+		cfg.Duration = 200 * time.Millisecond
+	}
+	rep, err := RunSoak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.UnexpectedCount > 0 {
+		t.Fatalf("%d unexpected outcomes, e.g. %v", rep.UnexpectedCount, rep.Unexpected)
+	}
+	if rep.DurationSecs != cfg.Duration.Seconds() {
+		t.Errorf("DurationSecs = %v, want %v", rep.DurationSecs, cfg.Duration.Seconds())
+	}
+	if rep.WallSecs < rep.DurationSecs {
+		t.Errorf("WallSecs %v shorter than the configured window %v", rep.WallSecs, rep.DurationSecs)
+	}
+	if rep.Actions <= 0 {
+		t.Fatalf("soak completed no actions")
+	}
+	total := int64(0)
+	for _, n := range rep.Outcomes {
+		total += int64(n)
+	}
+	if total != rep.Actions {
+		t.Errorf("outcome tally %d != completed actions %d", total, rep.Actions)
+	}
+	if want := float64(rep.Actions) / rep.WallSecs; rep.Throughput != want {
+		t.Errorf("Throughput = %v, want actions/wall = %v", rep.Throughput, want)
+	}
+	// The t=0 baseline plus the window-close sample always exist; interval
+	// ticks add more. Samples are timestamped within the run and ordered.
+	if len(rep.Samples) < 2 {
+		t.Fatalf("got %d samples, want at least the baseline and window-close pair", len(rep.Samples))
+	}
+	last := rep.Samples[len(rep.Samples)-1]
+	if last.AtSecs < rep.DurationSecs || last.AtSecs > rep.WallSecs {
+		t.Errorf("final sample at %vs outside [window %vs, wall %vs]", last.AtSecs, rep.DurationSecs, rep.WallSecs)
+	}
+	for i := 1; i < len(rep.Samples); i++ {
+		if rep.Samples[i].AtSecs < rep.Samples[i-1].AtSecs {
+			t.Fatalf("samples out of order: %v after %v", rep.Samples[i].AtSecs, rep.Samples[i-1].AtSecs)
+		}
+		if rep.Samples[i].Actions < rep.Samples[i-1].Actions {
+			t.Fatalf("action counter went backwards between samples")
+		}
+	}
+	if last.Goroutines <= 0 || last.HeapBytes == 0 {
+		t.Errorf("final sample missing watermarks: %+v", last)
+	}
+
+	if _, err := RunSoak(SoakConfig{Config: Config{}}); err == nil {
+		t.Error("zero-duration soak accepted")
+	}
+}

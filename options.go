@@ -42,6 +42,9 @@ type config struct {
 	tenantBudget int
 	metricsAddr  string
 
+	muxShards int
+	noInline  bool
+
 	cluster *ClusterConfig
 
 	err error
@@ -250,6 +253,38 @@ func WithWorkers(n int) Option {
 		}
 		c.workers = n
 	}
+}
+
+// WithMuxShards sets the stripe count of the concurrent-action
+// demultiplexer's address table. Each logical thread address hashes to one
+// stripe, and a stripe's lock serialises delivery, open and close for the
+// addresses it owns — so a workload whose actions fan in on a few hot
+// thread addresses contends on a few stripes no matter how large the table
+// is, while a wide address space spreads across all of them. n is rounded
+// up to a power of two; the default is 32. Zero keeps the default; negative
+// values fail New.
+func WithMuxShards(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			c.fail("WithMuxShards: negative shard count %d", n)
+			return
+		}
+		c.muxShards = n
+	}
+}
+
+// WithoutInlineDelivery disables the run-to-completion delivery lane of the
+// concurrent-action demultiplexer and restores the queue-per-thread model:
+// every delivery is buffered and the receiving thread's own goroutine is
+// woken to process it. The inline lane — on by default under the real clock
+// — routes protocol steps for co-located threads on the sender's goroutine
+// and skips the queue hand-off and scheduler wakeup per hop; disable it to
+// isolate a suspected fast-path bug or to compare scheduling models under
+// load. Virtual-time systems always use the queue model (determinism
+// requires the scheduler to mediate every hand-off), so this option is a
+// no-op under WithVirtualTime.
+func WithoutInlineDelivery() Option {
+	return func(c *config) { c.noInline = true }
 }
 
 // WithMaxInFlight bounds the number of simultaneously in-flight action

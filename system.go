@@ -68,6 +68,8 @@ type System struct {
 	// marker consulted by Thread and StartAction.
 	muxOnce   sync.Once
 	mux       *transport.Mux
+	muxShards int  // WithMuxShards: stripe count for the mux address table
+	noInline  bool // WithoutInlineDelivery: force the queue delivery model
 	actionSeq atomic.Int64
 	closed    atomic.Bool
 
@@ -200,6 +202,8 @@ func New(opts ...Option) (*System, error) {
 		metrics:      cfg.metrics,
 		log:          cfg.log,
 		workers:      cfg.workers,
+		muxShards:    cfg.muxShards,
+		noInline:     cfg.noInline,
 		maxInFlight:  cfg.maxInFlight,
 		tenantBudget: cfg.tenantBudget,
 		rejected:     cfg.metrics.Counter("admission.rejected"),
