@@ -20,6 +20,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -58,6 +59,19 @@ type Config struct {
 	// LogDir receives one stderr log per node incarnation; default a
 	// fresh temp dir (reported in the summary).
 	LogDir string
+	// NoPeerBatch boots every node with the cross-node fast path disabled
+	// (canode -no-peer-batch): legacy frame-per-message wire, no credit
+	// flow control. The default (false) runs the batched fast path, and
+	// Run then asserts the cluster actually flushed batched frames —
+	// including across the kill/restart — via the tcp.batch_frames
+	// counter.
+	NoPeerBatch bool
+	// PeerWindow, when positive, boots every node with that per-peer
+	// credit window in messages (canode -peer-window); zero keeps the
+	// transport default. The bench raises it to cover its in-flight
+	// message peak so credit backpressure does not throttle the
+	// measurement.
+	PeerWindow int
 	// WALDir, when non-empty, gives every node a durable write-ahead log
 	// under <WALDir>/<name>; the restarted incarnation then replays its
 	// predecessor's WAL, and the harness asserts it re-joins (or
@@ -65,6 +79,13 @@ type Config struct {
 	// merely tolerating it. Empty runs the cluster memoryless, the
 	// pre-WAL behaviour.
 	WALDir string
+	// SignalTimeout and ActionTimeout are the per-node protocol timeouts
+	// (canode -signal-timeout / -action-timeout); defaults 3s and 10s.
+	// The smoke testnet keeps the tight defaults so a stuck protocol
+	// fails fast; benchmark clusters raise them so scheduler stalls on a
+	// loaded machine surface as latency, not as spurious ƒ outcomes.
+	SignalTimeout time.Duration
+	ActionTimeout time.Duration
 	// Logf receives driver progress lines; default os.Stderr.
 	Logf func(format string, args ...any)
 }
@@ -93,6 +114,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Resolver == "" {
 		c.Resolver = "coordinated"
+	}
+	if c.SignalTimeout <= 0 {
+		c.SignalTimeout = 3 * time.Second
+	}
+	if c.ActionTimeout <= 0 {
+		c.ActionTimeout = 10 * time.Second
 	}
 	if c.LogDir == "" {
 		dir, err := os.MkdirTemp("", "canode-testnet-")
@@ -185,13 +212,19 @@ func (t *runner) spawn(name string, seeds []string, incarnation int) (*proc, err
 		"-placement", t.placementFlag,
 		"-resolver", t.cfg.Resolver,
 		"-exchange-every", "100ms",
-		"-signal-timeout", "3s",
-		"-action-timeout", "10s",
+		"-signal-timeout", t.cfg.SignalTimeout.String(),
+		"-action-timeout", t.cfg.ActionTimeout.String(),
 	}
 	if t.cfg.WALDir != "" {
 		// Per-node WAL directory, shared across incarnations: the fresh
 		// incarnation must find its predecessor's log.
 		args = append(args, "-wal-dir", filepath.Join(t.cfg.WALDir, name))
+	}
+	if t.cfg.NoPeerBatch {
+		args = append(args, "-no-peer-batch")
+	}
+	if t.cfg.PeerWindow > 0 {
+		args = append(args, "-peer-window", strconv.Itoa(t.cfg.PeerWindow))
 	}
 	if len(seeds) > 0 {
 		args = append(args, "-seeds", strings.Join(seeds, ","))
@@ -329,6 +362,18 @@ func Run(cfg Config) (*Summary, error) {
 	}
 	t.checkMessageBounds(before, after)
 	t.cfg.Logf("testnet: phase C complete — %d storm rounds, message bounds checked", cfg.StormRounds)
+
+	// With the fast path on, the cross-node traffic of phases B and C —
+	// including the rounds spanning the kill/restart — must have flowed as
+	// batched frames. Paired with the exact phase-C message bounds (which
+	// a lost or duplicated frame would break), this asserts the batched
+	// wire survives a SIGKILL mid-batch without frame loss or duplication.
+	if !cfg.NoPeerBatch {
+		if after["tcp.batch_frames"] == 0 {
+			t.violate("fast path enabled but no batched node frames were flushed (tcp.batch_frames = 0)")
+		}
+		t.cfg.Logf("testnet: %d batched node frames flushed cluster-wide", after["tcp.batch_frames"])
+	}
 
 	// Phase D — graceful shutdown: drain every node, then stop.
 	for _, p := range t.procs {

@@ -33,11 +33,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
+	"caaction/cluster/testnet"
 	"caaction/load"
 )
 
@@ -58,6 +61,10 @@ type fileReport struct {
 	Description string                     `json:"description"`
 	Date        string                     `json:"date"`
 	Resolvers   map[string]*resolverReport `json:"resolvers"`
+	// Cluster is the multi-process benchmark from -cluster: round
+	// throughput over N local canode processes in both wire modes
+	// (batched fast path vs legacy), with their same-run speedup.
+	Cluster *testnet.BenchReport `json:"cluster,omitempty"`
 }
 
 func parseRates(s string) ([]float64, error) {
@@ -140,7 +147,27 @@ func sweepMedian(cfg load.Config, levels []int, n int) ([]load.SweepPoint, error
 	return out, nil
 }
 
-func main() {
+// writeProfile snapshots one named pprof profile to path at exit.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "caload:", err)
+		return
+	}
+	defer func() { _ = f.Close() }()
+	if name == "allocs" {
+		runtime.GC() // materialise the final heap numbers
+	}
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "caload: %s profile: %v\n", name, err)
+	}
+}
+
+// main defers to run so the profile-flushing defers execute before the
+// process exits (os.Exit skips defers).
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		actions     = flag.Int("actions", 2000, "action instances per resolver")
 		concurrency = flag.Int("concurrency", 128, "instances in flight at once")
@@ -162,27 +189,57 @@ func main() {
 		soakGor     = flag.Int("soak-max-goroutines", 256, "soak leak gate: maximum steady-state goroutine growth (0 disables)")
 		soakHeapMB  = flag.Int("soak-max-heap-mb", 64, "soak leak gate: maximum steady-state heap growth in MiB (0 disables)")
 		out         = flag.String("out", "BENCH_load.json", "JSON report path ('' disables)")
+
+		clusterNodes = flag.Int("cluster", 0, "run the multi-process cluster benchmark over this many local canode processes (0 disables); measures batched vs unbatched wire modes and records the 'cluster' report section")
+		clusterBin   = flag.String("cluster-bin", "", "canode binary for -cluster (required with -cluster)")
+		clusterRnds  = flag.Int("cluster-rounds", 48, "shared action rounds per cluster measurement")
+		clusterConc  = flag.Int("cluster-concurrency", 24, "cluster rounds in flight at once")
+		clusterRuns  = flag.Int("cluster-runs", 0, "median-of-N cluster measurements per wire mode (0 = -runs)")
+
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the whole run here ('' disables)")
+		memProfile   = flag.String("memprofile", "", "write an allocation profile at exit here ('' disables)")
+		mutexProfile = flag.String("mutexprofile", "", "write a mutex-contention profile at exit here ('' disables)")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "caload:", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "caload: cpuprofile:", err)
+			return 2
+		}
+		defer func() { pprof.StopCPUProfile(); _ = f.Close() }()
+	}
+	if *mutexProfile != "" {
+		runtime.SetMutexProfileFraction(5)
+		defer writeProfile("mutex", *mutexProfile)
+	}
+	if *memProfile != "" {
+		defer writeProfile("allocs", *memProfile)
+	}
 
 	mix, err := load.ParseMix(*mixFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "caload:", err)
-		os.Exit(2)
+		return 2
 	}
 	sweep, err := parseSweep(*sweepFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "caload:", err)
-		os.Exit(2)
+		return 2
 	}
 	rates, err := parseRates(*arrival)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "caload:", err)
-		os.Exit(2)
+		return 2
 	}
 
 	file := fileReport{
-		Description: "Load-harness baseline: concurrent CA actions over a shared transport. Regenerate with `go run ./cmd/caload -actions 6000 -runs 3 -sweep 64,256,1024,4096 -arrival 4000,12000,24000 -arrival-duration 3s -soak 30s`.",
+		Description: "Load-harness baseline: concurrent CA actions over a shared transport. Regenerate with `go build -o /tmp/canode ./cmd/canode && go run ./cmd/caload -actions 6000 -runs 3 -sweep 64,256,1024,4096 -arrival 4000,12000,24000 -arrival-duration 3s -soak 30s -cluster 3 -cluster-bin /tmp/canode -cluster-runs 3`.",
 		Date:        time.Now().UTC().Format("2006-01-02"),
 		Resolvers:   make(map[string]*resolverReport),
 	}
@@ -206,7 +263,7 @@ func main() {
 		rep, err := runMedian(cfg, *runs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "caload: %s: %v\n", resolver, err)
-			os.Exit(2)
+			return 2
 		}
 		rr := &resolverReport{Report: rep}
 		fmt.Printf("%-12s %6d actions  %9.0f actions/s  p50 %.2fms  p99 %.2fms  %7.0f allocs/action  %5d goroutines  outcomes %v\n",
@@ -265,7 +322,7 @@ func main() {
 			})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "caload: %s: soak: %v\n", resolver, err)
-				os.Exit(2)
+				return 2
 			}
 			rr.Soak = srep
 			fmt.Printf("  soak  %6.1fs %8d actions  %9.0f actions/s  goroutine growth %+4d  heap growth %+6.1fMiB  %d samples\n",
@@ -283,19 +340,49 @@ func main() {
 		}
 		file.Resolvers[resolver] = rr
 	}
+	if *clusterNodes > 0 {
+		if *clusterBin == "" {
+			fmt.Fprintln(os.Stderr, "caload: -cluster requires -cluster-bin (a built canode binary)")
+			return 2
+		}
+		modeRuns := *clusterRuns
+		if modeRuns <= 0 {
+			modeRuns = *runs
+		}
+		crep, err := testnet.Bench(testnet.BenchConfig{
+			Binary:      *clusterBin,
+			Nodes:       *clusterNodes,
+			Rounds:      *clusterRnds,
+			Concurrency: *clusterConc,
+			Runs:        modeRuns,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "caload: cluster:", err)
+			return 2
+		}
+		file.Cluster = crep
+		for _, m := range []*load.ClusterReport{crep.Batched, crep.Unbatched} {
+			fmt.Printf("  cluster %-10s %4d rounds  %8.1f rounds/s  p50 %.2fms  p99 %.2fms  %8.0f driver allocs/round  batch frames %d  stalls %d\n",
+				m.Config.Label, m.Config.Rounds, m.Throughput, m.Latency.P50, m.Latency.P99,
+				m.DriverAllocsPerRound, m.BatchFrames, m.CreditStalls)
+		}
+		fmt.Printf("  cluster speedup: batched %.2fx unbatched (%d nodes, median of %d)\n",
+			crep.SpeedupX, crep.Nodes, modeRuns)
+	}
 	if *out != "" {
 		blob, err := json.MarshalIndent(file, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "caload:", err)
-			os.Exit(2)
+			return 2
 		}
 		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "caload:", err)
-			os.Exit(2)
+			return 2
 		}
 		fmt.Println("wrote", *out)
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -40,6 +40,8 @@ func main() {
 		metricsAddr   = flag.String("metrics", "", "HTTP /metrics listener host:port ('' disables; counters stay scrapeable over the control port)")
 		maxInFlight   = flag.Int("max-inflight", 0, "admission budget for locally-started actions (0 = unlimited)")
 		walDir        = flag.String("wal-dir", "", "directory for the node's protocol write-ahead log ('' runs memoryless; a restart replays <wal-dir>/<name>.wal)")
+		peerWindow    = flag.Int("peer-window", 0, "per-peer credit window in messages advertised to dialing peers (0 = transport default)")
+		noPeerBatch   = flag.Bool("no-peer-batch", false, "disable the cross-node fast path (batched frames, credit flow control); interoperates with batching peers")
 
 		// testnet mode
 		nodes       = flag.Int("nodes", 3, "testnet cluster size")
@@ -59,7 +61,7 @@ func main() {
 		os.Exit(2)
 	case *nodeMode:
 		os.Exit(runNode(*name, *controlAddr, *dataAddr, *seeds, *placement, *resolver, *metricsAddr, *walDir,
-			*exchangeEvery, *signalTimeout, *actionTimeout, *maxInFlight))
+			*exchangeEvery, *signalTimeout, *actionTimeout, *maxInFlight, *peerWindow, *noPeerBatch))
 	default:
 		os.Exit(runTestnet(*binary, *nodes, *roles, *rounds, *stormRounds, *resolver, *logDir, *walRoot, !*noKill))
 	}
@@ -86,7 +88,7 @@ func parsePlacement(s string) (map[string]string, error) {
 }
 
 func runNode(name, controlAddr, dataAddr, seeds, placement, resolver, metricsAddr, walDir string,
-	exchangeEvery, signalTimeout, actionTimeout time.Duration, maxInFlight int) int {
+	exchangeEvery, signalTimeout, actionTimeout time.Duration, maxInFlight, peerWindow int, noPeerBatch bool) int {
 	place, err := parsePlacement(placement)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -121,6 +123,8 @@ func runNode(name, controlAddr, dataAddr, seeds, placement, resolver, metricsAdd
 		MetricsAddr:   metricsAddr,
 		MaxInFlight:   maxInFlight,
 		WALDir:        walDir,
+		PeerWindow:    peerWindow,
+		NoPeerBatch:   noPeerBatch,
 		Logf:          logf,
 	})
 	if err != nil {

@@ -91,6 +91,27 @@ type benchBaseline struct {
 // loadBaseline mirrors BENCH_load.json (only the gated fields).
 type loadBaseline struct {
 	Resolvers map[string]loadResolver `json:"resolvers"`
+	Cluster   *clusterBaseline        `json:"cluster"`
+}
+
+// clusterBaseline is the multi-process benchmark recorded by caload
+// -cluster: both wire modes plus their same-run speedup.
+type clusterBaseline struct {
+	Nodes     int          `json:"nodes"`
+	Batched   *clusterMode `json:"batched"`
+	Unbatched *clusterMode `json:"unbatched"`
+	SpeedupX  float64      `json:"speedup_x"`
+}
+
+// clusterMode is one wire mode's gated metrics.
+type clusterMode struct {
+	Throughput float64 `json:"rounds_per_second"`
+	Latency    struct {
+		P99 float64 `json:"p99_ms"`
+	} `json:"latency"`
+	DriverAllocsPerRound float64 `json:"driver_allocs_per_round"`
+	BatchFrames          float64 `json:"batch_frames"`
+	CreditStalls         float64 `json:"credit_stalls"`
 }
 
 // loadResolver is one resolver's gated metrics.
@@ -416,23 +437,41 @@ func medianLoad(reports []loadBaseline) loadBaseline {
 		}
 		out.Resolvers[name] = m
 	}
+	// The cluster benchmark is internally self-consistent (the speedup is
+	// a same-run ratio), so rather than a per-metric patchwork the fold
+	// keeps the whole run with the median batched throughput.
+	var clusters []*clusterBaseline
+	for _, r := range reports {
+		if r.Cluster != nil && r.Cluster.Batched != nil {
+			clusters = append(clusters, r.Cluster)
+		}
+	}
+	if len(clusters) > 0 {
+		sort.Slice(clusters, func(i, j int) bool {
+			return clusters[i].Batched.Throughput < clusters[j].Batched.Throughput
+		})
+		out.Cluster = clusters[(len(clusters)-1)/2]
+	}
 	return out
 }
 
 func main() {
 	var (
-		benchFile     = flag.String("bench", "", "go test -bench output to gate ('' skips the bench gate)")
-		benchBase     = flag.String("bench-baseline", "BENCH_chaos.json", "committed benchmark baseline")
-		loadFile      = flag.String("load", "", "fresh caload JSON report(s) to gate, comma-separated; several reports gate their per-metric median ('' skips the load gate)")
-		loadBase      = flag.String("load-baseline", "BENCH_load.json", "committed load baseline")
-		tolerance     = flag.Float64("tolerance", 0.25, "fractional tolerance for perf metrics (allocs, throughput, p99)")
-		loadTol       = flag.Float64("load-tolerance", 0, "override tolerance for the wall-clock load metrics (actions_per_second, p99); 0 inherits -tolerance. Throughput and tail latency are hardware-sensitive, so a gate whose baseline was recorded on different hardware may need this looser than the allocation gates")
-		exactTol      = flag.Float64("exact-tolerance", 0.02, "tolerance for deterministic metrics (virtual seconds, message counts)")
-		p99Slack      = flag.Float64("p99-slack-ms", 10, "absolute slack for p99 gates: a p99 regression fails only when it exceeds the load tolerance AND baseline+slack (low-concurrency tails are a few ms, where one GC pause flakes a purely relative gate)")
-		gorSlack      = flag.Float64("goroutine-slack", 128, "absolute slack for the goroutine watermark and soak-growth gates: a regression fails only when it exceeds the tolerance AND baseline+slack (scheduler timing moves small counts by tens run-to-run)")
-		heapSlackMB   = flag.Float64("heap-slack-mb", 32, "absolute slack in MiB for the heap watermark and soak-growth gates (GC pacing moves the live-heap peak by tens of MiB run-to-run)")
-		reportPath    = flag.String("report", "", "write the comparison artifact JSON here ('' disables)")
-		requireAllocs = flag.Bool("require-allocs", true, "fail when a baselined benchmark reports no allocs/op (run with -benchmem)")
+		benchFile      = flag.String("bench", "", "go test -bench output to gate ('' skips the bench gate)")
+		benchBase      = flag.String("bench-baseline", "BENCH_chaos.json", "committed benchmark baseline")
+		loadFile       = flag.String("load", "", "fresh caload JSON report(s) to gate, comma-separated; several reports gate their per-metric median ('' skips the load gate)")
+		loadBase       = flag.String("load-baseline", "BENCH_load.json", "committed load baseline")
+		tolerance      = flag.Float64("tolerance", 0.25, "fractional tolerance for perf metrics (allocs, throughput, p99)")
+		loadTol        = flag.Float64("load-tolerance", 0, "override tolerance for the wall-clock load metrics (actions_per_second, p99); 0 inherits -tolerance. Throughput and tail latency are hardware-sensitive, so a gate whose baseline was recorded on different hardware may need this looser than the allocation gates")
+		exactTol       = flag.Float64("exact-tolerance", 0.02, "tolerance for deterministic metrics (virtual seconds, message counts)")
+		p99Slack       = flag.Float64("p99-slack-ms", 10, "absolute slack for p99 gates: a p99 regression fails only when it exceeds the load tolerance AND baseline+slack (low-concurrency tails are a few ms, where one GC pause flakes a purely relative gate)")
+		gorSlack       = flag.Float64("goroutine-slack", 128, "absolute slack for the goroutine watermark and soak-growth gates: a regression fails only when it exceeds the tolerance AND baseline+slack (scheduler timing moves small counts by tens run-to-run)")
+		heapSlackMB    = flag.Float64("heap-slack-mb", 32, "absolute slack in MiB for the heap watermark and soak-growth gates (GC pacing moves the live-heap peak by tens of MiB run-to-run)")
+		reportPath     = flag.String("report", "", "write the comparison artifact JSON here ('' disables)")
+		requireAllocs  = flag.Bool("require-allocs", true, "fail when a baselined benchmark reports no allocs/op (run with -benchmem)")
+		requireCluster = flag.Bool("require-cluster", false, "fail when the baseline has a cluster section the fresh run did not re-measure (CI's cluster-bench job sets this; other jobs skip the multi-process benchmark)")
+		minSpeedup     = flag.Float64("min-cluster-speedup", 1.5, "minimum batched/unbatched throughput ratio the fresh cluster benchmark must reach (0 disables the absolute gate)")
+		clusterOnly    = flag.Bool("cluster-only", false, "gate only the load baseline's cluster section, exempting the per-resolver sections (CI's cluster-bench job runs caload with -resolvers '' and sets this; the perf-gate job still gates the resolvers)")
 	)
 	flag.Parse()
 
@@ -503,6 +542,12 @@ func main() {
 			os.Exit(2)
 		}
 		heapSlack := *heapSlackMB * (1 << 20)
+		if *clusterOnly {
+			// The cluster-bench job measures only the multi-process section;
+			// dropping the baseline's resolver sections here exempts them
+			// without loosening any gate the perf-gate job applies.
+			base.Resolvers = nil
+		}
 		for name, b := range base.Resolvers {
 			subject := "load:" + name
 			c, ok := cur.Resolvers[name]
@@ -604,6 +649,42 @@ func main() {
 					if c.Soak.UnexpectedCount > 0 {
 						g.fail(subj, fmt.Sprintf("%0.f unexpected outcomes in soak run", c.Soak.UnexpectedCount))
 					}
+				}
+			}
+		}
+		// Multi-process cluster benchmark (caload -cluster): the batched
+		// wire mode may not regress against the baseline, and the same-run
+		// speedup over the unbatched mode must clear the absolute floor.
+		// Only CI's cluster-bench job re-measures this section (it spawns
+		// a process fleet), so a fresh report without it skips the gate
+		// unless -require-cluster insists.
+		if base.Cluster != nil && base.Cluster.Batched != nil {
+			subject := "cluster:batched"
+			switch {
+			case cur.Cluster == nil || cur.Cluster.Batched == nil:
+				if *requireCluster {
+					g.fail(subject, "cluster benchmark missing from run (run caload -cluster)")
+				}
+			default:
+				b, c := base.Cluster.Batched, cur.Cluster.Batched
+				g.check(subject, "rounds_per_second", b.Throughput, c.Throughput, *loadTol, -1, 0)
+				if b.Latency.P99 > 0 && c.Latency.P99 > 0 {
+					g.check(subject, "p99_ms", b.Latency.P99, c.Latency.P99, *loadTol, +1, *p99Slack)
+				}
+				if b.DriverAllocsPerRound > 0 && c.DriverAllocsPerRound > 0 {
+					g.check(subject, "driver_allocs_per_round", b.DriverAllocsPerRound, c.DriverAllocsPerRound, *tolerance, +1, 0)
+				}
+				if c.BatchFrames == 0 {
+					g.fail(subject, "batched mode flushed no batched frames — fast path not exercised")
+				}
+				if base.Cluster.Unbatched != nil && cur.Cluster.Unbatched != nil {
+					g.info("cluster:unbatched", "rounds_per_second",
+						base.Cluster.Unbatched.Throughput, cur.Cluster.Unbatched.Throughput)
+				}
+				g.info("cluster", "speedup_x", base.Cluster.SpeedupX, cur.Cluster.SpeedupX)
+				if *minSpeedup > 0 && cur.Cluster.SpeedupX < *minSpeedup {
+					g.fail("cluster", fmt.Sprintf("batched/unbatched speedup %.2fx below the %.2fx floor",
+						cur.Cluster.SpeedupX, *minSpeedup))
 				}
 			}
 		}

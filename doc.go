@@ -109,6 +109,23 @@
 // caaction/cluster/testnet scripts a multi-process local cluster with a
 // kill+restart chaos scenario (canode -testnet).
 //
+// Cross-node traffic rides a batched fast path by default: all messages
+// bound for one peer node within a coalesce window flush as a single
+// batched node frame (one header plus length-delimited entries, bounded
+// by the 64 KiB flush threshold and the per-message frame cap), with
+// thread→node resolution cached per flush window and receive-side frame
+// buffers and deliveries pooled. Flow control is credit-based per peer:
+// the accepting side advertises a message window (default 4096;
+// WithPeerWindow tunes it) and grants more as it drains, while a sender
+// past the window parks at most one further window before sends fail
+// with the typed ErrPeerStalled — so per-peer buffering is bounded at
+// two windows and overload surfaces at the sender. WithoutPeerBatch
+// (canode -no-peer-batch) disables the fast path end to end, restoring
+// the frame-per-message wire; receivers decode both formats, so mixed
+// deployments interoperate and the knob is a safe rollback. See
+// DESIGN.md "Cross-node fast path" for the wire format, the credit
+// protocol and the benchmark that holds the speedup.
+//
 // Crashes need not be amnesiac. WithRecorder(r) streams every protocol
 // state transition — joins, raise/exit votes, concluded outcomes — to a
 // Recorder; OpenWAL(path, snapshotEvery) is the durable implementation, a

@@ -41,6 +41,15 @@ var (
 	// the hosting node is down; it clears once the peer directory learns a
 	// live address again.
 	ErrUnreachable = transport.ErrUnknownAddr
+	// ErrPeerStalled matches a cross-node send refused because the peer
+	// node's credit window is exhausted and the bounded pending buffer for
+	// that peer is full — the peer has stopped consuming (stalled process,
+	// partition) and backpressure has reached this node. The refusal is
+	// typed and instantaneous, never a hang; sends recover as soon as the
+	// peer drains and grants again. Only cluster nodes with the batched
+	// fast path enabled (the default) observe it; each refusal also counts
+	// the tcp.credit_stalls metric.
+	ErrPeerStalled = transport.ErrPeerStalled
 	// ErrDeadline matches a role outcome abandoned because the deadline of
 	// the ctx passed to StartAction (or Thread.Perform) expired mid-action:
 	// protocol waits are clamped to the propagated deadline, local effects

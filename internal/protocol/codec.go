@@ -137,11 +137,163 @@ func DecodeNodeFrame(data []byte) (to, from string, msg Message, err error) {
 	if d.err != nil {
 		return "", "", nil, d.err
 	}
+	if to == "" {
+		// A legacy node frame always names a destination thread; an empty
+		// one would collide with the 0x00 control escape below.
+		return "", "", nil, fmt.Errorf("%w: node frame with empty destination", ErrCodec)
+	}
 	from, msg, err = DecodeFrame(d.data)
 	if err != nil {
 		return "", "", nil, err
 	}
 	return to, from, msg, nil
+}
+
+// Node control frames. A legacy node frame opens with uvarint(len(to)) and
+// every destination thread address is non-empty, so its first byte is never
+// 0x00 — which frees that byte as an escape for control payloads on the
+// shared node socket:
+//
+//	nodeWire  := nodeFrame                          (first byte != 0x00)
+//	           | 0x00 0x01 batch                    (batched node frames)
+//	           | 0x00 0x02 uvarint(grant)           (credit grant)
+//	batch     := { entryLen(u32 big-endian) nodeFrame }...
+//
+// A batch carries N node frames under one transport length prefix, so one
+// coalesced peer flush pays the outer header and the syscall once for the
+// whole flush window. Entries keep fixed 4-byte lengths (not uvarints) so
+// the sender can reserve the slot and backfill it after encoding in place.
+const (
+	nodeControlByte = 0x00
+	nodeKindBatch   = 0x01
+	nodeKindCredit  = 0x02
+)
+
+// NodeBatchHeaderLen is the size of the batch escape header appended by
+// AppendNodeBatchHeader, and nodeBatchEntryLen the size of one entry's
+// length slot.
+const (
+	NodeBatchHeaderLen = 2
+	nodeBatchEntryLen  = 4
+)
+
+// NodeBatchEntry is one message of a batched node frame.
+type NodeBatchEntry struct {
+	To, From string
+	Msg      Message
+}
+
+// AppendNodeBatchHeader opens a batched node frame: the control escape plus
+// the batch kind. Entries follow via AppendNodeBatchEntry.
+func AppendNodeBatchHeader(buf []byte) []byte {
+	return append(buf, nodeControlByte, nodeKindBatch)
+}
+
+// AppendNodeBatchEntry appends one node-qualified message to an open batch:
+// a fixed 4-byte length slot backfilled after the frame is encoded in place.
+// On error buf is returned truncated to its pre-entry length, so a failed
+// entry never corrupts the open batch.
+func AppendNodeBatchEntry(buf []byte, to, from string, msg Message) ([]byte, error) {
+	if to == "" {
+		return buf, fmt.Errorf("%w: node frame with empty destination", ErrCodec)
+	}
+	n0 := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	out, err := AppendNodeFrame(buf, to, from, msg)
+	if err != nil {
+		return out[:n0], err
+	}
+	binary.BigEndian.PutUint32(out[n0:], uint32(len(out)-n0-nodeBatchEntryLen))
+	return out, nil
+}
+
+// AppendNodeBatch appends one complete batched node frame carrying every
+// entry, equivalent to AppendNodeBatchHeader followed by one
+// AppendNodeBatchEntry per entry.
+func AppendNodeBatch(buf []byte, entries []NodeBatchEntry) ([]byte, error) {
+	buf = AppendNodeBatchHeader(buf)
+	var err error
+	for _, e := range entries {
+		if buf, err = AppendNodeBatchEntry(buf, e.To, e.From, e.Msg); err != nil {
+			return buf, err
+		}
+	}
+	return buf, nil
+}
+
+// IsNodeControl reports whether a node wire payload is a control frame
+// (batch or credit) rather than a legacy single node frame.
+func IsNodeControl(data []byte) bool {
+	return len(data) > 0 && data[0] == nodeControlByte
+}
+
+// IsNodeBatch reports whether a node wire payload is a batched node frame.
+func IsNodeBatch(data []byte) bool {
+	return len(data) >= NodeBatchHeaderLen && data[0] == nodeControlByte && data[1] == nodeKindBatch
+}
+
+// IsNodeCredit reports whether a node wire payload is a credit grant.
+func IsNodeCredit(data []byte) bool {
+	return len(data) >= 2 && data[0] == nodeControlByte && data[1] == nodeKindCredit
+}
+
+// DecodeNodeBatch decodes a batched node frame, invoking fn once per entry
+// in wire order. Decoding stops at the first malformed entry or the first
+// fn error; a torn batch (entry length running past the frame) is a codec
+// error even when earlier entries decoded cleanly, because the transport
+// length-prefixes whole frames — a short one means corruption, not a
+// partial read.
+func DecodeNodeBatch(data []byte, fn func(to, from string, msg Message) error) error {
+	if !IsNodeBatch(data) {
+		return fmt.Errorf("%w: not a node batch", ErrCodec)
+	}
+	data = data[NodeBatchHeaderLen:]
+	for len(data) > 0 {
+		if len(data) < nodeBatchEntryLen {
+			return fmt.Errorf("%w: truncated batch entry header", ErrCodec)
+		}
+		n := binary.BigEndian.Uint32(data)
+		data = data[nodeBatchEntryLen:]
+		if uint64(n) > uint64(len(data)) {
+			return fmt.Errorf("%w: torn batch entry (%d bytes declared, %d remain)", ErrCodec, n, len(data))
+		}
+		to, from, msg, err := DecodeNodeFrame(data[:n])
+		if err != nil {
+			return err
+		}
+		data = data[n:]
+		if err := fn(to, from, msg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AppendNodeCredit appends a credit grant control frame: the receiver's
+// advertisement that it has consumed messages and the sender may put grant
+// more on the wire.
+func AppendNodeCredit(buf []byte, grant int) []byte {
+	buf = append(buf, nodeControlByte, nodeKindCredit)
+	return binary.AppendUvarint(buf, uint64(grant))
+}
+
+// DecodeNodeCredit decodes a credit grant control frame.
+func DecodeNodeCredit(data []byte) (grant int, err error) {
+	if !IsNodeCredit(data) {
+		return 0, fmt.Errorf("%w: not a credit grant", ErrCodec)
+	}
+	d := decoder{data: data[2:]}
+	g := d.uvarint()
+	if d.err != nil {
+		return 0, d.err
+	}
+	if len(d.data) != 0 {
+		return 0, fmt.Errorf("%w: %d trailing bytes in credit grant", ErrCodec, len(d.data))
+	}
+	if g > math.MaxInt32 {
+		return 0, fmt.Errorf("%w: credit grant %d out of range", ErrCodec, g)
+	}
+	return int(g), nil
 }
 
 // DecodeFrame decodes one binary frame produced by AppendFrame.

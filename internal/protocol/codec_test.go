@@ -123,6 +123,152 @@ func TestCodecRejectsMalformedFrames(t *testing.T) {
 	}
 }
 
+func TestNodeBatchRoundTrip(t *testing.T) {
+	var want []NodeBatchEntry
+	for i, msg := range codecMessages() {
+		want = append(want, NodeBatchEntry{To: "T" + string(rune('A'+i%4)), From: "sender", Msg: msg})
+	}
+	buf, err := AppendNodeBatch(nil, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsNodeControl(buf) || !IsNodeBatch(buf) || IsNodeCredit(buf) {
+		t.Fatalf("batch misclassified: control=%v batch=%v credit=%v",
+			IsNodeControl(buf), IsNodeBatch(buf), IsNodeCredit(buf))
+	}
+	var got []NodeBatchEntry
+	err = DecodeNodeBatch(buf, func(to, from string, msg Message) error {
+		got = append(got, NodeBatchEntry{To: to, From: from, Msg: msg})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("batch round trip mismatch:\n got %#v\nwant %#v", got, want)
+	}
+}
+
+// TestNodeBatchIncremental pins that the incremental header/entry builders
+// produce the same bytes as the one-shot AppendNodeBatch, since the
+// transport builds batches entry by entry inside its coalescing buffer.
+func TestNodeBatchIncremental(t *testing.T) {
+	entries := []NodeBatchEntry{
+		{To: "T1", From: "s", Msg: Ack{Action: "a#1", From: "T2", Round: 1}},
+		{To: "T2", From: "s", Msg: Enter{Action: "a#1", From: "T1", Role: "r"}},
+	}
+	oneShot, err := AppendNodeBatch(nil, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := AppendNodeBatchHeader(nil)
+	for _, e := range entries {
+		if buf, err = AppendNodeBatchEntry(buf, e.To, e.From, e.Msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(buf, oneShot) {
+		t.Fatalf("incremental batch differs from one-shot:\n inc %x\n one %x", buf, oneShot)
+	}
+}
+
+func TestNodeBatchEmpty(t *testing.T) {
+	buf, err := AppendNodeBatch(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	if err := DecodeNodeBatch(buf, func(string, string, Message) error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("empty batch invoked fn %d times", calls)
+	}
+}
+
+func TestNodeBatchRejectsMalformed(t *testing.T) {
+	good, err := AppendNodeBatch(nil, []NodeBatchEntry{
+		{To: "T1", From: "s", Msg: Ack{Action: "a#1", From: "T2", Round: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"not a batch":      {7, 'x'},
+		"credit as batch":  AppendNodeCredit(nil, 5),
+		"torn entry":       good[:len(good)-2],
+		"oversized length": {0x00, 0x01, 0xff, 0xff, 0xff, 0xff, 1, 2},
+		"short header":     good[:NodeBatchHeaderLen+2],
+		"garbage entry":    {0x00, 0x01, 0, 0, 0, 3, 1, 'T', 0},
+	}
+	for name, data := range cases {
+		if err := DecodeNodeBatch(data, func(string, string, Message) error { return nil }); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	// An empty destination would collide with the control escape.
+	if _, err := AppendNodeBatchEntry(AppendNodeBatchHeader(nil), "", "s", Ack{}); err == nil {
+		t.Error("empty destination encoded without error")
+	}
+}
+
+// TestNodeBatchEntryErrorRestoresBuffer pins that a failed entry leaves the
+// open batch exactly as it was, so the transport can keep flushing it.
+func TestNodeBatchEntryErrorRestoresBuffer(t *testing.T) {
+	buf := AppendNodeBatchHeader(nil)
+	buf, err := AppendNodeBatchEntry(buf, "T1", "s", Ack{Action: "a#1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]byte(nil), buf...)
+	if buf, err = AppendNodeBatchEntry(buf, "T2", "s", foreignMsg{}); err == nil {
+		t.Fatal("foreign message encoded without error")
+	}
+	if !reflect.DeepEqual(buf, before) {
+		t.Fatalf("failed entry corrupted the batch:\n got %x\nwant %x", buf, before)
+	}
+}
+
+func TestNodeCreditRoundTrip(t *testing.T) {
+	for _, grant := range []int{0, 1, 2048, 1 << 30} {
+		buf := AppendNodeCredit(nil, grant)
+		if !IsNodeControl(buf) || !IsNodeCredit(buf) || IsNodeBatch(buf) {
+			t.Fatalf("grant %d misclassified", grant)
+		}
+		got, err := DecodeNodeCredit(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != grant {
+			t.Fatalf("grant round trip: got %d, want %d", got, grant)
+		}
+	}
+	for name, data := range map[string][]byte{
+		"empty":      {},
+		"batch":      {0x00, 0x01},
+		"truncated":  {0x00, 0x02},
+		"trailing":   append(AppendNodeCredit(nil, 3), 9),
+		"overflowed": {0x00, 0x02, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01},
+	} {
+		if _, err := DecodeNodeCredit(data); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+// TestNodeFrameRejectsEmptyDestination pins the control-escape invariant:
+// a legacy node frame always opens with uvarint(len(to)) ≥ 1, so 0x00 is
+// unambiguously a control frame.
+func TestNodeFrameRejectsEmptyDestination(t *testing.T) {
+	buf, err := AppendNodeFrame(nil, "", "s", Ack{Action: "a#1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := DecodeNodeFrame(buf); err == nil {
+		t.Fatal("empty-destination node frame decoded without error")
+	}
+}
+
 // TestCodecMatchesGobSemantics pins that the binary codec and the gob wire
 // agree on what a message means: everything gob round-trips, the codec
 // round-trips to the same value.

@@ -348,11 +348,33 @@ func (sh *muxShared) dispatch(d Delivery) {
 	if _, done := sh.dead[inst]; done || inst == "" {
 		return // late traffic for a completed instance, or an untagged stray
 	}
+	if sh.closed {
+		// The shard is dying (its last instance closed while this frame was
+		// in flight): anything retained here would die with it. Hand the
+		// frame back to the transport, which re-retains it for the
+		// address's next bind — the next instance on this thread gets it
+		// replayed at Open. Reinjecting under sh.mu keeps it ordered after
+		// the retained set Close handed back and before later backlog.
+		sh.reinject(d)
+		return
+	}
 	if sh.retainedLen >= muxRetainCap {
 		return // bounded: a flood for never-opening instances is dropped
 	}
 	sh.retained[inst] = append(sh.retained[inst], d)
 	sh.retainedLen++
+}
+
+// reinject hands one delivery back to the transport when this shard can no
+// longer retain it (see dispatch and muxEndpoint.Close). Callers hold
+// sh.mu; a transport that supports re-injection takes its own network lock
+// under it — shard lock before network lock is the sanctioned order, never
+// the reverse. Transports without re-injection (the in-process sim, plain
+// per-endpoint TCP) keep the old semantics: the frame is dropped.
+func (sh *muxShared) reinject(d Delivery) {
+	if rj, ok := sh.real.(interface{ Reinject(Delivery) bool }); ok {
+		rj.Reinject(d)
+	}
 }
 
 // abandoned propagates a dead real endpoint (crash-stop, network close) to
@@ -367,7 +389,13 @@ func (sh *muxShared) dispatch(d Delivery) {
 func (sh *muxShared) abandoned() {
 	sh.mu.Lock()
 	if sh.closed {
+		// Ordinary last-instance shutdown (muxEndpoint.Close marked the
+		// shard closed and closed the real endpoint): the pump has now
+		// drained every pre-close frame through dispatch, so releasing the
+		// address is safe — and is deferred to here precisely so a
+		// successor bind cannot race ahead of that backlog.
 		sh.mu.Unlock()
+		sh.mux.forget(sh)
 		return
 	}
 	sh.closed = true
@@ -497,20 +525,36 @@ func (e *muxEndpoint) Close() error {
 	last := len(sh.open) == 0 && !sh.closed
 	if last {
 		sh.closed = true
+		// Frames retained for instances that never opened here must not die
+		// with the shard: the usual reason they exist is a fast peer racing
+		// this thread's next action start, and losing them wedges that
+		// action's entry barrier until its deadline. Hand them back to the
+		// transport (under sh.mu, so concurrent dispatches of younger
+		// backlog frames order after them) for the address's next bind.
+		for inst, pend := range sh.retained {
+			delete(sh.retained, inst)
+			sh.retainedLen -= len(pend)
+			for _, d := range pend {
+				sh.reinject(d)
+			}
+		}
 	}
 	sh.mu.Unlock()
 	if wake {
 		e.inl.wake <- struct{}{}
 	}
 	if last {
-		// Close the real endpoint BEFORE forgetting the shared entry: a
+		// Close the real endpoint BEFORE the shared entry is forgotten: a
 		// concurrent Open of this address then either still finds the entry
 		// (sees sh.closed, retries until forget runs) or re-binds after the
 		// address is genuinely free — never while the old endpoint is still
-		// bound, which would fail the bind with ErrDuplicateAddr.
-		err := sh.real.Close()
-		sh.mux.forget(sh)
-		return err
+		// bound, which would fail the bind with ErrDuplicateAddr. The
+		// forget itself is the pump's: closing the real endpoint stops its
+		// receive loop once the pre-close backlog has drained through
+		// dispatch (which reinjects it, the shard being closed), and only
+		// then does abandoned release the address — so a successor can
+		// never bind ahead of frames that arrived before it.
+		return sh.real.Close()
 	}
 	return nil
 }

@@ -89,9 +89,50 @@ type TCP struct {
 	local       func(addr string) bool           // thread placed on this node?
 	resolver    func(addr string) (string, bool) // thread -> hosting node's host:port
 	nodeConns   map[string]*tcpConn              // outbound, keyed by node host:port
+	nodeIn      map[net.Conn]struct{}            // accepted inbound node conns
 	retained    map[string][]Delivery            // local threads not yet bound
 	retainedLen int
+
+	// Cross-node fast path (see DESIGN.md "Cross-node fast path"). batch
+	// gates all of it as one switch: batched node frames and credit grants
+	// on the wire, the per-flush route cache, and sink (inline) receive
+	// delivery — so SetPeerBatch(false) restores the legacy
+	// frame-per-message path end to end. window is the per-peer credit
+	// window in messages. Both follow the same write-before-traffic
+	// discipline as node/gobWire.
+	batch  bool
+	window int
+
+	// routes caches thread→placement lookups (local + hosting node) so a
+	// burst of sends within one coalesce window consults the resolver once
+	// per destination instead of once per message. Entries are keyed by
+	// thread address (a bounded set: the deployment's placements) and expire
+	// when routeGen moves — bumped on every batch flush and on connection
+	// drops, so a restarted peer is re-resolved within one flush window.
+	routes   sync.Map // thread addr -> *nodeRoute
+	routeGen atomic.Uint64
+
+	// Interned fast-path counters ("tcp.batch_frames", "tcp.credit_stalls",
+	// "tcp.reinjected").
+	batchFrames  atomic.Pointer[trace.Counter]
+	creditStalls atomic.Pointer[trace.Counter]
+	reinjected   atomic.Pointer[trace.Counter]
 }
+
+// nodeRoute is one cached placement lookup; valid while gen matches the
+// network's routeGen.
+type nodeRoute struct {
+	local    bool
+	hostport string
+	gen      uint64
+}
+
+// ErrPeerStalled reports that a destination node's credit window and the
+// bounded pending buffer behind it are both exhausted: the peer granted
+// credits once but has stopped consuming, so accepting more traffic for it
+// would buffer without bound. The connection stays healthy — sends resume
+// as soon as the peer drains and grants again.
+var ErrPeerStalled = fmt.Errorf("transport: peer stalled (credit window exhausted)")
 
 var _ Network = (*TCP)(nil)
 
@@ -112,6 +153,25 @@ const (
 	coalesceMaxRetain = 256 << 10
 )
 
+// Cross-node fast-path bounds.
+const (
+	// defaultPeerWindow is the per-peer credit window in messages: the most
+	// a sender may have on the wire past the peer's last grant. The pending
+	// buffer behind an exhausted window holds the same again, so a stalled
+	// peer pins at most 2×window encoded messages per connection.
+	defaultPeerWindow = 4096
+	// maxNodeBatch bounds one batched node frame on the wire: at most one
+	// coalesce window of accumulated entries plus one maximum-size frame
+	// appended just before the size-driven flush (plus headers).
+	maxNodeBatch = maxFrame + coalesceBytes + 64
+	// grantWriteTimeout bounds a credit-grant write on an inbound node
+	// connection. A peer that never reads grants (an older sender) absorbs
+	// them into its socket buffer; if even that backs up, granting stops for
+	// that connection while reading continues — credits degrade to the
+	// legacy unbounded path instead of stalling the read loop.
+	grantWriteTimeout = time.Second
+)
+
 // frameBufPool recycles binary-codec encode/decode buffers.
 var frameBufPool = sync.Pool{
 	New: func() any {
@@ -129,9 +189,84 @@ func NewTCP(clock vclock.Clock) *TCP {
 	return &TCP{
 		clock:    clock,
 		coalesce: real,
+		batch:    true,
+		window:   defaultPeerWindow,
 		book:     make(map[string]string),
 		eps:      make(map[string]*tcpEndpoint),
 	}
+}
+
+// SetPeerBatch enables (the default) or disables the cross-node fast path:
+// batched node frames and credit grants on the wire, the per-flush route
+// cache, and sink (inline) receive delivery. Disabling restores the legacy
+// frame-per-message path end to end — every node-qualified frame is
+// encoded and written through on its own — the cluster benchmark's
+// baseline mode, and an escape hatch against peers predating the batch
+// wire. Per-endpoint (single-process) sockets keep write coalescing
+// either way.
+// Receivers always decode both formats, so processes may choose
+// independently. Must be called before endpoints are created.
+func (t *TCP) SetPeerBatch(on bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.batch = on
+}
+
+// SetPeerWindow sets the per-peer credit window in messages (default 4096).
+// The window is advertised to each dialling peer on the wire; a sender that
+// exhausts it buffers up to one more window and then fails sends with
+// ErrPeerStalled until the peer drains. Non-positive values are ignored.
+// Must be called before endpoints are created.
+func (t *TCP) SetPeerWindow(n int) {
+	if n <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.window = n
+}
+
+// countBatchFrame records one flushed batched node frame.
+func (t *TCP) countBatchFrame() {
+	m := t.metrics
+	if m == nil {
+		return
+	}
+	c := t.batchFrames.Load()
+	if c == nil {
+		c = m.Counter("tcp.batch_frames")
+		t.batchFrames.Store(c)
+	}
+	c.Add(1)
+}
+
+// countCreditStall records one send rejected by an exhausted credit window.
+func (t *TCP) countCreditStall() {
+	m := t.metrics
+	if m == nil {
+		return
+	}
+	c := t.creditStalls.Load()
+	if c == nil {
+		c = m.Counter("tcp.credit_stalls")
+		t.creditStalls.Store(c)
+	}
+	c.Add(1)
+}
+
+// countReinject records one delivery handed back by a dying mux shard and
+// re-retained for its address's next bind.
+func (t *TCP) countReinject() {
+	m := t.metrics
+	if m == nil {
+		return
+	}
+	c := t.reinjected.Load()
+	if c == nil {
+		c = m.Counter("tcp.reinjected")
+		t.reinjected.Store(c)
+	}
+	c.Add(1)
 }
 
 // SetGobWire selects the legacy gob wire format instead of the binary
@@ -222,6 +357,7 @@ func (t *TCP) ConfigureNode(listen string, local func(string) bool, resolve func
 	t.local = local
 	t.resolver = resolve
 	t.nodeConns = make(map[string]*tcpConn)
+	t.nodeIn = make(map[net.Conn]struct{})
 	t.retained = make(map[string][]Delivery)
 	go t.nodeAcceptLoop(ln)
 	return ln.Addr().String(), nil
@@ -325,6 +461,11 @@ func (t *TCP) Close() error {
 		conns = append(conns, c)
 	}
 	t.nodeConns = nil
+	inbound := make([]net.Conn, 0, len(t.nodeIn))
+	for conn := range t.nodeIn {
+		inbound = append(inbound, conn)
+	}
+	t.nodeIn = nil
 	t.closed = true
 	t.mu.Unlock()
 	if nodeLn != nil {
@@ -332,6 +473,9 @@ func (t *TCP) Close() error {
 	}
 	for _, c := range conns {
 		closeConn(c)
+	}
+	for _, conn := range inbound {
+		_ = conn.Close()
 	}
 	for _, ep := range eps {
 		_ = ep.Close()
@@ -382,24 +526,55 @@ type tcpConn struct {
 	// address down and a later instance reopening it on a fresh port —
 	// would otherwise leave peers sending into the dead incarnation).
 	hostport string
+	// owner backs the fast-path hooks a flush needs (batch-frame counting,
+	// route-cache expiry); nil on per-endpoint (non-node) connections.
+	owner *TCP
 
 	// Write-coalescing state (binary codec on a real clock only; see the
 	// TCP type docs). wbuf accumulates encoded frames; timer is the reused
 	// flush-deadline timer, armed whenever a batch opens; werr is the
 	// sticky error of a failed (possibly timer-driven) flush, surfaced on
 	// the next Send so the caller drops and re-dials the connection.
-	wbuf  []byte
-	timer *time.Timer
-	werr  error
+	// batching marks wbuf as one open batched node frame (outer length
+	// placeholder + batch header + entries) rather than a run of
+	// self-prefixed frames; the flush backfills the outer length.
+	wbuf     []byte
+	timer    *time.Timer
+	werr     error
+	batching bool
+
+	// Credit flow control (node batch path). creditLive latches at the
+	// peer's first grant — a peer that never grants (an older binary, or
+	// batching disabled there) keeps the legacy unlimited behaviour.
+	// credits is the remaining grant balance; once exhausted, encoded
+	// entries accumulate in pend (bounded to pendMax messages, FIFO ahead
+	// of new sends) until the next grant splices them into the batch.
+	creditLive bool
+	credits    int
+	pend       []byte
+	pendCnt    int
+	pendMax    int
 }
 
-// flushLocked writes the pending batch in one syscall. c.mu must be held.
+// flushLocked writes the pending batch in one syscall, closing and
+// backfilling the open batched frame first when one is open. c.mu must be
+// held.
 func (c *tcpConn) flushLocked() error {
 	if c.werr != nil {
 		return c.werr
 	}
 	if len(c.wbuf) == 0 {
 		return nil
+	}
+	if c.batching {
+		binary.BigEndian.PutUint32(c.wbuf[:4], uint32(len(c.wbuf)-4))
+		c.batching = false
+		if c.owner != nil {
+			c.owner.countBatchFrame()
+			// One batch flushed: expire the route cache so the next batch
+			// re-resolves its destinations (the "once per flush" contract).
+			c.owner.routeGen.Add(1)
+		}
 	}
 	_, err := c.conn.Write(c.wbuf)
 	if cap(c.wbuf) > coalesceMaxRetain {
@@ -411,31 +586,86 @@ func (c *tcpConn) flushLocked() error {
 	return err
 }
 
+// armTimerLocked arms (or re-arms) the flush-deadline timer. The timer is
+// created once per connection and reused; a size-driven flush may let it
+// fire on an empty (or younger) batch, which is a harmless early flush.
+// c.mu must be held.
+func (c *tcpConn) armTimerLocked() {
+	if c.timer == nil {
+		c.timer = time.AfterFunc(coalesceDelay, func() {
+			c.mu.Lock()
+			_ = c.flushLocked() // failure is sticky; the next Send re-dials
+			c.mu.Unlock()
+		})
+	} else {
+		c.timer.Reset(coalesceDelay)
+	}
+}
+
 // nodeAcceptLoop accepts peer-node connections on the shared node listener.
+// Accepted connections are tracked in nodeIn so Close can sever inbound
+// streams too — peers then observe a node shutdown as a broken connection
+// rather than a silent black hole.
 func (t *TCP) nodeAcceptLoop(ln net.Listener) {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			return // listener closed
 		}
+		t.mu.Lock()
+		if t.closed || t.nodeIn == nil {
+			t.mu.Unlock()
+			_ = conn.Close()
+			continue
+		}
+		t.nodeIn[conn] = struct{}{}
+		t.mu.Unlock()
 		go t.nodeReadLoop(conn)
 	}
 }
 
 // nodeReadLoop decodes node-qualified frames off one inbound connection and
 // routes each to the local endpoint bound to its destination address.
+// Batched frames (the 0x00 control escape) and legacy single frames are
+// both accepted regardless of the local batch knob, so mixed deployments
+// interoperate. With batching enabled, the loop also runs the receiver half
+// of the credit protocol: it advertises the window up front and grants
+// again each time half a window has been consumed, writing grants back on
+// the inbound connection (the only writer on it, so no lock is needed).
 func (t *TCP) nodeReadLoop(conn net.Conn) {
-	defer func() { _ = conn.Close() }()
+	defer func() {
+		_ = conn.Close()
+		t.mu.Lock()
+		delete(t.nodeIn, conn)
+		t.mu.Unlock()
+	}()
 	br := bufio.NewReader(conn)
 	var hdr [4]byte
 	bp := frameBufPool.Get().(*[]byte)
 	defer frameBufPool.Put(bp)
+	t.mu.RLock()
+	granting := t.batch
+	window := t.window
+	t.mu.RUnlock()
+	if granting {
+		granting = sendGrant(conn, window)
+	}
+	threshold := window / 2
+	if threshold < 1 {
+		threshold = 1
+	}
+	consumed := 0
+	deliver := func(to, from string, msg protocol.Message) error {
+		t.deliverNode(to, from, msg)
+		consumed++
+		return nil
+	}
 	for {
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			return
 		}
 		n := binary.BigEndian.Uint32(hdr[:])
-		if n > maxFrame {
+		if n > maxNodeBatch {
 			return // corrupt or hostile stream
 		}
 		if cap(*bp) < int(n) {
@@ -445,13 +675,119 @@ func (t *TCP) nodeReadLoop(conn net.Conn) {
 		if _, err := io.ReadFull(br, buf); err != nil {
 			return
 		}
-		to, from, msg, err := protocol.DecodeNodeFrame(buf)
-		if err != nil {
-			return // a framing error poisons the stream; drop the connection
+		if protocol.IsNodeControl(buf) {
+			if protocol.IsNodeBatch(buf) {
+				if err := protocol.DecodeNodeBatch(buf, deliver); err != nil {
+					return // a framing error poisons the stream
+				}
+			}
+			// Other control kinds are ignored: data connections only carry
+			// batches, and dropping unknowns keeps the wire extensible.
+		} else {
+			to, from, msg, err := protocol.DecodeNodeFrame(buf)
+			if err != nil {
+				return // a framing error poisons the stream; drop the connection
+			}
+			_ = deliver(to, from, msg)
 		}
-		t.deliverNode(to, from, msg)
+		if granting && consumed >= threshold {
+			granting = sendGrant(conn, consumed)
+			consumed = 0
+		}
 	}
 }
+
+// sendGrant writes one credit grant on an inbound node connection under a
+// short write deadline; false means granting should stop for this
+// connection (the peer is not draining its grant stream) while reading
+// continues.
+func sendGrant(conn net.Conn, grant int) bool {
+	var scratch [24]byte
+	buf := protocol.AppendNodeCredit(scratch[:4], grant)
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	_ = conn.SetWriteDeadline(time.Now().Add(grantWriteTimeout))
+	_, err := conn.Write(buf)
+	_ = conn.SetWriteDeadline(time.Time{})
+	return err == nil
+}
+
+// creditReadLoop runs on the dialling side of an outbound node connection,
+// consuming the grant stream the accepting peer writes back. It exits when
+// the connection closes.
+func (t *TCP) creditReadLoop(c *tcpConn) {
+	br := bufio.NewReader(c.conn)
+	var hdr [4]byte
+	var buf [64]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n > uint32(len(buf)) {
+			return // grants are tiny; anything else is corrupt
+		}
+		if _, err := io.ReadFull(br, buf[:n]); err != nil {
+			return
+		}
+		grant, err := protocol.DecodeNodeCredit(buf[:n])
+		if err != nil {
+			return
+		}
+		t.handleGrant(c, grant)
+	}
+}
+
+// handleGrant credits one grant to an outbound connection and splices as
+// many pending entries as the new balance allows into the open batch,
+// flushing at the byte bound so a large backlog drains in wire-legal
+// frames.
+func (t *TCP) handleGrant(c *tcpConn, grant int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.creditLive {
+		c.creditLive = true
+		// The first grant is the peer's window advertisement; size the
+		// pending buffer to one window, so a stalled peer pins at most
+		// 2×window messages here (window on the wire + window pending).
+		if grant > 0 {
+			c.pendMax = grant
+		}
+	}
+	c.credits += grant
+	if c.pendCnt == 0 || c.werr != nil {
+		return
+	}
+	off, moved := 0, 0
+	for moved < c.pendCnt && c.credits > 0 {
+		e := nodeBatchEntrySize + int(binary.BigEndian.Uint32(c.pend[off:]))
+		if len(c.wbuf) == 0 {
+			c.wbuf = protocol.AppendNodeBatchHeader(append(c.wbuf, 0, 0, 0, 0))
+			c.batching = true
+		}
+		c.wbuf = append(c.wbuf, c.pend[off:off+e]...)
+		off += e
+		moved++
+		c.credits--
+		if len(c.wbuf) >= coalesceBytes {
+			if c.flushLocked() != nil {
+				break // sticky; surfaced on the next send
+			}
+		}
+	}
+	c.pendCnt -= moved
+	rest := copy(c.pend, c.pend[off:])
+	c.pend = c.pend[:rest]
+	if c.pendCnt == 0 && cap(c.pend) > coalesceMaxRetain {
+		c.pend = nil
+	}
+	if len(c.wbuf) > 0 && c.werr == nil {
+		c.armTimerLocked()
+	}
+}
+
+// nodeBatchEntrySize is the fixed per-entry length-slot size of the batch
+// wire format (see protocol.AppendNodeBatchEntry).
+const nodeBatchEntrySize = 4
 
 // deliverNode hands one frame to the local endpoint bound to the destination
 // address, retaining it (bounded) when the destination is a locally-placed
@@ -463,7 +799,7 @@ func (t *TCP) deliverNode(to, from string, msg protocol.Message) bool {
 	ep := t.eps[to]
 	t.mu.RUnlock()
 	if ep != nil {
-		ep.queue.Put(borrowDelivery(from, msg, false))
+		ep.deliver(from, msg)
 		return true
 	}
 	t.mu.Lock()
@@ -472,7 +808,7 @@ func (t *TCP) deliverNode(to, from string, msg protocol.Message) bool {
 		// retained frames (if any) were flushed under the same lock, so
 		// delivering now preserves arrival order.
 		t.mu.Unlock()
-		ep.queue.Put(borrowDelivery(from, msg, false))
+		ep.deliver(from, msg)
 		return true
 	}
 	defer t.mu.Unlock()
@@ -489,43 +825,83 @@ func (t *TCP) deliverNode(to, from string, msg protocol.Message) bool {
 // per-node connection of whichever node the resolver says currently hosts
 // the destination thread.
 func (t *TCP) nodeSend(from, to string, msg protocol.Message) error {
-	t.mu.RLock()
-	closed := t.closed
-	local := t.local(to)
-	t.mu.RUnlock()
-	if closed {
-		return ErrClosed
+	r, err := t.routeFor(to)
+	if err != nil {
+		return err
 	}
 	kind := protocol.KindIndexOf(msg)
-	if local {
+	if r.local {
 		if !t.deliverNode(to, from, msg) {
 			return fmt.Errorf("transport: send to %q: local retention full", to)
 		}
 		t.count(kind)
 		return nil
 	}
-	hostport, ok := t.resolver(to)
-	if !ok {
-		return fmt.Errorf("%w: %q (no live node hosts it)", ErrUnknownAddr, to)
-	}
-	c, err := t.dialNode(hostport)
+	c, err := t.dialNode(r.hostport)
 	if err != nil {
+		t.routes.Delete(to) // the cached placement may be the stale part
 		return fmt.Errorf("transport: send to %q: %w", to, err)
 	}
 	err, broken := t.write(c, to, from, msg)
 	if err != nil {
+		t.routes.Delete(to)
 		if broken {
 			t.mu.Lock()
-			if t.nodeConns[hostport] == c {
-				delete(t.nodeConns, hostport)
+			if t.nodeConns[r.hostport] == c {
+				delete(t.nodeConns, r.hostport)
 			}
 			t.mu.Unlock()
 			dropConn(c)
+			// A dropped connection invalidates every destination routed
+			// through it; the next sends re-resolve (and re-dial wherever
+			// the resolver now points), which is how a restarted peer heals.
+			t.routeGen.Add(1)
 		}
-		return fmt.Errorf("transport: send to %q via %s: %w", to, hostport, err)
+		return fmt.Errorf("transport: send to %q via %s: %w", to, r.hostport, err)
 	}
 	t.count(kind)
 	return nil
+}
+
+// routeFor resolves a destination thread's placement — local, or the
+// hosting node's host:port — consulting the per-flush route cache first on
+// the fast path. A cache entry is valid while routeGen stands still, i.e.
+// within the current coalesce window of every peer connection: a burst of
+// sends to one destination inside a 100µs flush window resolves once. A
+// placement change (thread migration, peer restart) is picked up at the
+// next flush or connection drop, whichever comes first.
+func (t *TCP) routeFor(to string) (nodeRoute, error) {
+	cache := t.batch && t.coalesce
+	var gen uint64
+	if cache {
+		gen = t.routeGen.Load()
+		if v, ok := t.routes.Load(to); ok {
+			if r := v.(*nodeRoute); r.gen == gen {
+				return *r, nil
+			}
+		}
+	}
+	t.mu.RLock()
+	closed := t.closed
+	local := t.local(to)
+	t.mu.RUnlock()
+	if closed {
+		return nodeRoute{}, ErrClosed
+	}
+	r := nodeRoute{local: local, gen: gen}
+	if !local {
+		hostport, ok := t.resolver(to)
+		if !ok {
+			// Not cached: an unplaced thread must heal the moment the
+			// resolver learns it, not a flush later.
+			return nodeRoute{}, fmt.Errorf("%w: %q (no live node hosts it)", ErrUnknownAddr, to)
+		}
+		r.hostport = hostport
+	}
+	if cache {
+		t.routes.Store(to, &r)
+	}
+	return r, nil
 }
 
 // dialNode returns the shared connection to a peer node, dialling on first
@@ -548,18 +924,27 @@ func (t *TCP) dialNode(hostport string) (*tcpConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial node %s: %w", hostport, err)
 	}
-	c = &tcpConn{conn: conn, hostport: hostport}
+	c = &tcpConn{conn: conn, hostport: hostport, owner: t}
 	t.mu.Lock()
-	defer t.mu.Unlock()
+	batch := t.batch
+	c.pendMax = t.window
 	if t.closed {
+		t.mu.Unlock()
 		_ = conn.Close()
 		return nil, ErrClosed
 	}
 	if prev, ok := t.nodeConns[hostport]; ok {
+		t.mu.Unlock()
 		_ = conn.Close() // lost the race; reuse the established one
 		return prev, nil
 	}
 	t.nodeConns[hostport] = c
+	t.mu.Unlock()
+	if batch && t.coalesce {
+		// The accepting side writes credit grants back on this connection;
+		// consume them. The loop exits when the connection closes.
+		go t.creditReadLoop(c)
+	}
 	return c, nil
 }
 
@@ -568,6 +953,14 @@ type tcpEndpoint struct {
 	addr  string
 	ln    net.Listener // nil in node mode (the node listener is shared)
 	queue *vclock.Queue
+
+	// sink, when installed (see SetSink), receives inbound deliveries
+	// synchronously on the read-loop goroutine — the mux's inline lane —
+	// instead of through the queue and its pump goroutine. dmu serialises
+	// installation against in-flight deliveries so nothing can overtake a
+	// delivery queued just before the switch.
+	sink atomic.Pointer[func(Delivery)]
+	dmu  sync.Mutex
 
 	mu     sync.Mutex
 	conns  map[string]*tcpConn // outbound, keyed by destination logical addr
@@ -581,6 +974,106 @@ func (e *tcpEndpoint) Addr() string { return e.addr }
 // MarkDaemon marks receives on this endpoint as virtual-clock daemon waits;
 // see vclock.Queue.SetDaemon.
 func (e *tcpEndpoint) MarkDaemon() { e.queue.SetDaemon() }
+
+// SetSink installs the synchronous delivery sink the Mux probes for (see
+// Mux.Open): with one installed, read loops hand deliveries straight to the
+// mux dispatch — and from there into the inline lane — skipping the shared
+// queue and the pump wakeup. Deliveries that arrived before the switch are
+// drained through the sink first, in order, under the same lock that gates
+// new deliveries into the queue, so the per-pair FIFO guarantee holds
+// across the installation: a delivery can only take the sink shortcut once
+// nothing older is queued ahead of it. Gated on the cross-node fast-path
+// knob; a nil fn removes the sink.
+func (e *tcpEndpoint) SetSink(fn func(Delivery)) {
+	e.net.mu.RLock()
+	on := e.net.batch
+	e.net.mu.RUnlock()
+	if !on {
+		return
+	}
+	if fn == nil {
+		e.sink.Store(nil)
+		return
+	}
+	for {
+		e.dmu.Lock()
+		x, ok := e.queue.TryGet()
+		if !ok {
+			// Queue verified empty with deliverers excluded: install. A
+			// deliverer blocked on dmu re-checks the sink and uses it.
+			e.sink.Store(&fn)
+			e.dmu.Unlock()
+			return
+		}
+		e.dmu.Unlock()
+		if d, ok := unboxDelivery(x, ok); ok {
+			fn(d) // outside dmu: the dispatch chain may deliver elsewhere
+		}
+	}
+}
+
+// deliver routes one inbound delivery: through the sink when installed,
+// into the receive queue otherwise. The double-checked dmu path closes the
+// installation race (see SetSink).
+func (e *tcpEndpoint) deliver(from string, msg protocol.Message) {
+	if sp := e.sink.Load(); sp != nil {
+		(*sp)(Delivery{From: from, Msg: msg})
+		return
+	}
+	e.dmu.Lock()
+	if sp := e.sink.Load(); sp != nil {
+		e.dmu.Unlock()
+		(*sp)(Delivery{From: from, Msg: msg})
+		return
+	}
+	box := borrowDelivery(from, msg, false)
+	ok := e.queue.PutOpen(box)
+	e.dmu.Unlock()
+	if !ok {
+		// The endpoint closed under a deliverer still holding a stale
+		// reference; a closed queue drops new arrivals, so hand the frame
+		// back to the retention path instead of losing it.
+		releaseDelivery(box)
+		e.Reinject(Delivery{From: from, Msg: msg})
+	}
+}
+
+// Reinject hands a delivery back to the transport after its original
+// destination endpoint closed — the mux calls it (via interface probe) when
+// a shard dies with early frames still retained for instances that never
+// opened, and deliver falls back to it when a stale reference races Close.
+// In node mode the frame is re-retained for the address's next bind (or
+// delivered straight to an already-bound successor); outside node mode
+// there is no retention and the frame is dropped, the pre-existing
+// semantics for traffic to a closed endpoint. Reports whether the frame
+// survived.
+//
+// Lock order: callers may hold a mux shard lock; Reinject takes the
+// network lock under it. The reverse order (network lock, then shard lock)
+// must never occur — deliverNode releases t.mu before ep.deliver for this
+// reason.
+func (e *tcpEndpoint) Reinject(d Delivery) bool {
+	t := e.net
+	if !t.node {
+		return false
+	}
+	t.mu.Lock()
+	if ep := t.eps[e.addr]; ep != nil && ep != e {
+		// A successor already bound (it replayed the retained set before
+		// becoming visible); deliver straight to it.
+		t.mu.Unlock()
+		ep.deliver(d.From, d.Msg)
+		return true
+	}
+	defer t.mu.Unlock()
+	if t.closed || t.local == nil || !t.local(e.addr) || t.retainedLen >= nodeRetainCap {
+		return false
+	}
+	t.retained[e.addr] = append(t.retained[e.addr], Delivery{From: d.From, Msg: d.Msg, Corrupt: d.Corrupt})
+	t.retainedLen++
+	t.countReinject()
+	return true
+}
 
 func (e *tcpEndpoint) acceptLoop() {
 	for {
@@ -630,7 +1123,7 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 		if err != nil {
 			return // a framing error poisons the stream; drop the connection
 		}
-		e.queue.Put(borrowDelivery(from, msg, false))
+		e.deliver(from, msg)
 	}
 }
 
@@ -686,7 +1179,17 @@ func (t *TCP) write(c *tcpConn, nodeTo, from string, msg protocol.Message) (err 
 		return err, err != nil
 	}
 	if t.coalesce {
-		return t.writeCoalesced(c, nodeTo, from, msg)
+		if nodeTo == "" {
+			return t.writeCoalesced(c, nodeTo, from, msg)
+		}
+		if t.batch {
+			return t.writeNodeBatched(c, nodeTo, from, msg)
+		}
+		// Fast path off: node traffic goes write-through below, one frame
+		// per write — the pre-batching wire the cluster benchmark's
+		// unbatched baseline measures. Byte coalescing stays on for
+		// per-endpoint sockets, whose single-process anchors predate the
+		// node wire.
 	}
 	bp := frameBufPool.Get().(*[]byte)
 	defer frameBufPool.Put(bp)
@@ -734,19 +1237,75 @@ func (t *TCP) writeCoalesced(c *tcpConn, nodeTo, from string, msg protocol.Messa
 		return err, err != nil
 	}
 	if n0 == 0 {
-		// The batch just opened: arm the flush deadline. The timer is
-		// created once per connection and re-armed per batch; a size-driven
-		// flush may let it fire on an empty (or younger) batch, which is a
-		// harmless early flush.
-		if c.timer == nil {
-			c.timer = time.AfterFunc(coalesceDelay, func() {
-				c.mu.Lock()
-				_ = c.flushLocked() // failure is sticky; the next Send re-dials
-				c.mu.Unlock()
-			})
-		} else {
-			c.timer.Reset(coalesceDelay)
+		// The batch just opened: arm the flush deadline.
+		c.armTimerLocked()
+	}
+	return nil, false
+}
+
+// writeNodeBatched appends one node-qualified message to the connection's
+// open batched frame (opening one as needed), subject to the peer's credit
+// window: out of credits, the encoded entry is parked in the bounded
+// pending buffer instead, and with that full the send fails with
+// ErrPeerStalled — the typed bounded-backpressure surface for a stalled
+// peer. Codec errors leave the batch and the stream intact.
+func (t *TCP) writeNodeBatched(c *tcpConn, nodeTo, from string, msg protocol.Message) (err error, broken bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.werr != nil {
+		return c.werr, true // a previous (possibly timer-driven) flush failed
+	}
+	if c.pendCnt > 0 || (c.creditLive && c.credits <= 0) {
+		// Credit-limited: park the encoded entry behind everything already
+		// pending (FIFO), bounded to one window of messages.
+		if c.pendCnt >= c.pendMax {
+			t.countCreditStall()
+			return ErrPeerStalled, false
 		}
+		p0 := len(c.pend)
+		c.pend, err = protocol.AppendNodeBatchEntry(c.pend, nodeTo, from, msg)
+		if err != nil {
+			return err, false
+		}
+		if sz := len(c.pend) - p0 - nodeBatchEntrySize; sz > maxFrame {
+			c.pend = c.pend[:p0]
+			return fmt.Errorf("%w: frame of %d bytes exceeds the %d-byte bound", protocol.ErrCodec, sz, maxFrame), false
+		}
+		c.pendCnt++
+		return nil, false
+	}
+	opened := len(c.wbuf) == 0
+	if opened {
+		c.wbuf = protocol.AppendNodeBatchHeader(append(c.wbuf, 0, 0, 0, 0))
+		c.batching = true
+	}
+	n0 := len(c.wbuf)
+	c.wbuf, err = protocol.AppendNodeBatchEntry(c.wbuf, nodeTo, from, msg)
+	if err != nil {
+		if opened {
+			c.wbuf = c.wbuf[:0] // nothing else buffered; close the empty batch
+			c.batching = false
+		}
+		return err, false
+	}
+	if len(c.wbuf)-n0-nodeBatchEntrySize > maxFrame {
+		sz := len(c.wbuf) - n0 - nodeBatchEntrySize
+		c.wbuf = c.wbuf[:n0]
+		if opened {
+			c.wbuf = c.wbuf[:0]
+			c.batching = false
+		}
+		return fmt.Errorf("%w: frame of %d bytes exceeds the %d-byte bound", protocol.ErrCodec, sz, maxFrame), false
+	}
+	if c.creditLive {
+		c.credits--
+	}
+	if len(c.wbuf) >= coalesceBytes {
+		err := c.flushLocked()
+		return err, err != nil
+	}
+	if opened {
+		c.armTimerLocked()
 	}
 	return nil, false
 }

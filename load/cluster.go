@@ -1,0 +1,199 @@
+package load
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// ClusterOps is the injected control surface RunCluster drives a real
+// multi-process cluster through. The load package deliberately knows
+// nothing about process spawning or the control protocol — the
+// cluster/testnet harness (which imports load, so load cannot import it
+// back) supplies these callbacks over its booted canode fleet, and a test
+// can supply fakes.
+type ClusterOps struct {
+	// Start begins one tagged round of the given workload kind with the
+	// given role count on every node hosting a role. It returns once every
+	// node has admitted its local roles.
+	Start func(tag, kind string, roles int) error
+	// Await blocks until the tagged round has finished on every node and
+	// returns the cluster-wide merged outcome (see MergeOutcomes).
+	Await func(tag string) (outcome string, err error)
+	// Counters, when non-nil, returns the cluster-wide aggregated counter
+	// snapshot (every node's metrics summed); RunCluster records the
+	// per-run deltas of the transport fast-path counters from it.
+	Counters func() (map[string]int64, error)
+}
+
+// ClusterConfig parameterises one RunCluster measurement.
+type ClusterConfig struct {
+	// Label names the measurement in the report (e.g. "batched").
+	Label string `json:"label,omitempty"`
+	// Rounds is the number of shared action rounds to drive; default 64.
+	Rounds int `json:"rounds"`
+	// Roles is the role count per round (one role per node); required.
+	Roles int `json:"roles"`
+	// Concurrency is how many rounds are kept in flight at once; default 8.
+	// Cross-node protocol hops are latency-bound, so round throughput —
+	// and with it the batched-path win, which is per-message CPU — only
+	// shows under pipelining.
+	Concurrency int `json:"concurrency"`
+	// Kinds cycles the workload kinds across rounds; default interleaves
+	// data-plane-heavy chatter rounds with the full control-plane mix
+	// (commit, signal, abort, storm), so the measurement spans both the
+	// cross-node wire path and the resolution protocol.
+	Kinds []string `json:"kinds,omitempty"`
+	// TagPrefix namespaces the round tags so repeated runs against one
+	// cluster never collide; default "bench".
+	TagPrefix string `json:"-"`
+}
+
+// ClusterReport is the outcome of one RunCluster measurement: round
+// throughput and latency percentiles over a real multi-process cluster,
+// the driver's own allocation cost per round, and the transport fast-path
+// counter deltas (batched frames flushed, credit stalls) aggregated across
+// the nodes.
+type ClusterReport struct {
+	Config     ClusterConfig  `json:"config"`
+	WallSecs   float64        `json:"wall_seconds"`
+	Throughput float64        `json:"rounds_per_second"`
+	Latency    Percentiles    `json:"latency"`
+	Outcomes   map[string]int `json:"outcomes"`
+	// Unexpected lists rounds whose merged outcome differed from the
+	// kind's deterministic expectation; a benchmark with unexpected
+	// outcomes measured a broken cluster, not a fast one.
+	Unexpected []string `json:"unexpected,omitempty"`
+	// DriverAllocsPerRound is the driving process's heap allocations per
+	// round (control protocol, polling) — node-side allocation ceilings
+	// are asserted in-process by the transport tests instead.
+	DriverAllocsPerRound float64 `json:"driver_allocs_per_round"`
+	// BatchFrames and CreditStalls are the cluster-wide deltas of the
+	// tcp.batch_frames / tcp.credit_stalls counters over the run (zero
+	// when Counters is nil or the fast path is disabled).
+	BatchFrames  int64 `json:"batch_frames"`
+	CreditStalls int64 `json:"credit_stalls"`
+}
+
+func (c ClusterConfig) withDefaults() (ClusterConfig, error) {
+	if c.Roles < 2 {
+		return c, fmt.Errorf("load: RunCluster needs at least 2 roles, got %d", c.Roles)
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 64
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.Concurrency > c.Rounds {
+		c.Concurrency = c.Rounds
+	}
+	if len(c.Kinds) == 0 {
+		c.Kinds = []string{
+			KindChatter, KindChatter, KindCommit, KindChatter, KindChatter, KindSignal,
+			KindChatter, KindChatter, KindAbort, KindChatter, KindChatter, KindStorm,
+		}
+	}
+	if c.TagPrefix == "" {
+		c.TagPrefix = "bench"
+	}
+	return c, nil
+}
+
+// RunCluster drives cfg.Rounds shared action rounds through a live cluster
+// via ops, keeping cfg.Concurrency rounds in flight, and reports round
+// throughput, latency percentiles and the fast-path counter deltas. It is
+// the cluster-mode counterpart of Run: same closed-loop shape, but the
+// actions span real OS processes, so what it measures is the cross-node
+// wire path.
+func RunCluster(cfg ClusterConfig, ops ClusterOps) (*ClusterReport, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if ops.Start == nil || ops.Await == nil {
+		return nil, fmt.Errorf("load: RunCluster needs ClusterOps.Start and Await")
+	}
+	var before map[string]int64
+	if ops.Counters != nil {
+		if before, err = ops.Counters(); err != nil {
+			return nil, fmt.Errorf("load: cluster counters before run: %w", err)
+		}
+	}
+
+	var (
+		mu         sync.Mutex
+		latencies  = make([]time.Duration, 0, cfg.Rounds)
+		outcomes   = make(map[string]int)
+		unexpected []string
+		firstErr   error
+	)
+	next := make(chan int)
+	var wg sync.WaitGroup
+
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range next {
+				kind := cfg.Kinds[r%len(cfg.Kinds)]
+				tag := fmt.Sprintf("%s-%s-%d", cfg.TagPrefix, cfg.Label, r)
+				t0 := time.Now()
+				err := ops.Start(tag, kind, cfg.Roles)
+				var outcome string
+				if err == nil {
+					outcome, err = ops.Await(tag)
+				}
+				elapsed := time.Since(t0)
+				mu.Lock()
+				switch {
+				case err != nil:
+					if firstErr == nil {
+						firstErr = fmt.Errorf("load: cluster round %s (%s): %w", tag, kind, err)
+					}
+				default:
+					latencies = append(latencies, elapsed)
+					outcomes[outcome]++
+					if want := Expect(kind); outcome != want {
+						unexpected = append(unexpected,
+							fmt.Sprintf("round %s (%s): outcome %q, want %q", tag, kind, outcome, want))
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for r := 0; r < cfg.Rounds; r++ {
+		next <- r
+	}
+	close(next)
+	wg.Wait()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	rep := &ClusterReport{
+		Config:               cfg,
+		WallSecs:             wall.Seconds(),
+		Throughput:           float64(len(latencies)) / wall.Seconds(),
+		Latency:              percentiles(latencies),
+		Outcomes:             outcomes,
+		Unexpected:           unexpected,
+		DriverAllocsPerRound: float64(ms1.Mallocs-ms0.Mallocs) / float64(cfg.Rounds),
+	}
+	if ops.Counters != nil {
+		after, err := ops.Counters()
+		if err != nil {
+			return nil, fmt.Errorf("load: cluster counters after run: %w", err)
+		}
+		rep.BatchFrames = after["tcp.batch_frames"] - before["tcp.batch_frames"]
+		rep.CreditStalls = after["tcp.credit_stalls"] - before["tcp.credit_stalls"]
+	}
+	return rep, nil
+}

@@ -45,7 +45,23 @@ const (
 	// KindStorm: every role raises its own exception concurrently — a
 	// resolution storm — and handles the resolved cover, committing.
 	KindStorm = "storm"
+	// KindChatter: every role streams a burst of application payloads to
+	// every other role and drains the bursts addressed to it, then commits.
+	// Where the other kinds are control-plane heavy (barriers, votes,
+	// resolution), chatter rounds are dominated by App frames — the
+	// cluster benchmark's probe of the cross-node wire path.
+	KindChatter = "chatter"
 )
+
+// ChatterBurst is how many payloads each chatter role sends to each of
+// its peers per round. With r roles a round moves r·(r−1)·ChatterBurst
+// cross-node messages, enough for per-message wire cost to dominate the
+// round's protocol overhead. A cluster driver keeping C chatter rounds in
+// flight puts up to C·ChatterBurst messages in flight per node pair, so
+// it must size the transport's per-peer credit window accordingly
+// (testnet's bench does) or the window's bounded backpressure throttles
+// the measurement.
+const ChatterBurst = 512
 
 // Mix weights the action kinds in the generated workload. The zero value
 // (all weights zero) means DefaultMix.
@@ -582,6 +598,8 @@ func Workload(kind string, roles int, obs Observer) (*caaction.Spec, map[string]
 		_, spec, progs, err = buildAbort(roles)
 	case KindStorm:
 		_, spec, progs, err = buildStorm(roles, obs)
+	case KindChatter:
+		_, spec, progs, err = buildChatter(roles)
 	default:
 		return nil, nil, fmt.Errorf("load: unknown workload kind %q", kind)
 	}
@@ -662,6 +680,47 @@ func buildCommit(roles int) (string, *caaction.Spec, map[string]caaction.RolePro
 		}
 	}
 	return KindCommit, spec, progs, nil
+}
+
+// buildChatter builds the data-plane-heavy kind: each role sends
+// ChatterBurst payloads to every other role, then drains the bursts
+// addressed to it and commits. Sends are asynchronous, so every role
+// finishes its send loop before blocking in Recv — no ordering deadlock.
+func buildChatter(roles int) (string, *caaction.Spec, map[string]caaction.RoleProgram, error) {
+	spec, err := rolesOn(caaction.NewSpec("load-chatter"), roles).Build()
+	if err != nil {
+		return KindChatter, nil, nil, err
+	}
+	progs := make(map[string]caaction.RoleProgram, roles)
+	for i := 0; i < roles; i++ {
+		self := i
+		progs[roleName(i)] = caaction.RoleProgram{
+			Body: func(ctx *caaction.Context) error {
+				for j := 0; j < roles; j++ {
+					if j == self {
+						continue
+					}
+					for k := 0; k < ChatterBurst; k++ {
+						if err := ctx.Send(roleName(j), "chatter"); err != nil {
+							return err
+						}
+					}
+				}
+				for j := 0; j < roles; j++ {
+					if j == self {
+						continue
+					}
+					for k := 0; k < ChatterBurst; k++ {
+						if _, err := ctx.Recv(roleName(j)); err != nil {
+							return err
+						}
+					}
+				}
+				return ctx.Checkpoint()
+			},
+		}
+	}
+	return KindChatter, spec, progs, nil
 }
 
 func buildSignal(roles int) (string, *caaction.Spec, map[string]caaction.RoleProgram, error) {

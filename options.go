@@ -164,6 +164,36 @@ func WithGobWire() Option {
 	return func(c *config) { c.env.GobWire = true }
 }
 
+// WithoutPeerBatch disables the tcp transport's cross-node fast path —
+// batched node frames, credit-based peer flow control, the per-flush route
+// cache and sink receive delivery — restoring the frame-per-message legacy
+// path (see DESIGN.md "Cross-node fast path"). The fast path is on by
+// default and interoperates with peers that have it off (receivers always
+// accept both wire forms), so this knob exists to isolate a suspected
+// fast-path bug or to measure the batching win; it is not needed for mixed
+// deployments.
+func WithoutPeerBatch() Option {
+	return func(c *config) { c.env.NoPeerBatch = true }
+}
+
+// WithPeerWindow sets the per-peer credit window, in messages, that this
+// node advertises to dialing peers (cluster nodes, tcp transport). A
+// dialing peer may have at most window unacknowledged messages on the wire
+// plus window pending locally before its sends fail typed with
+// ErrPeerStalled — so the window bounds both this node's ingress buffering
+// and the sender's memory when this node stalls. The default (4096) suits
+// LAN clusters; lower it to tighten backpressure, raise it for
+// high-latency links. n must be positive. No effect with WithoutPeerBatch.
+func WithPeerWindow(n int) Option {
+	return func(c *config) {
+		if n <= 0 {
+			c.fail("WithPeerWindow: window must be positive, got %d", n)
+			return
+		}
+		c.env.PeerWindow = n
+	}
+}
+
 // WithPeer records the host:port of a logical thread address served by
 // another process (tcp transport).
 func WithPeer(thread, hostport string) Option {

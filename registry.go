@@ -129,6 +129,14 @@ type TransportEnv struct {
 	// GobWire selects the legacy gob wire format instead of the binary
 	// codec (networked transports), from WithGobWire.
 	GobWire bool
+	// NoPeerBatch disables the cross-node fast path (batched node frames,
+	// credit flow control, route caching, sink receive) on the tcp
+	// transport, from WithoutPeerBatch.
+	NoPeerBatch bool
+	// PeerWindow overrides the per-peer credit window, in messages, that
+	// the tcp transport advertises to dialing peers (0 keeps the default),
+	// from WithPeerWindow.
+	PeerWindow int
 }
 
 // TransportFactory builds a Network for one System.
@@ -190,6 +198,12 @@ func tcpTransport(env TransportEnv) (Network, error) {
 	t.SetMetrics(env.Metrics)
 	if env.GobWire {
 		t.SetGobWire(true)
+	}
+	if env.NoPeerBatch {
+		t.SetPeerBatch(false)
+	}
+	if env.PeerWindow > 0 {
+		t.SetPeerWindow(env.PeerWindow)
 	}
 	if env.ListenAddr != "" {
 		t.SetListenAddr(env.ListenAddr)
